@@ -1,0 +1,101 @@
+// Ablations over ViewMap's design choices (DESIGN.md §7) — the knobs the
+// paper fixes by fiat, swept:
+//
+//   A. TrustRank damping δ (paper: 0.8) vs verification accuracy against
+//      near-seed attackers — the hardest Fig. 12 cell.
+//   B. Bloom filter size m (paper: 2048 bits) vs false-linkage rate AND
+//      per-VP storage — the compactness/correctness trade of §6.3.2.
+//   C. Guard ratio α (paper: 0.1) vs tracking success AND database
+//      growth — the privacy/storage trade of §6.2.2.
+#include "attack/experiments.h"
+#include "bench_util.h"
+#include "bloom/bloom_filter.h"
+#include "privacy_bench_common.h"
+#include "vp/guard.h"
+
+using namespace viewmap;
+
+namespace {
+
+void ablate_damping(int runs, Rng& rng) {
+  std::printf("\n-- A. TrustRank damping delta vs accuracy (attackers at 1-5 hops, "
+              "300%% fakes) --\n");
+  std::printf("%-10s %-12s\n", "delta", "accuracy");
+  attack::GeometricConfig geo_cfg;
+  attack::AttackPlan plan;
+  plan.fake_count = 3000;
+  plan.attacker_count = 20;
+  plan.hop_bucket = {{1, 5}};
+  for (double delta : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    sys::TrustRankConfig tr;
+    tr.damping = delta;
+    tr.tolerance = 1e-10;
+    const double acc = attack::geometric_accuracy(geo_cfg, plan, tr, runs, rng);
+    std::printf("%-10.2f %6.1f%%%s\n", delta, 100.0 * acc,
+                delta == 0.8 ? "   <- paper's choice" : "");
+  }
+  std::printf("small delta keeps trust near the seed (robust but short-sighted); "
+              "large delta lets it diffuse into fake layers.\n");
+}
+
+void ablate_bloom() {
+  std::printf("\n-- B. Bloom size m vs false linkage at 300 neighbors AND VP size --\n");
+  std::printf("%-10s %-16s %-14s %-14s\n", "m (bits)", "false linkage", "VP bytes",
+              "vs video");
+  for (std::size_t m : {512u, 1024u, 2048u, 4096u, 8192u}) {
+    const int k = bloom::optimal_hash_count(m, 300);
+    const double p = bloom::false_linkage_rate(m, 300, k);
+    const std::size_t vp_bytes = 60 * 72 + m / 8 + 8;
+    std::printf("%-10zu %-16.6f %-14zu %.5f%%%s\n", m, p, vp_bytes,
+                100.0 * static_cast<double>(vp_bytes) / (50.0 * 1024 * 1024),
+                m == 2048 ? "   <- paper's choice" : "");
+  }
+  std::printf("2048 bits is the knee: 10x fewer false links than 1024 for +128 B "
+              "per VP; 4096+ buys little.\n");
+}
+
+void ablate_alpha(int minutes) {
+  std::printf("\n-- C. Guard ratio alpha vs tracking success AND database growth --\n");
+  std::printf("%-8s %-22s %-20s %-16s\n", "alpha", "success @ last minute",
+              "entropy (bits)", "VPs per actual");
+  for (double alpha : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    Rng city_rng(77);
+    road::GridCityConfig ccfg;
+    ccfg.extent_m = 2500.0;
+    ccfg.block_m = 250.0;
+    ccfg.building_fill = 0.5;
+    auto city = road::make_grid_city(ccfg, city_rng);
+
+    sim::SimConfig cfg;
+    cfg.seed = 78;
+    cfg.vehicle_count = 40;
+    cfg.minutes = minutes;
+    cfg.video_bytes_per_second = 16;
+    cfg.guards_enabled = alpha > 0.0;
+    cfg.guard.alpha = alpha > 0.0 ? alpha : 0.1;
+    sim::TrafficSimulator sim(std::move(city), cfg);
+    const auto result = sim.run();
+
+    const auto curves = track::evaluate_privacy(result, /*include_guards=*/true);
+    const double growth = static_cast<double>(result.profiles.size()) /
+                          static_cast<double>(result.owned.size());
+    std::printf("%-8.2f %-22.3f %-20.2f %-16.2f%s\n", alpha,
+                curves.mean_success.back(), curves.mean_entropy.back(), growth,
+                alpha == 0.1 ? "   <- paper's choice" : "");
+  }
+  std::printf("alpha=0.1 buys most of the privacy for ~2x database growth (the one-guard floor of the ceiling dominates in sparse traffic); "
+              "larger alpha pays storage for diminishing confusion.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header("Ablations", "Design-choice sweeps (damping, Bloom size, alpha)");
+  const int runs = bench::int_flag(argc, argv, "runs", 20);
+  const int minutes = bench::int_flag(argc, argv, "minutes", 6);
+  Rng rng(2027);
+  ablate_damping(runs, rng);
+  ablate_bloom();
+  ablate_alpha(minutes);
+  return 0;
+}

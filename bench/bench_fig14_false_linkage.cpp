@@ -1,0 +1,62 @@
+// Fig. 14: Bloom-filter false linkage rate vs number of neighbor VPs,
+// m ∈ {1024, 2048, 3072, 4096} bits, optimal k = (m/n)·ln2.
+//
+// Analytic curves (the paper's model) plus an empirical column measured
+// on the real filter with the deployed two-way membership check at the
+// protocol configuration (m = 2048, k = 3).
+#include "bench_util.h"
+#include "bloom/bloom_filter.h"
+#include "common/rng.h"
+#include "vp/view_profile.h"
+
+using namespace viewmap;
+
+namespace {
+
+/// Empirical probability that two *unrelated* filters, each loaded with n
+/// random 72-byte elements, pass the deployed two-way membership check
+/// against one another's boundary elements.
+double empirical_two_way(std::size_t n, int trials, Rng& rng) {
+  int linked = 0;
+  std::vector<std::uint8_t> e(72);
+  for (int t = 0; t < trials; ++t) {
+    bloom::BloomFilter a(vp::kBloomBits, vp::kBloomHashes);
+    bloom::BloomFilter b(vp::kBloomBits, vp::kBloomHashes);
+    std::vector<std::uint8_t> probe_a(72), probe_b(72);
+    rng.fill_bytes(probe_a);
+    rng.fill_bytes(probe_b);
+    for (std::size_t i = 0; i < n; ++i) {
+      rng.fill_bytes(e);
+      a.insert(e);
+      rng.fill_bytes(e);
+      b.insert(e);
+    }
+    linked += a.maybe_contains(probe_b) && b.maybe_contains(probe_a);
+  }
+  return static_cast<double>(linked) / trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header("Fig. 14", "False linkage rate vs number of neighbor VPs");
+  const int trials = bench::int_flag(argc, argv, "trials", 3000);
+
+  std::printf("%-10s %-12s %-12s %-12s %-12s %-16s\n", "neighbors", "m=1024",
+              "m=2048", "m=3072", "m=4096", "empirical(2048,k=3)");
+  Rng rng(7);
+  for (std::size_t n = 50; n <= 400; n += 50) {
+    std::printf("%-10zu", n);
+    for (std::size_t m : {1024u, 2048u, 3072u, 4096u}) {
+      const int k = bloom::optimal_hash_count(m, n);
+      std::printf(" %-12.6f", bloom::false_linkage_rate(m, n, k));
+    }
+    std::printf(" %-16.6f\n", empirical_two_way(n, trials, rng));
+  }
+  std::printf("\npaper operating point: m = 2048 bits ⇒ ≈0.1%% false linkage at "
+              "300 neighbors (§6.3.2).\n");
+  std::printf("note: the paper's displayed formula (2nk/2k exponents) does not\n"
+              "reproduce its own 0.1%% claim; we model a false positive in each\n"
+              "direction independently — see EXPERIMENTS.md.\n");
+  return 0;
+}

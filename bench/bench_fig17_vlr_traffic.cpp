@@ -1,0 +1,71 @@
+// Fig. 17: VLR vs distance on highways — speed vs traffic volume.
+//
+// Paper: VLR is insensitive to vehicle speed (Doppler) but drops under
+// heavy traffic (blockage by tall vehicles). We measure one-minute
+// two-way linkage for convoys at 50/80 km/h under light and heavy
+// interposed-traffic densities.
+#include "bench_util.h"
+#include "sim/simulator.h"
+
+using namespace viewmap;
+
+namespace {
+
+/// Linkage ratio for two vehicles driving the same highway `d` apart.
+double convoy_vlr(double d, double speed_kmh, double blocker_density, int minutes,
+                  std::uint64_t seed) {
+  sim::SimConfig cfg;
+  cfg.seed = seed;
+  cfg.minutes = minutes;
+  cfg.guards_enabled = false;
+  cfg.collect_pair_stats = true;
+  cfg.video_bytes_per_second = 16;
+  cfg.traffic_blocker_density_per_m = blocker_density;
+
+  road::CityMap highway;
+  highway.bounds = {{0, -100}, {1e6, 100}};
+  std::vector<sim::VehicleMotion> fleet;
+  const double v = sim::kmh(speed_kmh);
+  fleet.push_back(sim::VehicleMotion::scripted({{0, 0}, {1e6, 0}}, v));
+  fleet.push_back(sim::VehicleMotion::scripted({{d, 0}, {1e6 + d, 0}}, v));
+
+  sim::TrafficSimulator sim(std::move(highway), cfg, std::move(fleet));
+  const auto result = sim.run();
+  int linked = 0;
+  for (const auto& obs : result.pair_minutes) linked += obs.vp_linked;
+  return static_cast<double>(linked) / minutes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header("Fig. 17", "VLR vs distance: speed and traffic volume");
+  const int minutes = bench::int_flag(argc, argv, "minutes", 30);
+  std::printf("(%d minutes per point; Hwy1 = light traffic 0.0005/m, Hwy2 = heavy "
+              "0.012/m)\n\n",
+              minutes);
+
+  struct Config {
+    const char* label;
+    double speed;
+    double density;
+  };
+  const Config configs[] = {{"Hwy1 80km/h (light)", 80, 0.0005},
+                            {"Hwy1 50km/h (light)", 50, 0.0005},
+                            {"Hwy2 80km/h (heavy)", 80, 0.012},
+                            {"Hwy2 50km/h (heavy)", 50, 0.012}};
+
+  std::printf("%-10s", "dist(m)");
+  for (const auto& c : configs) std::printf(" %-22s", c.label);
+  std::printf("\n");
+  std::uint64_t seed = 100;
+  for (double d = 50; d <= 400; d += 50) {
+    std::printf("%-10.0f", d);
+    for (const auto& c : configs)
+      std::printf(" %-22.3f", convoy_vlr(d, c.speed, c.density, minutes, ++seed));
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: 50 vs 80 km/h curves overlap (speed-insensitive); "
+              "heavy traffic drops VLR with distance.\n");
+  return 0;
+}

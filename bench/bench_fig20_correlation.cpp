@@ -1,0 +1,95 @@
+// Fig. 20: correlation between VP links and video contents vs distance.
+//
+// Paper: over all field data, the Pearson correlation between "two VPs
+// are viewlinked" and "either video shows the other vehicle" is 0.7-0.9
+// across separation distances and environments — VP linkage is a proxy
+// for shared view. We reproduce it by driving a fleet per environment,
+// collecting per-pair-per-minute observations, bucketing by distance and
+// correlating the two binary outcomes.
+#include <map>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "sim/simulator.h"
+
+using namespace viewmap;
+
+namespace {
+
+struct Bucket {
+  std::vector<double> linked;
+  std::vector<double> seen;
+};
+
+std::map<int, Bucket> collect(road::CityMap city, int vehicles, int minutes,
+                              std::uint64_t seed, double traffic_density) {
+  sim::SimConfig cfg;
+  cfg.seed = seed;
+  cfg.vehicle_count = vehicles;
+  cfg.minutes = minutes;
+  cfg.guards_enabled = false;
+  cfg.collect_pair_stats = true;
+  cfg.video_bytes_per_second = 16;
+  cfg.camera_range_m = 400.0;  // §7.2: open-road pairs film each other at range
+  cfg.camera_fov_deg = 160.0;
+  cfg.traffic_blocker_density_per_m = traffic_density;
+  sim::TrafficSimulator sim(std::move(city), cfg);
+  const auto result = sim.run();
+
+  std::map<int, Bucket> buckets;  // key: 50 m distance bin
+  for (const auto& obs : result.pair_minutes) {
+    auto& b = buckets[static_cast<int>(obs.min_distance_m / 50.0) * 50 + 50];
+    b.linked.push_back(obs.vp_linked ? 1.0 : 0.0);
+    b.seen.push_back(obs.on_video ? 1.0 : 0.0);
+  }
+  return buckets;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header("Fig. 20", "Correlation of VP links and video contents");
+  const int minutes = bench::int_flag(argc, argv, "minutes", 8);
+  const int vehicles = bench::int_flag(argc, argv, "vehicles", 30);
+  std::printf("(%d vehicles, %d minutes per environment)\n\n", vehicles, minutes);
+
+  struct Env {
+    const char* label;
+    road::Environment kind;
+  };
+  const Env envs[] = {{"Downtown", road::Environment::kDowntown},
+                      {"Residential", road::Environment::kResidential},
+                      {"Highway", road::Environment::kHighway}};
+
+  std::map<const char*, std::map<int, Bucket>> results;
+  Rng map_rng(9);
+  for (const auto& env : envs) {
+    auto city = road::make_environment(env.kind, 2000.0, map_rng);
+    // The highway has no buildings; its outcome variance comes from heavy
+    // vehicle traffic blocking sight lines, as on the paper's testbed runs.
+    const double traffic =
+        env.kind == road::Environment::kHighway ? 0.006 : 0.0;
+    results[env.label] = collect(std::move(city), vehicles, minutes,
+                                 1000 + static_cast<std::uint64_t>(env.kind), traffic);
+  }
+
+  std::printf("%-10s %-22s %-22s %-22s\n", "dist(m)", "Downtown", "Residential",
+              "Highway");
+  for (int d = 50; d <= 400; d += 50) {
+    std::printf("%-10d", d);
+    for (const auto& env : envs) {
+      const auto& buckets = results[env.label];
+      auto it = buckets.find(d);
+      if (it == buckets.end() || it->second.linked.size() < 8) {
+        std::printf(" %-21s", "-");
+        continue;
+      }
+      const double corr = pearson_correlation(it->second.linked, it->second.seen);
+      std::printf(" %-10.3f (n=%-5zu)", corr, it->second.linked.size());
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: correlation ≈0.7–0.9 across distances; '-' marks "
+              "bins with too few pair-minutes.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 9: volume of VP creation vs number of neighbors, for α ∈ {0.5,
+// 0.3, 0.1}, plus the §6.2.2 coverage formula P_t that justifies α = 0.1.
+//
+// VPs created per vehicle per minute = 1 actual + ⌈α·m⌉ guards. The paper
+// picks the smallest α whose uncovered-vehicle probability P_t drops
+// below 0.01 within a typical drive.
+#include "bench_util.h"
+#include "vp/guard.h"
+
+using namespace viewmap;
+
+int main(int, char**) {
+  bench::header("Fig. 9", "Volume of VP creation (VPs per vehicle per 1-min)");
+
+  std::printf("%-12s %-10s %-10s %-10s\n", "neighbors m", "a=0.5", "a=0.3", "a=0.1");
+  for (int m = 20; m <= 200; m += 20) {
+    std::printf("%-12d %-10zu %-10zu %-10zu\n", m,
+                1 + vp::guard_count(0.5, static_cast<std::size_t>(m)),
+                1 + vp::guard_count(0.3, static_cast<std::size_t>(m)),
+                1 + vp::guard_count(0.1, static_cast<std::size_t>(m)));
+  }
+  std::printf("\npaper shape: linear in m with slope α; α = 0.1 keeps the database "
+              "growth ≈1.1×actuals.\n");
+
+  std::printf("\nCoverage formula P_t (probability some vehicle is still uncovered "
+              "after t minutes):\n");
+  std::printf("%-12s %-10s %-10s %-10s %-10s\n", "minutes t", "m=20", "m=50", "m=100",
+              "m=200");
+  for (int t = 1; t <= 10; ++t) {
+    std::printf("%-12d %-10.4f %-10.4f %-10.4f %-10.4f\n", t,
+                vp::uncovered_probability(0.1, 20, t),
+                vp::uncovered_probability(0.1, 50, t),
+                vp::uncovered_probability(0.1, 100, t),
+                vp::uncovered_probability(0.1, 200, t));
+  }
+  std::printf("\npaper claim: α = 0.1 drives P_t < 0.01 within ~5 minutes of "
+              "driving (moderate density).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Every bench prints: a header naming the paper artifact it regenerates,
+// the parameters used (including any scale-down vs the paper), the
+// reproduced rows/series, and the paper's reference values for shape
+// comparison. EXPERIMENTS.md records paper-vs-measured per artifact.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace viewmap::bench {
+
+inline void header(const char* artifact, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", artifact, title);
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* text) { std::printf("%s\n", text); }
+
+/// `--runs=N` / `--scale=N` style integer flag, with default.
+inline int int_flag(int argc, char** argv, const char* name, int fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::atoi(argv[i] + prefix.size());
+  return fallback;
+}
+
+inline bool bool_flag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i)
+    if (flag == argv[i]) return true;
+  return false;
+}
+
+}  // namespace viewmap::bench

@@ -1,0 +1,62 @@
+// Shared simulation driver for the Fig. 10 / Fig. 11 privacy benches
+// (and their large-scale Fig. 22a/b siblings).
+#pragma once
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "road/city.h"
+#include "sim/simulator.h"
+#include "track/privacy_eval.h"
+
+namespace viewmap::bench {
+
+struct PrivacyRun {
+  int vehicles = 0;
+  track::PrivacyCurves with_guards;
+  track::PrivacyCurves without_guards;
+};
+
+/// Simulates `vehicles` over an `extent_m` square city for `minutes` and
+/// evaluates the §6.2.2 tracker both ways.
+inline PrivacyRun run_privacy(int vehicles, double extent_m, int minutes,
+                              std::uint64_t seed) {
+  Rng city_rng(seed);
+  road::GridCityConfig ccfg;
+  ccfg.extent_m = extent_m;
+  ccfg.block_m = 250.0;
+  ccfg.building_fill = 0.5;
+  auto city = road::make_grid_city(ccfg, city_rng);
+
+  sim::SimConfig cfg;
+  cfg.seed = seed + 1;
+  cfg.vehicle_count = vehicles;
+  cfg.minutes = minutes;
+  cfg.video_bytes_per_second = 16;
+  sim::TrafficSimulator sim(std::move(city), cfg);
+  const sim::SimResult result = sim.run();
+
+  PrivacyRun run;
+  run.vehicles = vehicles;
+  run.with_guards = track::evaluate_privacy(result, true);
+  run.without_guards = track::evaluate_privacy(result, false);
+  return run;
+}
+
+inline void print_curves(const std::vector<PrivacyRun>& runs, bool entropy) {
+  std::printf("%-8s", "minute");
+  for (const auto& r : runs) std::printf(" n=%-9d", r.vehicles);
+  std::printf(" %-12s\n", "no-guard(n0)");
+  const std::size_t T = runs.front().with_guards.minutes.size();
+  for (std::size_t t = 0; t < T; ++t) {
+    std::printf("%-8.0f", runs.front().with_guards.minutes[t]);
+    for (const auto& r : runs)
+      std::printf(" %-11.3f", entropy ? r.with_guards.mean_entropy[t]
+                                      : r.with_guards.mean_success[t]);
+    std::printf(" %-12.3f\n", entropy ? runs.front().without_guards.mean_entropy[t]
+                                      : runs.front().without_guards.mean_success[t]);
+  }
+}
+
+}  // namespace viewmap::bench

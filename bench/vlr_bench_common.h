@@ -1,0 +1,64 @@
+// Shared VP-linkage-ratio (VLR) measurement for the Fig. 15/17 benches.
+//
+// VLR(d): the probability that two vehicles separated by d form a two-way
+// viewlink within one minute of VD broadcasts — exactly what the field
+// experiments measured while driving. One trial = 60 per-second delivery
+// attempts in each direction; linked iff both directions got ≥1 frame
+// through (the builder then stores the neighbor and Bloom membership
+// follows deterministically).
+#pragma once
+
+#include "common/rng.h"
+#include "dsrc/channel.h"
+#include "geo/obstacle_index.h"
+#include "road/city.h"
+
+namespace viewmap::bench {
+
+inline bool minute_linked(const dsrc::BroadcastChannel& channel,
+                          const dsrc::ChannelEnvironment& env, geo::Vec2 a,
+                          geo::Vec2 b, Rng& rng) {
+  bool ab = false;
+  bool ba = false;
+  for (int s = 0; s < 60 && !(ab && ba); ++s) {
+    ab = ab || channel.try_deliver(a, b, env, rng);
+    ba = ba || channel.try_deliver(b, a, env, rng);
+  }
+  return ab && ba;
+}
+
+/// Random point on a random road segment of the map.
+inline geo::Vec2 random_road_point(const road::RoadNetwork& net, Rng& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto a = static_cast<road::NodeId>(rng.index(net.node_count()));
+    const auto nbrs = net.neighbors(a);
+    if (nbrs.empty()) continue;
+    const auto& e = nbrs[rng.index(nbrs.size())];
+    return geo::lerp(net.node_pos(a), net.node_pos(e.to), rng.uniform());
+  }
+  return net.node_pos(0);
+}
+
+/// VLR at separation `d`: vehicles at random road points, the partner `d`
+/// away in a random direction (clamped back toward the map on failure).
+inline double measure_vlr(const road::CityMap& map, double d, int samples,
+                          double traffic_density, Rng& rng) {
+  const geo::ObstacleIndex index(
+      std::vector<geo::Rect>(map.buildings.begin(), map.buildings.end()));
+  const dsrc::BroadcastChannel channel;
+  const dsrc::ChannelEnvironment env{&index, traffic_density};
+
+  int linked = 0;
+  for (int i = 0; i < samples; ++i) {
+    const geo::Vec2 a = random_road_point(map.roads, rng);
+    const double theta = rng.uniform(0.0, 6.28318530718);
+    // 0.999 keeps the exact-range sample inside the decode horizon rather
+    // than letting floating-point noise flip the d == max_range boundary.
+    const geo::Vec2 b{a.x + 0.999 * d * std::cos(theta),
+                      a.y + 0.999 * d * std::sin(theta)};
+    linked += minute_linked(channel, env, a, b, rng);
+  }
+  return static_cast<double>(linked) / samples;
+}
+
+}  // namespace viewmap::bench

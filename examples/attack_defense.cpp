@@ -1,0 +1,54 @@
+// Attack & defense demo: colluding fake-VP injection vs Algorithm 1.
+//
+// Builds a synthetic 1000-VP viewmap (as in §6.3.1), lets colluding
+// attackers inject fake VPs — chained from their own legitimate VPs into
+// the investigation site, since two-way validation forbids edges to
+// honest VPs — and shows how TrustRank + Algorithm 1 reject the fake
+// layer. Sweeps the attacker's hop distance to the trusted VP to
+// reproduce the Fig. 12 effect in miniature.
+//
+// Build & run:  ./examples/attack_defense
+#include <cstdio>
+
+#include "attack/experiments.h"
+
+using namespace viewmap;
+
+int main() {
+  Rng rng(17);
+  attack::GeometricConfig geo_cfg;
+  geo_cfg.legit_count = 1000;
+
+  // One annotated trial, close up.
+  attack::AttackGraph g = attack::make_geometric_viewmap(geo_cfg, rng);
+  attack::AttackPlan plan;
+  plan.fake_count = 2000;  // 200% of the legitimate population
+  plan.attacker_count = 50;
+  plan.hop_bucket = {{6, 10}};
+  const auto attackers = attack::inject_fakes(g, plan, geo_cfg.link_radius_m, rng);
+  std::printf("viewmap: %zu honest VPs + %zu fakes by %zu colluders (hops 6-10)\n",
+              geo_cfg.legit_count, g.size() - geo_cfg.legit_count,
+              attackers ? attackers->size() : 0);
+
+  const auto outcome = attack::judge(g, {});
+  std::printf("site: %zu honest, %zu fake claims → fakes accepted: %zu (%s)\n\n",
+              outcome.site_honest, outcome.site_fakes, outcome.fakes_accepted,
+              outcome.correct ? "verification CORRECT" : "verification FOOLED");
+
+  // Fig. 12 in miniature: accuracy vs attacker distance, 500% fakes.
+  std::printf("accuracy vs attacker hop-distance to the trusted VP (500%% fakes):\n");
+  sys::TrustRankConfig tr;
+  tr.tolerance = 1e-10;
+  for (const auto& [lo, hi] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 5}, {6, 10}, {11, 15}, {16, 20}}) {
+    attack::AttackPlan p;
+    p.fake_count = 5000;
+    p.attacker_count = 50;
+    p.hop_bucket = {{lo, hi}};
+    const double acc = attack::geometric_accuracy(geo_cfg, p, tr, /*runs=*/15, rng);
+    std::printf("  hops %2zu-%-2zu : %5.1f%%\n", lo, hi, 100.0 * acc);
+  }
+  std::printf("\nPaper reference (Fig. 12): ≈83%% at worst in the nearest bucket,\n"
+              "≈99-100%% everywhere else; more fakes only dilute the attack.\n");
+  return 0;
+}

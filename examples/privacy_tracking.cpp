@@ -1,0 +1,54 @@
+// Privacy demo: what the system-as-tracker sees, with and without guards.
+//
+// Simulates a fleet, then runs the §6.2.2 strong adversary over the VP
+// database twice — once on actual VPs only (the "no guard" baseline) and
+// once on the real database including guard VPs — and prints location
+// entropy / tracking success per minute of pursuit (Figs. 10 and 11).
+//
+// Build & run:  ./examples/privacy_tracking
+#include <cstdio>
+
+#include "sim/simulator.h"
+#include "track/privacy_eval.h"
+
+using namespace viewmap;
+
+int main() {
+  Rng city_rng(3);
+  road::GridCityConfig city_cfg;
+  city_cfg.extent_m = 2500;
+  city_cfg.block_m = 250;
+  city_cfg.building_fill = 0.5;
+  auto city = road::make_grid_city(city_cfg, city_rng);
+
+  sim::SimConfig cfg;
+  cfg.seed = 5;
+  cfg.vehicle_count = 40;
+  cfg.minutes = 8;
+  cfg.video_bytes_per_second = 16;
+  sim::TrafficSimulator simulator(std::move(city), cfg);
+  const sim::SimResult world = simulator.run();
+
+  std::size_t guards = 0;
+  for (const auto& rec : world.profiles) guards += rec.guard;
+  std::printf("fleet: %d vehicles × %d min → %zu actual VPs + %zu guard VPs\n",
+              cfg.vehicle_count, cfg.minutes, world.profiles.size() - guards, guards);
+  std::printf("avg neighbors per vehicle-minute: %.1f\n\n",
+              world.neighbors_per_vehicle_minute.mean());
+
+  const auto with_guards = track::evaluate_privacy(world, /*include_guards=*/true);
+  const auto without = track::evaluate_privacy(world, /*include_guards=*/false);
+
+  std::printf("%-8s | %-28s | %-28s\n", "", "with guard VPs", "without guard VPs");
+  std::printf("%-8s | %-13s %-14s | %-13s %-14s\n", "minute", "entropy(bits)",
+              "track-success", "entropy(bits)", "track-success");
+  for (std::size_t t = 0; t < with_guards.minutes.size(); ++t)
+    std::printf("%-8.0f | %-13.2f %-14.3f | %-13.2f %-14.3f\n",
+                with_guards.minutes[t], with_guards.mean_entropy[t],
+                with_guards.mean_success[t], without.mean_entropy[t],
+                without.mean_success[t]);
+
+  std::printf("\nPaper reference (§8): success < 0.1 within ~3 min with guards;\n"
+              "stays > 0.9 after 20 min without them.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "anonet/channel.h"
+
+namespace viewmap::anonet {
+
+void AnonymousChannel::submit(std::vector<std::uint8_t> payload) {
+  pending_.push_back(std::move(payload));
+}
+
+std::vector<Delivery> AnonymousChannel::release(std::size_t count) {
+  rng_.shuffle(pending_);
+  std::vector<Delivery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Delivery d;
+    d.session_id = rng_.next_u64();
+    d.payload = std::move(pending_.back());
+    pending_.pop_back();
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<Delivery> AnonymousChannel::drain() { return release(pending_.size()); }
+
+std::vector<Delivery> AnonymousChannel::drain_batch() {
+  if (pending_.size() < mix_pool_) return {};
+  return release(mix_pool_);
+}
+
+}  // namespace viewmap::anonet

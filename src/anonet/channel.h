@@ -1,0 +1,54 @@
+// Anonymous upload channel (Tor stand-in, paper §5.1.2).
+//
+// The paper routes VP uploads over Tor and has clients "constantly change
+// sessions with the system, preventing the system from distinguishing
+// among users by session ids". We model exactly the property the rest of
+// the design relies on: the server receives payloads tagged only with
+// throwaway session identifiers, in an order decorrelated from submission
+// order (a small mix pool). No sender identity exists anywhere in the
+// delivered record — verified by tests, relied on by the privacy analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace viewmap::anonet {
+
+/// What the server observes per upload. Deliberately nothing else.
+struct Delivery {
+  std::uint64_t session_id = 0;  ///< fresh pseudo-random id per upload
+  std::vector<std::uint8_t> payload;
+};
+
+class AnonymousChannel {
+ public:
+  /// `mix_pool` controls reorder depth: deliveries are released in random
+  /// order once at least this many uploads are pending (drain() releases
+  /// everything, still shuffled).
+  explicit AnonymousChannel(std::uint64_t seed, std::size_t mix_pool = 16)
+      : rng_(seed), mix_pool_(mix_pool) {}
+
+  /// Client side: enqueue one payload.
+  void submit(std::vector<std::uint8_t> payload);
+
+  /// Server side: receive every pending upload, shuffled, each under a
+  /// fresh session id.
+  [[nodiscard]] std::vector<Delivery> drain();
+
+  /// Server side: receive up to the mix-pool batch (empty if fewer than
+  /// `mix_pool` uploads are pending — batching is what hides timing).
+  [[nodiscard]] std::vector<Delivery> drain_batch();
+
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+
+ private:
+  [[nodiscard]] std::vector<Delivery> release(std::size_t count);
+
+  Rng rng_;
+  std::size_t mix_pool_;
+  std::vector<std::vector<std::uint8_t>> pending_;
+};
+
+}  // namespace viewmap::anonet

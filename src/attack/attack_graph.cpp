@@ -1,0 +1,209 @@
+#include "attack/attack_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+namespace viewmap::attack {
+
+void AttackGraph::add_edge(std::size_t a, std::size_t b) {
+  adj[a].push_back(static_cast<std::uint32_t>(b));
+  adj[b].push_back(static_cast<std::uint32_t>(a));
+}
+
+std::vector<std::size_t> AttackGraph::site_members() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    if (site.contains(pos[i])) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> AttackGraph::hops_from_trusted() const {
+  std::vector<std::size_t> dist(size(), SIZE_MAX);
+  std::queue<std::size_t> q;
+  for (std::size_t s : trusted) {
+    dist[s] = 0;
+    q.push(s);
+  }
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop();
+    for (std::uint32_t v : adj[u]) {
+      if (dist[v] == SIZE_MAX) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+AttackGraph make_geometric_viewmap(const GeometricConfig& cfg, Rng& rng) {
+  AttackGraph g;
+  g.pos.resize(cfg.legit_count);
+  g.adj.resize(cfg.legit_count);
+  g.fake.assign(cfg.legit_count, false);
+  for (auto& p : g.pos) p = {rng.uniform(0, cfg.area_m), rng.uniform(0, cfg.area_m)};
+
+  // Grid-bucketed radius linking.
+  const double cell = cfg.link_radius_m;
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> cells;
+  auto key = [&](geo::Vec2 p) {
+    return (static_cast<std::int64_t>(std::floor(p.x / cell)) << 32) ^
+           static_cast<std::uint32_t>(static_cast<std::int32_t>(std::floor(p.y / cell)));
+  };
+  for (std::uint32_t i = 0; i < g.pos.size(); ++i) cells[key(g.pos[i])].push_back(i);
+  const double r2 = cfg.link_radius_m * cfg.link_radius_m;
+  for (std::uint32_t i = 0; i < g.pos.size(); ++i) {
+    const int cx = static_cast<int>(std::floor(g.pos[i].x / cell));
+    const int cy = static_cast<int>(std::floor(g.pos[i].y / cell));
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const std::int64_t k = (static_cast<std::int64_t>(cx + dx) << 32) ^
+                               static_cast<std::uint32_t>(cy + dy);
+        auto it = cells.find(k);
+        if (it == cells.end()) continue;
+        for (std::uint32_t j : it->second)
+          if (j > i && (g.pos[i] - g.pos[j]).norm2() <= r2) g.add_edge(i, j);
+      }
+    }
+  }
+
+  // One trusted seed among the honest VPs — biased toward a corner so the
+  // hop-distance spectrum spans the full 1..25+ range Fig. 12 sweeps.
+  std::size_t seed = 0;
+  double best = 1e18;
+  for (int probe = 0; probe < 32; ++probe) {
+    const std::size_t i = rng.index(cfg.legit_count);
+    const double d = g.pos[i].norm();  // distance to corner (0,0)
+    if (d < best) {
+      best = d;
+      seed = i;
+    }
+  }
+  g.trusted.push_back(seed);
+
+  // Site centered on an honest VP a few hops from the seed (Fig. 6's
+  // geometry: police car near, not at, the incident).
+  const auto hops = g.hops_from_trusted();
+  std::vector<std::size_t> ring;
+  for (std::size_t i = 0; i < g.size(); ++i)
+    if (hops[i] == cfg.site_hops_from_trusted) ring.push_back(i);
+  const geo::Vec2 c =
+      ring.empty() ? g.pos[rng.index(cfg.legit_count)] : g.pos[ring[rng.index(ring.size())]];
+  g.site = {{c.x - cfg.site_half_m, c.y - cfg.site_half_m},
+            {c.x + cfg.site_half_m, c.y + cfg.site_half_m}};
+  return g;
+}
+
+std::optional<std::vector<std::size_t>> inject_fakes(AttackGraph& g,
+                                                     const AttackPlan& plan,
+                                                     double link_radius_m, Rng& rng) {
+  const std::size_t base = g.size();
+
+  // Select attacker-controlled legitimate VPs. Nodes already inside the
+  // site are excluded: an attacker physically at the incident is the
+  // degenerate case where it holds genuinely solicitable video anyway.
+  std::vector<std::size_t> candidates;
+  const auto hops = g.hops_from_trusted();
+  for (std::size_t i = 0; i < base; ++i) {
+    if (g.fake[i]) continue;
+    if (g.site.contains(g.pos[i])) continue;
+    if (std::find(g.trusted.begin(), g.trusted.end(), i) != g.trusted.end()) continue;
+    if (plan.hop_bucket &&
+        (hops[i] < plan.hop_bucket->first || hops[i] > plan.hop_bucket->second))
+      continue;
+    candidates.push_back(i);
+  }
+  const std::size_t want = plan.attacker_count * plan.dummies_per_attacker;
+  if (candidates.size() < want || want == 0) return std::nullopt;
+
+  std::vector<std::size_t> attackers;
+  for (std::size_t idx : rng.sample_indices(candidates.size(), want))
+    attackers.push_back(candidates[idx]);
+
+  // Fake VP budget. Every attacker grows a proximity-legal chain from its
+  // own legitimate VP toward the site; remaining fakes claim positions in
+  // or near the site and interlink densely (colluders share fakes).
+  const geo::Vec2 site_center = g.site.center();
+  const double step = plan.chain_spacing_frac * link_radius_m;
+  std::size_t remaining = plan.fake_count;
+  std::vector<std::size_t> chain_heads;
+
+  for (std::size_t round = 0; remaining > 0; ++round) {
+    const std::size_t a = attackers[round % attackers.size()];
+    // Chain from the attacker's VP to the site.
+    geo::Vec2 at = g.pos[a];
+    std::size_t prev = a;
+    while (remaining > 0) {
+      const geo::Vec2 to_site = site_center - at;
+      const double dist = to_site.norm();
+      const bool arrived = dist <= step;
+      at = arrived ? site_center : at + to_site * (step / dist);
+      // Jitter so parallel chains do not stack on one line.
+      at.x += rng.uniform(-0.1, 0.1) * step;
+      at.y += rng.uniform(-0.1, 0.1) * step;
+
+      const std::size_t id = g.size();
+      g.pos.push_back(at);
+      g.adj.emplace_back();
+      g.fake.push_back(true);
+      g.add_edge(prev, id);
+      prev = id;
+      --remaining;
+      if (arrived || g.site.contains(at)) {
+        chain_heads.push_back(id);
+        break;
+      }
+    }
+    if (round >= attackers.size() && chain_heads.size() >= attackers.size()) break;
+  }
+
+  // Remaining fakes: claimed inside/near the site, linked to chain heads
+  // and to a bounded number of earlier fakes (subject to claimed
+  // proximity). Bounded degree loses the attacker nothing — Corollary 1:
+  // denser fake-fake linking only spreads the same trickle of trust — and
+  // keeps trial cost linear in the fake count.
+  constexpr std::size_t kMaxFakeLinks = 8;
+  std::vector<std::size_t> site_fakes = chain_heads;
+  const double r2 = link_radius_m * link_radius_m;
+  while (remaining > 0) {
+    geo::Vec2 p;
+    if (rng.bernoulli(plan.in_site_fraction)) {
+      p = {rng.uniform(g.site.min.x, g.site.max.x),
+           rng.uniform(g.site.min.y, g.site.max.y)};
+    } else {
+      p = {site_center.x + rng.uniform(-2.0, 2.0) * link_radius_m,
+           site_center.y + rng.uniform(-2.0, 2.0) * link_radius_m};
+    }
+    const std::size_t id = g.size();
+    g.pos.push_back(p);
+    g.adj.emplace_back();
+    g.fake.push_back(true);
+    std::size_t linked = 0;
+    // Always try the chain heads first (they carry the trust inflow),
+    // then random earlier fakes up to the degree cap.
+    for (std::size_t head : chain_heads) {
+      if (linked >= kMaxFakeLinks) break;
+      if ((g.pos[head] - p).norm2() <= r2) {
+        g.add_edge(head, id);
+        ++linked;
+      }
+    }
+    for (std::size_t attempt = 0; attempt < 3 * kMaxFakeLinks && linked < kMaxFakeLinks;
+         ++attempt) {
+      const std::size_t other = site_fakes[rng.index(site_fakes.size())];
+      if (other == id) continue;
+      if ((g.pos[other] - p).norm2() <= r2) {
+        g.add_edge(other, id);
+        ++linked;
+      }
+    }
+    site_fakes.push_back(id);
+    --remaining;
+  }
+  return attackers;
+}
+
+}  // namespace viewmap::attack

@@ -1,0 +1,81 @@
+// Abstract attack graphs for the §6.3.1 security evaluation.
+//
+// The verification experiments (Figs. 12, 13, 22d, 22e) need thousands of
+// viewmaps with injected fake VPs. At that scale we work on the viewmap's
+// *graph* (positions + viewlinks + trust seed), which is all TrustRank and
+// Algorithm 1 consume. Construction rules mirror what the full protocol
+// enforces:
+//   * fake ↔ honest-legit edges are impossible (no real VD exchange, so
+//     the two-way Bloom check fails) — the generator never creates them;
+//   * fake ↔ attacker-legit and fake ↔ fake edges are free (attackers
+//     control both Bloom filters) but still require claimed-location
+//     proximity, which the system validates — so chains are needed to
+//     reach a distant site.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/geometry.h"
+
+namespace viewmap::attack {
+
+struct AttackGraph {
+  std::vector<geo::Vec2> pos;                    ///< claimed positions
+  std::vector<std::vector<std::uint32_t>> adj;   ///< viewlinks
+  std::vector<bool> fake;                        ///< injected by attackers
+  std::vector<std::size_t> trusted;              ///< trust seed indices
+  geo::Rect site{};                              ///< investigation site
+
+  [[nodiscard]] std::size_t size() const noexcept { return pos.size(); }
+  void add_edge(std::size_t a, std::size_t b);
+
+  /// Indices whose claimed position lies inside the site.
+  [[nodiscard]] std::vector<std::size_t> site_members() const;
+
+  /// BFS hop distance from the trusted seed(s); SIZE_MAX if unreachable.
+  [[nodiscard]] std::vector<std::size_t> hops_from_trusted() const;
+};
+
+struct GeometricConfig {
+  std::size_t legit_count = 1000;  ///< paper: synthetic graphs of 1000 VPs
+  double area_m = 3000.0;
+  double link_radius_m = 150.0;
+  double site_half_m = 150.0;      ///< site square half-side
+  /// The investigation site sits this many viewlink hops from the trusted
+  /// seed (Fig. 6: trusted VPs are near, but not at, the site). Attacker
+  /// proximity to the seed then directly controls their trust scores,
+  /// which is the variable Fig. 12 sweeps.
+  std::size_t site_hops_from_trusted = 4;
+};
+
+/// Random geometric viewmap of honest VPs, one trusted seed, and a random
+/// investigation site guaranteed to contain at least one honest VP.
+[[nodiscard]] AttackGraph make_geometric_viewmap(const GeometricConfig& cfg, Rng& rng);
+
+/// Attack parameters shared by Fig. 12 (positioned attackers) and Fig. 13
+/// (concentration attacks).
+struct AttackPlan {
+  std::size_t fake_count = 1000;
+  /// Attacker-controlled legitimate member VPs. Fig. 12: one per human
+  /// attacker, sampled at a hop-distance bucket; Fig. 13: dummies_per
+  /// legit-but-dummy VPs per attacker, anywhere.
+  std::size_t attacker_count = 100;
+  std::optional<std::pair<std::size_t, std::size_t>> hop_bucket;  ///< inclusive
+  std::size_t dummies_per_attacker = 1;
+  double chain_spacing_frac = 0.8;  ///< fake chain spacing / link radius
+  double in_site_fraction = 0.3;    ///< share of fakes claiming the site
+};
+
+/// Injects colluding fake VPs into `g` following the best strategy the
+/// analysis allows (§6.3.1): share fakes, link them densely to every
+/// attacker-controlled VP (subject to proximity), and chain toward the
+/// site. Returns the attacker-controlled legit indices, or nullopt when
+/// the hop bucket contains no candidates (caller resamples the graph).
+std::optional<std::vector<std::size_t>> inject_fakes(AttackGraph& g,
+                                                     const AttackPlan& plan,
+                                                     double link_radius_m, Rng& rng);
+
+}  // namespace viewmap::attack

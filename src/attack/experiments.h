@@ -1,0 +1,48 @@
+// Security experiment drivers (Figs. 12, 13, 22d, 22e).
+//
+// A trial = build (or take) a viewmap graph, inject colluding fakes, run
+// TrustRank + Algorithm 1, and judge the verdict. The paper's "accuracy"
+// is the fraction of runs where legitimate VPs are correctly identified —
+// i.e. no fake VP survives verification inside the investigation site.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/attack_graph.h"
+#include "system/trustrank.h"
+
+namespace viewmap::attack {
+
+struct TrialOutcome {
+  bool ran = false;            ///< false when the hop bucket was empty
+  bool correct = false;        ///< no fake marked legitimate
+  std::size_t fakes_accepted = 0;
+  std::size_t site_fakes = 0;  ///< fakes that claimed in-site positions
+  std::size_t site_honest = 0;
+};
+
+/// Runs verification over an attack graph that already contains fakes.
+[[nodiscard]] TrialOutcome judge(const AttackGraph& g,
+                                 const sys::TrustRankConfig& cfg);
+
+/// One synthetic-viewmap trial: fresh geometric graph + injected fakes.
+[[nodiscard]] TrialOutcome run_geometric_trial(const GeometricConfig& geo_cfg,
+                                               const AttackPlan& plan,
+                                               const sys::TrustRankConfig& tr_cfg,
+                                               Rng& rng);
+
+/// One trial over a pre-built honest graph (e.g. traffic-derived for
+/// Fig. 22d/e). The graph is copied; `link_radius_m` governs fake edges.
+[[nodiscard]] TrialOutcome run_graph_trial(const AttackGraph& honest_base,
+                                           const AttackPlan& plan,
+                                           double link_radius_m,
+                                           const sys::TrustRankConfig& tr_cfg,
+                                           Rng& rng);
+
+/// Accuracy over `runs` trials (empty-bucket trials are re-drawn, capped).
+[[nodiscard]] double geometric_accuracy(const GeometricConfig& geo_cfg,
+                                        const AttackPlan& plan,
+                                        const sys::TrustRankConfig& tr_cfg,
+                                        int runs, Rng& rng);
+
+}  // namespace viewmap::attack

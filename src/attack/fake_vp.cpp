@@ -1,0 +1,44 @@
+#include "attack/fake_vp.h"
+
+namespace viewmap::attack {
+
+vp::ViewProfile make_fake_profile(TimeSec minute_start, geo::Vec2 start, geo::Vec2 end,
+                                  Rng& rng) {
+  Id16 fake_id;
+  rng.fill_bytes(fake_id.bytes);
+
+  std::vector<dsrc::ViewDigest> digests;
+  digests.reserve(kDigestsPerProfile);
+  std::uint64_t size = 0;
+  for (int i = 1; i <= kDigestsPerProfile; ++i) {
+    const double t = static_cast<double>(i - 1) / (kDigestsPerProfile - 1);
+    const geo::Vec2 p = geo::lerp(start, end, t);
+    size += 850'000;
+
+    dsrc::ViewDigest vd;
+    vd.time = minute_start + i;
+    vd.loc_x = static_cast<float>(p.x);
+    vd.loc_y = static_cast<float>(p.y);
+    vd.file_size = size;
+    vd.initial_x = static_cast<float>(start.x);
+    vd.initial_y = static_cast<float>(start.y);
+    vd.vp_id = fake_id;
+    vd.second = static_cast<std::uint16_t>(i);
+    rng.fill_bytes(vd.hash.bytes);
+    digests.push_back(vd);
+  }
+  return vp::ViewProfile(std::move(digests),
+                         bloom::BloomFilter(vp::kBloomBits, vp::kBloomHashes));
+}
+
+vp::ViewProfile make_saturated_profile(TimeSec minute_start, geo::Vec2 start,
+                                       geo::Vec2 end, Rng& rng) {
+  vp::ViewProfile profile = make_fake_profile(minute_start, start, end, rng);
+  bloom::BloomFilter all_ones(vp::kBloomBits, vp::kBloomHashes);
+  all_ones.saturate();
+  std::vector<dsrc::ViewDigest> digests(profile.digests().begin(),
+                                        profile.digests().end());
+  return vp::ViewProfile(std::move(digests), std::move(all_ones));
+}
+
+}  // namespace viewmap::attack

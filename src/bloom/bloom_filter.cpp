@@ -1,0 +1,106 @@
+#include "bloom/bloom_filter.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <numbers>
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace viewmap::bloom {
+
+namespace {
+constexpr int kMaxHashes = 64;
+}
+
+BloomFilter::BloomFilter(std::size_t bits, int hash_count)
+    : bits_(bits), k_(hash_count), data_(bits / 8, 0) {
+  if (bits == 0 || bits % 8 != 0)
+    throw std::invalid_argument("BloomFilter: bits must be a positive multiple of 8");
+  if (hash_count < 1 || hash_count > kMaxHashes)
+    throw std::invalid_argument("BloomFilter: hash_count out of range");
+}
+
+void BloomFilter::probe_positions(std::span<const std::uint8_t> element,
+                                  std::size_t bits, int hash_count,
+                                  std::span<std::size_t> out) {
+  // Kirsch–Mitzenmacher: derive k indices as h1 + i*h2 from one SHA-256.
+  const Hash32 digest = crypto::sha256(element);
+  std::uint64_t h1, h2;
+  std::memcpy(&h1, digest.bytes.data(), 8);
+  std::memcpy(&h2, digest.bytes.data() + 8, 8);
+  h2 |= 1;  // force odd so the stride cycles through the table
+  for (std::size_t i = 0; i < static_cast<std::size_t>(hash_count) && i < out.size(); ++i)
+    out[i] = static_cast<std::size_t>((h1 + i * h2) % bits);
+}
+
+bool BloomFilter::test_positions(std::span<const std::size_t> positions) const {
+  for (std::size_t bit : positions)
+    if ((data_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  return true;
+}
+
+void BloomFilter::indices(std::span<const std::uint8_t> element,
+                          std::span<std::size_t> out) const {
+  probe_positions(element, bits_, k_, out);
+}
+
+void BloomFilter::insert(std::span<const std::uint8_t> element) {
+  std::size_t idx[kMaxHashes];
+  auto span = std::span<std::size_t>(idx, static_cast<std::size_t>(k_));
+  indices(element, span);
+  for (std::size_t bit : span) data_[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+bool BloomFilter::maybe_contains(std::span<const std::uint8_t> element) const {
+  std::size_t idx[kMaxHashes];
+  auto span = std::span<std::size_t>(idx, static_cast<std::size_t>(k_));
+  indices(element, span);
+  for (std::size_t bit : span)
+    if ((data_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  return true;
+}
+
+void BloomFilter::saturate() {
+  std::memset(data_.data(), 0xff, data_.size());
+}
+
+std::size_t BloomFilter::popcount() const noexcept {
+  std::size_t total = 0;
+  for (auto byte : data_) total += static_cast<std::size_t>(std::popcount(byte));
+  return total;
+}
+
+double BloomFilter::fill_ratio() const noexcept {
+  return static_cast<double>(popcount()) / static_cast<double>(bits_);
+}
+
+BloomFilter BloomFilter::from_bytes(std::span<const std::uint8_t> bytes, int hash_count) {
+  BloomFilter f(bytes.size() * 8, hash_count);
+  std::memcpy(f.data_.data(), bytes.data(), bytes.size());
+  return f;
+}
+
+int optimal_hash_count(std::size_t bits, std::size_t expected_elements) {
+  if (expected_elements == 0) return 1;
+  const double k = static_cast<double>(bits) / static_cast<double>(expected_elements) *
+                   std::numbers::ln2;
+  const int rounded = static_cast<int>(std::lround(k));
+  if (rounded < 1) return 1;
+  return rounded > kMaxHashes ? kMaxHashes : rounded;
+}
+
+double false_positive_rate(std::size_t bits, std::size_t elements, int hash_count) {
+  const double m = static_cast<double>(bits);
+  const double nk = static_cast<double>(elements) * hash_count;
+  const double frac_zero = std::pow(1.0 - 1.0 / m, nk);
+  return std::pow(1.0 - frac_zero, hash_count);
+}
+
+double false_linkage_rate(std::size_t bits, std::size_t neighbors, int hash_count) {
+  const double one_way = false_positive_rate(bits, neighbors, hash_count);
+  return one_way * one_way;
+}
+
+}  // namespace viewmap::bloom

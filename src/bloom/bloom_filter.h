@@ -1,0 +1,83 @@
+// Bloom filter for VP neighbor summaries (paper §5.1.1, §6.3.2).
+//
+// Each VP carries a Bloom filter N_u of the neighbor VDs the vehicle heard
+// while recording (the first and last VD per neighbor). The system later
+// replays membership queries to validate claimed viewlinks. The paper
+// chooses m = 2048 bits (256 bytes) so that the *two-way* false linkage
+// rate stays around 0.1% even with 300 neighbors (Fig. 14).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace viewmap::bloom {
+
+/// Fixed-size Bloom filter with k independent hash functions derived from
+/// SHA-256 via the Kirsch–Mitzenmacher double-hashing construction.
+class BloomFilter {
+ public:
+  /// `bits` must be a positive multiple of 8 (serialized as whole bytes).
+  /// `hash_count` is k; use optimal_hash_count() unless reproducing a
+  /// specific configuration.
+  BloomFilter(std::size_t bits, int hash_count);
+
+  void insert(std::span<const std::uint8_t> element);
+  [[nodiscard]] bool maybe_contains(std::span<const std::uint8_t> element) const;
+
+  /// Precomputes the bit positions an element hashes to, so membership of
+  /// one element can be tested against many filters without re-hashing
+  /// (viewmap construction tests every VD against every candidate
+  /// neighbor's filter). All protocol filters share (bits, hash_count),
+  /// which is why probe positions transfer between filters.
+  static void probe_positions(std::span<const std::uint8_t> element, std::size_t bits,
+                              int hash_count, std::span<std::size_t> out);
+
+  /// Membership test from precomputed positions (same (bits, hash_count)).
+  [[nodiscard]] bool test_positions(std::span<const std::size_t> positions) const;
+
+  /// Sets every bit — used to model the §6.3.2 "all-ones bit-array" attack.
+  void saturate();
+
+  [[nodiscard]] std::size_t bit_size() const noexcept { return bits_; }
+  [[nodiscard]] int hash_count() const noexcept { return k_; }
+  [[nodiscard]] std::size_t popcount() const noexcept;
+  [[nodiscard]] double fill_ratio() const noexcept;
+
+  /// Raw bit-array, the form embedded into a VP (256 bytes at m = 2048).
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return data_; }
+
+  /// Reconstructs a filter from its serialized bit-array (system side).
+  static BloomFilter from_bytes(std::span<const std::uint8_t> bytes, int hash_count);
+
+  friend bool operator==(const BloomFilter&, const BloomFilter&) = default;
+
+ private:
+  void indices(std::span<const std::uint8_t> element,
+               std::span<std::size_t> out) const;
+
+  std::size_t bits_;
+  int k_;
+  std::vector<std::uint8_t> data_;
+};
+
+/// k = (m/n) ln 2, clamped to at least 1 (paper §6.3.2).
+[[nodiscard]] int optimal_hash_count(std::size_t bits, std::size_t expected_elements);
+
+/// Theoretical one-way false-positive probability for an m-bit filter
+/// holding n elements with k hashes: (1 - [1 - 1/m]^{nk})^k.
+[[nodiscard]] double false_positive_rate(std::size_t bits, std::size_t elements,
+                                         int hash_count);
+
+/// Two-way false *linkage* probability (§6.3.2). A false viewlink needs an
+/// independent false positive in BOTH directions' filters, each loaded
+/// with ~n neighbor entries:
+///     p = [ (1 - [1 - 1/m]^{nk})^k ]².
+/// At the paper's operating point (m = 2048 bits, n = 300 neighbors,
+/// optimal k) this gives ≈0.1%, matching the §6.3.2 claim. (The paper's
+/// displayed formula has 2nk/2k exponents, which does not reproduce its
+/// own quoted 0.1% — see EXPERIMENTS.md for the discrepancy note.)
+[[nodiscard]] double false_linkage_rate(std::size_t bits, std::size_t neighbors,
+                                        int hash_count);
+
+}  // namespace viewmap::bloom

@@ -1,0 +1,3 @@
+#include "common/bytes.h"
+
+// Header-only logic; this TU anchors the library target.

@@ -1,0 +1,16 @@
+// Hex encoding/decoding for ids, hashes, and debug output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace viewmap {
+
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Throws std::invalid_argument on odd length or non-hex characters.
+[[nodiscard]] std::vector<std::uint8_t> from_hex(const std::string& hex);
+
+}  // namespace viewmap

@@ -1,0 +1,90 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in this repository draws from an explicitly
+// seeded Rng so that simulations, tests, and benchmark tables are exactly
+// reproducible run-to-run (DESIGN.md §5 "Determinism").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace viewmap {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive an independent child stream; `salt` separates subsystems that
+  /// must not share a sequence (e.g. mobility vs. radio fading).
+  [[nodiscard]] Rng fork(std::uint64_t salt) {
+    return Rng(engine_() ^ (salt * 0x9e3779b97f4a7c15ull));
+  }
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  void fill_bytes(std::span<std::uint8_t> out) {
+    std::size_t i = 0;
+    while (i < out.size()) {
+      std::uint64_t word = engine_();
+      for (int b = 0; b < 8 && i < out.size(); ++b, ++i)
+        out[i] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Sample k distinct indices from [0, n). k may exceed n, in which case
+  /// all n indices are returned.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    // Partial Fisher-Yates: only the first min(k,n) positions are needed.
+    const std::size_t take = k < n ? k : n;
+    for (std::size_t i = 0; i < take; ++i) {
+      std::size_t j = i + index(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(take);
+    return idx;
+  }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace viewmap

@@ -1,0 +1,38 @@
+// Small statistics helpers used by the evaluation harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace viewmap {
+
+/// Running mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation coefficient of two equally sized samples.
+/// Returns 0 when either sample has zero variance (degenerate case used by
+/// the Fig. 20 harness when a distance bucket saw only one outcome).
+[[nodiscard]] double pearson_correlation(std::span<const double> x,
+                                         std::span<const double> y);
+
+/// Shannon entropy (bits) of a discrete distribution; zero entries skipped.
+[[nodiscard]] double entropy_bits(std::span<const double> p);
+
+}  // namespace viewmap

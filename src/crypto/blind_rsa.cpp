@@ -1,0 +1,192 @@
+#include "crypto/blind_rsa.h"
+
+#include <openssl/bn.h>
+#include <openssl/core_names.h>
+#include <openssl/evp.h>
+#include <openssl/rsa.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "crypto/sha256.h"
+
+namespace viewmap::crypto {
+
+namespace {
+
+struct BnDeleter {
+  void operator()(BIGNUM* bn) const noexcept { BN_free(bn); }
+};
+struct BnCtxDeleter {
+  void operator()(BN_CTX* ctx) const noexcept { BN_CTX_free(ctx); }
+};
+using BnPtr = std::unique_ptr<BIGNUM, BnDeleter>;
+using BnCtxPtr = std::unique_ptr<BN_CTX, BnCtxDeleter>;
+
+[[noreturn]] void fail(const char* what) { throw std::runtime_error(what); }
+
+BnPtr make_bn() {
+  BnPtr bn(BN_new());
+  if (!bn) fail("blind_rsa: BN_new failed");
+  return bn;
+}
+
+BnPtr from_bytes(const BigBytes& bytes) {
+  BnPtr bn(BN_bin2bn(bytes.data(), static_cast<int>(bytes.size()), nullptr));
+  if (!bn) fail("blind_rsa: BN_bin2bn failed");
+  return bn;
+}
+
+BigBytes to_bytes(const BIGNUM* bn) {
+  BigBytes out(static_cast<std::size_t>(BN_num_bytes(bn)));
+  if (!out.empty()) BN_bn2bin(bn, out.data());
+  return out;
+}
+
+}  // namespace
+
+struct RsaSigner::Impl {
+  BnPtr n;
+  BnPtr e;
+  BnPtr d;
+  RsaPublicKey pub;
+};
+
+RsaSigner::RsaSigner(int bits) : impl_(std::make_unique<Impl>()) {
+  EVP_PKEY* pkey = EVP_RSA_gen(static_cast<unsigned int>(bits));
+  if (pkey == nullptr) fail("blind_rsa: RSA key generation failed");
+
+  BIGNUM* n = nullptr;
+  BIGNUM* e = nullptr;
+  BIGNUM* d = nullptr;
+  const bool ok = EVP_PKEY_get_bn_param(pkey, OSSL_PKEY_PARAM_RSA_N, &n) == 1 &&
+                  EVP_PKEY_get_bn_param(pkey, OSSL_PKEY_PARAM_RSA_E, &e) == 1 &&
+                  EVP_PKEY_get_bn_param(pkey, OSSL_PKEY_PARAM_RSA_D, &d) == 1;
+  EVP_PKEY_free(pkey);
+  if (!ok) {
+    BN_free(n);
+    BN_free(e);
+    BN_free(d);
+    fail("blind_rsa: failed to extract key parameters");
+  }
+  impl_->n.reset(n);
+  impl_->e.reset(e);
+  impl_->d.reset(d);
+  impl_->pub.n = to_bytes(n);
+  impl_->pub.e = to_bytes(e);
+}
+
+RsaSigner::~RsaSigner() = default;
+RsaSigner::RsaSigner(RsaSigner&&) noexcept = default;
+RsaSigner& RsaSigner::operator=(RsaSigner&&) noexcept = default;
+
+const RsaPublicKey& RsaSigner::public_key() const noexcept { return impl_->pub; }
+
+BigBytes RsaSigner::sign_blinded(const BigBytes& blinded) const {
+  BnCtxPtr ctx(BN_CTX_new());
+  if (!ctx) fail("blind_rsa: BN_CTX_new failed");
+  BnPtr b = from_bytes(blinded);
+  if (BN_cmp(b.get(), impl_->n.get()) >= 0)
+    fail("blind_rsa: blinded message out of range");
+  BnPtr s = make_bn();
+  if (BN_mod_exp(s.get(), b.get(), impl_->d.get(), impl_->n.get(), ctx.get()) != 1)
+    fail("blind_rsa: mod_exp(d) failed");
+  return to_bytes(s.get());
+}
+
+BigBytes full_domain_hash(std::span<const std::uint8_t> message,
+                          const RsaPublicKey& pub) {
+  // Expand SHA-256 with a counter (MGF1-style) to the modulus width, then
+  // reduce mod N. Deterministic in the message and key.
+  BnPtr n = from_bytes(pub.n);
+  const std::size_t width = pub.n.size();
+  std::vector<std::uint8_t> expanded;
+  expanded.reserve(width + 32);
+  std::uint32_t counter = 0;
+  while (expanded.size() < width) {
+    Sha256 h;
+    std::uint8_t ctr_bytes[4] = {
+        static_cast<std::uint8_t>(counter >> 24), static_cast<std::uint8_t>(counter >> 16),
+        static_cast<std::uint8_t>(counter >> 8), static_cast<std::uint8_t>(counter)};
+    h.update(ctr_bytes).update(message);
+    const Hash32 block = h.finish();
+    expanded.insert(expanded.end(), block.bytes.begin(), block.bytes.end());
+    ++counter;
+  }
+  expanded.resize(width);
+
+  BnCtxPtr ctx(BN_CTX_new());
+  BnPtr x(BN_bin2bn(expanded.data(), static_cast<int>(expanded.size()), nullptr));
+  BnPtr r = make_bn();
+  if (!ctx || !x || BN_mod(r.get(), x.get(), n.get(), ctx.get()) != 1)
+    fail("blind_rsa: FDH reduction failed");
+  return to_bytes(r.get());
+}
+
+BlindedMessage blind(std::span<const std::uint8_t> message, const RsaPublicKey& pub,
+                     std::uint64_t rng_seed) {
+  BnCtxPtr ctx(BN_CTX_new());
+  if (!ctx) fail("blind_rsa: BN_CTX_new failed");
+  BnPtr n = from_bytes(pub.n);
+  BnPtr e = from_bytes(pub.e);
+  BnPtr hm = from_bytes(full_domain_hash(message, pub));
+
+  // Draw r until gcd(r, N) = 1; with an RSA modulus this virtually always
+  // succeeds on the first draw.
+  Rng rng(rng_seed);
+  BnPtr r = make_bn();
+  BnPtr gcd = make_bn();
+  std::vector<std::uint8_t> rbytes(pub.n.size());
+  for (;;) {
+    rng.fill_bytes(rbytes);
+    if (BN_bin2bn(rbytes.data(), static_cast<int>(rbytes.size()), r.get()) == nullptr)
+      fail("blind_rsa: r generation failed");
+    if (BN_mod(r.get(), r.get(), n.get(), ctx.get()) != 1) fail("blind_rsa: r mod N");
+    if (BN_is_zero(r.get()) || BN_is_one(r.get())) continue;
+    if (BN_gcd(gcd.get(), r.get(), n.get(), ctx.get()) != 1) fail("blind_rsa: gcd");
+    if (BN_is_one(gcd.get())) break;
+  }
+
+  // b = H(m) * r^e mod N
+  BnPtr re = make_bn();
+  BnPtr b = make_bn();
+  if (BN_mod_exp(re.get(), r.get(), e.get(), n.get(), ctx.get()) != 1 ||
+      BN_mod_mul(b.get(), hm.get(), re.get(), n.get(), ctx.get()) != 1)
+    fail("blind_rsa: blinding failed");
+
+  return BlindedMessage{to_bytes(b.get()), to_bytes(r.get())};
+}
+
+BigBytes unblind(const BigBytes& blind_signature, const BigBytes& blinding_secret,
+                 const RsaPublicKey& pub) {
+  BnCtxPtr ctx(BN_CTX_new());
+  if (!ctx) fail("blind_rsa: BN_CTX_new failed");
+  BnPtr n = from_bytes(pub.n);
+  BnPtr s_blind = from_bytes(blind_signature);
+  BnPtr r = from_bytes(blinding_secret);
+
+  BnPtr r_inv(BN_mod_inverse(nullptr, r.get(), n.get(), ctx.get()));
+  if (!r_inv) fail("blind_rsa: r not invertible");
+  BnPtr s = make_bn();
+  if (BN_mod_mul(s.get(), s_blind.get(), r_inv.get(), n.get(), ctx.get()) != 1)
+    fail("blind_rsa: unblinding failed");
+  return to_bytes(s.get());
+}
+
+bool verify_signature(std::span<const std::uint8_t> message, const BigBytes& signature,
+                      const RsaPublicKey& pub) {
+  BnCtxPtr ctx(BN_CTX_new());
+  if (!ctx) fail("blind_rsa: BN_CTX_new failed");
+  BnPtr n = from_bytes(pub.n);
+  BnPtr e = from_bytes(pub.e);
+  BnPtr s = from_bytes(signature);
+  if (BN_cmp(s.get(), n.get()) >= 0) return false;
+  BnPtr check = make_bn();
+  if (BN_mod_exp(check.get(), s.get(), e.get(), n.get(), ctx.get()) != 1)
+    fail("blind_rsa: mod_exp(e) failed");
+  BnPtr hm = from_bytes(full_domain_hash(message, pub));
+  return BN_cmp(check.get(), hm.get()) == 0;
+}
+
+}  // namespace viewmap::crypto

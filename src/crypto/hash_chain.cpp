@@ -1,0 +1,72 @@
+#include "crypto/hash_chain.h"
+
+#include "common/bytes.h"
+
+namespace viewmap::crypto {
+
+namespace {
+
+/// Serializes the bound metadata exactly as the VD wire layout orders it:
+/// T | L | F  (see dsrc/messages.h for the full 72-byte frame).
+void put_meta(ByteWriter& w, const ChainStepMeta& meta) {
+  w.put_i64(meta.time);
+  w.put_f32(meta.loc_x);
+  w.put_f32(meta.loc_y);
+  w.put_u64(meta.file_size);
+}
+
+}  // namespace
+
+CascadedHasher::CascadedHasher(const Id16& vp_id) noexcept {
+  last_.bytes = vp_id.bytes;  // H_0 = R_u
+}
+
+Hash16 CascadedHasher::step(const ChainStepMeta& meta,
+                            std::span<const std::uint8_t> chunk) {
+  last_ = chain_step(last_, meta, chunk);
+  ++steps_;
+  return last_;
+}
+
+Hash16 chain_step(const Hash16& prev, const ChainStepMeta& meta,
+                  std::span<const std::uint8_t> chunk) {
+  ByteWriter header(40);
+  put_meta(header, meta);
+  Sha256 h;
+  h.update(header.bytes());
+  h.update(prev.bytes);
+  h.update(chunk);
+  return h.finish().truncated();
+}
+
+Hash16 normal_hash(const ChainStepMeta& meta,
+                   std::span<const std::uint8_t> whole_video_so_far) {
+  ByteWriter header(40);
+  put_meta(header, meta);
+  Sha256 h;
+  h.update(header.bytes());
+  h.update(whole_video_so_far);
+  return h.finish().truncated();
+}
+
+bool verify_chain(const Id16& vp_id, std::span<const ChainStepMeta> metas,
+                  std::span<const Hash16> expected,
+                  std::span<const std::uint8_t> video,
+                  std::span<const std::uint64_t> chunk_offsets) {
+  if (metas.size() != expected.size()) return false;
+  if (chunk_offsets.size() != metas.size() + 1) return false;
+  if (!metas.empty() && chunk_offsets.back() != video.size()) return false;
+
+  Hash16 h;
+  h.bytes = vp_id.bytes;
+  for (std::size_t i = 0; i < metas.size(); ++i) {
+    const std::uint64_t lo = chunk_offsets[i];
+    const std::uint64_t hi = chunk_offsets[i + 1];
+    if (lo > hi || hi > video.size()) return false;
+    h = chain_step(h, metas[i], video.subspan(lo, hi - lo));
+    if (h != expected[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace viewmap::crypto

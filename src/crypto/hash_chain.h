@@ -1,0 +1,74 @@
+// Cascaded video hashing (paper §5.1.1, Fig. 4).
+//
+// Every second i, a vehicle must broadcast a fresh digest of its
+// currently-recording video u. Rehashing the whole file each second grows
+// linearly with recording time and misses the 1-second deadline past ~20 s
+// (paper Fig. 8). ViewMap instead chains:
+//
+//     H_i = H( T_i | L_i | F_i | H_{i-1} | u[i-1..i] ),   H_0 = R_u
+//
+// so each step hashes only the newly recorded chunk — constant time.
+// The same chain lets the system later validate a solicited video against
+// its stored VP by replaying the 60 steps (§5.2.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/sha256.h"
+
+namespace viewmap::crypto {
+
+/// Per-second metadata bound into each chain step. Mirrors the VD header
+/// fields: time, location, and cumulative file size.
+struct ChainStepMeta {
+  TimeSec time = 0;       ///< T_i — wall-clock second
+  float loc_x = 0.0f;     ///< L_i — position (meters, local frame)
+  float loc_y = 0.0f;
+  std::uint64_t file_size = 0;  ///< F_i — video bytes recorded so far
+};
+
+/// Incremental cascaded hasher owned by the recording vehicle.
+class CascadedHasher {
+ public:
+  /// `vp_id` is R_u; the paper anchors the chain with H_0 = R_u.
+  explicit CascadedHasher(const Id16& vp_id) noexcept;
+
+  /// Absorb the chunk recorded during second i and produce H_i.
+  /// Cost is O(|chunk|) regardless of total video length.
+  Hash16 step(const ChainStepMeta& meta, std::span<const std::uint8_t> chunk);
+
+  [[nodiscard]] const Hash16& last_hash() const noexcept { return last_; }
+  [[nodiscard]] int steps_done() const noexcept { return steps_; }
+
+ private:
+  Hash16 last_;
+  int steps_ = 0;
+};
+
+/// Baseline "normal" hasher used by the Fig. 8 comparison: hashes the
+/// entire video prefix every second. Provided only to reproduce the
+/// evaluation; real vehicles use CascadedHasher.
+[[nodiscard]] Hash16 normal_hash(const ChainStepMeta& meta,
+                                 std::span<const std::uint8_t> whole_video_so_far);
+
+/// One step of the chain computed statelessly (system-side validation).
+[[nodiscard]] Hash16 chain_step(const Hash16& prev, const ChainStepMeta& meta,
+                                std::span<const std::uint8_t> chunk);
+
+/// Replay a full chain over a solicited video.
+///
+/// `metas[i]` and the chunk `video[chunk_offsets[i] .. chunk_offsets[i+1])`
+/// must reproduce `expected[i]` for every i; `chunk_offsets` has one more
+/// entry than `metas` (final entry = video size). Returns true iff every
+/// step matches — this is the system's §5.2.3 "validated via cascading hash
+/// operations against the system-owned VP".
+[[nodiscard]] bool verify_chain(const Id16& vp_id,
+                                std::span<const ChainStepMeta> metas,
+                                std::span<const Hash16> expected,
+                                std::span<const std::uint8_t> video,
+                                std::span<const std::uint64_t> chunk_offsets);
+
+}  // namespace viewmap::crypto

@@ -1,0 +1,67 @@
+#include "crypto/sha256.h"
+
+#include <openssl/evp.h>
+
+#include <stdexcept>
+#include <utility>
+
+namespace viewmap::crypto {
+
+namespace {
+EVP_MD_CTX* as_ctx(void* p) { return static_cast<EVP_MD_CTX*>(p); }
+}  // namespace
+
+Hash32 sha256(std::span<const std::uint8_t> data) {
+  Hash32 out;
+  unsigned int len = 0;
+  if (EVP_Digest(data.data(), data.size(), out.bytes.data(), &len,
+                 EVP_sha256(), nullptr) != 1 ||
+      len != out.bytes.size())
+    throw std::runtime_error("sha256: EVP_Digest failed");
+  return out;
+}
+
+Sha256::Sha256() : ctx_(EVP_MD_CTX_new()) {
+  if (ctx_ == nullptr || EVP_DigestInit_ex(as_ctx(ctx_), EVP_sha256(), nullptr) != 1)
+    throw std::runtime_error("Sha256: init failed");
+}
+
+Sha256::~Sha256() {
+  if (ctx_ != nullptr) EVP_MD_CTX_free(as_ctx(ctx_));
+}
+
+Sha256::Sha256(Sha256&& other) noexcept : ctx_(std::exchange(other.ctx_, nullptr)) {}
+
+Sha256& Sha256::operator=(Sha256&& other) noexcept {
+  if (this != &other) {
+    if (ctx_ != nullptr) EVP_MD_CTX_free(as_ctx(ctx_));
+    ctx_ = std::exchange(other.ctx_, nullptr);
+  }
+  return *this;
+}
+
+Sha256& Sha256::update(std::span<const std::uint8_t> data) {
+  if (EVP_DigestUpdate(as_ctx(ctx_), data.data(), data.size()) != 1)
+    throw std::runtime_error("Sha256: update failed");
+  return *this;
+}
+
+Hash32 Sha256::finish() {
+  Hash32 out;
+  unsigned int len = 0;
+  if (EVP_DigestFinal_ex(as_ctx(ctx_), out.bytes.data(), &len) != 1 ||
+      len != out.bytes.size())
+    throw std::runtime_error("Sha256: final failed");
+  if (EVP_DigestInit_ex(as_ctx(ctx_), EVP_sha256(), nullptr) != 1)
+    throw std::runtime_error("Sha256: reinit failed");
+  return out;
+}
+
+Id16 derive_vp_id(std::span<const std::uint8_t> secret) {
+  const Hash16 h = sha256(secret).truncated();
+  Id16 id;
+  id.bytes = h.bytes;
+  return id;
+}
+
+}  // namespace viewmap::crypto

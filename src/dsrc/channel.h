@@ -1,0 +1,51 @@
+// Broadcast delivery: geometry + radio in one call.
+//
+// The per-frame pipeline mirrors what the testbed experienced on real
+// roads: geometric line-of-sight against building footprints, stochastic
+// blockage by interposed tall traffic, then the radio's RSSI/PDR trial.
+#pragma once
+
+#include "common/rng.h"
+#include "dsrc/radio.h"
+#include "geo/geometry.h"
+#include "geo/obstacle_index.h"
+
+namespace viewmap::dsrc {
+
+/// Static surroundings affecting one delivery attempt.
+struct ChannelEnvironment {
+  const geo::ObstacleIndex* obstacles = nullptr;  ///< building footprints (may be null)
+  double traffic_blocker_density_per_m = 0.0;     ///< tall vehicles per meter of gap
+};
+
+class BroadcastChannel {
+ public:
+  explicit BroadcastChannel(const RadioConfig& cfg = {}) : radio_(cfg) {}
+
+  [[nodiscard]] const RadioModel& radio() const noexcept { return radio_; }
+
+  /// Is the sight line tx→rx clear of static obstacles?
+  [[nodiscard]] bool line_of_sight(geo::Vec2 tx, geo::Vec2 rx,
+                                   const ChannelEnvironment& env) const {
+    return env.obstacles == nullptr || env.obstacles->line_of_sight(tx, rx);
+  }
+
+  /// One Bernoulli delivery trial for a broadcast frame tx→rx. Vehicular
+  /// blockage is drawn i.i.d. per frame from the environment's density.
+  [[nodiscard]] bool try_deliver(geo::Vec2 tx, geo::Vec2 rx,
+                                 const ChannelEnvironment& env, Rng& rng) const;
+
+  /// Delivery trial with the caller supplying the vehicular-blockage
+  /// state. The simulator evolves that state as a two-state Markov chain
+  /// per pair (a truck that blocks the sight line stays there for a
+  /// while), which is what produces whole minutes of unlinkage in heavy
+  /// traffic (Table 2 "Traffic", Fig. 17 heavy curves).
+  [[nodiscard]] bool try_deliver_with_blockage(geo::Vec2 tx, geo::Vec2 rx,
+                                               const ChannelEnvironment& env,
+                                               bool traffic_blocked, Rng& rng) const;
+
+ private:
+  RadioModel radio_;
+};
+
+}  // namespace viewmap::dsrc

@@ -1,0 +1,53 @@
+#include "dsrc/view_digest.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bytes.h"
+
+namespace viewmap::dsrc {
+
+std::vector<std::uint8_t> ViewDigest::serialize() const {
+  ByteWriter w(kViewDigestWireSize);
+  w.put_i64(time);
+  w.put_f32(loc_x);
+  w.put_f32(loc_y);
+  w.put_u64(file_size);
+  w.put_f32(initial_x);
+  w.put_f32(initial_y);
+  w.put_bytes(vp_id.bytes);
+  w.put_bytes(hash.bytes);
+  w.put_u16(second);
+  // Reserved padding keeps the frame at the §6.1 size.
+  for (int i = 0; i < 6; ++i) w.put_u8(0);
+  if (w.size() != kViewDigestWireSize)
+    throw std::logic_error("ViewDigest: wire size drifted from spec");
+  return std::move(w).take();
+}
+
+ViewDigest ViewDigest::parse(std::span<const std::uint8_t> frame) {
+  if (frame.size() != kViewDigestWireSize)
+    throw std::invalid_argument("ViewDigest: bad frame size");
+  ByteReader r(frame);
+  ViewDigest vd;
+  vd.time = r.get_i64();
+  vd.loc_x = r.get_f32();
+  vd.loc_y = r.get_f32();
+  vd.file_size = r.get_u64();
+  vd.initial_x = r.get_f32();
+  vd.initial_y = r.get_f32();
+  r.get_bytes(vd.vp_id.bytes);
+  r.get_bytes(vd.hash.bytes);
+  vd.second = r.get_u16();
+  return vd;
+}
+
+bool VdAcceptancePolicy::acceptable(const ViewDigest& vd, TimeSec now, double rx_x,
+                                    double rx_y) const noexcept {
+  if (vd.time > now + max_clock_skew || vd.time < now - max_clock_skew) return false;
+  const double dx = vd.loc_x - rx_x;
+  const double dy = vd.loc_y - rx_y;
+  return std::sqrt(dx * dx + dy * dy) <= max_distance_m;
+}
+
+}  // namespace viewmap::dsrc

@@ -1,0 +1,87 @@
+#include "geo/geometry.h"
+
+#include <algorithm>
+
+namespace viewmap::geo {
+
+namespace {
+
+int orientation(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  const double v = cross(b - a, c - a);
+  if (v > 0) return 1;
+  if (v < 0) return -1;
+  return 0;
+}
+
+bool on_segment(Vec2 p, const Segment& s) noexcept {
+  return orientation(s.a, s.b, p) == 0 &&
+         p.x >= std::min(s.a.x, s.b.x) && p.x <= std::max(s.a.x, s.b.x) &&
+         p.y >= std::min(s.a.y, s.b.y) && p.y <= std::max(s.a.y, s.b.y);
+}
+
+}  // namespace
+
+bool segments_intersect(const Segment& s1, const Segment& s2) noexcept {
+  const int o1 = orientation(s1.a, s1.b, s2.a);
+  const int o2 = orientation(s1.a, s1.b, s2.b);
+  const int o3 = orientation(s2.a, s2.b, s1.a);
+  const int o4 = orientation(s2.a, s2.b, s1.b);
+
+  if (o1 != o2 && o3 != o4) return true;
+
+  // Collinear special cases.
+  if (o1 == 0 && on_segment(s2.a, s1)) return true;
+  if (o2 == 0 && on_segment(s2.b, s1)) return true;
+  if (o3 == 0 && on_segment(s1.a, s2)) return true;
+  if (o4 == 0 && on_segment(s1.b, s2)) return true;
+  return false;
+}
+
+bool segment_intersects_rect(const Segment& s, const Rect& r) noexcept {
+  if (r.contains(s.a) || r.contains(s.b)) return true;
+  const Vec2 bl = r.min;
+  const Vec2 br = {r.max.x, r.min.y};
+  const Vec2 tr = r.max;
+  const Vec2 tl = {r.min.x, r.max.y};
+  return segments_intersect(s, {bl, br}) || segments_intersect(s, {br, tr}) ||
+         segments_intersect(s, {tr, tl}) || segments_intersect(s, {tl, bl});
+}
+
+double point_segment_distance(Vec2 p, const Segment& s) noexcept {
+  const Vec2 d = s.b - s.a;
+  const double len2 = d.norm2();
+  if (len2 == 0.0) return distance(p, s.a);
+  const double t = std::clamp(dot(p - s.a, d) / len2, 0.0, 1.0);
+  return distance(p, s.a + d * t);
+}
+
+std::optional<std::size_t> first_blocking(Vec2 a, Vec2 b,
+                                          std::span<const Rect> obstacles) noexcept {
+  const Segment sight{a, b};
+  for (std::size_t i = 0; i < obstacles.size(); ++i)
+    if (segment_intersects_rect(sight, obstacles[i])) return i;
+  return std::nullopt;
+}
+
+bool line_of_sight(Vec2 a, Vec2 b, std::span<const Rect> obstacles) noexcept {
+  return !first_blocking(a, b, obstacles).has_value();
+}
+
+double polyline_length(std::span<const Vec2> pts) noexcept {
+  double total = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) total += distance(pts[i - 1], pts[i]);
+  return total;
+}
+
+Vec2 point_along_polyline(std::span<const Vec2> pts, double s) noexcept {
+  if (pts.empty()) return {};
+  if (s <= 0.0) return pts.front();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double seg = distance(pts[i - 1], pts[i]);
+    if (s <= seg && seg > 0.0) return lerp(pts[i - 1], pts[i], s / seg);
+    s -= seg;
+  }
+  return pts.back();
+}
+
+}  // namespace viewmap::geo

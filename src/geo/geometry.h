@@ -1,0 +1,91 @@
+// Planar geometry for the road/radio substrate.
+//
+// All positions are local Cartesian coordinates in meters (an ENU-like
+// frame over the simulated city). Line-of-sight — the property the paper's
+// field experiments identify as the dominating factor for VP linkage
+// (§7.2.1, Table 2) — reduces to segment-vs-obstacle intersection tests.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace viewmap::geo {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) noexcept { return {a.x * s, a.y * s}; }
+  friend constexpr Vec2 operator*(double s, Vec2 a) noexcept { return a * s; }
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+
+  [[nodiscard]] double norm() const noexcept { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm2() const noexcept { return x * x + y * y; }
+};
+
+[[nodiscard]] constexpr double dot(Vec2 a, Vec2 b) noexcept { return a.x * b.x + a.y * b.y; }
+[[nodiscard]] constexpr double cross(Vec2 a, Vec2 b) noexcept { return a.x * b.y - a.y * b.x; }
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept { return (a - b).norm(); }
+
+/// Linear interpolation a→b at parameter t ∈ [0,1].
+[[nodiscard]] constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) noexcept {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  [[nodiscard]] double length() const noexcept { return distance(a, b); }
+};
+
+/// Axis-aligned rectangle; the footprint shape for buildings and other
+/// artificial structures in the synthetic city.
+struct Rect {
+  Vec2 min;  ///< lower-left corner
+  Vec2 max;  ///< upper-right corner
+
+  [[nodiscard]] constexpr bool contains(Vec2 p) const noexcept {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  [[nodiscard]] constexpr Vec2 center() const noexcept {
+    return {(min.x + max.x) / 2, (min.y + max.y) / 2};
+  }
+  [[nodiscard]] constexpr double width() const noexcept { return max.x - min.x; }
+  [[nodiscard]] constexpr double height() const noexcept { return max.y - min.y; }
+  /// Grows the rectangle by `margin` on all sides.
+  [[nodiscard]] constexpr Rect inflated(double margin) const noexcept {
+    return {{min.x - margin, min.y - margin}, {max.x + margin, max.y + margin}};
+  }
+};
+
+/// Proper segment intersection test (touching endpoints count as hits —
+/// a ray grazing a building corner is still obstructed in our model).
+[[nodiscard]] bool segments_intersect(const Segment& s1, const Segment& s2) noexcept;
+
+/// True iff the segment passes through (or touches) the rectangle.
+[[nodiscard]] bool segment_intersects_rect(const Segment& s, const Rect& r) noexcept;
+
+/// Distance from point p to the segment.
+[[nodiscard]] double point_segment_distance(Vec2 p, const Segment& s) noexcept;
+
+/// Index of obstacles blocking the sight line a→b, if any.
+/// Obstacles whose interior contains an endpoint also block (a vehicle
+/// "inside" a footprint models tunnels/parking structures).
+[[nodiscard]] std::optional<std::size_t> first_blocking(
+    Vec2 a, Vec2 b, std::span<const Rect> obstacles) noexcept;
+
+/// Convenience wrapper: true iff no obstacle blocks a→b.
+[[nodiscard]] bool line_of_sight(Vec2 a, Vec2 b, std::span<const Rect> obstacles) noexcept;
+
+/// Total polyline length.
+[[nodiscard]] double polyline_length(std::span<const Vec2> pts) noexcept;
+
+/// Point at arc-length `s` along the polyline (clamped to endpoints).
+[[nodiscard]] Vec2 point_along_polyline(std::span<const Vec2> pts, double s) noexcept;
+
+}  // namespace viewmap::geo

@@ -1,0 +1,86 @@
+#include "geo/obstacle_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace viewmap::geo {
+
+ObstacleIndex::ObstacleIndex(std::vector<Rect> obstacles, double cell_size_m)
+    : obstacles_(std::move(obstacles)), cell_size_(cell_size_m) {
+  if (obstacles_.empty()) return;
+
+  bounds_ = obstacles_.front();
+  for (const auto& r : obstacles_) {
+    bounds_.min.x = std::min(bounds_.min.x, r.min.x);
+    bounds_.min.y = std::min(bounds_.min.y, r.min.y);
+    bounds_.max.x = std::max(bounds_.max.x, r.max.x);
+    bounds_.max.y = std::max(bounds_.max.y, r.max.y);
+  }
+  cols_ = std::max(1, static_cast<int>(std::ceil(bounds_.width() / cell_size_)));
+  rows_ = std::max(1, static_cast<int>(std::ceil(bounds_.height() / cell_size_)));
+  cells_.assign(static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_), {});
+
+  for (std::uint32_t i = 0; i < obstacles_.size(); ++i) {
+    int cx0, cy0, cx1, cy1;
+    cell_range(obstacles_[i], cx0, cy0, cx1, cy1);
+    for (int cy = cy0; cy <= cy1; ++cy)
+      for (int cx = cx0; cx <= cx1; ++cx) cells_[cell_of(cx, cy)].push_back(i);
+  }
+}
+
+void ObstacleIndex::cell_range(const Rect& r, int& cx0, int& cy0, int& cx1,
+                               int& cy1) const noexcept {
+  auto clamp_col = [this](double x) {
+    return std::clamp(static_cast<int>((x - bounds_.min.x) / cell_size_), 0, cols_ - 1);
+  };
+  auto clamp_row = [this](double y) {
+    return std::clamp(static_cast<int>((y - bounds_.min.y) / cell_size_), 0, rows_ - 1);
+  };
+  cx0 = clamp_col(r.min.x);
+  cx1 = clamp_col(r.max.x);
+  cy0 = clamp_row(r.min.y);
+  cy1 = clamp_row(r.max.y);
+}
+
+std::optional<std::size_t> ObstacleIndex::first_blocking(Vec2 a, Vec2 b) const {
+  if (obstacles_.empty()) return std::nullopt;
+
+  // Segment entirely outside the indexed area cannot hit anything.
+  const Rect seg_box{{std::min(a.x, b.x), std::min(a.y, b.y)},
+                     {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  if (seg_box.max.x < bounds_.min.x || seg_box.min.x > bounds_.max.x ||
+      seg_box.max.y < bounds_.min.y || seg_box.min.y > bounds_.max.y)
+    return std::nullopt;
+
+  int cx0, cy0, cx1, cy1;
+  cell_range(seg_box, cx0, cy0, cx1, cy1);
+
+  const Segment sight{a, b};
+  // Candidates may repeat across cells; obstacles overlapping several
+  // cells are rare enough that a test-before-dedupe is cheapest.
+  std::size_t best = obstacles_.size();
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      for (std::uint32_t i : cells_[cell_of(cx, cy)]) {
+        if (i < best && segment_intersects_rect(sight, obstacles_[i])) best = i;
+      }
+    }
+  }
+  if (best == obstacles_.size()) return std::nullopt;
+  return best;
+}
+
+bool ObstacleIndex::line_of_sight(Vec2 a, Vec2 b) const {
+  return !first_blocking(a, b).has_value();
+}
+
+bool ObstacleIndex::contains_point(Vec2 p) const {
+  if (obstacles_.empty() || !bounds_.contains(p)) return false;
+  int cx0, cy0, cx1, cy1;
+  cell_range({p, p}, cx0, cy0, cx1, cy1);
+  for (std::uint32_t i : cells_[cell_of(cx0, cy0)])
+    if (obstacles_[i].contains(p)) return true;
+  return false;
+}
+
+}  // namespace viewmap::geo

@@ -1,0 +1,101 @@
+#include "proto/endpoint.h"
+
+namespace viewmap::proto {
+
+std::optional<std::vector<std::uint8_t>> ServerEndpoint::handle(
+    std::span<const std::uint8_t> request) {
+  Envelope envelope;
+  try {
+    envelope = decode(request);
+  } catch (const std::exception&) {
+    ++dropped_;
+    return std::nullopt;
+  }
+
+  try {
+    switch (envelope.type) {
+      case MessageType::kVpUpload: {
+        // Fire-and-forget; screening happens inside the service.
+        service_->upload_channel().submit(std::move(envelope.payload));
+        (void)service_->ingest_uploads();
+        return std::nullopt;
+      }
+      case MessageType::kVideoListRequest:
+        return make_id_list(MessageType::kVideoListResponse,
+                            service_->board().posted(sys::RequestKind::kVideo));
+      case MessageType::kRewardListRequest:
+        return make_id_list(MessageType::kRewardListResponse,
+                            service_->board().posted(sys::RequestKind::kReward));
+      case MessageType::kVideoSubmit: {
+        const auto msg = parse_video_submit(envelope.payload);
+        vp::RecordedVideo video;
+        video.start_time = msg.start_time;
+        video.bytes = msg.video_bytes;
+        // Chunk offsets are derived server-side from the stored VP during
+        // validation; RecordedVideo carries them only for local replay.
+        const bool ok = service_->submit_video(msg.vp_id, video);
+        return make_submit_result(ok);
+      }
+      case MessageType::kRewardClaim: {
+        const auto claim = parse_reward_claim(envelope.payload);
+        const auto granted = service_->begin_reward_claim(claim.vp_id, claim.secret);
+        return make_reward_grant(granted ? static_cast<std::uint32_t>(*granted) : 0u);
+      }
+      case MessageType::kBlindBatch: {
+        const auto batch = parse_big_batch(envelope.payload);
+        auto signatures = service_->sign_reward_batch(batch.vp_id, batch.items);
+        if (!signatures) return make_error("no open claim for batch");
+        return make_big_batch(MessageType::kSignatureBatch, batch.vp_id, *signatures);
+      }
+      default:
+        ++dropped_;
+        return std::nullopt;
+    }
+  } catch (const std::exception&) {
+    ++dropped_;
+    return std::nullopt;  // anonymous senders get no error oracle
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> UserAgent::upload_frames() {
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (auto& payload : dashcam_->drain_uploads())
+    frames.push_back(encode(Envelope{MessageType::kVpUpload, std::move(payload)}));
+  return frames;
+}
+
+std::vector<std::vector<std::uint8_t>> UserAgent::answer_video_list(
+    std::span<const std::uint8_t> response_payload) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (const Id16& id : parse_id_list(response_payload)) {
+    const auto* video = dashcam_->video_of(id);
+    if (video != nullptr) frames.push_back(make_video_submit(id, *video));
+  }
+  return frames;
+}
+
+std::vector<std::vector<std::uint8_t>> UserAgent::claim_rewards(
+    std::span<const std::uint8_t> response_payload) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (const Id16& id : parse_id_list(response_payload)) {
+    const auto* secret = dashcam_->secret_of(id);
+    if (secret != nullptr) frames.push_back(make_reward_claim(id, *secret));
+  }
+  return frames;
+}
+
+std::vector<std::uint8_t> UserAgent::blind_batch_frame(const Id16& vp_id,
+                                                       std::uint32_t units) {
+  const auto blinded = reward_client_.prepare(units);
+  return make_big_batch(MessageType::kBlindBatch, vp_id, blinded);
+}
+
+std::vector<reward::CashToken> UserAgent::receive_signatures(
+    std::span<const std::uint8_t> batch_payload) {
+  const auto batch = parse_big_batch(batch_payload);
+  auto cash = reward_client_.unblind_batch(batch.items);
+  wallet_.insert(wallet_.end(), cash.begin(), cash.end());
+  return cash;
+}
+
+}  // namespace viewmap::proto

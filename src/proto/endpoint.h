@@ -1,0 +1,86 @@
+// Request/response endpoints speaking the ViewMap wire protocol.
+//
+// ServerEndpoint wraps a ViewMapService: it consumes one request frame and
+// produces one response frame (or nothing, for fire-and-forget uploads).
+// Every request is handled statelessly except the reward-claim → batch
+// pairing, which the underlying service already tracks by VP id — so
+// requests may arrive over different anonymous sessions, as the paper's
+// unlinkability model requires.
+//
+// UserAgent is the matching client: it wraps a Dashcam and a RewardClient
+// and turns protocol responses into actions (upload video, unblind cash).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "proto/messages.h"
+#include "reward/client.h"
+#include "system/service.h"
+#include "vp/dashcam.h"
+
+namespace viewmap::proto {
+
+class ServerEndpoint {
+ public:
+  explicit ServerEndpoint(sys::ViewMapService& service) : service_(&service) {}
+
+  /// Handles one frame. Returns the response frame, or nullopt when the
+  /// message needs no reply (VP uploads) or was malformed (dropped —
+  /// anonymous senders get no error oracle).
+  std::optional<std::vector<std::uint8_t>> handle(
+      std::span<const std::uint8_t> request);
+
+  [[nodiscard]] std::size_t dropped_frames() const noexcept { return dropped_; }
+
+ private:
+  sys::ViewMapService* service_;
+  std::size_t dropped_ = 0;
+};
+
+/// Client-side driver for one vehicle's interactions with the system.
+class UserAgent {
+ public:
+  UserAgent(vp::Dashcam& dashcam, const crypto::RsaPublicKey& system_key,
+            std::uint64_t seed)
+      : dashcam_(&dashcam), reward_client_(system_key, seed) {}
+
+  /// Drains the dashcam's upload queue into protocol frames.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> upload_frames();
+
+  /// Poll request for pending video solicitations.
+  [[nodiscard]] std::vector<std::uint8_t> video_poll_frame() const {
+    return make_list_request(MessageType::kVideoListRequest);
+  }
+
+  /// Given the poll response, produce submission frames for every posted
+  /// id this dashcam can answer (§5.2.3: only actual VPs ever match).
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> answer_video_list(
+      std::span<const std::uint8_t> response_payload);
+
+  /// Reward poll + claims, Appendix A: returns claim frames for our ids.
+  [[nodiscard]] std::vector<std::uint8_t> reward_poll_frame() const {
+    return make_list_request(MessageType::kRewardListRequest);
+  }
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> claim_rewards(
+      std::span<const std::uint8_t> response_payload);
+
+  /// Step 2: a grant of n units arrived for `vp_id` — blind n messages.
+  [[nodiscard]] std::vector<std::uint8_t> blind_batch_frame(const Id16& vp_id,
+                                                            std::uint32_t units);
+
+  /// Step 4: unblind the signature batch into spendable cash.
+  [[nodiscard]] std::vector<reward::CashToken> receive_signatures(
+      std::span<const std::uint8_t> batch_payload);
+
+  [[nodiscard]] const std::vector<reward::CashToken>& wallet() const noexcept {
+    return wallet_;
+  }
+
+ private:
+  vp::Dashcam* dashcam_;
+  reward::RewardClient reward_client_;
+  std::vector<reward::CashToken> wallet_;
+};
+
+}  // namespace viewmap::proto

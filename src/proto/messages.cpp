@@ -1,0 +1,176 @@
+#include "proto/messages.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace viewmap::proto {
+
+namespace {
+
+[[noreturn]] void malformed(const char* what) {
+  throw std::invalid_argument(std::string("proto: ") + what);
+}
+
+Envelope make_envelope(MessageType type, ByteWriter&& payload) {
+  return Envelope{type, std::move(payload).take()};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Envelope& envelope) {
+  if (envelope.payload.size() > kMaxPayload) malformed("payload too large");
+  ByteWriter w(5 + envelope.payload.size());
+  w.put_u8(static_cast<std::uint8_t>(envelope.type));
+  w.put_u32(static_cast<std::uint32_t>(envelope.payload.size()));
+  w.put_bytes(envelope.payload);
+  return std::move(w).take();
+}
+
+Envelope decode(std::span<const std::uint8_t> frame) {
+  if (frame.size() < 5) malformed("short frame");
+  ByteReader r(frame);
+  const auto type = r.get_u8();
+  if (type < 1 || type > static_cast<std::uint8_t>(MessageType::kError))
+    malformed("unknown message type");
+  const std::uint32_t length = r.get_u32();
+  if (length > kMaxPayload) malformed("payload too large");
+  if (r.remaining() != length) malformed("length mismatch");
+  Envelope e;
+  e.type = static_cast<MessageType>(type);
+  e.payload.assign(frame.begin() + 5, frame.end());
+  return e;
+}
+
+std::vector<std::uint8_t> make_vp_upload(const vp::ViewProfile& profile) {
+  return encode(Envelope{MessageType::kVpUpload, profile.serialize()});
+}
+
+vp::ViewProfile parse_vp_upload(std::span<const std::uint8_t> payload) {
+  return vp::ViewProfile::parse(payload);  // throws on bad size
+}
+
+std::vector<std::uint8_t> make_list_request(MessageType kind) {
+  if (kind != MessageType::kVideoListRequest && kind != MessageType::kRewardListRequest)
+    malformed("not a list request type");
+  return encode(Envelope{kind, {}});
+}
+
+std::vector<std::uint8_t> make_id_list(MessageType kind, std::span<const Id16> ids) {
+  ByteWriter w(4 + ids.size() * 16);
+  w.put_u32(static_cast<std::uint32_t>(ids.size()));
+  for (const auto& id : ids) w.put_bytes(id.bytes);
+  return encode(make_envelope(kind, std::move(w)));
+}
+
+std::vector<Id16> parse_id_list(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const std::uint32_t count = r.get_u32();
+  if (r.remaining() != static_cast<std::size_t>(count) * 16) malformed("id list length");
+  std::vector<Id16> ids(count);
+  for (auto& id : ids) r.get_bytes(id.bytes);
+  return ids;
+}
+
+std::vector<std::uint8_t> make_video_submit(const Id16& vp_id,
+                                            const vp::RecordedVideo& video) {
+  ByteWriter w(16 + 8 + 8 + video.bytes.size());
+  w.put_bytes(vp_id.bytes);
+  w.put_i64(video.start_time);
+  w.put_u64(video.bytes.size());
+  w.put_bytes(video.bytes);
+  return encode(make_envelope(MessageType::kVideoSubmit, std::move(w)));
+}
+
+VideoSubmit parse_video_submit(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  VideoSubmit msg;
+  r.get_bytes(msg.vp_id.bytes);
+  msg.start_time = r.get_i64();
+  const std::uint64_t size = r.get_u64();
+  if (r.remaining() != size) malformed("video length mismatch");
+  msg.video_bytes.resize(size);
+  r.get_bytes(msg.video_bytes);
+  return msg;
+}
+
+std::vector<std::uint8_t> make_submit_result(bool accepted) {
+  ByteWriter w(1);
+  w.put_u8(accepted ? 1 : 0);
+  return encode(make_envelope(MessageType::kSubmitResult, std::move(w)));
+}
+
+bool parse_submit_result(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  return r.get_u8() != 0;
+}
+
+std::vector<std::uint8_t> make_reward_claim(const Id16& vp_id,
+                                            const vp::VpSecret& secret) {
+  ByteWriter w(16 + 8);
+  w.put_bytes(vp_id.bytes);
+  w.put_bytes(secret.q);
+  return encode(make_envelope(MessageType::kRewardClaim, std::move(w)));
+}
+
+RewardClaim parse_reward_claim(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  RewardClaim msg;
+  r.get_bytes(msg.vp_id.bytes);
+  r.get_bytes(msg.secret.q);
+  if (r.remaining() != 0) malformed("reward claim trailing bytes");
+  return msg;
+}
+
+std::vector<std::uint8_t> make_reward_grant(std::uint32_t units) {
+  ByteWriter w(4);
+  w.put_u32(units);
+  return encode(make_envelope(MessageType::kRewardGrant, std::move(w)));
+}
+
+std::uint32_t parse_reward_grant(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  return r.get_u32();
+}
+
+std::vector<std::uint8_t> make_big_batch(MessageType kind, const Id16& vp_id,
+                                         std::span<const crypto::BigBytes> items) {
+  if (kind != MessageType::kBlindBatch && kind != MessageType::kSignatureBatch)
+    malformed("not a batch type");
+  ByteWriter w;
+  w.put_bytes(vp_id.bytes);
+  w.put_u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& item : items) {
+    w.put_u32(static_cast<std::uint32_t>(item.size()));
+    w.put_bytes(item);
+  }
+  return encode(make_envelope(kind, std::move(w)));
+}
+
+BigBatch parse_big_batch(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  BigBatch batch;
+  r.get_bytes(batch.vp_id.bytes);
+  const std::uint32_t count = r.get_u32();
+  if (count > 4096) malformed("batch too large");
+  batch.items.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t len = r.get_u32();
+    if (len > 16384 || r.remaining() < len) malformed("batch item length");
+    crypto::BigBytes item(len);
+    r.get_bytes(item);
+    batch.items.push_back(std::move(item));
+  }
+  if (r.remaining() != 0) malformed("batch trailing bytes");
+  return batch;
+}
+
+std::vector<std::uint8_t> make_error(const std::string& what) {
+  Envelope e;
+  e.type = MessageType::kError;
+  e.payload.assign(what.begin(), what.end());
+  return encode(e);
+}
+
+}  // namespace viewmap::proto

@@ -1,0 +1,112 @@
+// Wire protocol between ViewMap users and the system.
+//
+// Every user↔system interaction in the paper maps to one message pair,
+// all carried over the anonymous channel (§5.1.2: users "constantly
+// change sessions", so each request is self-contained and unlinkable):
+//
+//   VP upload               →  kVpUpload            (no response; fire & forget)
+//   solicitation poll       →  kVideoListRequest    / kVideoListResponse
+//   video submission        →  kVideoSubmit         / kSubmitResult
+//   reward poll             →  kRewardListRequest   / kRewardListResponse
+//   reward claim (App. A)   →  kRewardClaim         / kRewardGrant
+//   blind-sign batch        →  kBlindBatch          / kSignatureBatch
+//
+// Framing: [u8 type][u32 payload length][payload], little-endian, with a
+// 64 MiB payload cap (videos dominate). Malformed frames throw — servers
+// drop them silently, clients surface them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/blind_rsa.h"
+#include "vp/video.h"
+#include "vp/view_profile.h"
+
+namespace viewmap::proto {
+
+enum class MessageType : std::uint8_t {
+  kVpUpload = 1,
+  kVideoListRequest = 2,
+  kVideoListResponse = 3,
+  kVideoSubmit = 4,
+  kSubmitResult = 5,
+  kRewardListRequest = 6,
+  kRewardListResponse = 7,
+  kRewardClaim = 8,
+  kRewardGrant = 9,
+  kBlindBatch = 10,
+  kSignatureBatch = 11,
+  kError = 12,
+};
+
+inline constexpr std::size_t kMaxPayload = 64u * 1024 * 1024;
+
+struct Envelope {
+  MessageType type = MessageType::kError;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const Envelope&, const Envelope&) = default;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const Envelope& envelope);
+/// Throws std::invalid_argument on malformed framing.
+[[nodiscard]] Envelope decode(std::span<const std::uint8_t> frame);
+
+// ── typed payload builders / parsers ─────────────────────────────────────
+// Each make_* returns a full frame; each parse_* consumes an Envelope
+// payload and throws std::invalid_argument on structural errors.
+
+[[nodiscard]] std::vector<std::uint8_t> make_vp_upload(const vp::ViewProfile& profile);
+[[nodiscard]] vp::ViewProfile parse_vp_upload(std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> make_list_request(MessageType kind);
+
+[[nodiscard]] std::vector<std::uint8_t> make_id_list(MessageType kind,
+                                                     std::span<const Id16> ids);
+[[nodiscard]] std::vector<Id16> parse_id_list(std::span<const std::uint8_t> payload);
+
+/// Video submission: VP id + the minute's start time + raw video bytes.
+/// Chunk boundaries are NOT transmitted — the system derives them from
+/// the cumulative file sizes in its own copy of the VP (§5.2.3), so a
+/// client cannot lie about them.
+struct VideoSubmit {
+  Id16 vp_id;
+  TimeSec start_time = 0;
+  std::vector<std::uint8_t> video_bytes;
+};
+[[nodiscard]] std::vector<std::uint8_t> make_video_submit(const Id16& vp_id,
+                                                          const vp::RecordedVideo& video);
+[[nodiscard]] VideoSubmit parse_video_submit(std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> make_submit_result(bool accepted);
+[[nodiscard]] bool parse_submit_result(std::span<const std::uint8_t> payload);
+
+/// Reward claim: VP id + ownership proof Q (Appendix A step 1).
+struct RewardClaim {
+  Id16 vp_id;
+  vp::VpSecret secret;
+};
+[[nodiscard]] std::vector<std::uint8_t> make_reward_claim(const Id16& vp_id,
+                                                          const vp::VpSecret& secret);
+[[nodiscard]] RewardClaim parse_reward_claim(std::span<const std::uint8_t> payload);
+
+/// Grant: the cash amount n (0 = claim rejected).
+[[nodiscard]] std::vector<std::uint8_t> make_reward_grant(std::uint32_t units);
+[[nodiscard]] std::uint32_t parse_reward_grant(std::span<const std::uint8_t> payload);
+
+/// Blinded-message and signature batches share one layout:
+/// u32 count, then per item u32 length + bytes.
+struct BigBatch {
+  Id16 vp_id;  ///< which claim this batch belongs to
+  std::vector<crypto::BigBytes> items;
+};
+[[nodiscard]] std::vector<std::uint8_t> make_big_batch(MessageType kind, const Id16& vp_id,
+                                                       std::span<const crypto::BigBytes> items);
+[[nodiscard]] BigBatch parse_big_batch(std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> make_error(const std::string& what);
+
+}  // namespace viewmap::proto

@@ -1,0 +1,33 @@
+#include "reward/bank.h"
+
+#include "common/hex.h"
+#include "crypto/sha256.h"
+
+namespace viewmap::reward {
+
+const char* to_string(RedeemOutcome outcome) noexcept {
+  switch (outcome) {
+    case RedeemOutcome::kAccepted: return "accepted";
+    case RedeemOutcome::kBadSignature: return "bad-signature";
+    case RedeemOutcome::kDoubleSpend: return "double-spend";
+  }
+  return "?";
+}
+
+std::vector<crypto::BigBytes> Bank::sign_blinded(
+    std::span<const crypto::BigBytes> blinded) const {
+  std::vector<crypto::BigBytes> out;
+  out.reserve(blinded.size());
+  for (const auto& b : blinded) out.push_back(signer_.sign_blinded(b));
+  return out;
+}
+
+RedeemOutcome Bank::redeem(const CashToken& token) {
+  if (!token_authentic(token, signer_.public_key()))
+    return RedeemOutcome::kBadSignature;
+  const auto fingerprint = to_hex(crypto::sha256(token.message).bytes);
+  if (!spent_.insert(fingerprint).second) return RedeemOutcome::kDoubleSpend;
+  return RedeemOutcome::kAccepted;
+}
+
+}  // namespace viewmap::reward

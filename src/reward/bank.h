@@ -1,0 +1,48 @@
+// The system's signing and redemption authority.
+//
+// Splits the paper's "system S" reward role into two capabilities:
+//   * blind-sign messages during a reward claim (never sees contents),
+//   * redeem presented cash, enforcing double-spending freshness (§5.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/blind_rsa.h"
+#include "reward/cash.h"
+
+namespace viewmap::reward {
+
+enum class RedeemOutcome { kAccepted, kBadSignature, kDoubleSpend };
+
+[[nodiscard]] const char* to_string(RedeemOutcome outcome) noexcept;
+
+class Bank {
+ public:
+  /// `rsa_bits`: 2048 for deployment; tests may shrink for speed.
+  explicit Bank(int rsa_bits = 2048) : signer_(rsa_bits) {}
+
+  [[nodiscard]] const crypto::RsaPublicKey& public_key() const noexcept {
+    return signer_.public_key();
+  }
+
+  /// Blind-signs a batch (step 3 of Appendix A). The bank learns nothing
+  /// about the underlying messages.
+  [[nodiscard]] std::vector<crypto::BigBytes> sign_blinded(
+      std::span<const crypto::BigBytes> blinded) const;
+
+  /// Verifies authenticity and freshness; burns the token on acceptance.
+  RedeemOutcome redeem(const CashToken& token);
+
+  [[nodiscard]] std::size_t redeemed_count() const noexcept { return spent_.size(); }
+
+ private:
+  crypto::RsaSigner signer_;
+  /// Spent-token fingerprints (hash of m). A production system would
+  /// persist this set; semantics are identical.
+  std::unordered_set<std::string> spent_;
+};
+
+}  // namespace viewmap::reward

@@ -1,0 +1,9 @@
+#include "reward/cash.h"
+
+namespace viewmap::reward {
+
+bool token_authentic(const CashToken& token, const crypto::RsaPublicKey& system_key) {
+  return crypto::verify_signature(token.message, token.signature, system_key);
+}
+
+}  // namespace viewmap::reward

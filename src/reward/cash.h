@@ -1,0 +1,28 @@
+// Untraceable virtual cash (paper §5.3, Appendix A).
+//
+// One unit of cash is an (m, {H(m)}_{K_S^-}) pair: a random message and the
+// system's blind signature over its full-domain hash. Anyone verifies
+// authenticity with the system's public key; the bank additionally checks
+// freshness (no double spend). Nothing in the pair links back to the video
+// whose reward minted it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/blind_rsa.h"
+
+namespace viewmap::reward {
+
+struct CashToken {
+  std::vector<std::uint8_t> message;   ///< m — random, chosen by the owner
+  crypto::BigBytes signature;          ///< s with s^e ≡ FDH(m) (mod N)
+
+  friend bool operator==(const CashToken&, const CashToken&) = default;
+};
+
+/// Signature check only (any merchant can run this offline).
+[[nodiscard]] bool token_authentic(const CashToken& token,
+                                   const crypto::RsaPublicKey& system_key);
+
+}  // namespace viewmap::reward

@@ -1,0 +1,43 @@
+#include "reward/client.h"
+
+#include <stdexcept>
+
+namespace viewmap::reward {
+
+std::vector<crypto::BigBytes> RewardClient::prepare(std::size_t count) {
+  pending_.clear();
+  pending_.reserve(count);
+  std::vector<crypto::BigBytes> blinded;
+  blinded.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Pending p;
+    p.message.resize(32);
+    rng_.fill_bytes(p.message);
+    auto bm = crypto::blind(p.message, key_, rng_.next_u64());
+    p.blinding_secret = std::move(bm.blinding_secret);
+    blinded.push_back(std::move(bm.blinded));
+    pending_.push_back(std::move(p));
+  }
+  return blinded;
+}
+
+std::vector<CashToken> RewardClient::unblind_batch(
+    std::span<const crypto::BigBytes> blind_signatures) {
+  if (blind_signatures.size() != pending_.size())
+    throw std::invalid_argument("RewardClient: signature count mismatch");
+  std::vector<CashToken> cash;
+  cash.reserve(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    CashToken token;
+    token.message = pending_[i].message;
+    token.signature =
+        crypto::unblind(blind_signatures[i], pending_[i].blinding_secret, key_);
+    if (!token_authentic(token, key_))
+      throw std::runtime_error("RewardClient: signer returned invalid signature");
+    cash.push_back(std::move(token));
+  }
+  pending_.clear();
+  return cash;
+}
+
+}  // namespace viewmap::reward

@@ -1,0 +1,48 @@
+// User-side reward claim (paper Appendix A, steps 2 and 4).
+//
+// The client mints n random messages, blinds them, sends the blinded batch
+// to the system, and unblinds the returned signatures into spendable cash.
+// Blinding secrets r_i never leave this object — that is what makes the
+// resulting cash unlinkable even to the system.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/blind_rsa.h"
+#include "reward/cash.h"
+
+namespace viewmap::reward {
+
+class RewardClient {
+ public:
+  RewardClient(crypto::RsaPublicKey system_key, std::uint64_t seed)
+      : key_(std::move(system_key)), rng_(seed) {}
+
+  /// Step 2: mint and blind `count` fresh messages. Returns the blinded
+  /// values to transmit; the pending messages/secrets stay inside.
+  [[nodiscard]] std::vector<crypto::BigBytes> prepare(std::size_t count);
+
+  /// Step 4: unblind the system's signatures into cash. Must be called
+  /// with signatures matching (and ordered like) the last prepare() batch.
+  /// Throws std::invalid_argument on count mismatch and std::runtime_error
+  /// if any unblinded signature fails verification (a misbehaving signer).
+  [[nodiscard]] std::vector<CashToken> unblind_batch(
+      std::span<const crypto::BigBytes> blind_signatures);
+
+  [[nodiscard]] std::size_t pending_count() const noexcept { return pending_.size(); }
+
+ private:
+  struct Pending {
+    std::vector<std::uint8_t> message;
+    crypto::BigBytes blinding_secret;
+  };
+
+  crypto::RsaPublicKey key_;
+  Rng rng_;
+  std::vector<Pending> pending_;
+};
+
+}  // namespace viewmap::reward

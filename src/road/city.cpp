@@ -1,0 +1,117 @@
+#include "road/city.h"
+
+#include <stdexcept>
+
+namespace viewmap::road {
+
+CityMap make_grid_city(const GridCityConfig& cfg, Rng& rng) {
+  if (cfg.extent_m <= 0 || cfg.block_m <= 0 || cfg.block_m > cfg.extent_m)
+    throw std::invalid_argument("make_grid_city: bad dimensions");
+
+  CityMap city;
+  city.bounds = {{0.0, 0.0}, {cfg.extent_m, cfg.extent_m}};
+
+  const int lines = static_cast<int>(cfg.extent_m / cfg.block_m) + 1;
+
+  // Intersection nodes on a regular lattice.
+  std::vector<std::vector<NodeId>> grid(static_cast<std::size_t>(lines));
+  for (int iy = 0; iy < lines; ++iy) {
+    grid[static_cast<std::size_t>(iy)].resize(static_cast<std::size_t>(lines));
+    for (int ix = 0; ix < lines; ++ix) {
+      const geo::Vec2 p{ix * cfg.block_m, iy * cfg.block_m};
+      grid[static_cast<std::size_t>(iy)][static_cast<std::size_t>(ix)] =
+          city.roads.add_node(p);
+    }
+  }
+  for (int iy = 0; iy < lines; ++iy) {
+    for (int ix = 0; ix < lines; ++ix) {
+      const NodeId here = grid[static_cast<std::size_t>(iy)][static_cast<std::size_t>(ix)];
+      if (ix + 1 < lines)
+        city.roads.add_road(here, grid[static_cast<std::size_t>(iy)][static_cast<std::size_t>(ix + 1)]);
+      if (iy + 1 < lines)
+        city.roads.add_road(here, grid[static_cast<std::size_t>(iy + 1)][static_cast<std::size_t>(ix)]);
+    }
+  }
+
+  // Buildings inside blocks, set back from the streets.
+  for (int iy = 0; iy + 1 < lines; ++iy) {
+    for (int ix = 0; ix + 1 < lines; ++ix) {
+      if (!rng.bernoulli(cfg.building_fill)) continue;
+      const double x0 = ix * cfg.block_m;
+      const double y0 = iy * cfg.block_m;
+      const double sx = rng.uniform(cfg.building_setback_min, cfg.building_setback_max);
+      const double sy = rng.uniform(cfg.building_setback_min, cfg.building_setback_max);
+      const double ex = rng.uniform(cfg.building_setback_min, cfg.building_setback_max);
+      const double ey = rng.uniform(cfg.building_setback_min, cfg.building_setback_max);
+      geo::Rect b{{x0 + sx, y0 + sy}, {x0 + cfg.block_m - ex, y0 + cfg.block_m - ey}};
+      if (b.width() > 5.0 && b.height() > 5.0) city.buildings.push_back(b);
+    }
+  }
+  return city;
+}
+
+const char* environment_name(Environment env) noexcept {
+  switch (env) {
+    case Environment::kOpenRoad: return "Open road";
+    case Environment::kHighway: return "Highway";
+    case Environment::kResidential: return "Residential area";
+    case Environment::kDowntown: return "Downtown";
+  }
+  return "?";
+}
+
+CityMap make_environment(Environment env, double extent_m, Rng& rng) {
+  switch (env) {
+    case Environment::kOpenRoad: {
+      // One straight road, nothing around: the paper measures VLR > 99%
+      // out to the full 400 m DSRC range here.
+      CityMap city;
+      city.bounds = {{0.0, -50.0}, {extent_m, 50.0}};
+      const NodeId a = city.roads.add_node({0.0, 0.0});
+      const NodeId b = city.roads.add_node({extent_m, 0.0});
+      city.roads.add_road(a, b);
+      return city;
+    }
+    case Environment::kHighway: {
+      // Two parallel carriageways; occasional sound-wall style obstacles
+      // well off the road. Blockage comes mostly from vehicle traffic,
+      // which the radio model adds separately.
+      CityMap city;
+      city.bounds = {{0.0, -100.0}, {extent_m, 100.0}};
+      const NodeId a1 = city.roads.add_node({0.0, -8.0});
+      const NodeId b1 = city.roads.add_node({extent_m, -8.0});
+      const NodeId a2 = city.roads.add_node({0.0, 8.0});
+      const NodeId b2 = city.roads.add_node({extent_m, 8.0});
+      city.roads.add_road(a1, b1);
+      city.roads.add_road(a2, b2);
+      for (double x = 300.0; x + 150.0 < extent_m; x += 600.0)
+        if (rng.bernoulli(0.5))
+          city.buildings.push_back({{x, 40.0}, {x + 150.0, 55.0}});
+      return city;
+    }
+    case Environment::kResidential: {
+      // Small blocks, modest houses, generous gaps between footprints.
+      GridCityConfig cfg;
+      cfg.extent_m = extent_m;
+      cfg.block_m = 100.0;
+      cfg.building_fill = 0.65;
+      cfg.building_setback_min = 12.0;
+      cfg.building_setback_max = 35.0;
+      return make_grid_city(cfg, rng);
+    }
+    case Environment::kDowntown: {
+      // Large buildings filling almost the whole block: sight lines only
+      // survive along street canyons.
+      GridCityConfig cfg;
+      cfg.extent_m = extent_m;
+      cfg.block_m = 150.0;
+      cfg.building_fill = 0.92;
+      cfg.building_setback_min = 6.0;
+      cfg.building_setback_max = 12.0;
+      return make_grid_city(cfg, rng);
+    }
+  }
+  throw std::invalid_argument("make_environment: unknown environment");
+}
+
+}  // namespace viewmap::road

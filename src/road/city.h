@@ -1,0 +1,46 @@
+// Synthetic city generation.
+//
+// Substitute for the paper's OpenStreetMap extract of Seoul (§8) and for
+// the four field-experiment environments (§7.2.1: open road, highway,
+// residential area, downtown). A city is a grid of streets with
+// rectangular building footprints filling the blocks; building size and
+// density are what differentiate environments — exactly the obstacle
+// structure that drives the paper's LOS results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/geometry.h"
+#include "road/network.h"
+
+namespace viewmap::road {
+
+struct CityMap {
+  RoadNetwork roads;
+  std::vector<geo::Rect> buildings;
+  geo::Rect bounds{};
+};
+
+struct GridCityConfig {
+  double extent_m = 4000.0;      ///< side of the square map
+  double block_m = 200.0;        ///< street spacing
+  double building_fill = 0.7;    ///< probability a block hosts a building
+  double building_setback_min = 8.0;   ///< min gap between building and street
+  double building_setback_max = 40.0;  ///< max gap (larger ⇒ more sight lines)
+};
+
+/// Manhattan-grid city: streets every block_m, buildings inside blocks.
+[[nodiscard]] CityMap make_grid_city(const GridCityConfig& cfg, Rng& rng);
+
+/// The four measurement environments of §7.2.1.
+enum class Environment { kOpenRoad, kHighway, kResidential, kDowntown };
+
+[[nodiscard]] const char* environment_name(Environment env) noexcept;
+
+/// Environment presets used by the Fig. 15 reproduction. `extent_m` is the
+/// length of the drive corridor.
+[[nodiscard]] CityMap make_environment(Environment env, double extent_m, Rng& rng);
+
+}  // namespace viewmap::road

@@ -1,0 +1,42 @@
+#include "road/network.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace viewmap::road {
+
+NodeId add_checked(std::size_t n) {
+  if (n > std::numeric_limits<NodeId>::max())
+    throw std::length_error("RoadNetwork: too many nodes");
+  return static_cast<NodeId>(n);
+}
+
+NodeId RoadNetwork::add_node(geo::Vec2 pos) {
+  const NodeId id = add_checked(nodes_.size());
+  nodes_.push_back(pos);
+  adjacency_.emplace_back();
+  return id;
+}
+
+void RoadNetwork::add_road(NodeId a, NodeId b) {
+  if (a == b) throw std::invalid_argument("RoadNetwork: self-loop road");
+  const double len = geo::distance(nodes_.at(a), nodes_.at(b));
+  adjacency_.at(a).push_back({b, len});
+  adjacency_.at(b).push_back({a, len});
+}
+
+NodeId RoadNetwork::nearest_node(geo::Vec2 p) const {
+  if (nodes_.empty()) throw std::logic_error("RoadNetwork: empty network");
+  NodeId best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    const double d = geo::distance(nodes_[i], p);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace viewmap::road

@@ -1,0 +1,50 @@
+// Road network graph.
+//
+// Substrate for two paper dependencies: (i) SUMO-style vehicle mobility
+// (vehicles drive shortest-path trips over a street map, §8) and (ii) the
+// Google Directions API used when fabricating guard-VP trajectories
+// (§5.1.2 — "readily available tools that instantly return a driving route
+// between two points on a road map").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace viewmap::road {
+
+using NodeId = std::uint32_t;
+
+struct Edge {
+  NodeId to = 0;
+  double length_m = 0.0;
+};
+
+/// Undirected road graph with Euclidean node positions.
+class RoadNetwork {
+ public:
+  NodeId add_node(geo::Vec2 pos);
+  /// Adds an undirected road segment; length defaults to the Euclidean
+  /// distance between endpoints.
+  void add_road(NodeId a, NodeId b);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] geo::Vec2 node_pos(NodeId id) const { return nodes_.at(id); }
+  [[nodiscard]] std::span<const Edge> neighbors(NodeId id) const {
+    return adjacency_.at(id);
+  }
+  [[nodiscard]] std::span<const geo::Vec2> node_positions() const noexcept {
+    return nodes_;
+  }
+
+  /// Node nearest to an arbitrary point (linear scan; maps are small).
+  [[nodiscard]] NodeId nearest_node(geo::Vec2 p) const;
+
+ private:
+  std::vector<geo::Vec2> nodes_;
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace viewmap::road

@@ -1,0 +1,75 @@
+#include "road/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace viewmap::road {
+
+std::optional<Route> Router::shortest_path(NodeId from, NodeId to) const {
+  const std::size_t n = net_->node_count();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<NodeId> prev(n, 0);
+  std::vector<bool> settled(n, false);
+
+  const geo::Vec2 goal = net_->node_pos(to);
+  auto heuristic = [&](NodeId v) { return geo::distance(net_->node_pos(v), goal); };
+
+  using QItem = std::pair<double, NodeId>;  // (g + h, node)
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> open;
+  dist[from] = 0.0;
+  open.emplace(heuristic(from), from);
+
+  while (!open.empty()) {
+    const auto [f, u] = open.top();
+    open.pop();
+    if (settled[u]) continue;
+    settled[u] = true;
+    if (u == to) break;
+    for (const Edge& e : net_->neighbors(u)) {
+      const double nd = dist[u] + e.length_m;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        prev[e.to] = u;
+        open.emplace(nd + heuristic(e.to), e.to);
+      }
+    }
+  }
+
+  if (dist[to] == kInf) return std::nullopt;
+
+  Route route;
+  route.length_m = dist[to];
+  for (NodeId v = to;; v = prev[v]) {
+    route.nodes.push_back(v);
+    if (v == from) break;
+  }
+  std::reverse(route.nodes.begin(), route.nodes.end());
+  route.points.reserve(route.nodes.size());
+  for (NodeId v : route.nodes) route.points.push_back(net_->node_pos(v));
+  return route;
+}
+
+std::optional<Route> Router::route_between(geo::Vec2 from, geo::Vec2 to) const {
+  const NodeId a = net_->nearest_node(from);
+  const NodeId b = net_->nearest_node(to);
+  if (a == b) {
+    // Both endpoints snap to the same intersection: direct connection.
+    Route r;
+    r.nodes = {a};
+    r.points = {from, to};
+    r.length_m = geo::distance(from, to);
+    return r;
+  }
+  auto base = shortest_path(a, b);
+  if (!base) return std::nullopt;
+  Route r = std::move(*base);
+  // Stitch the exact query endpoints onto the snapped route.
+  if (geo::distance(from, r.points.front()) > 1e-9) r.points.insert(r.points.begin(), from);
+  if (geo::distance(to, r.points.back()) > 1e-9) r.points.push_back(to);
+  r.length_m = geo::polyline_length(r.points);
+  return r;
+}
+
+}  // namespace viewmap::road

@@ -1,0 +1,37 @@
+// Shortest-path routing over the road network (A*).
+//
+// Stands in for the Google Directions API that vehicles use when creating
+// guard-VP trajectories (§5.1.2): given two points on the map, return a
+// plausible driving route between them.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "road/network.h"
+
+namespace viewmap::road {
+
+struct Route {
+  std::vector<NodeId> nodes;       ///< traversed intersections
+  std::vector<geo::Vec2> points;   ///< polyline in meters
+  double length_m = 0.0;
+};
+
+class Router {
+ public:
+  explicit Router(const RoadNetwork& net) : net_(&net) {}
+
+  /// A* shortest path between two graph nodes. nullopt when disconnected.
+  [[nodiscard]] std::optional<Route> shortest_path(NodeId from, NodeId to) const;
+
+  /// Directions-API-style query: snap both endpoints to the nearest road
+  /// node and route between them; the returned polyline starts/ends at the
+  /// exact query points so guard trajectories line up with real VD fields.
+  [[nodiscard]] std::optional<Route> route_between(geo::Vec2 from, geo::Vec2 to) const;
+
+ private:
+  const RoadNetwork* net_;
+};
+
+}  // namespace viewmap::road

@@ -1,0 +1,100 @@
+#include "sim/mobility.h"
+
+#include <stdexcept>
+
+namespace viewmap::sim {
+
+VehicleMotion VehicleMotion::random_trips(const road::RoadNetwork& net,
+                                          double speed_mps, Rng& rng) {
+  if (speed_mps <= 0) throw std::invalid_argument("VehicleMotion: bad speed");
+  VehicleMotion m;
+  m.mode_ = Mode::kRandomTrips;
+  m.net_ = &net;
+  m.speed_ = speed_mps;
+  const auto start =
+      static_cast<road::NodeId>(rng.index(net.node_count()));
+  m.pos_ = net.node_pos(start);
+  m.plan_trip(rng);
+  return m;
+}
+
+VehicleMotion VehicleMotion::scripted(std::vector<geo::Vec2> path, double speed_mps,
+                                      bool loop) {
+  if (path.empty()) throw std::invalid_argument("VehicleMotion: empty path");
+  VehicleMotion m;
+  m.mode_ = Mode::kScripted;
+  m.path_ = std::move(path);
+  m.speed_ = speed_mps;
+  m.loop_ = loop;
+  m.pos_ = m.path_.front();
+  if (m.path_.size() > 1) {
+    const geo::Vec2 d = m.path_[1] - m.path_[0];
+    const double n = d.norm();
+    if (n > 0) m.heading_ = d * (1.0 / n);
+  }
+  return m;
+}
+
+VehicleMotion VehicleMotion::stationary(geo::Vec2 pos) {
+  VehicleMotion m;
+  m.mode_ = Mode::kStationary;
+  m.pos_ = pos;
+  return m;
+}
+
+void VehicleMotion::plan_trip(Rng& rng) {
+  // Route from the nearest node to a random distinct destination. Retries
+  // guard against disconnected picks; a handful suffices on grid maps.
+  const road::Router router(*net_);
+  const road::NodeId from = net_->nearest_node(pos_);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto to = static_cast<road::NodeId>(rng.index(net_->node_count()));
+    if (to == from) continue;
+    auto route = router.shortest_path(from, to);
+    if (route && route->points.size() >= 2) {
+      path_ = std::move(route->points);
+      progress_m_ = 0.0;
+      return;
+    }
+  }
+  // Degenerate map (single node): park.
+  path_ = {pos_};
+  progress_m_ = 0.0;
+}
+
+void VehicleMotion::follow(double dt, Rng& rng) {
+  const double total = geo::polyline_length(path_);
+  progress_m_ += speed_ * dt;
+  if (progress_m_ >= total) {
+    if (mode_ == Mode::kRandomTrips) {
+      pos_ = path_.back();
+      plan_trip(rng);
+      return;
+    }
+    if (loop_ && total > 0) {
+      progress_m_ -= total;
+    } else {
+      progress_m_ = total;
+      pos_ = path_.back();
+      return;
+    }
+  }
+  const geo::Vec2 before = pos_;
+  pos_ = geo::point_along_polyline(path_, progress_m_);
+  const geo::Vec2 d = pos_ - before;
+  const double n = d.norm();
+  if (n > 1e-9) heading_ = d * (1.0 / n);
+}
+
+void VehicleMotion::advance(double dt, Rng& rng) {
+  switch (mode_) {
+    case Mode::kStationary:
+      return;
+    case Mode::kScripted:
+    case Mode::kRandomTrips:
+      follow(dt, rng);
+      return;
+  }
+}
+
+}  // namespace viewmap::sim

@@ -1,0 +1,65 @@
+// Vehicle mobility (SUMO-trace substitute, paper §8).
+//
+// Three movement modes cover every experiment:
+//   * random trips — shortest-path routes between random intersections,
+//     re-planned on arrival (the city-scale traffic of §8);
+//   * scripted    — follow a fixed polyline at constant speed (the staged
+//     two-vehicle field scenarios of §7.2);
+//   * stationary  — parked vehicles (parking-mode extension, §2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/geometry.h"
+#include "road/router.h"
+
+namespace viewmap::sim {
+
+class VehicleMotion {
+ public:
+  /// Random-trip driver. `speed_mps` is this vehicle's cruise speed.
+  /// `net` must outlive the motion object (routers are built on demand).
+  static VehicleMotion random_trips(const road::RoadNetwork& net, double speed_mps,
+                                    Rng& rng);
+
+  /// Scripted polyline at constant speed; holds position at the end
+  /// (or restarts from the head when `loop`).
+  static VehicleMotion scripted(std::vector<geo::Vec2> path, double speed_mps,
+                                bool loop = false);
+
+  static VehicleMotion stationary(geo::Vec2 pos);
+
+  /// Advance `dt` seconds of movement.
+  void advance(double dt, Rng& rng);
+
+  [[nodiscard]] geo::Vec2 position() const noexcept { return pos_; }
+  /// Unit direction of travel; {0,0} when parked.
+  [[nodiscard]] geo::Vec2 heading() const noexcept { return heading_; }
+  [[nodiscard]] double speed_mps() const noexcept { return speed_; }
+
+ private:
+  VehicleMotion() = default;
+
+  void plan_trip(Rng& rng);
+  void follow(double dt, Rng& rng);
+
+  enum class Mode { kRandomTrips, kScripted, kStationary };
+  Mode mode_ = Mode::kStationary;
+
+  const road::RoadNetwork* net_ = nullptr;
+
+  std::vector<geo::Vec2> path_;
+  double progress_m_ = 0.0;
+  bool loop_ = false;
+
+  double speed_ = 0.0;
+  geo::Vec2 pos_{};
+  geo::Vec2 heading_{};
+};
+
+/// km/h → m/s.
+[[nodiscard]] constexpr double kmh(double v) noexcept { return v / 3.6; }
+
+}  // namespace viewmap::sim

@@ -1,0 +1,44 @@
+// Staged two-vehicle field scenarios (paper §7.2.2, Table 2, Fig. 19).
+//
+// The paper parked/drove two testbed vehicles in carefully chosen
+// LOS / NLOS / mixed geometries (intersections, overpasses, tunnels, a
+// parking structure, …) and measured (i) the VP linkage ratio and (ii)
+// whether either dashcam captured the other vehicle. Each scenario here is
+// the geometric essence of one row of Table 2: two trajectories plus the
+// obstacle set that creates the sight-line condition.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace viewmap::sim {
+
+enum class SightCondition { kLos, kNlos, kMixed };
+
+[[nodiscard]] const char* to_string(SightCondition c) noexcept;
+
+struct StagedScenario {
+  std::string name;
+  SightCondition condition = SightCondition::kLos;
+  road::CityMap map;                  ///< obstacles; roads unused (scripted paths)
+  std::vector<VehicleMotion> fleet;   ///< exactly two vehicles
+  double traffic_blocker_density = 0.0;
+};
+
+/// All fourteen Table-2 rows, in paper order.
+[[nodiscard]] std::vector<StagedScenario> table2_scenarios(std::uint64_t seed);
+
+struct ScenarioOutcome {
+  std::string name;
+  SightCondition condition;
+  double vp_linkage_ratio = 0.0;  ///< minutes with a two-way link / minutes
+  double on_video_ratio = 0.0;    ///< minutes either camera saw the other
+};
+
+/// Runs one staged scenario for `minutes` simulated minutes.
+[[nodiscard]] ScenarioOutcome run_staged(StagedScenario scenario, int minutes,
+                                         std::uint64_t seed);
+
+}  // namespace viewmap::sim

@@ -1,0 +1,117 @@
+// Traffic + DSRC + ViewMap co-simulation (ns-3/SUMO substitute, §8).
+//
+// Time-stepped at 1 Hz, matching the VD broadcast cadence. Each second:
+// vehicles move, record a video chunk, advance their cascaded hash,
+// broadcast a VD, and screen/store VDs received over the radio model.
+// Each minute boundary: VPs are compiled, guard VPs fabricated, and
+// everything is appended to the result set together with the ground truth
+// the privacy evaluation needs (which the real system never sees).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dsrc/channel.h"
+#include "road/city.h"
+#include "sim/mobility.h"
+#include "vp/guard.h"
+#include "vp/video.h"
+#include "vp/vp_builder.h"
+
+namespace viewmap::sim {
+
+struct SimConfig {
+  std::uint64_t seed = 1;
+  int vehicle_count = 100;
+  double mean_speed_kmh = 50.0;
+  double speed_spread_frac = 0.2;  ///< per-vehicle speed ∈ mean·(1±spread)
+  /// Fraction of the fleet parked in recording mode (§2 parking mode):
+  /// stationary witnesses that still broadcast/collect VDs.
+  double parked_fraction = 0.0;
+  int minutes = 10;
+
+  /// Synthetic video chunk bytes per second. Large simulations use small
+  /// chunks; the hash-chain code path is identical (see vp/video.h).
+  std::uint64_t video_bytes_per_second = 32;
+
+  bool guards_enabled = true;
+  vp::GuardConfig guard{};
+
+  dsrc::RadioConfig radio{};
+  double traffic_blocker_density_per_m = 0.0;  ///< heavy-traffic blockage
+  /// Mean dwell of the per-pair vehicular-blockage Markov state: a truck
+  /// between two vehicles stays there ~this long before traffic reshuffles.
+  double traffic_block_dwell_s = 12.0;
+
+  /// Camera view model for the §7.2.2 "On Video" ground truth: a vehicle
+  /// captures another if it is within range, inside the forward field of
+  /// view, and in line of sight.
+  double camera_range_m = 250.0;
+  double camera_fov_deg = 130.0;
+
+  bool collect_pair_stats = false;  ///< per-pair-per-minute observations
+  bool keep_videos = false;         ///< retain recorded videos + secrets
+  std::size_t storage_minutes = 60; ///< dashcam ring-buffer capacity
+};
+
+/// One VP as produced by the fleet, with ground truth attached.
+struct ProfileRecord {
+  vp::ViewProfile profile;
+  VehicleId creator;  ///< ground truth — never exposed to the system
+  bool guard = false; ///< guard VPs are deleted from the vehicle after upload
+};
+
+/// Owner-retained state for an actual VP (enables solicitation replies).
+struct OwnedVp {
+  VehicleId vehicle;
+  Id16 vp_id;
+  TimeSec unit_time;
+  vp::VpSecret secret;
+};
+
+/// Per-(pair, minute) observation for the §7.2 correlation analysis.
+struct PairMinuteObservation {
+  VehicleId a;
+  VehicleId b;
+  TimeSec unit_time;
+  double min_distance_m = 0.0;
+  bool vp_linked = false;  ///< two-way VD exchange succeeded this minute
+  bool on_video = false;   ///< either camera captured the other vehicle
+  bool los_ever = false;   ///< geometric LOS existed at some second
+};
+
+struct SimResult {
+  std::vector<ProfileRecord> profiles;
+  std::vector<OwnedVp> owned;
+  std::vector<PairMinuteObservation> pair_minutes;
+  std::vector<vp::RecordedVideo> videos;  ///< when keep_videos (parallel to owned)
+  RunningStats contact_seconds;  ///< continuous in-range+LOS contact durations
+  RunningStats neighbors_per_vehicle_minute;
+  std::size_t vd_broadcasts = 0;
+  std::size_t vd_deliveries = 0;
+};
+
+class TrafficSimulator {
+ public:
+  /// Random fleet over the city's road network.
+  TrafficSimulator(road::CityMap city, const SimConfig& cfg);
+
+  /// Explicit fleet (staged scenarios, parked witnesses, …).
+  TrafficSimulator(road::CityMap city, const SimConfig& cfg,
+                   std::vector<VehicleMotion> fleet);
+
+  [[nodiscard]] SimResult run();
+
+  [[nodiscard]] const road::CityMap& city() const noexcept { return city_; }
+
+ private:
+  road::CityMap city_;
+  SimConfig cfg_;
+  std::vector<VehicleMotion> fleet_;
+  Rng rng_;
+};
+
+}  // namespace viewmap::sim

@@ -1,0 +1,132 @@
+#include "store/vp_store.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/bytes.h"
+
+namespace viewmap::store {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'M', 'D', 'B'};
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 4);
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 8);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  unsigned char b[4];
+  if (!in.read(reinterpret_cast<char*>(b), 4))
+    throw std::runtime_error("vp_store: truncated header");
+  return static_cast<std::uint32_t>(b[0]) | static_cast<std::uint32_t>(b[1]) << 8 |
+         static_cast<std::uint32_t>(b[2]) << 16 | static_cast<std::uint32_t>(b[3]) << 24;
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  unsigned char b[8];
+  if (!in.read(reinterpret_cast<char*>(b), 8))
+    throw std::runtime_error("vp_store: truncated header");
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void save_database(const sys::VpDatabase& db, std::ostream& out) {
+  out.write(kMagic, 4);
+  write_u32(out, kFormatVersion);
+
+  const auto profiles = db.all();
+  const auto trusted = db.trusted_ids();
+  write_u64(out, profiles.size());
+  write_u64(out, trusted.size());
+  for (const auto* profile : profiles) {
+    const auto payload = profile->serialize();
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+  }
+  for (const auto& id : trusted)
+    out.write(reinterpret_cast<const char*>(id.bytes.data()),
+              static_cast<std::streamsize>(id.bytes.size()));
+  if (!out) throw std::runtime_error("vp_store: write failed");
+}
+
+void save_database_file(const sys::VpDatabase& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("vp_store: cannot open " + path);
+  save_database(db, out);
+}
+
+sys::VpDatabase load_database(std::istream& in, LoadStats* stats) {
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("vp_store: bad magic");
+  const std::uint32_t version = read_u32(in);
+  if (version != kFormatVersion)
+    throw std::runtime_error("vp_store: unsupported version");
+
+  const std::uint64_t vp_count = read_u64(in);
+  const std::uint64_t trusted_count = read_u64(in);
+
+  // Read trusted ids after the profiles; we need them first to route each
+  // profile through the right upload path, so buffer the profiles.
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(vp_count);
+  for (std::uint64_t i = 0; i < vp_count; ++i) {
+    std::vector<std::uint8_t> payload(vp::kVpWireSize);
+    if (!in.read(reinterpret_cast<char*>(payload.data()),
+                 static_cast<std::streamsize>(payload.size())))
+      throw std::runtime_error("vp_store: truncated profile section");
+    payloads.push_back(std::move(payload));
+  }
+  std::unordered_set<std::string> trusted;
+  for (std::uint64_t i = 0; i < trusted_count; ++i) {
+    Id16 id;
+    if (!in.read(reinterpret_cast<char*>(id.bytes.data()),
+                 static_cast<std::streamsize>(id.bytes.size())))
+      throw std::runtime_error("vp_store: truncated trusted section");
+    trusted.insert(std::string(id.bytes.begin(), id.bytes.end()));
+  }
+
+  sys::VpDatabase db;
+  LoadStats local;
+  for (const auto& payload : payloads) {
+    bool accepted = false;
+    try {
+      auto profile = vp::ViewProfile::parse(payload);
+      const std::string key(profile.vp_id().bytes.begin(), profile.vp_id().bytes.end());
+      accepted = trusted.contains(key) ? db.upload_trusted(std::move(profile))
+                                       : db.upload(std::move(profile));
+    } catch (const std::exception&) {
+      accepted = false;
+    }
+    if (accepted) {
+      ++local.profiles_loaded;
+    } else {
+      ++local.profiles_rejected;
+    }
+  }
+  local.trusted_marked = db.trusted_count();
+  if (stats != nullptr) *stats = local;
+  return db;
+}
+
+sys::VpDatabase load_database_file(const std::string& path, LoadStats* stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("vp_store: cannot open " + path);
+  return load_database(in, stats);
+}
+
+}  // namespace viewmap::store

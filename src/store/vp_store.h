@@ -1,0 +1,46 @@
+// VP database persistence.
+//
+// A deployed ViewMap service accumulates VPs continuously and must survive
+// restarts; investigations run against weeks of history (dashcam storage
+// itself retains 2-3 weeks, §2). This module defines a versioned binary
+// container for a VpDatabase snapshot:
+//
+//   magic "VMDB" | version u32 | vp_count u64 | trusted_count u64
+//   vp_count   × ViewProfile payload (fixed 4576-byte wire format)
+//   trusted_count × Id16
+//
+// Loading replays the uploads through the normal screening path, so a
+// tampered or corrupted file can only ever yield fewer VPs, never
+// malformed ones.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "system/vp_database.h"
+
+namespace viewmap::store {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+struct LoadStats {
+  std::size_t profiles_loaded = 0;
+  std::size_t profiles_rejected = 0;  ///< failed the upload screen
+  std::size_t trusted_marked = 0;
+};
+
+/// Serializes the snapshot into a stream. Throws std::runtime_error on I/O
+/// failure.
+void save_database(const sys::VpDatabase& db, std::ostream& out);
+void save_database_file(const sys::VpDatabase& db, const std::string& path);
+
+/// Loads a snapshot. Throws std::runtime_error on bad magic/version or
+/// truncation; individual VPs failing the screen are counted, not fatal.
+[[nodiscard]] sys::VpDatabase load_database(std::istream& in,
+                                            LoadStats* stats = nullptr);
+[[nodiscard]] sys::VpDatabase load_database_file(const std::string& path,
+                                                 LoadStats* stats = nullptr);
+
+}  // namespace viewmap::store

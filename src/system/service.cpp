@@ -1,0 +1,104 @@
+#include "system/service.h"
+
+#include <algorithm>
+
+namespace viewmap::sys {
+
+ViewMapService::ViewMapService(const ServiceConfig& cfg)
+    : cfg_(cfg),
+      channel_(cfg.channel_seed, cfg.mix_pool),
+      builder_(cfg.viewmap),
+      verifier_(cfg.trustrank),
+      bank_(cfg.rsa_bits) {}
+
+std::size_t ViewMapService::ingest_uploads() {
+  std::size_t accepted = 0;
+  for (auto& delivery : channel_.drain()) {
+    try {
+      auto profile = vp::ViewProfile::parse(delivery.payload);
+      if (db_.upload(std::move(profile))) ++accepted;
+    } catch (const std::exception&) {
+      // Malformed payloads are dropped; anonymous senders get no feedback.
+    }
+  }
+  return accepted;
+}
+
+bool ViewMapService::register_trusted(vp::ViewProfile profile) {
+  return db_.upload_trusted(std::move(profile));
+}
+
+InvestigationReport ViewMapService::investigate(const geo::Rect& site,
+                                                TimeSec unit_time) {
+  Viewmap map = builder_.build(db_, site, unit_time);
+  VerificationResult verdict = verifier_.verify(map, site);
+
+  std::vector<Id16> solicited;
+  solicited.reserve(verdict.legitimate.size());
+  for (std::size_t i : verdict.legitimate) {
+    const Id16 id = map.member(i).vp_id();
+    if (db_.is_trusted(id)) continue;  // authorities' own videos need no request
+    board_.post(id, RequestKind::kVideo);
+    solicited.push_back(id);
+  }
+  return InvestigationReport{std::move(map), std::move(verdict), std::move(solicited)};
+}
+
+std::vector<InvestigationReport> ViewMapService::investigate_period(
+    const geo::Rect& site, TimeSec begin, TimeSec end) {
+  std::vector<InvestigationReport> reports;
+  for (TimeSec t = unit_start(begin); t < end; t += kUnitTimeSec) {
+    if (db_.trusted_at(t).empty()) continue;  // no trust seed, no verification
+    reports.push_back(investigate(site, t));
+  }
+  return reports;
+}
+
+std::vector<Id16> ViewMapService::pending_video_requests(
+    std::span<const Id16> my_vp_ids) const {
+  std::vector<Id16> out;
+  for (const Id16& id : my_vp_ids)
+    if (board_.is_posted(id, RequestKind::kVideo)) out.push_back(id);
+  return out;
+}
+
+bool ViewMapService::submit_video(const Id16& vp_id, const vp::RecordedVideo& video) {
+  if (!board_.is_posted(vp_id, RequestKind::kVideo)) return false;
+  const vp::ViewProfile* profile = db_.find(vp_id);
+  if (profile == nullptr) return false;
+  if (!validate_solicited_video(*profile, video)) return false;
+  board_.withdraw(vp_id, RequestKind::kVideo);
+  review_.push_back(vp_id);
+  return true;
+}
+
+void ViewMapService::conclude_review(const Id16& vp_id, bool approved, int units) {
+  review_.erase(std::remove(review_.begin(), review_.end(), vp_id), review_.end());
+  if (approved && units > 0) {
+    board_.post(vp_id, RequestKind::kReward);
+    granted_[vp_id] = units;
+  }
+}
+
+std::optional<int> ViewMapService::begin_reward_claim(const Id16& vp_id,
+                                                      const vp::VpSecret& secret) {
+  if (!board_.is_posted(vp_id, RequestKind::kReward)) return std::nullopt;
+  if (secret.vp_id() != vp_id) return std::nullopt;  // ownership proof failed
+  auto it = granted_.find(vp_id);
+  if (it == granted_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::vector<crypto::BigBytes>> ViewMapService::sign_reward_batch(
+    const Id16& vp_id, std::span<const crypto::BigBytes> blinded) {
+  auto it = granted_.find(vp_id);
+  if (it == granted_.end()) return std::nullopt;
+  if (blinded.size() != static_cast<std::size_t>(it->second)) return std::nullopt;
+  auto signatures = bank_.sign_blinded(blinded);
+  // The claim is consumed: one reward per reviewed video.
+  granted_.erase(it);
+  board_.withdraw(vp_id, RequestKind::kReward);
+  return signatures;
+}
+
+}  // namespace viewmap::sys

@@ -1,0 +1,120 @@
+// ViewMapService — the public-service system facade (paper Fig. 2).
+//
+// Ties the pipeline together end to end:
+//   anonymous VP uploads → VP database → viewmap construction →
+//   Algorithm-1 verification → video solicitation → cascaded-hash video
+//   validation → human review → untraceable reward issuance.
+//
+// The facade is what example programs and integration tests drive; each
+// stage is also usable on its own (see the per-module headers).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "anonet/channel.h"
+#include "reward/bank.h"
+#include "system/solicitation.h"
+#include "system/verifier.h"
+#include "system/viewmap_graph.h"
+#include "system/vp_database.h"
+#include "vp/video.h"
+#include "vp/view_profile.h"
+
+namespace viewmap::sys {
+
+struct ServiceConfig {
+  ViewmapConfig viewmap{};
+  TrustRankConfig trustrank{};
+  int rsa_bits = 2048;
+  std::uint64_t channel_seed = 0x5eed;
+  std::size_t mix_pool = 16;
+};
+
+/// Outcome of one investigation over one unit-time.
+struct InvestigationReport {
+  Viewmap viewmap;
+  VerificationResult verification;
+  std::vector<Id16> solicited;  ///< VP ids posted as 'request for video'
+};
+
+class ViewMapService {
+ public:
+  explicit ViewMapService(const ServiceConfig& cfg = {});
+
+  // ── upload path ────────────────────────────────────────────────────
+  /// The anonymous channel users submit serialized VPs through.
+  [[nodiscard]] anonet::AnonymousChannel& upload_channel() noexcept { return channel_; }
+
+  /// Drains the channel into the database. Returns how many VPs were
+  /// accepted (malformed or duplicate payloads are dropped).
+  std::size_t ingest_uploads();
+
+  /// Authenticated path for authority vehicles (police cars).
+  bool register_trusted(vp::ViewProfile profile);
+
+  [[nodiscard]] const VpDatabase& database() const noexcept { return db_; }
+
+  // ── investigation path ─────────────────────────────────────────────
+  /// Builds the viewmap for (site, unit_time), verifies it, and posts
+  /// 'request for video' for every legitimate VP found inside the site.
+  [[nodiscard]] InvestigationReport investigate(const geo::Rect& site,
+                                                TimeSec unit_time);
+
+  /// §5.2.1: an incident period is investigated as "a series of viewmaps
+  /// each corresponding to a single unit-time". Runs investigate() for
+  /// every whole minute in [begin, end); minutes without a trusted VP
+  /// (unverifiable) are skipped.
+  [[nodiscard]] std::vector<InvestigationReport> investigate_period(
+      const geo::Rect& site, TimeSec begin, TimeSec end);
+
+  [[nodiscard]] const NoticeBoard& board() const noexcept { return board_; }
+
+  /// User side poll: which of my VP ids have a pending video request?
+  [[nodiscard]] std::vector<Id16> pending_video_requests(
+      std::span<const Id16> my_vp_ids) const;
+
+  // ── video path ─────────────────────────────────────────────────────
+  /// Anonymous video upload. Validates the cascaded hash chain against the
+  /// stored VP; on success the video enters the human-review queue and the
+  /// request is withdrawn from the board.
+  bool submit_video(const Id16& vp_id, const vp::RecordedVideo& video);
+
+  /// Videos awaiting human review (investigators pop from here).
+  [[nodiscard]] std::span<const Id16> review_queue() const noexcept { return review_; }
+
+  /// Human review verdict. Approval posts 'request for reward' worth
+  /// `units` of virtual cash.
+  void conclude_review(const Id16& vp_id, bool approved, int units);
+
+  // ── reward path (Appendix A) ───────────────────────────────────────
+  /// Step 1: the owner proves ownership by revealing Q (R = H(Q)). On
+  /// success returns the cash amount n granted for this video.
+  [[nodiscard]] std::optional<int> begin_reward_claim(const Id16& vp_id,
+                                                      const vp::VpSecret& secret);
+
+  /// Step 3: blind-sign the claimant's batch. The claim must have begun
+  /// and the batch size must equal the granted amount.
+  [[nodiscard]] std::optional<std::vector<crypto::BigBytes>> sign_reward_batch(
+      const Id16& vp_id, std::span<const crypto::BigBytes> blinded);
+
+  [[nodiscard]] const crypto::RsaPublicKey& cash_public_key() const noexcept {
+    return bank_.public_key();
+  }
+  [[nodiscard]] reward::Bank& bank() noexcept { return bank_; }
+
+ private:
+  ServiceConfig cfg_;
+  anonet::AnonymousChannel channel_;
+  VpDatabase db_;
+  ViewmapBuilder builder_;
+  Verifier verifier_;
+  NoticeBoard board_;
+  reward::Bank bank_;
+  std::vector<Id16> review_;
+  std::unordered_map<Id16, int, Id16Hasher> granted_;  ///< open claims: id → n
+};
+
+}  // namespace viewmap::sys

@@ -1,0 +1,48 @@
+#include "system/solicitation.h"
+
+namespace viewmap::sys {
+
+void NoticeBoard::post(const Id16& vp_id, RequestKind kind) {
+  auto& e = entries_[vp_id];
+  (kind == RequestKind::kVideo ? e.video : e.reward) = true;
+}
+
+void NoticeBoard::withdraw(const Id16& vp_id, RequestKind kind) {
+  auto it = entries_.find(vp_id);
+  if (it == entries_.end()) return;
+  (kind == RequestKind::kVideo ? it->second.video : it->second.reward) = false;
+  if (!it->second.video && !it->second.reward) entries_.erase(it);
+}
+
+bool NoticeBoard::is_posted(const Id16& vp_id, RequestKind kind) const noexcept {
+  auto it = entries_.find(vp_id);
+  if (it == entries_.end()) return false;
+  return kind == RequestKind::kVideo ? it->second.video : it->second.reward;
+}
+
+std::vector<Id16> NoticeBoard::posted(RequestKind kind) const {
+  std::vector<Id16> out;
+  for (const auto& [id, e] : entries_)
+    if (kind == RequestKind::kVideo ? e.video : e.reward) out.push_back(id);
+  return out;
+}
+
+bool validate_solicited_video(const vp::ViewProfile& profile,
+                              const vp::RecordedVideo& video) {
+  const auto digests = profile.digests();
+  std::vector<crypto::ChainStepMeta> metas;
+  std::vector<Hash16> expected;
+  std::vector<std::uint64_t> offsets;
+  metas.reserve(digests.size());
+  expected.reserve(digests.size());
+  offsets.reserve(digests.size() + 1);
+  offsets.push_back(0);
+  for (const auto& vd : digests) {
+    metas.push_back(vd.chain_meta());
+    expected.push_back(vd.hash);
+    offsets.push_back(vd.file_size);  // F_i is cumulative ⇒ chunk i ends at F_i
+  }
+  return crypto::verify_chain(profile.vp_id(), metas, expected, video.bytes, offsets);
+}
+
+}  // namespace viewmap::sys

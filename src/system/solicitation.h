@@ -1,0 +1,45 @@
+// Notice board for video solicitation and reward posting (§5.2.3, §5.3).
+//
+// Owners are unknown, so the system communicates with them by posting VP
+// identifiers: "request for video" after verification, "request for
+// reward" after human review. Users poll the board anonymously; a posted
+// R value matching a VP in their storage triggers an upload/claim. The
+// board never carries the investigation's location or time (§4: solicit
+// "without publicizing location/time of the investigation").
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/hash_chain.h"
+#include "vp/video.h"
+#include "vp/view_profile.h"
+
+namespace viewmap::sys {
+
+enum class RequestKind { kVideo, kReward };
+
+class NoticeBoard {
+ public:
+  void post(const Id16& vp_id, RequestKind kind);
+  void withdraw(const Id16& vp_id, RequestKind kind);
+  [[nodiscard]] bool is_posted(const Id16& vp_id, RequestKind kind) const noexcept;
+  [[nodiscard]] std::vector<Id16> posted(RequestKind kind) const;
+
+ private:
+  struct Entry {
+    bool video = false;
+    bool reward = false;
+  };
+  std::unordered_map<Id16, Entry, Id16Hasher> entries_;
+};
+
+/// §5.2.3 video validation: replay the cascaded hash chain of an uploaded
+/// video against the system-owned VP. The chunk boundaries come from the
+/// VP's own cumulative file-size fields, so a forged video must reproduce
+/// all sixty 128-bit hash values to pass.
+[[nodiscard]] bool validate_solicited_video(const vp::ViewProfile& profile,
+                                            const vp::RecordedVideo& video);
+
+}  // namespace viewmap::sys

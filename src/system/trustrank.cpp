@@ -1,0 +1,58 @@
+#include "system/trustrank.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace viewmap::sys {
+
+TrustRankResult trust_rank(std::span<const std::vector<std::uint32_t>> adjacency,
+                           std::span<const std::size_t> seeds,
+                           const TrustRankConfig& cfg) {
+  const std::size_t n = adjacency.size();
+  if (seeds.empty()) throw std::invalid_argument("trust_rank: no trust seeds");
+  if (cfg.damping <= 0.0 || cfg.damping >= 1.0)
+    throw std::invalid_argument("trust_rank: damping must be in (0,1)");
+
+  std::vector<double> d(n, 0.0);
+  const double seed_mass = 1.0 / static_cast<double>(seeds.size());
+  for (std::size_t s : seeds) d.at(s) = seed_mass;
+
+  TrustRankResult result;
+  result.scores = d;  // P initialized to d (Algorithm 1)
+  std::vector<double> next(n, 0.0);
+
+  for (int iter = 0; iter < cfg.max_iterations; ++iter) {
+    // next = δ·M·P + (1−δ)·d, with M[u][v] = 1/deg(v) along undirected
+    // edges: each VP pushes its score equally over its incident edges.
+    for (std::size_t u = 0; u < n; ++u) next[u] = (1.0 - cfg.damping) * d[u];
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto& nbrs = adjacency[v];
+      if (nbrs.empty()) continue;
+      const double share = cfg.damping * result.scores[v] / static_cast<double>(nbrs.size());
+      for (std::uint32_t u : nbrs) next[u] += share;
+    }
+
+    double delta = 0.0;
+    for (std::size_t u = 0; u < n; ++u) delta += std::abs(next[u] - result.scores[u]);
+    result.scores.swap(next);
+    result.iterations = iter + 1;
+    if (delta < cfg.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+TrustRankResult trust_rank(const Viewmap& map, const TrustRankConfig& cfg) {
+  std::vector<std::vector<std::uint32_t>> adjacency;
+  adjacency.reserve(map.size());
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    auto nbrs = map.neighbors(i);
+    adjacency.emplace_back(nbrs.begin(), nbrs.end());
+  }
+  const auto seeds = map.trusted_indices();
+  return trust_rank(adjacency, seeds, cfg);
+}
+
+}  // namespace viewmap::sys

@@ -1,0 +1,40 @@
+// TrustRank over viewmaps (paper §5.2.2, Algorithm 1).
+//
+// Trusted VPs act as trust seeds with the full initial probability mass;
+// power iteration  P ← δ·M·P + (1−δ)·d  propagates scores across
+// viewlinks, where M distributes a VP's score equally over its undirected
+// edges and δ = 0.8. Fake layers receive trust only through the few edges
+// attackers control, so their scores are bounded (Lemmas 1–2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "system/viewmap_graph.h"
+
+namespace viewmap::sys {
+
+struct TrustRankConfig {
+  double damping = 0.8;    ///< δ, empirically set in the paper
+  double tolerance = 1e-12;  ///< L1 convergence threshold
+  int max_iterations = 10'000;
+};
+
+struct TrustRankResult {
+  std::vector<double> scores;  ///< P, indexed by viewmap member
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Runs TrustRank on an explicit adjacency structure. `seeds` receive the
+/// uniform (1−δ) reinjection mass; they must be non-empty.
+[[nodiscard]] TrustRankResult trust_rank(
+    std::span<const std::vector<std::uint32_t>> adjacency,
+    std::span<const std::size_t> seeds, const TrustRankConfig& cfg = {});
+
+/// Convenience overload seeded at the viewmap's trusted members.
+[[nodiscard]] TrustRankResult trust_rank(const Viewmap& map,
+                                         const TrustRankConfig& cfg = {});
+
+}  // namespace viewmap::sys

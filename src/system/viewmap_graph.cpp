@@ -1,0 +1,165 @@
+#include "system/viewmap_graph.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+namespace viewmap::sys {
+
+Viewmap::Viewmap(std::vector<const vp::ViewProfile*> members, std::vector<bool> trusted,
+                 std::vector<std::vector<std::uint32_t>> adjacency, TimeSec unit_time,
+                 geo::Rect coverage)
+    : members_(std::move(members)),
+      trusted_(std::move(trusted)),
+      adjacency_(std::move(adjacency)),
+      unit_time_(unit_time),
+      coverage_(coverage) {
+  if (members_.size() != trusted_.size() || members_.size() != adjacency_.size())
+    throw std::invalid_argument("Viewmap: inconsistent member arrays");
+}
+
+std::size_t Viewmap::edge_count() const noexcept {
+  std::size_t degree_sum = 0;
+  for (const auto& n : adjacency_) degree_sum += n.size();
+  return degree_sum / 2;
+}
+
+std::vector<std::size_t> Viewmap::trusted_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < trusted_.size(); ++i)
+    if (trusted_[i]) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> Viewmap::members_visiting(const geo::Rect& site) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < members_.size(); ++i)
+    if (members_[i]->visits(site)) out.push_back(i);
+  return out;
+}
+
+std::size_t Viewmap::isolated_from_trusted() const {
+  // BFS from all trusted members simultaneously.
+  std::vector<bool> reached(members_.size(), false);
+  std::vector<std::size_t> frontier = trusted_indices();
+  for (std::size_t i : frontier) reached[i] = true;
+  while (!frontier.empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t u : frontier)
+      for (std::uint32_t v : adjacency_[u])
+        if (!reached[v]) {
+          reached[v] = true;
+          next.push_back(v);
+        }
+    frontier = std::move(next);
+  }
+  return static_cast<std::size_t>(
+      std::count(reached.begin(), reached.end(), false));
+}
+
+bool ViewmapBuilder::viewlinked(const vp::ViewProfile& a, const vp::ViewProfile& b) const {
+  if (a.vp_id() == b.vp_id()) return false;
+  if (!a.ever_within(b, cfg_.link_radius_m)) return false;
+  return a.heard(b) && b.heard(a);  // two-way membership validation
+}
+
+Viewmap ViewmapBuilder::build(const VpDatabase& db, const geo::Rect& site,
+                              TimeSec unit_time) const {
+  const auto trusted = db.trusted_at(unit_time);
+  if (trusted.empty())
+    throw std::runtime_error("ViewmapBuilder: no trusted VP for this unit-time");
+
+  // Trusted VP closest to the investigation site (§5.2.1). Trusted cars
+  // are rarely at the site itself; the coverage area bridges the gap.
+  const geo::Vec2 site_center = site.center();
+  const vp::ViewProfile* seed = nullptr;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto* t : trusted) {
+    for (int s = 0; s < kDigestsPerProfile; ++s) {
+      const double d = geo::distance(t->location_at(s), site_center);
+      if (d < best) {
+        best = d;
+        seed = t;
+      }
+    }
+  }
+
+  // Coverage C: bounding box of the site and the seed's trajectory.
+  geo::Rect cover = site;
+  for (int s = 0; s < kDigestsPerProfile; ++s) {
+    const geo::Vec2 p = seed->location_at(s);
+    cover.min.x = std::min(cover.min.x, p.x);
+    cover.min.y = std::min(cover.min.y, p.y);
+    cover.max.x = std::max(cover.max.x, p.x);
+    cover.max.y = std::max(cover.max.y, p.y);
+  }
+  cover = cover.inflated(cfg_.coverage_margin_m);
+
+  auto members = db.query(unit_time, cover);
+  std::vector<bool> trusted_flags(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i)
+    trusted_flags[i] = db.is_trusted(members[i]->vp_id());
+
+  return build_from_members(std::move(members), std::move(trusted_flags), unit_time,
+                            cover);
+}
+
+Viewmap ViewmapBuilder::build_from_members(std::vector<const vp::ViewProfile*> members,
+                                           std::vector<bool> trusted, TimeSec unit_time,
+                                           const geo::Rect& coverage) const {
+  const std::size_t n = members.size();
+  std::vector<std::vector<std::uint32_t>> adj(n);
+
+  // Spatial prefilter: trajectory bounding boxes inflated by the link
+  // radius must overlap before the quadratic pair test runs.
+  std::vector<geo::Rect> boxes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    geo::Rect box{members[i]->location_at(0), members[i]->location_at(0)};
+    for (int s = 1; s < kDigestsPerProfile; ++s) {
+      const geo::Vec2 p = members[i]->location_at(s);
+      box.min.x = std::min(box.min.x, p.x);
+      box.min.y = std::min(box.min.y, p.y);
+      box.max.x = std::max(box.max.x, p.x);
+      box.max.y = std::max(box.max.y, p.y);
+    }
+    boxes[i] = box.inflated(cfg_.link_radius_m / 2.0);
+  }
+  auto boxes_overlap = [](const geo::Rect& a, const geo::Rect& b) {
+    return a.min.x <= b.max.x && b.min.x <= a.max.x && a.min.y <= b.max.y &&
+           b.min.y <= a.max.y;
+  };
+
+  // Bloom probes per member VD, hashed once. The pairwise membership test
+  // then reduces to bit lookups — this is what keeps city-scale viewmap
+  // construction subsecond.
+  using Probe = std::array<std::size_t, static_cast<std::size_t>(vp::kBloomHashes)>;
+  std::vector<std::array<Probe, static_cast<std::size_t>(kDigestsPerProfile)>> probes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto digests = members[i]->digests();
+    for (std::size_t s = 0; s < digests.size(); ++s)
+      bloom::BloomFilter::probe_positions(digests[s].serialize(), vp::kBloomBits,
+                                          vp::kBloomHashes, probes[i][s]);
+  }
+  auto heard = [&](std::size_t listener, std::size_t speaker) {
+    const auto& filter = members[listener]->neighbor_bloom();
+    for (const Probe& p : probes[speaker])
+      if (filter.test_positions(p)) return true;
+    return false;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!boxes_overlap(boxes[i], boxes[j])) continue;
+      if (!members[i]->ever_within(*members[j], cfg_.link_radius_m)) continue;
+      if (heard(i, j) && heard(j, i)) {
+        adj[i].push_back(static_cast<std::uint32_t>(j));
+        adj[j].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  return Viewmap(std::move(members), std::move(trusted), std::move(adj), unit_time,
+                 coverage);
+}
+
+}  // namespace viewmap::sys

@@ -1,0 +1,94 @@
+// Viewmap construction (paper §5.2.1).
+//
+// A viewmap is the system's map of visibility around an incident for one
+// unit-time: nodes are VPs, edges ("viewlinks") join VPs that were
+// line-of-sight neighbors at some point in the minute. An edge requires
+// BOTH (i) time-aligned location proximity within DSRC radius and (ii) a
+// two-way Bloom membership pass — each VP's filter must recognize some VD
+// of the other. Two-way validation is what stops attackers from forging
+// edges to honest VPs they never actually met (§5.2.2 "Insights").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "geo/geometry.h"
+#include "system/vp_database.h"
+#include "vp/view_profile.h"
+
+namespace viewmap::sys {
+
+struct ViewmapConfig {
+  double link_radius_m = 400.0;  ///< DSRC radio radius (§5.1.2)
+  double coverage_margin_m = 200.0;  ///< slack added around site ∪ trusted VP
+};
+
+/// One constructed viewmap: member VPs with undirected adjacency.
+///
+/// Lifetime: a Viewmap *borrows* its member profiles from the VpDatabase
+/// (or member vector) it was built over — the database must outlive the
+/// viewmap. Moving a VpDatabase does not invalidate the borrow (node-based
+/// container), destroying it does.
+class Viewmap {
+ public:
+  Viewmap(std::vector<const vp::ViewProfile*> members, std::vector<bool> trusted,
+          std::vector<std::vector<std::uint32_t>> adjacency, TimeSec unit_time,
+          geo::Rect coverage);
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] const vp::ViewProfile& member(std::size_t i) const { return *members_.at(i); }
+  [[nodiscard]] bool is_trusted(std::size_t i) const { return trusted_.at(i); }
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) const {
+    return adjacency_.at(i);
+  }
+  [[nodiscard]] TimeSec unit_time() const noexcept { return unit_time_; }
+  [[nodiscard]] const geo::Rect& coverage() const noexcept { return coverage_; }
+
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+  [[nodiscard]] std::vector<std::size_t> trusted_indices() const;
+
+  /// Indices of members with any claimed location inside `site` — the set
+  /// X of Algorithm 1.
+  [[nodiscard]] std::vector<std::size_t> members_visiting(const geo::Rect& site) const;
+
+  /// Count of members not connected to any trusted VP's component
+  /// (the "<3% isolated VPs" statistic of Fig. 22f).
+  [[nodiscard]] std::size_t isolated_from_trusted() const;
+
+ private:
+  std::vector<const vp::ViewProfile*> members_;
+  std::vector<bool> trusted_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  TimeSec unit_time_;
+  geo::Rect coverage_;
+};
+
+class ViewmapBuilder {
+ public:
+  explicit ViewmapBuilder(ViewmapConfig cfg = {}) : cfg_(cfg) {}
+
+  /// §5.2.1 procedure: choose the trusted VP closest to `site` at
+  /// `unit_time`, span the coverage area over site ∪ that VP's trajectory,
+  /// pull in every VP claiming locations inside, and create viewlinks.
+  /// Throws std::runtime_error if the database holds no trusted VP for
+  /// that minute (a viewmap without a trust seed cannot be verified).
+  [[nodiscard]] Viewmap build(const VpDatabase& db, const geo::Rect& site,
+                              TimeSec unit_time) const;
+
+  /// Lower-level entry: build a viewmap over an explicit member set
+  /// (evaluation harnesses inject synthetic/fake VPs this way).
+  [[nodiscard]] Viewmap build_from_members(std::vector<const vp::ViewProfile*> members,
+                                           std::vector<bool> trusted, TimeSec unit_time,
+                                           const geo::Rect& coverage) const;
+
+  /// The §5.2.1 edge predicate, exposed for tests: two-way Bloom pass and
+  /// time-aligned proximity.
+  [[nodiscard]] bool viewlinked(const vp::ViewProfile& a, const vp::ViewProfile& b) const;
+
+ private:
+  ViewmapConfig cfg_;
+};
+
+}  // namespace viewmap::sys

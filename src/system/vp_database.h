@@ -1,0 +1,62 @@
+// The system's View Profile database (paper §4).
+//
+// Stores anonymously uploaded VPs (actual and guard VPs are
+// indistinguishable and treated identically — §5.2.1 fn.4) plus trusted
+// VPs from authority vehicles. Uploads pass a structural well-formedness
+// screen; nothing about the uploader is retained.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "geo/geometry.h"
+#include "vp/view_profile.h"
+
+namespace viewmap::sys {
+
+class VpDatabase {
+ public:
+  explicit VpDatabase(vp::VpUploadPolicy policy = {}) : policy_(policy) {}
+
+  /// Screens and stores an anonymous VP. Returns false when the VP is
+  /// malformed or its identifier collides with an existing entry.
+  bool upload(vp::ViewProfile profile);
+
+  /// Registers a trusted VP (police car etc.). Trusted uploads arrive over
+  /// an authenticated channel, so no anonymity screen — but the same
+  /// structural rules apply.
+  bool upload_trusted(vp::ViewProfile profile);
+
+  [[nodiscard]] const vp::ViewProfile* find(const Id16& vp_id) const noexcept;
+  [[nodiscard]] bool is_trusted(const Id16& vp_id) const noexcept;
+
+  /// All VPs covering unit-time `t` with any claimed location inside
+  /// `area`. Trusted VPs included.
+  [[nodiscard]] std::vector<const vp::ViewProfile*> query(TimeSec unit_time,
+                                                          const geo::Rect& area) const;
+
+  /// All trusted VPs covering unit-time `t`.
+  [[nodiscard]] std::vector<const vp::ViewProfile*> trusted_at(TimeSec unit_time) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return profiles_.size(); }
+  [[nodiscard]] std::size_t trusted_count() const noexcept { return trusted_.size(); }
+
+  /// Every stored VP (evaluation harnesses iterate the whole dataset, e.g.
+  /// the §6.2.2 tracking analysis runs against the raw database).
+  [[nodiscard]] std::vector<const vp::ViewProfile*> all() const;
+
+  /// Identifiers of all trusted VPs (persistence and audit tooling).
+  [[nodiscard]] std::vector<Id16> trusted_ids() const;
+
+ private:
+  bool insert(vp::ViewProfile profile, bool trusted);
+
+  vp::VpUploadPolicy policy_;
+  std::unordered_map<Id16, vp::ViewProfile, Id16Hasher> profiles_;
+  std::unordered_map<Id16, bool, Id16Hasher> trusted_;  // set semantics
+};
+
+}  // namespace viewmap::sys

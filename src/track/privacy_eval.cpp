@@ -1,0 +1,79 @@
+#include "track/privacy_eval.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace viewmap::track {
+
+std::vector<std::vector<VpObservation>> observations_by_minute(
+    const sim::SimResult& result, bool include_guards) {
+  std::map<TimeSec, std::vector<VpObservation>> by_minute;
+  for (const auto& rec : result.profiles) {
+    if (rec.guard && !include_guards) continue;
+    VpObservation obs;
+    obs.vp_id = rec.profile.vp_id();
+    obs.unit_time = rec.profile.unit_time();
+    obs.start = rec.profile.first_location();
+    obs.end = rec.profile.last_location();
+    by_minute[obs.unit_time].push_back(obs);
+  }
+  std::vector<std::vector<VpObservation>> out;
+  out.reserve(by_minute.size());
+  for (auto& [unit, vec] : by_minute) out.push_back(std::move(vec));
+  return out;
+}
+
+PrivacyCurves evaluate_privacy(const sim::SimResult& result, bool include_guards,
+                               const TrackerConfig& cfg) {
+  const auto per_minute = observations_by_minute(result, include_guards);
+  if (per_minute.size() < 2)
+    throw std::invalid_argument("evaluate_privacy: need at least two minutes");
+
+  // Ground-truth chain per vehicle: its actual (non-guard) VP ids, in
+  // minute order.
+  std::unordered_map<VehicleId, std::vector<Id16>> chains;
+  {
+    std::map<std::pair<TimeSec, VehicleId>, Id16> actual;
+    for (const auto& rec : result.profiles)
+      if (!rec.guard)
+        actual[{rec.profile.unit_time(), rec.creator}] = rec.profile.vp_id();
+    for (const auto& [key, id] : actual) chains[key.second].push_back(id);
+  }
+
+  const std::size_t minutes = per_minute.size();
+  std::vector<double> entropy_sum(minutes - 1, 0.0);
+  std::vector<double> success_sum(minutes - 1, 0.0);
+  std::size_t targets = 0;
+
+  Tracker tracker(cfg);
+  for (const auto& [vehicle, chain] : chains) {
+    if (chain.size() != minutes) continue;  // incomplete trace
+    // Locate the target's first VP in minute 0.
+    const auto& first = per_minute.front();
+    auto it = std::find_if(first.begin(), first.end(), [&](const VpObservation& o) {
+      return o.vp_id == chain.front();
+    });
+    if (it == first.end()) continue;
+    const auto start_index = static_cast<std::size_t>(it - first.begin());
+
+    const TrackTrace trace = tracker.follow(per_minute, start_index, chain);
+    for (std::size_t t = 0; t < trace.entropy_bits.size(); ++t) {
+      entropy_sum[t] += trace.entropy_bits[t];
+      success_sum[t] += trace.success_ratio[t];
+    }
+    ++targets;
+  }
+  if (targets == 0) throw std::runtime_error("evaluate_privacy: no complete targets");
+
+  PrivacyCurves curves;
+  for (std::size_t t = 0; t < minutes - 1; ++t) {
+    curves.minutes.push_back(static_cast<double>(t + 1));
+    curves.mean_entropy.push_back(entropy_sum[t] / static_cast<double>(targets));
+    curves.mean_success.push_back(success_sum[t] / static_cast<double>(targets));
+  }
+  return curves;
+}
+
+}  // namespace viewmap::track

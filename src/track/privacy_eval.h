@@ -1,0 +1,32 @@
+// Privacy evaluation harness: simulator output → Fig. 10/11/22a/22b curves.
+//
+// Converts a SimResult's VP set (actual + guard VPs — exactly what the
+// system's database contains) into tracker observations, runs the §6.2.2
+// adversary against every vehicle, and averages entropy / success over
+// targets per minute of tracking.
+#pragma once
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "track/tracker.h"
+
+namespace viewmap::track {
+
+struct PrivacyCurves {
+  std::vector<double> minutes;        ///< x-axis: 1..T-1
+  std::vector<double> mean_entropy;   ///< bits
+  std::vector<double> mean_success;   ///< tracking success ratio
+};
+
+/// Groups profiles by minute into tracker observations.
+/// `include_guards` toggles the no-guard baseline of Figs. 10/11/22.
+[[nodiscard]] std::vector<std::vector<VpObservation>> observations_by_minute(
+    const sim::SimResult& result, bool include_guards);
+
+/// Runs the tracker against every vehicle and averages the curves.
+[[nodiscard]] PrivacyCurves evaluate_privacy(const sim::SimResult& result,
+                                             bool include_guards,
+                                             const TrackerConfig& cfg = {});
+
+}  // namespace viewmap::track

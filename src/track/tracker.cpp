@@ -1,0 +1,74 @@
+#include "track/tracker.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace viewmap::track {
+
+TrackTrace Tracker::follow(const std::vector<std::vector<VpObservation>>& per_minute,
+                           std::size_t start_index,
+                           const std::vector<Id16>& truth_chain) const {
+  if (per_minute.empty()) return {};
+  if (truth_chain.size() != per_minute.size())
+    throw std::invalid_argument("Tracker: truth chain length mismatch");
+  if (start_index >= per_minute.front().size())
+    throw std::invalid_argument("Tracker: bad start index");
+
+  TrackTrace trace;
+  // Belief over minute-0 VPs: certainty on the start (strong adversary).
+  std::vector<double> belief(per_minute.front().size(), 0.0);
+  belief[start_index] = 1.0;
+
+  const double inv_two_sigma2 = 1.0 / (2.0 * cfg_.sigma_m * cfg_.sigma_m);
+  const double gate2 = cfg_.gate_m * cfg_.gate_m;
+
+  for (std::size_t t = 1; t < per_minute.size(); ++t) {
+    const auto& prev = per_minute[t - 1];
+    const auto& cur = per_minute[t];
+    std::vector<double> next(cur.size(), 0.0);
+
+    for (std::size_t j = 0; j < prev.size(); ++j) {
+      if (belief[j] <= 0.0) continue;
+      // Prediction: the next VP starts where the believed VP ended
+      // (recording is continuous, so the gap is ≤ 1 s of travel).
+      const geo::Vec2 predicted = prev[j].end;
+      double weight_sum = 0.0;
+      // Two passes: accumulate unnormalized transition weights, then
+      // distribute this parent's belief proportionally.
+      std::vector<std::pair<std::size_t, double>> weights;
+      for (std::size_t i = 0; i < cur.size(); ++i) {
+        const double d2 = (cur[i].start - predicted).norm2();
+        if (d2 > gate2) continue;
+        const double w = std::exp(-d2 * inv_two_sigma2);
+        weights.emplace_back(i, w);
+        weight_sum += w;
+      }
+      if (weight_sum <= 0.0) continue;  // belief dies with this parent
+      for (const auto& [i, w] : weights) next[i] += belief[j] * w / weight_sum;
+    }
+
+    // Renormalize (dead parents lose mass; the tracker conditions on the
+    // target still being somewhere in the dataset).
+    double total = 0.0;
+    for (double p : next) total += p;
+    if (total > 0.0)
+      for (double& p : next) p /= total;
+
+    trace.entropy_bits.push_back(entropy_bits(next));
+
+    double success = 0.0;
+    for (std::size_t i = 0; i < cur.size(); ++i)
+      if (cur[i].vp_id == truth_chain[t]) {
+        success = next[i];
+        break;
+      }
+    trace.success_ratio.push_back(success);
+
+    belief = std::move(next);
+  }
+  return trace;
+}
+
+}  // namespace viewmap::track

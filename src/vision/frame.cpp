@@ -1,0 +1,115 @@
+#include "vision/frame.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace viewmap::vision {
+
+double PixelRect::iou(const PixelRect& other) const noexcept {
+  const int ix = std::max(x, other.x);
+  const int iy = std::max(y, other.y);
+  const int ix2 = std::min(x + w, other.x + other.w);
+  const int iy2 = std::min(y + h, other.y + other.h);
+  const int iw = std::max(0, ix2 - ix);
+  const int ih = std::max(0, iy2 - iy);
+  const double inter = static_cast<double>(iw) * ih;
+  const double uni = static_cast<double>(area()) + other.area() - inter;
+  return uni > 0 ? inter / uni : 0.0;
+}
+
+Frame::Frame(int width, int height) : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) throw std::invalid_argument("Frame: bad dimensions");
+  data_.assign(3u * static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 0);
+}
+
+double Frame::luminance(int x, int y) const noexcept {
+  const std::uint8_t* p = pixel(x, y);
+  return 0.299 * p[0] + 0.587 * p[1] + 0.114 * p[2];
+}
+
+namespace {
+
+void fill_rect(Frame& f, const PixelRect& r, std::uint8_t red, std::uint8_t green,
+               std::uint8_t blue) {
+  const int x2 = std::min(r.x + r.w, f.width());
+  const int y2 = std::min(r.y + r.h, f.height());
+  for (int y = std::max(0, r.y); y < y2; ++y) {
+    for (int x = std::max(0, r.x); x < x2; ++x) {
+      std::uint8_t* p = f.pixel(x, y);
+      p[0] = red;
+      p[1] = green;
+      p[2] = blue;
+    }
+  }
+}
+
+/// Paints one license plate: bright background with dark vertical glyph
+/// strokes — the high-frequency horizontal contrast a localizer keys on.
+void paint_plate(Frame& f, const PixelRect& r, Rng& rng) {
+  fill_rect(f, r, 235, 235, 225);
+  const int stroke_w = std::max(2, r.w / 14);
+  for (int gx = r.x + stroke_w; gx + stroke_w < r.x + r.w; gx += 2 * stroke_w) {
+    const int inset = r.h / 5;
+    PixelRect stroke{gx, r.y + inset, stroke_w, r.h - 2 * inset};
+    // Slight per-glyph brightness variation, as printed characters have.
+    const auto shade = static_cast<std::uint8_t>(20 + rng.uniform_int(0, 30));
+    fill_rect(f, stroke, shade, shade, shade);
+  }
+}
+
+}  // namespace
+
+SyntheticScene make_scene(const SceneConfig& cfg, Rng& rng) {
+  SyntheticScene scene{Frame(cfg.width, cfg.height), {}};
+  Frame& f = scene.frame;
+
+  // Road scene base: sky gradient on top, asphalt below, speckle noise.
+  const int horizon = cfg.height * 2 / 5;
+  for (int y = 0; y < cfg.height; ++y) {
+    for (int x = 0; x < cfg.width; ++x) {
+      std::uint8_t* p = f.pixel(x, y);
+      if (y < horizon) {
+        p[0] = static_cast<std::uint8_t>(140 + 40 * y / horizon);
+        p[1] = static_cast<std::uint8_t>(160 + 30 * y / horizon);
+        p[2] = 210;
+      } else {
+        const auto shade = static_cast<std::uint8_t>(70 + rng.uniform_int(-8, 8));
+        p[0] = p[1] = p[2] = shade;
+      }
+    }
+  }
+
+  // Vehicle bodies with plates mounted low and centered. Bodies must not
+  // overpaint previously placed vehicles (their plates would vanish).
+  std::vector<PixelRect> bodies;
+  for (int i = 0; i < cfg.plate_count; ++i) {
+    const int pw = static_cast<int>(rng.uniform_int(cfg.plate_width_min, cfg.plate_width_max));
+    const int ph = std::max(10, pw / 4);  // plate aspect ≈ 4:1
+    const int body_w = pw * 2;
+    const int body_h = std::max(3 * ph, pw);
+
+    PixelRect body;
+    bool placed = false;
+    for (int attempt = 0; attempt < 40 && !placed; ++attempt) {
+      body = {static_cast<int>(rng.uniform_int(0, std::max(1, cfg.width - body_w))),
+              horizon + static_cast<int>(rng.uniform_int(
+                            0, std::max(1, cfg.height - horizon - body_h))),
+              body_w, body_h};
+      placed = true;
+      for (const auto& other : bodies) placed = placed && body.iou(other) == 0.0;
+    }
+    if (!placed) continue;  // crowded frame: fewer vehicles than asked
+    bodies.push_back(body);
+
+    const auto tint = static_cast<std::uint8_t>(rng.uniform_int(90, 180));
+    fill_rect(f, body, tint, static_cast<std::uint8_t>(tint / 2),
+              static_cast<std::uint8_t>(tint / 3));
+
+    PixelRect plate{body.x + body_w / 2 - pw / 2, body.y + body_h - ph * 2, pw, ph};
+    paint_plate(f, plate, rng);
+    scene.plates.push_back(plate);
+  }
+  return scene;
+}
+
+}  // namespace viewmap::vision

@@ -1,0 +1,76 @@
+// Video frames and the synthetic street-scene generator.
+//
+// Substitute for the Raspberry Pi camera module + OpenCV of §6.2.1. Frames
+// are 8-bit RGB; the generator composes a noisy road scene with
+// high-contrast license-plate regions at known ground-truth positions, so
+// localization quality is measurable without real imagery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace viewmap::vision {
+
+struct PixelRect {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  [[nodiscard]] int area() const noexcept { return w * h; }
+  [[nodiscard]] double aspect() const noexcept {
+    return h > 0 ? static_cast<double>(w) / h : 0.0;
+  }
+  /// Intersection-over-union with another rectangle (detection matching).
+  [[nodiscard]] double iou(const PixelRect& other) const noexcept;
+
+  friend bool operator==(const PixelRect&, const PixelRect&) = default;
+};
+
+class Frame {
+ public:
+  Frame(int width, int height);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+  [[nodiscard]] std::uint8_t* pixel(int x, int y) noexcept {
+    return data_.data() + 3 * (static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) + static_cast<std::size_t>(x));
+  }
+  [[nodiscard]] const std::uint8_t* pixel(int x, int y) const noexcept {
+    return data_.data() + 3 * (static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) + static_cast<std::size_t>(x));
+  }
+
+  /// Luminance (0..255) of one pixel, ITU-R BT.601 weights.
+  [[nodiscard]] double luminance(int x, int y) const noexcept;
+
+  [[nodiscard]] std::vector<std::uint8_t>& data() noexcept { return data_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return data_; }
+
+ private:
+  int width_;
+  int height_;
+  std::vector<std::uint8_t> data_;  // RGB8, row-major
+};
+
+/// A generated scene and its ground truth.
+struct SyntheticScene {
+  Frame frame;
+  std::vector<PixelRect> plates;  ///< true plate regions
+};
+
+struct SceneConfig {
+  int width = 640;
+  int height = 480;
+  int plate_count = 2;
+  int plate_width_min = 60;   ///< pixels; Korean plates are wide (≈2:1..5:1)
+  int plate_width_max = 140;
+};
+
+/// Renders a synthetic dashcam frame: dark asphalt gradient, background
+/// clutter, vehicle bodies, and bright plates with dark glyph strokes.
+[[nodiscard]] SyntheticScene make_scene(const SceneConfig& cfg, Rng& rng);
+
+}  // namespace viewmap::vision

@@ -1,0 +1,54 @@
+#include "vision/pipeline.h"
+
+#include <chrono>
+
+namespace viewmap::vision {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+}  // namespace
+
+std::vector<PixelRect> BlurPipeline::process(const Frame& camera_frame,
+                                             StageTimings& timings) {
+  // Stage 1 — capture I/O: copy out of the "camera buffer".
+  auto t0 = Clock::now();
+  Frame working = camera_frame;
+  timings.capture_ms += ms_since(t0);
+
+  // Stage 2 — localize + blur.
+  t0 = Clock::now();
+  auto plates = localizer_.locate(working);
+  for (const auto& r : plates) blur_region(working, r);
+  timings.blur_ms += ms_since(t0);
+
+  // Stage 3 — write I/O: copy into the "video file".
+  t0 = Clock::now();
+  output_.clear();
+  output_.push_back(std::move(working));
+  timings.write_ms += ms_since(t0);
+
+  return plates;
+}
+
+StageTimings measure_pipeline(int frames, const SceneConfig& scene_cfg,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  BlurPipeline pipeline;
+  StageTimings total;
+  for (int i = 0; i < frames; ++i) {
+    auto scene = make_scene(scene_cfg, rng);
+    (void)pipeline.process(scene.frame, total);
+  }
+  if (frames > 0) {
+    total.capture_ms /= frames;
+    total.blur_ms /= frames;
+    total.write_ms /= frames;
+  }
+  return total;
+}
+
+}  // namespace viewmap::vision

@@ -1,0 +1,53 @@
+// Realtime blurring pipeline with per-stage timing (paper Table 1).
+//
+// Stages mirror §6.2.1: (i) take the frame from the camera (I/O), (ii)
+// localize plate regions and blur them (Blur), (iii) write the blurred
+// frame to the video file (I/O). Table 1 reports Blur time, I/O time, and
+// the resulting frame rate per platform; this harness measures the same
+// stages on the host, with frame copies standing in for camera/file I/O.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vision/frame.h"
+#include "vision/plate_blur.h"
+
+namespace viewmap::vision {
+
+struct StageTimings {
+  double capture_ms = 0.0;  ///< camera read (I/O)
+  double blur_ms = 0.0;     ///< localize + blur
+  double write_ms = 0.0;    ///< file write (I/O)
+
+  [[nodiscard]] double io_ms() const noexcept { return capture_ms + write_ms; }
+  [[nodiscard]] double total_ms() const noexcept { return capture_ms + blur_ms + write_ms; }
+  /// Sustainable frame rate if stages run back-to-back on one core.
+  [[nodiscard]] double fps() const noexcept {
+    return total_ms() > 0 ? 1000.0 / total_ms() : 0.0;
+  }
+};
+
+class BlurPipeline {
+ public:
+  explicit BlurPipeline(LocalizerConfig cfg = {}) : localizer_(cfg) {}
+
+  /// Processes one frame end to end, returning the blurred frame's plate
+  /// detections and accumulating stage timings into `timings`.
+  std::vector<PixelRect> process(const Frame& camera_frame, StageTimings& timings);
+
+  /// The most recently written (blurred) frame.
+  [[nodiscard]] const Frame* last_output() const noexcept {
+    return output_.empty() ? nullptr : &output_.back();
+  }
+
+ private:
+  PlateLocalizer localizer_;
+  std::vector<Frame> output_;  ///< "video file" sink, capped to last frame
+};
+
+/// Average stage timings over `frames` synthetic frames.
+[[nodiscard]] StageTimings measure_pipeline(int frames, const SceneConfig& scene_cfg,
+                                            std::uint64_t seed);
+
+}  // namespace viewmap::vision

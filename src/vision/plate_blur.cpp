@@ -1,0 +1,186 @@
+#include "vision/plate_blur.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace viewmap::vision {
+
+namespace {
+
+/// Integral image over horizontal-gradient magnitude of luminance.
+class GradientIntegral {
+ public:
+  explicit GradientIntegral(const Frame& f)
+      : w_(f.width()), h_(f.height()), sum_((static_cast<std::size_t>(w_) + 1) * (static_cast<std::size_t>(h_) + 1), 0.0) {
+    for (int y = 0; y < h_; ++y) {
+      double row = 0.0;
+      for (int x = 0; x < w_; ++x) {
+        const double g =
+            x + 1 < w_ ? std::abs(f.luminance(x + 1, y) - f.luminance(x, y)) : 0.0;
+        row += g;
+        at(x + 1, y + 1) = at(x + 1, y) + row;
+      }
+    }
+  }
+
+  /// Sum of gradient energy over [x, x+w) × [y, y+h).
+  [[nodiscard]] double box(int x, int y, int w, int h) const noexcept {
+    return at(x + w, y + h) - at(x, y + h) - at(x + w, y) + at(x, y);
+  }
+
+ private:
+  double& at(int x, int y) noexcept {
+    return sum_[static_cast<std::size_t>(y) * (static_cast<std::size_t>(w_) + 1) + static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] const double& at(int x, int y) const noexcept {
+    return sum_[static_cast<std::size_t>(y) * (static_cast<std::size_t>(w_) + 1) + static_cast<std::size_t>(x)];
+  }
+
+  int w_;
+  int h_;
+  std::vector<double> sum_;
+};
+
+}  // namespace
+
+namespace {
+
+bool rects_touch(const PixelRect& a, const PixelRect& b, int slack) {
+  return a.x - slack < b.x + b.w && b.x - slack < a.x + a.w &&
+         a.y - slack < b.y + b.h && b.y - slack < a.y + a.h;
+}
+
+PixelRect union_rect(const PixelRect& a, const PixelRect& b) {
+  const int x0 = std::min(a.x, b.x);
+  const int y0 = std::min(a.y, b.y);
+  const int x1 = std::max(a.x + a.w, b.x + b.w);
+  const int y1 = std::max(a.y + a.h, b.y + b.h);
+  return {x0, y0, x1 - x0, y1 - y0};
+}
+
+}  // namespace
+
+std::vector<PixelRect> PlateLocalizer::locate(const Frame& frame) const {
+  const GradientIntegral grad(frame);
+
+  // Pass 1 — dense probe windows: small plate-fragment-sized windows with
+  // high horizontal-gradient energy mark glyph rows.
+  const int probe_w = 20;
+  const int probe_h = 10;
+  const int stride = 5;
+  std::vector<PixelRect> hits;
+  for (int y = 0; y + probe_h <= frame.height(); y += stride) {
+    for (int x = 0; x + probe_w <= frame.width(); x += stride) {
+      const double mean_energy =
+          grad.box(x, y, probe_w, probe_h) / (static_cast<double>(probe_w) * probe_h);
+      if (mean_energy >= cfg_.energy_threshold)
+        hits.push_back({x, y, probe_w, probe_h});
+    }
+  }
+
+  // Pass 2 — cluster adjacent hits into candidate regions (glyph rows are
+  // contiguous, so touching probes belong to one plate).
+  std::vector<PixelRect> clusters;
+  for (const auto& hit : hits) {
+    bool merged = false;
+    for (auto& cluster : clusters) {
+      if (rects_touch(cluster, hit, /*slack=*/stride)) {
+        cluster = union_rect(cluster, hit);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) clusters.push_back(hit);
+  }
+  // Merging is order dependent; a second consolidation pass fixes chains.
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    for (std::size_t j = i + 1; j < clusters.size();) {
+      if (rects_touch(clusters[i], clusters[j], stride)) {
+        clusters[i] = union_rect(clusters[i], clusters[j]);
+        clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(j));
+        j = i + 1;  // restart: the grown cluster may now touch earlier ones
+      } else {
+        ++j;
+      }
+    }
+  }
+
+  // Pass 3 — the paper's "various parameters (e.g., area, aspect ratio)".
+  std::vector<PixelRect> plates;
+  for (const auto& c : clusters) {
+    if (c.w < cfg_.min_width || c.w > cfg_.max_width) continue;
+    const double aspect = c.aspect();
+    if (aspect < cfg_.min_aspect || aspect > cfg_.max_aspect) continue;
+    plates.push_back(c);
+  }
+  return plates;
+}
+
+void blur_region(Frame& frame, const PixelRect& region, int radius) {
+  if (radius <= 0) radius = std::max(3, std::min(region.w, region.h) / 3);
+  const int x0 = std::max(0, region.x);
+  const int y0 = std::max(0, region.y);
+  const int x1 = std::min(frame.width(), region.x + region.w);
+  const int y1 = std::min(frame.height(), region.y + region.h);
+  if (x0 >= x1 || y0 >= y1) return;
+
+  // Two-pass separable box blur over the region (reads clamp to the
+  // region so plate pixels never escape the blur).
+  const int rw = x1 - x0;
+  const int rh = y1 - y0;
+  std::vector<std::uint8_t> tmp(3u * static_cast<std::size_t>(rw) * static_cast<std::size_t>(rh));
+
+  // Horizontal pass → tmp.
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      int acc[3] = {0, 0, 0};
+      int count = 0;
+      for (int dx = -radius; dx <= radius; ++dx) {
+        const int sx = std::clamp(x + dx, x0, x1 - 1);
+        const std::uint8_t* p = frame.pixel(sx, y);
+        acc[0] += p[0];
+        acc[1] += p[1];
+        acc[2] += p[2];
+        ++count;
+      }
+      std::uint8_t* t = tmp.data() + 3 * (static_cast<std::size_t>(y - y0) * static_cast<std::size_t>(rw) + static_cast<std::size_t>(x - x0));
+      for (int c = 0; c < 3; ++c) t[c] = static_cast<std::uint8_t>(acc[c] / count);
+    }
+  }
+  // Vertical pass → frame.
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      int acc[3] = {0, 0, 0};
+      int count = 0;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        const int sy = std::clamp(y + dy, y0, y1 - 1);
+        const std::uint8_t* t = tmp.data() + 3 * (static_cast<std::size_t>(sy - y0) * static_cast<std::size_t>(rw) + static_cast<std::size_t>(x - x0));
+        acc[0] += t[0];
+        acc[1] += t[1];
+        acc[2] += t[2];
+        ++count;
+      }
+      std::uint8_t* p = frame.pixel(x, y);
+      for (int c = 0; c < 3; ++c) p[c] = static_cast<std::uint8_t>(acc[c] / count);
+    }
+  }
+}
+
+DetectionQuality evaluate_detections(const std::vector<PixelRect>& detections,
+                                     const std::vector<PixelRect>& truths,
+                                     double min_iou) {
+  DetectionQuality q;
+  q.truths = truths.size();
+  q.detections = detections.size();
+  for (const auto& t : truths) {
+    for (const auto& d : detections) {
+      if (d.iou(t) >= min_iou) {
+        ++q.covered;
+        break;
+      }
+    }
+  }
+  return q;
+}
+
+}  // namespace viewmap::vision

@@ -1,0 +1,61 @@
+// License plate localization and blurring (paper §6.2.1).
+//
+// The paper's pipeline localizes plate regions "via various parameters
+// (e.g., area, aspect ratio)" — the localization stage of standard ALPR —
+// and box-blurs them in the recording path, so no unblurred frame is ever
+// written (realtime anonymization also forecloses posterior fabrication).
+//
+// Localizer: horizontal-gradient energy (plates are dense vertical-stroke
+// glyph rows) box-summed with an integral image; candidate windows are
+// thresholded, greedily non-max-suppressed, then filtered by area and
+// aspect ratio.
+#pragma once
+
+#include <vector>
+
+#include "vision/frame.h"
+
+namespace viewmap::vision {
+
+struct LocalizerConfig {
+  int min_width = 40;       ///< candidate window bounds (pixels)
+  int max_width = 170;
+  double min_aspect = 2.0;  ///< plate width/height range
+  double max_aspect = 6.5;
+  double energy_threshold = 18.0;  ///< mean |∂x luminance| inside the window
+  double nms_iou = 0.2;     ///< suppress overlapping candidates above this
+};
+
+class PlateLocalizer {
+ public:
+  explicit PlateLocalizer(LocalizerConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] std::vector<PixelRect> locate(const Frame& frame) const;
+
+ private:
+  LocalizerConfig cfg_;
+};
+
+/// In-place box blur of one region, edge-clamped. `radius` ≤ 0 picks an
+/// adaptive kernel (≈ region height / 3) large enough to merge adjacent
+/// glyph strokes — a fixed small kernel merely softens characters, which
+/// is not anonymization.
+void blur_region(Frame& frame, const PixelRect& region, int radius = 0);
+
+/// Detection quality against ground truth: a truth plate counts as covered
+/// when some detection overlaps it with IoU ≥ `min_iou`.
+struct DetectionQuality {
+  std::size_t truths = 0;
+  std::size_t covered = 0;
+  std::size_t detections = 0;
+
+  [[nodiscard]] double recall() const noexcept {
+    return truths ? static_cast<double>(covered) / static_cast<double>(truths) : 1.0;
+  }
+};
+
+[[nodiscard]] DetectionQuality evaluate_detections(
+    const std::vector<PixelRect>& detections, const std::vector<PixelRect>& truths,
+    double min_iou = 0.3);
+
+}  // namespace viewmap::vision

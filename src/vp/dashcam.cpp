@@ -1,0 +1,91 @@
+#include "vp/dashcam.h"
+
+#include <stdexcept>
+
+namespace viewmap::vp {
+
+Dashcam::Dashcam(const DashcamConfig& cfg, const road::Router* router, Rng rng)
+    : cfg_(cfg),
+      router_(router),
+      rng_(std::move(rng)),
+      source_(cfg.video_seed, cfg.video_bytes_per_second),
+      storage_(cfg.storage_minutes) {}
+
+dsrc::ViewDigest Dashcam::tick(TimeSec now, geo::Vec2 position) {
+  // `now` is the second being completed; its minute is unit_start(now-1)
+  // because second i of a minute completes at minute_start + i.
+  const TimeSec minute = unit_start(now - 1);
+  if (!builder_ || minute != minute_start_) {
+    if (builder_) finalize_minute();
+    minute_start_ = minute;
+    builder_.emplace(minute, rng_);
+  }
+
+  const int second_index = builder_->seconds_done();  // 0-based chunk index
+  source_.generate_chunk(minute_start_, second_index, chunk_);
+  last_position_ = position;
+  const dsrc::ViewDigest vd = builder_->tick(position, chunk_);
+  if (builder_->seconds_done() == kDigestsPerProfile) finalize_minute();
+  return vd;
+}
+
+bool Dashcam::receive(const dsrc::ViewDigest& vd) {
+  if (!builder_) return false;
+  const TimeSec now = minute_start_ + builder_->seconds_done();
+  // accept_neighbor validates against the *current* second; receives
+  // between ticks use the last known own position.
+  (void)now;
+  return builder_->accept_neighbor(vd, last_position_);
+}
+
+void Dashcam::finalize_minute() {
+  if (!builder_ || builder_->seconds_done() != kDigestsPerProfile) {
+    // An interrupted minute (power loss, parking-mode wake) yields no VP;
+    // the paper's recorder simply starts fresh on the next boundary.
+    builder_.reset();
+    return;
+  }
+  auto gen = builder_->finish();
+  builder_.reset();
+
+  // SD card: keep the actual footage for later solicitation.
+  storage_.store(source_.record_minute(minute_start_));
+  owned_[gen.profile.vp_id()] = Owned{minute_start_, gen.secret};
+
+  if (cfg_.guards_enabled && router_ != nullptr) {
+    GuardVpFactory factory(*router_, cfg_.guard);
+    for (auto& guard : factory.make_guards_for(gen.profile, gen.neighbors,
+                                               minute_start_, rng_)) {
+      // Queued for upload, then gone: the device retains nothing that
+      // could answer a solicitation for a guard VP (§5.1.2).
+      upload_queue_.push_back(guard.serialize());
+    }
+  }
+  upload_queue_.push_back(gen.profile.serialize());
+}
+
+std::vector<std::vector<std::uint8_t>> Dashcam::drain_uploads() {
+  auto out = std::move(upload_queue_);
+  upload_queue_.clear();
+  return out;
+}
+
+std::vector<Id16> Dashcam::answerable_vp_ids() const {
+  std::vector<Id16> ids;
+  ids.reserve(owned_.size());
+  for (const auto& [id, owned] : owned_) ids.push_back(id);
+  return ids;
+}
+
+const VpSecret* Dashcam::secret_of(const Id16& vp_id) const {
+  auto it = owned_.find(vp_id);
+  return it == owned_.end() ? nullptr : &it->second.secret;
+}
+
+const RecordedVideo* Dashcam::video_of(const Id16& vp_id) const {
+  auto it = owned_.find(vp_id);
+  if (it == owned_.end()) return nullptr;
+  return storage_.find(it->second.unit_time);
+}
+
+}  // namespace viewmap::vp

@@ -1,0 +1,92 @@
+// The ViewMap-enabled dashcam (paper §7.1: Raspberry Pi + camera + DSRC
+// OBU + Tor bridge).
+//
+// One object owns the whole vehicle-side lifecycle:
+//   * records video (synthetic source) into the SD ring buffer,
+//   * runs the per-second VD generation/broadcast state machine,
+//   * screens and stores neighbor VDs,
+//   * at each minute boundary compiles the actual VP, fabricates guard
+//     VPs, queues all of them for anonymous upload, and *forgets the
+//     guards* (only actual VPs remain answerable),
+//   * retains secrets Q and recorded videos so solicitations and reward
+//     claims can be answered later.
+//
+// Drive it once per second with tick(); everything else is bookkeeping.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "road/router.h"
+#include "vp/guard.h"
+#include "vp/video.h"
+#include "vp/vp_builder.h"
+
+namespace viewmap::vp {
+
+struct DashcamConfig {
+  std::uint64_t video_seed = 0;
+  std::uint64_t video_bytes_per_second = 32;
+  std::size_t storage_minutes = 120;  ///< SD ring-buffer capacity (§2)
+  bool guards_enabled = true;
+  GuardConfig guard{};
+};
+
+class Dashcam {
+ public:
+  /// `router` provides guard-VP trajectories; pass nullptr to disable
+  /// guard creation (e.g. when no road map is loaded yet).
+  Dashcam(const DashcamConfig& cfg, const road::Router* router, Rng rng);
+
+  /// One second of recording at `position`; `now` must advance by exactly
+  /// one second per call. Returns the VD to broadcast. Crossing a minute
+  /// boundary finalizes the previous VP first.
+  [[nodiscard]] dsrc::ViewDigest tick(TimeSec now, geo::Vec2 position);
+
+  /// DSRC receive path; screens per §5.1.1 and stores first/last VD.
+  bool receive(const dsrc::ViewDigest& vd);
+
+  /// Serialized VPs (actual + guards) awaiting anonymous upload. Guards
+  /// are deleted from the device the moment they are drained (§5.1.2).
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> drain_uploads();
+
+  // ── solicitation / reward support ───────────────────────────────────
+  /// Identifiers of actual VPs this device can still answer for.
+  [[nodiscard]] std::vector<Id16> answerable_vp_ids() const;
+
+  /// Secret Q for a VP id, if it is ours (reward claims, §5.3).
+  [[nodiscard]] const VpSecret* secret_of(const Id16& vp_id) const;
+
+  /// Recorded video matching a VP id, if still in the ring buffer.
+  [[nodiscard]] const RecordedVideo* video_of(const Id16& vp_id) const;
+
+  [[nodiscard]] std::size_t minutes_recorded() const noexcept { return owned_.size(); }
+  [[nodiscard]] std::size_t neighbor_count() const noexcept {
+    return builder_ ? builder_->neighbor_count() : 0;
+  }
+
+ private:
+  void finalize_minute();
+
+  DashcamConfig cfg_;
+  const road::Router* router_;
+  Rng rng_;
+  SyntheticVideoSource source_;
+  DashcamStorage storage_;
+
+  std::optional<VpBuilder> builder_;
+  TimeSec minute_start_ = 0;
+  geo::Vec2 last_position_{};
+  std::vector<std::uint8_t> chunk_;
+
+  struct Owned {
+    TimeSec unit_time;
+    VpSecret secret;
+  };
+  std::unordered_map<Id16, Owned, Id16Hasher> owned_;
+  std::vector<std::vector<std::uint8_t>> upload_queue_;
+};
+
+}  // namespace viewmap::vp

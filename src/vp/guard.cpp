@@ -1,0 +1,104 @@
+#include "vp/guard.h"
+
+#include <array>
+#include <cmath>
+
+namespace viewmap::vp {
+
+double uncovered_probability(double alpha, int neighbors, int minutes) {
+  const double m = neighbors;
+  // Chance one particular neighbor choice misses a given vehicle: each of
+  // the m neighbors independently fails to pick it with prob (1-α)^m …
+  const double miss_all = std::pow(1.0 - std::pow(1.0 - alpha, m), m);
+  const double p_minute = 1.0 - miss_all;
+  return std::pow(p_minute, minutes);
+}
+
+std::size_t guard_count(double alpha, std::size_t neighbors) {
+  if (neighbors == 0) return 0;
+  return static_cast<std::size_t>(
+      std::ceil(alpha * static_cast<double>(neighbors)));
+}
+
+std::optional<ViewProfile> GuardVpFactory::make_guard(
+    const NeighborRecord& seed_neighbor, geo::Vec2 own_end, TimeSec minute_start,
+    Rng& rng, std::size_t camouflage_neighbors) const {
+  const geo::Vec2 start = seed_neighbor.advertised_start();
+  auto route = router_->route_between(start, own_end);
+  if (!route) return std::nullopt;
+
+  // Fabricated identity: random R (no video ⇒ no secret worth keeping).
+  Id16 guard_id;
+  rng.fill_bytes(guard_id.bytes);
+
+  // Spread 60 VDs along the route with variable spacing ("we arrange their
+  // VDs variably spaced within the predefined margin", §5.1.2). We draw 60
+  // per-second step weights with ±speed_jitter and normalize so the
+  // trajectory spans the whole route in exactly one minute.
+  std::array<double, kDigestsPerProfile> weights;
+  double total = 0.0;
+  for (auto& w : weights) {
+    w = rng.uniform(1.0 - cfg_.speed_jitter, 1.0 + cfg_.speed_jitter);
+    total += w;
+  }
+
+  const double length = route->length_m;
+  std::vector<dsrc::ViewDigest> digests;
+  digests.reserve(kDigestsPerProfile);
+  double progressed = 0.0;
+  std::uint64_t fake_size = 0;
+  const std::uint64_t bytes_per_sec = 850'000 + rng.next_u64() % 100'000;
+  for (int i = 1; i <= kDigestsPerProfile; ++i) {
+    progressed += weights[static_cast<std::size_t>(i - 1)] / total * length;
+    const geo::Vec2 p = geo::point_along_polyline(route->points, progressed);
+    fake_size += bytes_per_sec;
+
+    dsrc::ViewDigest vd;
+    vd.time = minute_start + i;
+    vd.loc_x = static_cast<float>(p.x);
+    vd.loc_y = static_cast<float>(p.y);
+    vd.file_size = fake_size;
+    vd.initial_x = static_cast<float>(start.x);
+    vd.initial_y = static_cast<float>(start.y);
+    vd.vp_id = guard_id;
+    vd.second = static_cast<std::uint16_t>(i);
+    rng.fill_bytes(vd.hash.bytes);  // no real video behind a guard VP
+    digests.push_back(vd);
+  }
+  // Pin the first digest to the exact advertised start so the guard's
+  // trajectory origin matches what neighbors of the seed VP observed.
+  digests.front().loc_x = static_cast<float>(start.x);
+  digests.front().loc_y = static_cast<float>(start.y);
+
+  // Camouflage: a real VP's filter holds ~2 entries per neighbor; an
+  // (almost) empty filter would fingerprint guards in the database.
+  bloom::BloomFilter filter(kBloomBits, kBloomHashes);
+  std::vector<std::uint8_t> fake_entry(dsrc::kViewDigestWireSize);
+  for (std::size_t i = 0; i < 2 * camouflage_neighbors; ++i) {
+    rng.fill_bytes(fake_entry);
+    filter.insert(fake_entry);
+  }
+  return ViewProfile(std::move(digests), std::move(filter));
+}
+
+std::vector<ViewProfile> GuardVpFactory::make_guards_for(
+    ViewProfile& actual, std::span<const NeighborRecord> neighbors,
+    TimeSec minute_start, Rng& rng) const {
+  std::vector<ViewProfile> guards;
+  const std::size_t want = guard_count(cfg_.alpha, neighbors.size());
+  if (want == 0) return guards;
+
+  const geo::Vec2 own_end = actual.last_location();
+  for (std::size_t idx : rng.sample_indices(neighbors.size(), want)) {
+    // Pad the guard's filter to this vehicle's own neighborhood load
+    // (minus the mutual link added below), so fill ratios blend in.
+    const std::size_t camouflage = neighbors.size() > 0 ? neighbors.size() - 1 : 0;
+    auto guard = make_guard(neighbors[idx], own_end, minute_start, rng, camouflage);
+    if (!guard) continue;
+    link_mutually(actual, *guard);
+    guards.push_back(std::move(*guard));
+  }
+  return guards;
+}
+
+}  // namespace viewmap::vp

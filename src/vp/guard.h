@@ -1,0 +1,71 @@
+// Guard VP fabrication (paper §5.1.2).
+//
+// At the end of each minute a vehicle picks ⌈α·m⌉ of its m neighbors and,
+// for each, fabricates a guard VP whose trajectory starts at the
+// neighbor's advertised initial position L_1 and ends at the vehicle's own
+// final position, following a plausible driving route (Directions-API
+// style routing over the road map). VDs are spaced variably along the
+// route, hash fields are random (there is no video), and the guard VP and
+// the vehicle's actual VP insert each other's VDs into their Bloom filters.
+//
+// Guard VPs are uploaded and then *deleted locally* — they can never match
+// a solicitation, but from the system's viewpoint they are actual-looking
+// paths that fork away from the true one, defeating time-series tracking.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "road/router.h"
+#include "vp/vp_builder.h"
+
+namespace viewmap::vp {
+
+struct GuardConfig {
+  double alpha = 0.1;          ///< fraction of neighbors covered (§6.2.2)
+  double speed_jitter = 0.25;  ///< ± variation of VD spacing along the route
+};
+
+/// Probability that, after t minutes of driving among m-neighbor contacts,
+/// some vehicle is still uncovered by anyone's guard VP:
+///     P_t = [1 − {1 − (1−α)^m}^m]^t                      (§6.2.2)
+/// The paper picks α = 0.1 so P_t < 0.01 within 5 minutes.
+[[nodiscard]] double uncovered_probability(double alpha, int neighbors, int minutes);
+
+/// Number of guard VPs a vehicle with m neighbors creates: ⌈α·m⌉ (0 if no
+/// neighbors — path confusion needs someone to diverge toward).
+[[nodiscard]] std::size_t guard_count(double alpha, std::size_t neighbors);
+
+class GuardVpFactory {
+ public:
+  GuardVpFactory(const road::Router& router, GuardConfig cfg = {})
+      : router_(&router), cfg_(cfg) {}
+
+  /// Fabricates one guard VP from `seed_neighbor`'s advertised start to
+  /// `own_end` for the minute starting at `minute_start`. Returns nullopt
+  /// when the map gives no route between the endpoints.
+  ///
+  /// `camouflage_neighbors` pads the guard's Bloom filter with that many
+  /// fabricated neighbor entries (2 VDs each, like real neighbors), so
+  /// its fill ratio matches actual VPs from the same traffic — without
+  /// padding, a near-empty filter would out a guard immediately. Padding
+  /// cannot forge viewlinks: the two-way check still needs the *other*
+  /// VP to have heard the guard's VDs, which nobody did.
+  [[nodiscard]] std::optional<ViewProfile> make_guard(
+      const NeighborRecord& seed_neighbor, geo::Vec2 own_end, TimeSec minute_start,
+      Rng& rng, std::size_t camouflage_neighbors = 0) const;
+
+  /// Full §5.1.2 end-of-minute procedure: selects ⌈α·m⌉ random neighbors,
+  /// fabricates guards, and mutually links each guard with `actual`.
+  /// Returns the guards (the caller uploads them and forgets them).
+  [[nodiscard]] std::vector<ViewProfile> make_guards_for(
+      ViewProfile& actual, std::span<const NeighborRecord> neighbors,
+      TimeSec minute_start, Rng& rng) const;
+
+ private:
+  const road::Router* router_;
+  GuardConfig cfg_;
+};
+
+}  // namespace viewmap::vp

@@ -1,0 +1,91 @@
+#include "vp/video.h"
+
+#include <stdexcept>
+
+namespace viewmap::vp {
+
+namespace {
+
+/// splitmix64 — cheap deterministic stream expansion. Chunk content is
+/// never security-relevant (the hash chain is); it just has to be
+/// deterministic and incompressible-looking.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::span<const std::uint8_t> RecordedVideo::chunk(int second_index) const {
+  const auto i = static_cast<std::size_t>(second_index);
+  if (second_index < 0 || i + 1 >= chunk_offsets.size())
+    throw std::out_of_range("RecordedVideo: bad second index");
+  const std::uint64_t lo = chunk_offsets[i];
+  const std::uint64_t hi = chunk_offsets[i + 1];
+  return std::span<const std::uint8_t>(bytes).subspan(lo, hi - lo);
+}
+
+SyntheticVideoSource::SyntheticVideoSource(std::uint64_t seed,
+                                           std::uint64_t bytes_per_second)
+    : seed_(seed), bps_(bytes_per_second) {
+  if (bytes_per_second == 0)
+    throw std::invalid_argument("SyntheticVideoSource: zero chunk size");
+}
+
+void SyntheticVideoSource::generate_chunk(TimeSec minute_start, int second_index,
+                                          std::vector<std::uint8_t>& out) const {
+  out.resize(bps_);
+  std::uint64_t state = seed_ ^ (static_cast<std::uint64_t>(minute_start) << 8) ^
+                        static_cast<std::uint64_t>(second_index);
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t word = splitmix64(state);
+    for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(word >> (8 * b));
+  }
+  if (i < out.size()) {
+    const std::uint64_t word = splitmix64(state);
+    for (int b = 0; i < out.size(); ++b) out[i++] = static_cast<std::uint8_t>(word >> (8 * b));
+  }
+}
+
+RecordedVideo SyntheticVideoSource::record_minute(TimeSec minute_start) const {
+  RecordedVideo video;
+  video.start_time = minute_start;
+  video.bytes.reserve(bps_ * static_cast<std::size_t>(kDigestsPerProfile));
+  video.chunk_offsets.reserve(kDigestsPerProfile + 1);
+  video.chunk_offsets.push_back(0);
+  std::vector<std::uint8_t> chunk;
+  for (int s = 0; s < kDigestsPerProfile; ++s) {
+    generate_chunk(minute_start, s, chunk);
+    video.bytes.insert(video.bytes.end(), chunk.begin(), chunk.end());
+    video.chunk_offsets.push_back(video.bytes.size());
+  }
+  return video;
+}
+
+DashcamStorage::DashcamStorage(std::size_t capacity_minutes)
+    : capacity_(capacity_minutes) {
+  if (capacity_minutes == 0)
+    throw std::invalid_argument("DashcamStorage: zero capacity");
+}
+
+void DashcamStorage::store(RecordedVideo video) {
+  if (ring_.size() == capacity_) ring_.pop_front();
+  ring_.push_back(std::move(video));
+}
+
+const RecordedVideo* DashcamStorage::find(TimeSec minute_start) const noexcept {
+  for (const auto& v : ring_)
+    if (v.start_time == minute_start) return &v;
+  return nullptr;
+}
+
+std::optional<TimeSec> DashcamStorage::oldest_minute() const noexcept {
+  if (ring_.empty()) return std::nullopt;
+  return ring_.front().start_time;
+}
+
+}  // namespace viewmap::vp

@@ -1,0 +1,75 @@
+// Dashcam video substrate.
+//
+// The paper's dashcams record 1-minute segments (~50 MB each) onto SD
+// cards, overwriting the oldest segment when full (§2). We replace real
+// camera output with a deterministic pseudo-random byte stream — the hash
+// chain, solicitation, and validation code paths are identical, and
+// determinism lets the system-side re-validation reproduce bit-exact
+// chunks. Chunk size is configurable: benches that measure hashing cost
+// use the real ~833 KB/s rate; large simulations use small chunks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace viewmap::vp {
+
+/// Paper §6.1: a 1-minute video averages 50 MB ⇒ ~873 KiB recorded/second.
+inline constexpr std::uint64_t kRealisticBytesPerSecond = 50ull * 1024 * 1024 / 60;
+
+/// One fully recorded 1-minute video: 60 chunks plus their offsets.
+struct RecordedVideo {
+  TimeSec start_time = 0;               ///< minute boundary
+  std::vector<std::uint8_t> bytes;      ///< concatenated chunks
+  std::vector<std::uint64_t> chunk_offsets;  ///< 61 entries; [i]..[i+1] = second i
+
+  [[nodiscard]] std::span<const std::uint8_t> chunk(int second_index) const;
+  [[nodiscard]] std::uint64_t size() const noexcept { return bytes.size(); }
+};
+
+/// Deterministic per-vehicle video generator. The chunk for (minute m,
+/// second i) depends only on (seed, m, i) — replayable anywhere.
+class SyntheticVideoSource {
+ public:
+  SyntheticVideoSource(std::uint64_t seed, std::uint64_t bytes_per_second);
+
+  [[nodiscard]] std::uint64_t bytes_per_second() const noexcept { return bps_; }
+
+  /// Fills `out` with the deterministic chunk for the given second.
+  void generate_chunk(TimeSec minute_start, int second_index,
+                      std::vector<std::uint8_t>& out) const;
+
+  /// Renders the whole minute at once (used by validation and benches).
+  [[nodiscard]] RecordedVideo record_minute(TimeSec minute_start) const;
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t bps_;
+};
+
+/// SD-card ring buffer (§2: "once the memory is full, the oldest segment
+/// will be deleted and recorded over").
+class DashcamStorage {
+ public:
+  explicit DashcamStorage(std::size_t capacity_minutes);
+
+  void store(RecordedVideo video);
+
+  /// Video whose minute starts at `minute_start`, if still retained.
+  [[nodiscard]] const RecordedVideo* find(TimeSec minute_start) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::optional<TimeSec> oldest_minute() const noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::deque<RecordedVideo> ring_;
+};
+
+}  // namespace viewmap::vp

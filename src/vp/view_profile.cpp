@@ -1,0 +1,123 @@
+#include "vp/view_profile.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "crypto/sha256.h"
+
+namespace viewmap::vp {
+
+ViewProfile::ViewProfile(std::vector<dsrc::ViewDigest> digests,
+                         bloom::BloomFilter neighbor_bloom)
+    : digests_(std::move(digests)), bloom_(std::move(neighbor_bloom)) {
+  if (digests_.size() != static_cast<std::size_t>(kDigestsPerProfile))
+    throw std::invalid_argument("ViewProfile: need exactly 60 digests");
+  for (const auto& vd : digests_)
+    if (vd.vp_id != digests_.front().vp_id)
+      throw std::invalid_argument("ViewProfile: mixed VP identifiers");
+  if (bloom_.bit_size() != kBloomBits || bloom_.hash_count() != kBloomHashes)
+    throw std::invalid_argument("ViewProfile: non-protocol Bloom configuration");
+}
+
+geo::Vec2 ViewProfile::location_at(int second_index) const {
+  const auto& vd = digests_.at(static_cast<std::size_t>(second_index));
+  return {vd.loc_x, vd.loc_y};
+}
+
+bool ViewProfile::visits(const geo::Rect& area) const noexcept {
+  for (const auto& vd : digests_)
+    if (area.contains({vd.loc_x, vd.loc_y})) return true;
+  return false;
+}
+
+bool ViewProfile::ever_within(const ViewProfile& other, double radius_m) const noexcept {
+  // Time-aligned comparison: both VPs cover the same minute second-by-
+  // second (GPS-synchronized recording), so index i of one aligns with
+  // the digest of the same wall-clock second in the other.
+  for (std::size_t i = 0; i < digests_.size(); ++i) {
+    for (std::size_t j = 0; j < other.digests_.size(); ++j) {
+      if (digests_[i].time != other.digests_[j].time) continue;
+      const double dx = digests_[i].loc_x - other.digests_[j].loc_x;
+      const double dy = digests_[i].loc_y - other.digests_[j].loc_y;
+      if (std::sqrt(dx * dx + dy * dy) <= radius_m) return true;
+      break;  // at most one j matches a given i
+    }
+  }
+  return false;
+}
+
+bool ViewProfile::heard(const ViewProfile& other) const {
+  for (const auto& vd : other.digests_)
+    if (bloom_.maybe_contains(vd.serialize())) return true;
+  return false;
+}
+
+std::vector<std::uint8_t> ViewProfile::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kVpWireSize);
+  for (const auto& vd : digests_) {
+    const auto frame = vd.serialize();
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  const auto& bits = bloom_.data();
+  out.insert(out.end(), bits.begin(), bits.end());
+  if (out.size() != kVpWireSize)
+    throw std::logic_error("ViewProfile: wire size drifted from spec");
+  return out;
+}
+
+ViewProfile ViewProfile::parse(std::span<const std::uint8_t> data) {
+  if (data.size() != kVpWireSize)
+    throw std::invalid_argument("ViewProfile: bad payload size");
+  std::vector<dsrc::ViewDigest> digests;
+  digests.reserve(kDigestsPerProfile);
+  std::size_t off = 0;
+  for (int i = 0; i < kDigestsPerProfile; ++i) {
+    digests.push_back(dsrc::ViewDigest::parse(data.subspan(off, dsrc::kViewDigestWireSize)));
+    off += dsrc::kViewDigestWireSize;
+  }
+  auto bloom = bloom::BloomFilter::from_bytes(data.subspan(off, kBloomBytes), kBloomHashes);
+  return ViewProfile(std::move(digests), std::move(bloom));
+}
+
+bool VpUploadPolicy::well_formed(const ViewProfile& vp) const noexcept {
+  const auto digests = vp.digests();
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    const auto& vd = digests[i];
+    if (vd.second != static_cast<std::uint16_t>(i + 1)) return false;
+    if (i > 0) {
+      if (vd.time != digests[i - 1].time + 1) return false;
+      const double dx = vd.loc_x - digests[i - 1].loc_x;
+      const double dy = vd.loc_y - digests[i - 1].loc_y;
+      if (std::sqrt(dx * dx + dy * dy) > max_speed_mps) return false;
+      if (vd.file_size < digests[i - 1].file_size) return false;
+      if (vd.initial_x != digests[0].initial_x || vd.initial_y != digests[0].initial_y)
+        return false;
+    }
+  }
+  // The advertised initial location must match the trajectory start.
+  return digests[0].initial_x == digests[0].loc_x &&
+         digests[0].initial_y == digests[0].loc_y;
+}
+
+Id16 VpSecret::vp_id() const { return crypto::derive_vp_id(q); }
+
+VpSecret make_vp_secret(Rng& rng) {
+  VpSecret s;
+  rng.fill_bytes(s.q);
+  return s;
+}
+
+void ViewProfile::add_neighbor_digest(const dsrc::ViewDigest& vd) {
+  bloom_.insert(vd.serialize());
+}
+
+void link_mutually(ViewProfile& a, ViewProfile& b) {
+  a.add_neighbor_digest(b.digests().front());
+  a.add_neighbor_digest(b.digests().back());
+  b.add_neighbor_digest(a.digests().front());
+  b.add_neighbor_digest(a.digests().back());
+}
+
+}  // namespace viewmap::vp

@@ -1,0 +1,108 @@
+// Unit tests: Bloom filter and the paper's false-linkage model (§6.3.2).
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_filter.h"
+#include "common/rng.h"
+
+namespace viewmap::bloom {
+namespace {
+
+std::vector<std::uint8_t> element(Rng& rng) {
+  std::vector<std::uint8_t> e(72);
+  rng.fill_bytes(e);
+  return e;
+}
+
+TEST(BloomFilter, InsertedElementsAlwaysFound) {
+  BloomFilter f(2048, 3);
+  Rng rng(1);
+  std::vector<std::vector<std::uint8_t>> elements;
+  for (int i = 0; i < 100; ++i) {
+    elements.push_back(element(rng));
+    f.insert(elements.back());
+  }
+  for (const auto& e : elements) EXPECT_TRUE(f.maybe_contains(e));
+}
+
+TEST(BloomFilter, EmptyFilterContainsNothing) {
+  BloomFilter f(2048, 3);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(f.maybe_contains(element(rng)));
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTheory) {
+  const std::size_t m = 2048;
+  const int k = 3;
+  const std::size_t n = 200;
+  BloomFilter f(m, k);
+  Rng rng(3);
+  for (std::size_t i = 0; i < n; ++i) f.insert(element(rng));
+
+  int fp = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) fp += f.maybe_contains(element(rng));
+  const double empirical = static_cast<double>(fp) / probes;
+  const double theory = false_positive_rate(m, n, k);
+  EXPECT_NEAR(empirical, theory, 0.01);
+}
+
+TEST(BloomFilter, SerializationRoundTrip) {
+  BloomFilter f(2048, 3);
+  Rng rng(4);
+  const auto e = element(rng);
+  f.insert(e);
+  const BloomFilter g = BloomFilter::from_bytes(f.data(), 3);
+  EXPECT_EQ(f, g);
+  EXPECT_TRUE(g.maybe_contains(e));
+}
+
+TEST(BloomFilter, SaturateSetsAllBits) {
+  BloomFilter f(256, 2);
+  f.saturate();
+  EXPECT_EQ(f.popcount(), 256u);
+  EXPECT_DOUBLE_EQ(f.fill_ratio(), 1.0);
+  Rng rng(5);
+  EXPECT_TRUE(f.maybe_contains(element(rng)));
+}
+
+TEST(BloomFilter, RejectsBadConfiguration) {
+  EXPECT_THROW(BloomFilter(0, 3), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(12, 3), std::invalid_argument);  // not byte aligned
+  EXPECT_THROW(BloomFilter(256, 0), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(256, 100), std::invalid_argument);
+}
+
+TEST(BloomMath, OptimalHashCount) {
+  // k = (m/n)·ln2: 2048 bits / 500 elements ≈ 2.84 → 3.
+  EXPECT_EQ(optimal_hash_count(2048, 500), 3);
+  EXPECT_EQ(optimal_hash_count(2048, 2048), 1);  // clamped to ≥ 1
+  EXPECT_GE(optimal_hash_count(4096, 10), 1);
+}
+
+TEST(BloomMath, FalseLinkageMatchesPaperOperatingPoint) {
+  // §6.3.2: m = 2048 bits has "a false linkage rate of 0.1% with 300
+  // neighbor VPs" (with the optimal k for that load).
+  const int k = optimal_hash_count(2048, 300);
+  const double p = false_linkage_rate(2048, 300, k);
+  EXPECT_GT(p, 0.0002);
+  EXPECT_LT(p, 0.005);
+}
+
+TEST(BloomMath, FalseLinkageMonotoneInNeighborsAndBits) {
+  const int k = 3;
+  EXPECT_LT(false_linkage_rate(2048, 50, k), false_linkage_rate(2048, 300, k));
+  EXPECT_GT(false_linkage_rate(1024, 300, k), false_linkage_rate(4096, 300, k));
+}
+
+TEST(BloomMath, TwoWayLinkageSquaresOneWay) {
+  // The two-way test must be strictly harder to pass than one-way.
+  for (std::size_t n : {50u, 150u, 300u}) {
+    const int k = optimal_hash_count(2048, n);
+    const double one_way = false_positive_rate(2048, n, k);
+    EXPECT_DOUBLE_EQ(false_linkage_rate(2048, n, k), one_way * one_way);
+    EXPECT_LT(false_linkage_rate(2048, n, k), one_way);
+  }
+}
+
+}  // namespace
+}  // namespace viewmap::bloom

@@ -1,0 +1,121 @@
+// Unit tests: planar geometry and the obstacle spatial index.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/geometry.h"
+#include "geo/obstacle_index.h"
+
+namespace viewmap::geo {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, -4};
+  EXPECT_EQ(a + b, (Vec2{4, -2}));
+  EXPECT_EQ(a - b, (Vec2{-2, 6}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 3 - 8);
+  EXPECT_DOUBLE_EQ(cross(a, b), -4 - 6);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+}
+
+TEST(Segments, CrossingAndDisjoint) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {10, 10}}, {{0, 10}, {10, 0}}));
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 1}}, {{2, 2}, {3, 3}}));
+  EXPECT_FALSE(segments_intersect({{0, 0}, {10, 0}}, {{0, 1}, {10, 1}}));
+}
+
+TEST(Segments, CollinearOverlapAndTouch) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {5, 0}}, {{3, 0}, {8, 0}}));
+  EXPECT_TRUE(segments_intersect({{0, 0}, {5, 0}}, {{5, 0}, {9, 0}}));  // endpoint touch
+  EXPECT_FALSE(segments_intersect({{0, 0}, {5, 0}}, {{6, 0}, {9, 0}}));
+}
+
+TEST(Rect, ContainsAndInflate) {
+  const Rect r{{0, 0}, {10, 5}};
+  EXPECT_TRUE(r.contains({5, 2}));
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_FALSE(r.contains({10.1, 2}));
+  const Rect big = r.inflated(1.0);
+  EXPECT_TRUE(big.contains({-0.5, -0.5}));
+  EXPECT_DOUBLE_EQ(big.width(), 12.0);
+}
+
+TEST(SegmentRect, ThroughTouchingAndContained) {
+  const Rect r{{2, 2}, {4, 4}};
+  EXPECT_TRUE(segment_intersects_rect({{0, 3}, {6, 3}}, r));   // pass through
+  EXPECT_TRUE(segment_intersects_rect({{3, 3}, {3, 3.5}}, r)); // inside
+  EXPECT_FALSE(segment_intersects_rect({{0, 0}, {1, 5}}, r));  // misses
+  EXPECT_TRUE(segment_intersects_rect({{0, 2}, {6, 2}}, r));   // grazes edge
+}
+
+TEST(PointSegment, Distance) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 3}, s), 3.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({-3, 4}, s), 5.0);  // clamps to endpoint
+  EXPECT_DOUBLE_EQ(point_segment_distance({12, 0}, s), 2.0);
+}
+
+TEST(LineOfSight, BlockedByRect) {
+  const std::vector<Rect> obstacles{{{4, -1}, {6, 1}}};
+  EXPECT_FALSE(line_of_sight({0, 0}, {10, 0}, obstacles));
+  EXPECT_TRUE(line_of_sight({0, 5}, {10, 5}, obstacles));
+  EXPECT_EQ(first_blocking({0, 0}, {10, 0}, obstacles), std::optional<std::size_t>(0));
+}
+
+TEST(LineOfSight, EndpointInsideBlocks) {
+  const std::vector<Rect> obstacles{{{0, 0}, {10, 10}}};
+  EXPECT_FALSE(line_of_sight({5, 5}, {20, 5}, obstacles));
+}
+
+TEST(Polyline, LengthAndPointAlong) {
+  const std::vector<Vec2> pts{{0, 0}, {10, 0}, {10, 10}};
+  EXPECT_DOUBLE_EQ(polyline_length(pts), 20.0);
+  EXPECT_EQ(point_along_polyline(pts, 0.0), (Vec2{0, 0}));
+  EXPECT_EQ(point_along_polyline(pts, 5.0), (Vec2{5, 0}));
+  EXPECT_EQ(point_along_polyline(pts, 15.0), (Vec2{10, 5}));
+  EXPECT_EQ(point_along_polyline(pts, 99.0), (Vec2{10, 10}));  // clamped
+  EXPECT_EQ(point_along_polyline(pts, -1.0), (Vec2{0, 0}));
+}
+
+TEST(ObstacleIndex, MatchesBruteForce) {
+  Rng rng(17);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 lo{rng.uniform(0, 2000), rng.uniform(0, 2000)};
+    rects.push_back({lo, lo + Vec2{rng.uniform(10, 80), rng.uniform(10, 80)}});
+  }
+  const ObstacleIndex index(rects, 150.0);
+
+  for (int trial = 0; trial < 500; ++trial) {
+    const Vec2 a{rng.uniform(-100, 2100), rng.uniform(-100, 2100)};
+    const Vec2 b = a + Vec2{rng.uniform(-400, 400), rng.uniform(-400, 400)};
+    EXPECT_EQ(index.line_of_sight(a, b), line_of_sight(a, b, rects))
+        << "a=(" << a.x << "," << a.y << ") b=(" << b.x << "," << b.y << ")";
+  }
+}
+
+TEST(ObstacleIndex, ContainsPointMatchesBruteForce) {
+  Rng rng(23);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 100; ++i) {
+    const Vec2 lo{rng.uniform(0, 1000), rng.uniform(0, 1000)};
+    rects.push_back({lo, lo + Vec2{rng.uniform(10, 60), rng.uniform(10, 60)}});
+  }
+  const ObstacleIndex index(rects);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const Vec2 p{rng.uniform(-50, 1100), rng.uniform(-50, 1100)};
+    bool brute = false;
+    for (const auto& r : rects) brute = brute || r.contains(p);
+    EXPECT_EQ(index.contains_point(p), brute);
+  }
+}
+
+TEST(ObstacleIndex, EmptyIndexIsAlwaysClear) {
+  const ObstacleIndex index;
+  EXPECT_TRUE(index.line_of_sight({0, 0}, {100, 100}));
+  EXPECT_FALSE(index.contains_point({0, 0}));
+  EXPECT_TRUE(index.empty());
+}
+
+}  // namespace
+}  // namespace viewmap::geo

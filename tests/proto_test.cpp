@@ -1,0 +1,246 @@
+// Tests: wire protocol framing, typed messages, and the full byte-level
+// user ↔ system conversation (upload → investigate → solicit → submit →
+// review → claim → blind-sign → unblind → spend).
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "proto/endpoint.h"
+#include "proto/messages.h"
+#include "road/city.h"
+
+namespace viewmap::proto {
+namespace {
+
+TEST(Framing, EncodeDecodeRoundTrip) {
+  Envelope e;
+  e.type = MessageType::kVideoListRequest;
+  e.payload = {1, 2, 3};
+  const auto frame = encode(e);
+  EXPECT_EQ(decode(frame), e);
+}
+
+TEST(Framing, RejectsMalformedFrames) {
+  EXPECT_THROW((void)decode(std::vector<std::uint8_t>{}), std::invalid_argument);
+  EXPECT_THROW((void)decode(std::vector<std::uint8_t>{1, 2}), std::invalid_argument);
+  // Unknown type.
+  std::vector<std::uint8_t> bad{99, 0, 0, 0, 0};
+  EXPECT_THROW((void)decode(bad), std::invalid_argument);
+  // Length mismatch.
+  std::vector<std::uint8_t> short_len{1, 5, 0, 0, 0, 1};
+  EXPECT_THROW((void)decode(short_len), std::invalid_argument);
+}
+
+TEST(Messages, IdListRoundTrip) {
+  std::vector<Id16> ids(3);
+  ids[0].bytes[0] = 1;
+  ids[1].bytes[5] = 2;
+  ids[2].bytes[15] = 3;
+  const auto frame = make_id_list(MessageType::kVideoListResponse, ids);
+  const auto envelope = decode(frame);
+  EXPECT_EQ(envelope.type, MessageType::kVideoListResponse);
+  EXPECT_EQ(parse_id_list(envelope.payload), ids);
+}
+
+TEST(Messages, IdListRejectsBadLength) {
+  std::vector<std::uint8_t> payload{3, 0, 0, 0, 1, 2};  // claims 3 ids, has 2 bytes
+  EXPECT_THROW((void)parse_id_list(payload), std::invalid_argument);
+}
+
+TEST(Messages, VideoSubmitRoundTrip) {
+  vp::RecordedVideo video;
+  video.start_time = 120;
+  video.bytes = {9, 8, 7, 6, 5};
+  Id16 id;
+  id.bytes[3] = 0xaa;
+  const auto frame = make_video_submit(id, video);
+  const auto envelope = decode(frame);
+  const auto msg = parse_video_submit(envelope.payload);
+  EXPECT_EQ(msg.vp_id, id);
+  EXPECT_EQ(msg.start_time, 120);
+  EXPECT_EQ(msg.video_bytes, video.bytes);
+}
+
+TEST(Messages, RewardClaimRoundTrip) {
+  Id16 id;
+  id.bytes[0] = 7;
+  vp::VpSecret secret;
+  secret.q = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto envelope = decode(make_reward_claim(id, secret));
+  const auto claim = parse_reward_claim(envelope.payload);
+  EXPECT_EQ(claim.vp_id, id);
+  EXPECT_EQ(claim.secret.q, secret.q);
+}
+
+TEST(Messages, BigBatchRoundTrip) {
+  Id16 id;
+  id.bytes[9] = 1;
+  std::vector<crypto::BigBytes> items{{1, 2, 3}, {}, {0xff}};
+  const auto envelope = decode(make_big_batch(MessageType::kBlindBatch, id, items));
+  const auto batch = parse_big_batch(envelope.payload);
+  EXPECT_EQ(batch.vp_id, id);
+  EXPECT_EQ(batch.items, items);
+}
+
+TEST(Messages, BatchLimitsEnforced) {
+  // count > 4096 rejected
+  viewmap::ByteWriter w;
+  Id16 id;
+  w.put_bytes(id.bytes);
+  w.put_u32(5000);
+  EXPECT_THROW((void)parse_big_batch(w.bytes()), std::invalid_argument);
+}
+
+// ── Full byte-level conversation ─────────────────────────────────────────
+
+struct ProtoWorld : ::testing::Test {
+  ProtoWorld()
+      : city(make_city()),
+        router(city.roads),
+        service(make_service_config()),
+        server(service),
+        witness_cam(make_cam(1)),
+        police_cam(make_cam(2)) {}
+
+  static road::CityMap make_city() {
+    Rng r(50);
+    road::GridCityConfig cfg;
+    cfg.extent_m = 1000;
+    cfg.block_m = 200;
+    cfg.building_fill = 0.0;
+    return road::make_grid_city(cfg, r);
+  }
+  static sys::ServiceConfig make_service_config() {
+    sys::ServiceConfig cfg;
+    cfg.rsa_bits = 1024;
+    return cfg;
+  }
+  vp::Dashcam make_cam(std::uint64_t seed) {
+    vp::DashcamConfig cfg;
+    cfg.video_seed = seed;
+    cfg.guards_enabled = seed != 2;  // the police car uploads only actuals
+    return vp::Dashcam(cfg, &router, Rng(seed));
+  }
+
+  void drive_minute() {
+    for (TimeSec now = 1; now <= kUnitTimeSec; ++now) {
+      const auto step = static_cast<double>((now - 1) % kUnitTimeSec);
+      const auto vdw = witness_cam.tick(now, {200.0 + step * 5.0, 200.0});
+      const auto vdp = police_cam.tick(now, {230.0 + step * 5.0, 200.0});
+      witness_cam.receive(vdp);
+      police_cam.receive(vdw);
+    }
+  }
+
+  road::CityMap city;
+  road::Router router;
+  sys::ViewMapService service;
+  ServerEndpoint server;
+  vp::Dashcam witness_cam;
+  vp::Dashcam police_cam;
+};
+
+TEST_F(ProtoWorld, EndToEndOverWire) {
+  drive_minute();
+
+  // Police car registers its actual VP out of band (authenticated path).
+  for (auto& payload : police_cam.drain_uploads())
+    service.register_trusted(vp::ViewProfile::parse(payload));
+
+  // Witness uploads over the wire (fire and forget: no responses).
+  UserAgent witness(witness_cam, service.cash_public_key(), 71);
+  for (const auto& frame : witness.upload_frames())
+    EXPECT_FALSE(server.handle(frame).has_value());
+  EXPECT_GE(service.database().size(), 2u);  // actual + guard(s)
+
+  // System investigates; the witness polls and answers with its video.
+  const auto report = service.investigate({{150, 150}, {600, 250}}, 0);
+  ASSERT_GE(report.solicited.size(), 1u);
+
+  const auto poll = server.handle(witness.video_poll_frame());
+  ASSERT_TRUE(poll.has_value());
+  const auto poll_env = decode(*poll);
+  ASSERT_EQ(poll_env.type, MessageType::kVideoListResponse);
+  const auto submissions = witness.answer_video_list(poll_env.payload);
+  ASSERT_EQ(submissions.size(), 1u);  // guards can never be answered
+
+  const auto result = server.handle(submissions[0]);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(parse_submit_result(decode(*result).payload));
+
+  // Human review approves; witness claims over the wire.
+  const Id16 vp_id = witness_cam.answerable_vp_ids()[0];
+  service.conclude_review(vp_id, true, 2);
+
+  const auto reward_poll = server.handle(witness.reward_poll_frame());
+  ASSERT_TRUE(reward_poll.has_value());
+  const auto claims = witness.claim_rewards(decode(*reward_poll).payload);
+  ASSERT_EQ(claims.size(), 1u);
+
+  const auto grant = server.handle(claims[0]);
+  ASSERT_TRUE(grant.has_value());
+  const auto units = parse_reward_grant(decode(*grant).payload);
+  ASSERT_EQ(units, 2u);
+
+  const auto batch_frame = witness.blind_batch_frame(vp_id, units);
+  const auto signatures = server.handle(batch_frame);
+  ASSERT_TRUE(signatures.has_value());
+  const auto sig_env = decode(*signatures);
+  ASSERT_EQ(sig_env.type, MessageType::kSignatureBatch);
+  const auto cash = witness.receive_signatures(sig_env.payload);
+  ASSERT_EQ(cash.size(), 2u);
+  EXPECT_EQ(witness.wallet().size(), 2u);
+
+  for (const auto& token : cash)
+    EXPECT_EQ(service.bank().redeem(token), reward::RedeemOutcome::kAccepted);
+  EXPECT_EQ(service.bank().redeem(cash[0]), reward::RedeemOutcome::kDoubleSpend);
+}
+
+TEST_F(ProtoWorld, ServerDropsGarbageSilently) {
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::uint8_t> junk(rng.index(200));
+    rng.fill_bytes(junk);
+    EXPECT_FALSE(server.handle(junk).has_value());
+  }
+  EXPECT_EQ(server.dropped_frames(), 50u);
+  EXPECT_EQ(service.database().size(), 0u);
+}
+
+TEST_F(ProtoWorld, WrongVideoRejectedOverWire) {
+  drive_minute();
+  for (auto& payload : police_cam.drain_uploads())
+    service.register_trusted(vp::ViewProfile::parse(payload));
+  UserAgent witness(witness_cam, service.cash_public_key(), 72);
+  for (const auto& frame : witness.upload_frames()) (void)server.handle(frame);
+  (void)service.investigate({{150, 150}, {600, 250}}, 0);
+
+  // Submit a fabricated video for our own solicited VP id.
+  const Id16 vp_id = witness_cam.answerable_vp_ids()[0];
+  vp::RecordedVideo forged;
+  forged.start_time = 0;
+  forged.bytes.assign(60 * 32, 0xee);
+  const auto response = server.handle(make_video_submit(vp_id, forged));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(parse_submit_result(decode(*response).payload));
+}
+
+TEST_F(ProtoWorld, ClaimWithWrongSecretGetsZeroGrant) {
+  drive_minute();
+  for (auto& payload : police_cam.drain_uploads())
+    service.register_trusted(vp::ViewProfile::parse(payload));
+  UserAgent witness(witness_cam, service.cash_public_key(), 73);
+  for (const auto& frame : witness.upload_frames()) (void)server.handle(frame);
+  (void)service.investigate({{150, 150}, {600, 250}}, 0);
+  const Id16 vp_id = witness_cam.answerable_vp_ids()[0];
+  const auto* video = witness_cam.video_of(vp_id);
+  ASSERT_TRUE(service.submit_video(vp_id, *video));
+  service.conclude_review(vp_id, true, 1);
+
+  vp::VpSecret wrong{};
+  const auto grant = server.handle(make_reward_claim(vp_id, wrong));
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(parse_reward_grant(decode(*grant).payload), 0u);
+}
+
+}  // namespace
+}  // namespace viewmap::proto

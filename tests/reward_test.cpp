@@ -1,0 +1,97 @@
+// Unit tests: untraceable rewards — bank, client, double-spend ledger.
+#include <gtest/gtest.h>
+
+#include "reward/bank.h"
+#include "reward/client.h"
+
+namespace viewmap::reward {
+namespace {
+
+class RewardTest : public ::testing::Test {
+ protected:
+  static Bank& bank() {
+    static Bank b(1024);  // small key: test speed, not security
+    return b;
+  }
+};
+
+TEST_F(RewardTest, FullProtocolYieldsSpendableCash) {
+  RewardClient client(bank().public_key(), /*seed=*/42);
+  const auto blinded = client.prepare(3);
+  ASSERT_EQ(blinded.size(), 3u);
+  const auto signatures = bank().sign_blinded(blinded);
+  const auto cash = client.unblind_batch(signatures);
+  ASSERT_EQ(cash.size(), 3u);
+  for (const auto& token : cash) {
+    EXPECT_TRUE(token_authentic(token, bank().public_key()));
+    EXPECT_EQ(bank().redeem(token), RedeemOutcome::kAccepted);
+  }
+}
+
+TEST_F(RewardTest, DoubleSpendRejected) {
+  RewardClient client(bank().public_key(), 43);
+  const auto cash = client.unblind_batch(bank().sign_blinded(client.prepare(1)));
+  ASSERT_EQ(cash.size(), 1u);
+  EXPECT_EQ(bank().redeem(cash[0]), RedeemOutcome::kAccepted);
+  EXPECT_EQ(bank().redeem(cash[0]), RedeemOutcome::kDoubleSpend);
+}
+
+TEST_F(RewardTest, ForgedTokenRejected) {
+  CashToken forged;
+  forged.message = {1, 2, 3};
+  forged.signature = {4, 5, 6};
+  EXPECT_EQ(bank().redeem(forged), RedeemOutcome::kBadSignature);
+}
+
+TEST_F(RewardTest, TamperedMessageRejected) {
+  RewardClient client(bank().public_key(), 44);
+  auto cash = client.unblind_batch(bank().sign_blinded(client.prepare(1)));
+  cash[0].message[0] ^= 1;
+  EXPECT_EQ(bank().redeem(cash[0]), RedeemOutcome::kBadSignature);
+}
+
+TEST_F(RewardTest, UnlinkabilityBlindedValuesIndependentOfMessages) {
+  // The bank sees only blinded values; two clients with identical RNG
+  // messages but different blinding seeds produce unrelated blindings.
+  RewardClient c1(bank().public_key(), 45);
+  RewardClient c2(bank().public_key(), 46);
+  const auto b1 = c1.prepare(1);
+  const auto b2 = c2.prepare(1);
+  EXPECT_NE(b1[0], b2[0]);
+}
+
+TEST_F(RewardTest, SignatureCountMismatchThrows) {
+  RewardClient client(bank().public_key(), 47);
+  (void)client.prepare(2);
+  std::vector<crypto::BigBytes> wrong(1);
+  EXPECT_THROW((void)client.unblind_batch(wrong), std::invalid_argument);
+}
+
+TEST_F(RewardTest, MisbehavingSignerDetected) {
+  RewardClient client(bank().public_key(), 48);
+  const auto blinded = client.prepare(1);
+  // A "signer" that returns garbage must be caught at unblind time.
+  std::vector<crypto::BigBytes> garbage{{0x01, 0x02, 0x03}};
+  EXPECT_THROW((void)client.unblind_batch(garbage), std::runtime_error);
+}
+
+TEST_F(RewardTest, RedeemCountTracksAcceptedOnly) {
+  Bank fresh(1024);
+  RewardClient client(fresh.public_key(), 49);
+  const auto cash = client.unblind_batch(fresh.sign_blinded(client.prepare(2)));
+  EXPECT_EQ(fresh.redeemed_count(), 0u);
+  (void)fresh.redeem(cash[0]);
+  (void)fresh.redeem(cash[0]);  // double spend, not counted twice
+  EXPECT_EQ(fresh.redeemed_count(), 1u);
+  (void)fresh.redeem(cash[1]);
+  EXPECT_EQ(fresh.redeemed_count(), 2u);
+}
+
+TEST(RedeemOutcomeNames, Strings) {
+  EXPECT_STREQ(to_string(RedeemOutcome::kAccepted), "accepted");
+  EXPECT_STREQ(to_string(RedeemOutcome::kBadSignature), "bad-signature");
+  EXPECT_STREQ(to_string(RedeemOutcome::kDoubleSpend), "double-spend");
+}
+
+}  // namespace
+}  // namespace viewmap::reward

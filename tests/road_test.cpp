@@ -1,0 +1,157 @@
+// Unit tests: road network, router (Directions-API substitute), city maps.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "road/city.h"
+#include "road/network.h"
+#include "road/router.h"
+
+namespace viewmap::road {
+namespace {
+
+RoadNetwork line_network() {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0, 0});
+  const NodeId b = net.add_node({100, 0});
+  const NodeId c = net.add_node({200, 0});
+  net.add_road(a, b);
+  net.add_road(b, c);
+  return net;
+}
+
+TEST(RoadNetwork, AdjacencySymmetric) {
+  const auto net = line_network();
+  ASSERT_EQ(net.node_count(), 3u);
+  EXPECT_EQ(net.neighbors(1).size(), 2u);
+  EXPECT_EQ(net.neighbors(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(net.neighbors(0)[0].length_m, 100.0);
+}
+
+TEST(RoadNetwork, RejectsSelfLoop) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0, 0});
+  EXPECT_THROW(net.add_road(a, a), std::invalid_argument);
+}
+
+TEST(RoadNetwork, NearestNode) {
+  const auto net = line_network();
+  EXPECT_EQ(net.nearest_node({90, 10}), 1u);
+  EXPECT_EQ(net.nearest_node({-50, 0}), 0u);
+}
+
+TEST(Router, ShortestPathOnGrid) {
+  // 3×3 grid with unit spacing 100 m.
+  RoadNetwork net;
+  NodeId id[3][3];
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 3; ++x) id[y][x] = net.add_node({x * 100.0, y * 100.0});
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 3; ++x) {
+      if (x < 2) net.add_road(id[y][x], id[y][x + 1]);
+      if (y < 2) net.add_road(id[y][x], id[y + 1][x]);
+    }
+  const Router router(net);
+  const auto route = router.shortest_path(id[0][0], id[2][2]);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_DOUBLE_EQ(route->length_m, 400.0);
+  EXPECT_EQ(route->nodes.front(), id[0][0]);
+  EXPECT_EQ(route->nodes.back(), id[2][2]);
+  // Manhattan path: 5 nodes.
+  EXPECT_EQ(route->nodes.size(), 5u);
+}
+
+TEST(Router, DisconnectedReturnsNull) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0, 0});
+  const NodeId b = net.add_node({100, 0});
+  const NodeId c = net.add_node({500, 0});
+  const NodeId d = net.add_node({600, 0});
+  net.add_road(a, b);
+  net.add_road(c, d);
+  const Router router(net);
+  EXPECT_FALSE(router.shortest_path(a, d).has_value());
+}
+
+TEST(Router, RouteBetweenStitchesExactEndpoints) {
+  const auto net = line_network();
+  const Router router(net);
+  const auto route = router.route_between({5, 3}, {195, -2});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->points.front(), (geo::Vec2{5, 3}));
+  EXPECT_EQ(route->points.back(), (geo::Vec2{195, -2}));
+  EXPECT_GE(route->points.size(), 3u);
+}
+
+TEST(Router, RouteBetweenSameSnapNode) {
+  const auto net = line_network();
+  const Router router(net);
+  const auto route = router.route_between({1, 1}, {3, 1});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_NEAR(route->length_m, 2.0, 1e-9);
+}
+
+TEST(City, GridHasExpectedStructure) {
+  Rng rng(1);
+  GridCityConfig cfg;
+  cfg.extent_m = 1000;
+  cfg.block_m = 200;
+  const CityMap city = make_grid_city(cfg, rng);
+  // 6 lines each way → 36 intersections.
+  EXPECT_EQ(city.roads.node_count(), 36u);
+  EXPECT_FALSE(city.buildings.empty());
+  // Buildings stay inside their blocks.
+  for (const auto& b : city.buildings) {
+    EXPECT_GE(b.min.x, 0.0);
+    EXPECT_LE(b.max.x, cfg.extent_m);
+    EXPECT_GT(b.width(), 0.0);
+    EXPECT_GT(b.height(), 0.0);
+  }
+}
+
+TEST(City, GridIsFullyRoutable) {
+  Rng rng(2);
+  GridCityConfig cfg;
+  cfg.extent_m = 800;
+  cfg.block_m = 200;
+  const CityMap city = make_grid_city(cfg, rng);
+  const Router router(city.roads);
+  const auto route =
+      router.shortest_path(0, static_cast<NodeId>(city.roads.node_count() - 1));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_DOUBLE_EQ(route->length_m, 1600.0);  // Manhattan distance corner-corner
+}
+
+TEST(City, BuildingsDoNotCoverStreets) {
+  Rng rng(3);
+  GridCityConfig cfg;
+  cfg.extent_m = 1000;
+  cfg.block_m = 200;
+  cfg.building_fill = 1.0;
+  const CityMap city = make_grid_city(cfg, rng);
+  // Street grid lines must be clear of footprints (setback ≥ min).
+  for (const auto& b : city.buildings) {
+    const double mx = std::fmod(b.min.x, cfg.block_m);
+    EXPECT_GE(mx, cfg.building_setback_min - 1e-9);
+  }
+}
+
+TEST(City, EnvironmentPresetsDiffer) {
+  Rng rng(4);
+  const auto open = make_environment(Environment::kOpenRoad, 2000, rng);
+  const auto downtown = make_environment(Environment::kDowntown, 2000, rng);
+  const auto residential = make_environment(Environment::kResidential, 2000, rng);
+  EXPECT_TRUE(open.buildings.empty());
+  EXPECT_GT(downtown.buildings.size(), residential.buildings.size() / 2);
+  // Downtown buildings fill most of each 150 m block.
+  double downtown_area = 0;
+  for (const auto& b : downtown.buildings) downtown_area += b.width() * b.height();
+  EXPECT_GT(downtown_area, 0.5 * 2000 * 2000);
+}
+
+TEST(City, EnvironmentNames) {
+  EXPECT_STREQ(environment_name(Environment::kOpenRoad), "Open road");
+  EXPECT_STREQ(environment_name(Environment::kDowntown), "Downtown");
+}
+
+}  // namespace
+}  // namespace viewmap::road

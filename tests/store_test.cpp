@@ -1,0 +1,125 @@
+// Unit tests: VP database persistence (VMDB snapshot format).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "store/vp_store.h"
+#include "vp/video.h"
+#include "vp/vp_builder.h"
+
+namespace viewmap::store {
+namespace {
+
+vp::ViewProfile make_profile(TimeSec unit, geo::Vec2 start, Rng& rng) {
+  vp::VpBuilder builder(unit, rng);
+  vp::SyntheticVideoSource source(99, 16);
+  std::vector<std::uint8_t> chunk;
+  for (int s = 0; s < kDigestsPerProfile; ++s) {
+    source.generate_chunk(unit, s, chunk);
+    (void)builder.tick(start + geo::Vec2{s * 5.0, 0}, chunk);
+  }
+  return builder.finish().profile;
+}
+
+sys::VpDatabase make_db(Rng& rng, int normal, int trusted) {
+  sys::VpDatabase db;
+  for (int i = 0; i < normal; ++i)
+    db.upload(make_profile(0, {i * 100.0, 0}, rng));
+  for (int i = 0; i < trusted; ++i)
+    db.upload_trusted(make_profile(60, {i * 100.0, 500}, rng));
+  return db;
+}
+
+TEST(VpStore, RoundTripPreservesEverything) {
+  Rng rng(1);
+  const auto db = make_db(rng, 5, 2);
+
+  std::stringstream buffer;
+  save_database(db, buffer);
+
+  LoadStats stats;
+  const auto loaded = load_database(buffer, &stats);
+  EXPECT_EQ(stats.profiles_loaded, 7u);
+  EXPECT_EQ(stats.profiles_rejected, 0u);
+  EXPECT_EQ(loaded.size(), db.size());
+  EXPECT_EQ(loaded.trusted_count(), db.trusted_count());
+  for (const auto* profile : db.all()) {
+    const auto* copy = loaded.find(profile->vp_id());
+    ASSERT_NE(copy, nullptr);
+    EXPECT_EQ(*copy, *profile);
+    EXPECT_EQ(loaded.is_trusted(profile->vp_id()), db.is_trusted(profile->vp_id()));
+  }
+}
+
+TEST(VpStore, RejectsBadMagicAndVersion) {
+  std::stringstream bad_magic("NOPE....");
+  EXPECT_THROW((void)load_database(bad_magic), std::runtime_error);
+
+  Rng rng(2);
+  const auto db = make_db(rng, 1, 0);
+  std::stringstream buffer;
+  save_database(db, buffer);
+  std::string data = buffer.str();
+  data[4] = 99;  // version byte
+  std::stringstream tampered(data);
+  EXPECT_THROW((void)load_database(tampered), std::runtime_error);
+}
+
+TEST(VpStore, TruncationIsDetected) {
+  Rng rng(3);
+  const auto db = make_db(rng, 3, 1);
+  std::stringstream buffer;
+  save_database(db, buffer);
+  std::string data = buffer.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW((void)load_database(truncated), std::runtime_error);
+}
+
+TEST(VpStore, CorruptedProfileIsDroppedNotFatal) {
+  Rng rng(4);
+  const auto db = make_db(rng, 3, 0);
+  std::stringstream buffer;
+  save_database(db, buffer);
+  std::string data = buffer.str();
+  // Flip a location byte inside the second profile's payload so it fails
+  // the plausibility screen (teleport) but parses fine structurally.
+  const std::size_t header = 4 + 4 + 8 + 8;
+  const std::size_t second_profile = header + vp::kVpWireSize + 30 * 72 + 8;
+  data[second_profile] = static_cast<char>(0xff);
+  data[second_profile + 1] = static_cast<char>(0xff);
+  data[second_profile + 2] = static_cast<char>(0x7f);
+  data[second_profile + 3] = static_cast<char>(0x7f);  // loc_x ≈ 3.4e38 m
+
+  std::stringstream corrupted(data);
+  LoadStats stats;
+  const auto loaded = load_database(corrupted, &stats);
+  EXPECT_EQ(stats.profiles_loaded + stats.profiles_rejected, 3u);
+  EXPECT_GE(stats.profiles_rejected, 1u);
+  EXPECT_EQ(loaded.size(), stats.profiles_loaded);
+}
+
+TEST(VpStore, FileRoundTrip) {
+  Rng rng(5);
+  const auto db = make_db(rng, 4, 1);
+  const std::string path = "/tmp/viewmap_store_test.vmdb";
+  save_database_file(db, path);
+  LoadStats stats;
+  const auto loaded = load_database_file(path, &stats);
+  EXPECT_EQ(loaded.size(), 5u);
+  EXPECT_EQ(loaded.trusted_count(), 1u);
+  EXPECT_THROW((void)load_database_file("/nonexistent/nope.vmdb"),
+               std::runtime_error);
+}
+
+TEST(VpStore, EmptyDatabaseRoundTrips) {
+  sys::VpDatabase empty;
+  std::stringstream buffer;
+  save_database(empty, buffer);
+  const auto loaded = load_database(buffer);
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.trusted_count(), 0u);
+}
+
+}  // namespace
+}  // namespace viewmap::store

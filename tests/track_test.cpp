@@ -1,0 +1,187 @@
+// Unit tests: adversarial tracker and privacy evaluation harness.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "track/privacy_eval.h"
+#include "track/tracker.h"
+
+namespace viewmap::track {
+namespace {
+
+Id16 id_of(std::uint8_t tag) {
+  Id16 id;
+  id.bytes[0] = tag;
+  return id;
+}
+
+VpObservation obs(std::uint8_t tag, TimeSec unit, geo::Vec2 start, geo::Vec2 end) {
+  return {id_of(tag), unit, start, end};
+}
+
+TEST(Tracker, SingleContinuationKeepsCertainty) {
+  // One vehicle, no guards: the tracker never loses it.
+  std::vector<std::vector<VpObservation>> minutes{
+      {obs(1, 0, {0, 0}, {100, 0})},
+      {obs(2, 60, {100, 0}, {200, 0})},
+      {obs(3, 120, {200, 0}, {300, 0})},
+  };
+  const std::vector<Id16> truth{id_of(1), id_of(2), id_of(3)};
+  const Tracker tracker;
+  const auto trace = tracker.follow(minutes, 0, truth);
+  ASSERT_EQ(trace.success_ratio.size(), 2u);
+  EXPECT_NEAR(trace.success_ratio[0], 1.0, 1e-9);
+  EXPECT_NEAR(trace.success_ratio[1], 1.0, 1e-9);
+  EXPECT_NEAR(trace.entropy_bits[1], 0.0, 1e-9);
+}
+
+TEST(Tracker, GuardForkSplitsBelief) {
+  // Minute 1 offers two equally plausible continuations from (100,0):
+  // the actual VP and a guard starting at the same spot.
+  std::vector<std::vector<VpObservation>> minutes{
+      {obs(1, 0, {0, 0}, {100, 0})},
+      {obs(2, 60, {100, 0}, {200, 0}), obs(9, 60, {100, 0}, {50, 300})},
+  };
+  const std::vector<Id16> truth{id_of(1), id_of(2)};
+  const Tracker tracker;
+  const auto trace = tracker.follow(minutes, 0, truth);
+  EXPECT_NEAR(trace.success_ratio[0], 0.5, 1e-9);
+  EXPECT_NEAR(trace.entropy_bits[0], 1.0, 1e-9);  // two equal hypotheses
+}
+
+TEST(Tracker, GateExcludesFarCandidates) {
+  std::vector<std::vector<VpObservation>> minutes{
+      {obs(1, 0, {0, 0}, {100, 0})},
+      {obs(2, 60, {100, 0}, {200, 0}), obs(9, 60, {5000, 0}, {5100, 0})},
+  };
+  const std::vector<Id16> truth{id_of(1), id_of(2)};
+  const Tracker tracker;
+  const auto trace = tracker.follow(minutes, 0, truth);
+  EXPECT_NEAR(trace.success_ratio[0], 1.0, 1e-9);  // far VP gets no belief
+}
+
+TEST(Tracker, CloserContinuationGetsMoreBelief) {
+  std::vector<std::vector<VpObservation>> minutes{
+      {obs(1, 0, {0, 0}, {100, 0})},
+      {obs(2, 60, {100, 0}, {200, 0}), obs(9, 60, {160, 0}, {260, 0})},
+  };
+  const std::vector<Id16> truth{id_of(1), id_of(2)};
+  const Tracker tracker;
+  const auto trace = tracker.follow(minutes, 0, truth);
+  EXPECT_GT(trace.success_ratio[0], 0.5);
+  EXPECT_LT(trace.success_ratio[0], 1.0);
+}
+
+TEST(Tracker, DivergentGuardChainsCompoundConfusion) {
+  // Guard trajectories end elsewhere, and from there further plausible
+  // continuations exist (other vehicles' paths) — belief spreads over an
+  // exponentially growing hypothesis tree, so success decays per minute.
+  std::vector<std::vector<VpObservation>> minutes;
+  std::vector<Id16> truth;
+  minutes.push_back({obs(1, 0, {0, 0}, {100, 0})});
+  truth.push_back(id_of(1));
+  std::uint8_t next_id = 10;
+  for (int t = 1; t <= 3; ++t) {
+    std::vector<VpObservation> minute;
+    // The hypothesis frontier doubles each minute: every surviving branch
+    // (real or guard) gets both a straight continuation and a guard fork
+    // toward a distinct end region.
+    const int branches = 1 << (t - 1);
+    for (int b = 0; b < branches; ++b) {
+      const geo::Vec2 base{100.0 * t, b * 400.0};
+      minute.push_back(obs(next_id, t * 60, base, base + geo::Vec2{100, 0}));
+      if (b == 0 && t < 4) truth.push_back(id_of(next_id));
+      ++next_id;
+      minute.push_back(obs(next_id, t * 60, base, base + geo::Vec2{0, 400}));
+      ++next_id;
+    }
+    minutes.push_back(std::move(minute));
+  }
+  const Tracker tracker;
+  const auto trace = tracker.follow(minutes, 0, truth);
+  ASSERT_EQ(trace.success_ratio.size(), 3u);
+  // Minute 1: two equal hypotheses; each later minute forks every branch.
+  EXPECT_NEAR(trace.success_ratio[0], 0.5, 0.05);
+  EXPECT_LE(trace.success_ratio[1], 0.30);
+  EXPECT_LE(trace.success_ratio[2], 0.20);
+  EXPECT_GT(trace.entropy_bits[2], trace.entropy_bits[0]);
+}
+
+TEST(Tracker, PersistentSameStartForksHoldAtHalf) {
+  // When every guard starts AND the next minute's candidates start at the
+  // same point, mass re-merges: success plateaus at 1/2 instead of
+  // compounding. (Compounding requires divergent guard endpoints, which
+  // the simulator-based privacy tests exercise.)
+  std::vector<std::vector<VpObservation>> minutes;
+  std::vector<Id16> truth;
+  minutes.push_back({obs(1, 0, {0, 0}, {100, 0})});
+  truth.push_back(id_of(1));
+  for (std::uint8_t t = 1; t <= 4; ++t) {
+    const double x = 100.0 * t;
+    minutes.push_back(
+        {obs(static_cast<std::uint8_t>(10 + t), t * 60, {x, 0}, {x + 100, 0}),
+         obs(static_cast<std::uint8_t>(100 + t), t * 60, {x, 0}, {x - 50, 200})});
+    truth.push_back(id_of(static_cast<std::uint8_t>(10 + t)));
+  }
+  const Tracker tracker;
+  const auto trace = tracker.follow(minutes, 0, truth);
+  ASSERT_EQ(trace.success_ratio.size(), 4u);
+  EXPECT_NEAR(trace.success_ratio[3], 0.5, 0.05);
+  EXPECT_NEAR(trace.entropy_bits[3], 1.0, 0.1);
+}
+
+TEST(Tracker, InputValidation) {
+  const Tracker tracker;
+  std::vector<std::vector<VpObservation>> minutes{{obs(1, 0, {0, 0}, {1, 0})}};
+  EXPECT_THROW((void)tracker.follow(minutes, 5, {id_of(1)}), std::invalid_argument);
+  EXPECT_THROW((void)tracker.follow(minutes, 0, {}), std::invalid_argument);
+}
+
+class PrivacyEvalTest : public ::testing::Test {
+ protected:
+  static sim::SimResult simulate(bool guards) {
+    // Sparse traffic (≈3 vehicles/km², as in the paper's n = 50 over
+    // 4×4 km²): without guards, paths barely ever get confused.
+    Rng city_rng(31);
+    road::GridCityConfig ccfg;
+    ccfg.extent_m = 2000;
+    ccfg.block_m = 250;
+    ccfg.building_fill = 0.4;
+    auto city = road::make_grid_city(ccfg, city_rng);
+
+    sim::SimConfig cfg;
+    cfg.seed = 33;
+    cfg.vehicle_count = 12;
+    cfg.minutes = 5;
+    cfg.video_bytes_per_second = 16;
+    cfg.guards_enabled = guards;
+    sim::TrafficSimulator s(std::move(city), cfg);
+    return s.run();
+  }
+};
+
+TEST_F(PrivacyEvalTest, GuardsRaiseEntropyAndCutSuccess) {
+  const auto result = simulate(true);
+  const auto with_guards = evaluate_privacy(result, /*include_guards=*/true);
+  const auto without = evaluate_privacy(result, /*include_guards=*/false);
+
+  ASSERT_EQ(with_guards.minutes.size(), 4u);
+  // By the last minute, guards must have strictly degraded tracking.
+  EXPECT_LT(with_guards.mean_success.back(), without.mean_success.back());
+  EXPECT_GT(with_guards.mean_entropy.back(), without.mean_entropy.back());
+  // No-guard tracking in sparse traffic stays close to certain (Fig. 11).
+  EXPECT_GT(without.mean_success.back(), 0.7);
+}
+
+TEST_F(PrivacyEvalTest, ObservationsGroupedPerMinute) {
+  const auto result = simulate(true);
+  const auto grouped = observations_by_minute(result, true);
+  ASSERT_EQ(grouped.size(), 5u);
+  const auto actual_only = observations_by_minute(result, false);
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(actual_only[t].size(), 12u);
+    EXPECT_GE(grouped[t].size(), actual_only[t].size());
+  }
+}
+
+}  // namespace
+}  // namespace viewmap::track

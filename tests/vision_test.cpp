@@ -1,0 +1,173 @@
+// Unit tests: synthetic scenes, plate localization, blur, pipeline timing.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vision/frame.h"
+#include "vision/pipeline.h"
+#include "vision/plate_blur.h"
+#include "vision/threaded_pipeline.h"
+
+namespace viewmap::vision {
+namespace {
+
+TEST(PixelRect, IouBasics) {
+  const PixelRect a{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(a.iou(a), 1.0);
+  const PixelRect b{10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(a.iou(b), 0.0);
+  const PixelRect c{5, 0, 10, 10};
+  EXPECT_NEAR(a.iou(c), 50.0 / 150.0, 1e-12);
+}
+
+TEST(Frame, LuminanceAndBounds) {
+  Frame f(4, 4);
+  EXPECT_EQ(f.width(), 4);
+  auto* p = f.pixel(1, 1);
+  p[0] = 255;
+  p[1] = 255;
+  p[2] = 255;
+  EXPECT_NEAR(f.luminance(1, 1), 255.0, 1e-9);
+  EXPECT_NEAR(f.luminance(0, 0), 0.0, 1e-9);
+  EXPECT_THROW(Frame(0, 4), std::invalid_argument);
+}
+
+TEST(Scene, GroundTruthPlatesHavePlateAspect) {
+  Rng rng(1);
+  SceneConfig cfg;
+  const auto scene = make_scene(cfg, rng);
+  ASSERT_EQ(scene.plates.size(), static_cast<std::size_t>(cfg.plate_count));
+  for (const auto& plate : scene.plates) {
+    EXPECT_GE(plate.aspect(), 2.0);
+    EXPECT_LE(plate.aspect(), 6.5);
+    EXPECT_GT(plate.area(), 0);
+  }
+}
+
+TEST(Localizer, FindsMostPlates) {
+  Rng rng(2);
+  SceneConfig cfg;
+  cfg.plate_count = 2;
+  const PlateLocalizer localizer;
+  DetectionQuality total;
+  for (int i = 0; i < 20; ++i) {
+    const auto scene = make_scene(cfg, rng);
+    const auto detections = localizer.locate(scene.frame);
+    const auto q = evaluate_detections(detections, scene.plates);
+    total.truths += q.truths;
+    total.covered += q.covered;
+    total.detections += q.detections;
+  }
+  // ALPR localization on clean synthetic scenes should rarely miss.
+  EXPECT_GT(total.recall(), 0.85);
+}
+
+TEST(Blur, DestroysPlateDetail) {
+  Rng rng(3);
+  SceneConfig cfg;
+  cfg.plate_count = 1;
+  auto scene = make_scene(cfg, rng);
+  const PixelRect plate = scene.plates[0];
+
+  // High-frequency glyph energy before vs after blur.
+  auto gradient_energy = [&](const Frame& f) {
+    double e = 0;
+    for (int y = plate.y; y < plate.y + plate.h; ++y)
+      for (int x = plate.x; x + 1 < plate.x + plate.w; ++x)
+        e += std::abs(f.luminance(x + 1, y) - f.luminance(x, y));
+    return e;
+  };
+  const double before = gradient_energy(scene.frame);
+  blur_region(scene.frame, plate);  // adaptive kernel
+  const double after = gradient_energy(scene.frame);
+  EXPECT_LT(after, before * 0.35);
+}
+
+TEST(Blur, DoesNotTouchOutsideRegion) {
+  Rng rng(4);
+  SceneConfig cfg;
+  auto scene = make_scene(cfg, rng);
+  const Frame original = scene.frame;
+  const PixelRect region{100, 100, 50, 20};
+  blur_region(scene.frame, region, 3);
+  // A pixel far from the region is untouched.
+  EXPECT_EQ(scene.frame.pixel(10, 10)[0], original.pixel(10, 10)[0]);
+  EXPECT_EQ(scene.frame.pixel(400, 300)[1], original.pixel(400, 300)[1]);
+}
+
+TEST(Blur, ClipsRegionsAtFrameEdge) {
+  Frame f(32, 32);
+  blur_region(f, {-5, -5, 20, 20}, 2);         // spills over top-left
+  blur_region(f, {25, 25, 100, 100}, 2);       // spills over bottom-right
+  blur_region(f, {40, 40, 10, 10}, 2);         // fully outside: no-op
+  SUCCEED();  // no crash, no UB (ASAN-clean under sanitizer builds)
+}
+
+TEST(Pipeline, ProcessesAndTimesAllStages) {
+  Rng rng(5);
+  SceneConfig cfg;
+  cfg.width = 320;
+  cfg.height = 240;
+  const auto scene = make_scene(cfg, rng);
+  BlurPipeline pipeline;
+  StageTimings t;
+  (void)pipeline.process(scene.frame, t);
+  EXPECT_GT(t.blur_ms, 0.0);
+  EXPECT_GT(t.io_ms(), 0.0);
+  EXPECT_GT(t.fps(), 0.0);
+  ASSERT_NE(pipeline.last_output(), nullptr);
+  EXPECT_EQ(pipeline.last_output()->width(), 320);
+}
+
+TEST(Pipeline, MeasureAveragesOverFrames) {
+  SceneConfig cfg;
+  cfg.width = 320;
+  cfg.height = 240;
+  const auto t = measure_pipeline(3, cfg, 99);
+  EXPECT_GT(t.total_ms(), 0.0);
+  EXPECT_NEAR(t.total_ms(), t.capture_ms + t.blur_ms + t.write_ms, 1e-9);
+}
+
+TEST(ThreadedPipeline, ProcessesEveryFrameExactlyOnce) {
+  Rng rng(6);
+  SceneConfig cfg;
+  cfg.width = 320;
+  cfg.height = 240;
+  ThreadedBlurPipeline pipeline;
+  for (int i = 0; i < 12; ++i) {
+    auto scene = make_scene(cfg, rng);
+    pipeline.submit(scene.frame);
+  }
+  EXPECT_EQ(pipeline.drain(), 12u);
+  // Submitting after a drain keeps working.
+  auto scene = make_scene(cfg, rng);
+  pipeline.submit(scene.frame);
+  EXPECT_EQ(pipeline.drain(), 13u);
+}
+
+TEST(ThreadedPipeline, DestructorJoinsCleanlyWithPendingWork) {
+  Rng rng(7);
+  SceneConfig cfg;
+  cfg.width = 320;
+  cfg.height = 240;
+  {
+    ThreadedBlurPipeline pipeline;
+    for (int i = 0; i < 3; ++i) {
+      auto scene = make_scene(cfg, rng);
+      pipeline.submit(scene.frame);
+    }
+    // No drain: the destructor must finish or discard safely, not hang.
+  }
+  SUCCEED();
+}
+
+TEST(ThreadedPipeline, ComparisonReportsBothRates) {
+  SceneConfig cfg;
+  cfg.width = 320;
+  cfg.height = 240;
+  const auto cmp = compare_pipelines(6, cfg, 99);
+  EXPECT_GT(cmp.sequential_fps, 0.0);
+  EXPECT_GT(cmp.threaded_fps, 0.0);
+}
+
+}  // namespace
+}  // namespace viewmap::vision

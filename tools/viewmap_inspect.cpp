@@ -1,0 +1,72 @@
+// viewmap_inspect — load a VMDB snapshot, print database statistics, and
+// optionally run an investigation against it.
+//
+// Usage:
+//   viewmap_inspect DB.vmdb                      # stats per unit-time
+//   viewmap_inspect DB.vmdb X Y RADIUS MINUTE    # investigate a site
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/hex.h"
+#include "store/vp_store.h"
+#include "system/verifier.h"
+#include "system/viewmap_graph.h"
+
+using namespace viewmap;
+
+int main(int argc, char** argv) {
+  if (argc != 2 && argc != 6) {
+    std::fprintf(stderr, "usage: %s DB.vmdb [X Y RADIUS MINUTE]\n", argv[0]);
+    return 2;
+  }
+
+  store::LoadStats stats;
+  sys::VpDatabase db;
+  try {
+    db = store::load_database_file(argv[1], &stats);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s: %zu VPs loaded (%zu rejected by the upload screen), %zu trusted\n",
+              argv[1], stats.profiles_loaded, stats.profiles_rejected,
+              stats.trusted_marked);
+
+  // Per-minute census.
+  std::map<TimeSec, std::pair<std::size_t, std::size_t>> census;  // total, trusted
+  for (const auto* profile : db.all()) {
+    auto& [total, trusted] = census[profile->unit_time()];
+    ++total;
+    trusted += db.is_trusted(profile->vp_id()) ? 1u : 0u;
+  }
+  std::printf("%-12s %-8s %-8s\n", "unit-time", "VPs", "trusted");
+  for (const auto& [unit, counts] : census)
+    std::printf("%-12lld %-8zu %-8zu\n", static_cast<long long>(unit), counts.first,
+                counts.second);
+
+  if (argc == 6) {
+    const double x = std::atof(argv[2]);
+    const double y = std::atof(argv[3]);
+    const double r = std::atof(argv[4]);
+    const TimeSec minute = std::atoll(argv[5]) * kUnitTimeSec;
+    const geo::Rect site{{x - r, y - r}, {x + r, y + r}};
+
+    const sys::ViewmapBuilder builder;
+    const sys::Viewmap map = builder.build(db, site, minute);
+    const sys::Verifier verifier;
+    const auto verdict = verifier.verify(map, site);
+    std::printf("\ninvestigation @ (%.0f, %.0f) r=%.0f, minute %lld:\n", x, y, r,
+                static_cast<long long>(minute / kUnitTimeSec));
+    std::printf("  viewmap: %zu members, %zu viewlinks\n", map.size(),
+                map.edge_count());
+    std::printf("  site: %zu members, %zu legitimate, %zu rejected\n",
+                verdict.site_members.size(), verdict.legitimate.size(),
+                verdict.rejected.size());
+    for (std::size_t i : verdict.legitimate)
+      std::printf("    LEGITIMATE %s trust=%.5f\n",
+                  to_hex(map.member(i).vp_id().bytes).substr(0, 16).c_str(),
+                  verdict.ranks.scores[i]);
+  }
+  return 0;
+}

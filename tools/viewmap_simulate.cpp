@@ -1,0 +1,60 @@
+// viewmap_simulate — generate a ViewMap VP database from simulated city
+// traffic and write it as a VMDB snapshot.
+//
+// Usage:
+//   viewmap_simulate OUT.vmdb [vehicles] [minutes] [extent_m] [seed]
+//
+// Vehicle 0 plays the police car: its actual VPs are marked trusted.
+// Inspect the result with viewmap_inspect.
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/simulator.h"
+#include "store/vp_store.h"
+
+using namespace viewmap;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s OUT.vmdb [vehicles=60] [minutes=5] [extent_m=2500] "
+                 "[seed=1]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string out_path = argv[1];
+  const int vehicles = argc > 2 ? std::atoi(argv[2]) : 60;
+  const int minutes = argc > 3 ? std::atoi(argv[3]) : 5;
+  const double extent = argc > 4 ? std::atof(argv[4]) : 2500.0;
+  const auto seed = static_cast<std::uint64_t>(argc > 5 ? std::atoll(argv[5]) : 1);
+
+  Rng city_rng(seed);
+  road::GridCityConfig ccfg;
+  ccfg.extent_m = extent;
+  ccfg.block_m = 250.0;
+  ccfg.building_fill = 0.55;
+  auto city = road::make_grid_city(ccfg, city_rng);
+
+  sim::SimConfig cfg;
+  cfg.seed = seed + 1;
+  cfg.vehicle_count = vehicles;
+  cfg.minutes = minutes;
+  cfg.video_bytes_per_second = 32;
+  sim::TrafficSimulator simulator(std::move(city), cfg);
+  const sim::SimResult world = simulator.run();
+
+  sys::VpDatabase db;
+  std::size_t guards = 0;
+  for (const auto& rec : world.profiles) {
+    guards += rec.guard;
+    if (!rec.guard && rec.creator == 0)
+      db.upload_trusted(rec.profile);
+    else
+      db.upload(rec.profile);
+  }
+  store::save_database_file(db, out_path);
+  std::printf("%s: %zu VPs (%zu guards, %zu trusted) from %d vehicles x %d min\n",
+              out_path.c_str(), db.size(), guards, db.trusted_count(), vehicles,
+              minutes);
+  return 0;
+}
