@@ -1,0 +1,205 @@
+// bench_index — perf trajectory for the spatio-temporal VP index.
+//
+//   (1) (site, unit-time) query latency: grid-indexed shards vs the
+//       pre-index linear scan, at growing database sizes.
+//   (2) batched ingest throughput: 1 worker vs N workers through the
+//       striped-lock commit path.
+//
+// Emits BENCH_index.json (cwd) so future PRs can diff the numbers.
+//
+//   ./bench/bench_index [--max_vps=1000000] [--queries=200]
+//                       [--ingest_vps=20000] [--threads=N]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "attack/fake_vp.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "index/ingest_engine.h"
+#include "system/vp_database.h"
+
+using namespace viewmap;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Straight-line synthetic VP inside a city whose extent grows with the
+/// fleet so density stays plausible.
+vp::ViewProfile random_vp(TimeSec unit, double extent, Rng& rng) {
+  const geo::Vec2 start{rng.uniform(-extent, extent), rng.uniform(-extent, extent)};
+  const geo::Vec2 end{start.x + rng.uniform(-1500.0, 1500.0),
+                      start.y + rng.uniform(-1500.0, 1500.0)};
+  return attack::make_fake_profile(unit, start, end, rng);
+}
+
+struct QueryRow {
+  std::size_t vps = 0;
+  double indexed_us = 0.0;
+  double linear_us = 0.0;
+  double speedup = 0.0;
+  std::size_t hits = 0;
+};
+
+QueryRow bench_queries(std::size_t vp_count, int query_count, Rng& rng) {
+  // Spread the fleet over 30 minutes of city time (a typical incident
+  // window) and scale the map so ~50 VPs share a 250 m block per minute.
+  const int minutes = 30;
+  const double extent =
+      std::max(2000.0, 250.0 * std::sqrt(static_cast<double>(vp_count) / minutes / 50.0) * 8.0);
+
+  sys::VpDatabase db;
+  for (std::size_t i = 0; i < vp_count; ++i) {
+    const TimeSec unit = kUnitTimeSec * static_cast<TimeSec>(rng.index(minutes));
+    if (!db.timeline().insert(random_vp(unit, extent, rng), false)) --i;
+  }
+
+  // Query sites: 200 m half-width incident rectangles at random places.
+  std::vector<geo::Rect> sites;
+  std::vector<TimeSec> units;
+  for (int q = 0; q < query_count; ++q) {
+    const geo::Vec2 c{rng.uniform(-extent, extent), rng.uniform(-extent, extent)};
+    sites.push_back({{c.x - 200.0, c.y - 200.0}, {c.x + 200.0, c.y + 200.0}});
+    units.push_back(kUnitTimeSec * static_cast<TimeSec>(rng.index(minutes)));
+  }
+
+  QueryRow row;
+  row.vps = db.size();
+
+  auto start = Clock::now();
+  for (int q = 0; q < query_count; ++q)
+    row.hits += db.query(units[static_cast<std::size_t>(q)],
+                         sites[static_cast<std::size_t>(q)])
+                    .size();
+  row.indexed_us = seconds_since(start) / query_count * 1e6;
+
+  // The pre-index algorithm, verbatim: scan every stored VP. all() is
+  // hoisted out of the loop — the scan itself is what we are timing.
+  const auto everything = db.all();
+  const int linear_runs = std::max(5, query_count / 10);
+  std::size_t linear_hits = 0;
+  start = Clock::now();
+  for (int q = 0; q < linear_runs; ++q) {
+    for (const auto* profile : everything)
+      if (profile->unit_time() == units[static_cast<std::size_t>(q)] &&
+          profile->visits(sites[static_cast<std::size_t>(q)]))
+        ++linear_hits;
+  }
+  row.linear_us = seconds_since(start) / linear_runs * 1e6;
+  row.speedup = row.indexed_us > 0 ? row.linear_us / row.indexed_us : 0.0;
+  return row;
+}
+
+struct IngestRow {
+  std::size_t payloads = 0;
+  unsigned threads = 1;
+  double single_vps_per_sec = 0.0;
+  double multi_vps_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+IngestRow bench_ingest(std::size_t payload_count, unsigned threads, Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(payload_count);
+  for (std::size_t i = 0; i < payload_count; ++i) {
+    const TimeSec unit = kUnitTimeSec * static_cast<TimeSec>(rng.index(30));
+    payloads.push_back(random_vp(unit, 8000.0, rng).serialize());
+  }
+
+  IngestRow row;
+  row.payloads = payload_count;
+  row.threads = threads;
+  for (const bool multi : {false, true}) {
+    sys::VpDatabase db;
+    index::IngestConfig cfg;
+    cfg.threads = multi ? threads : 1;
+    index::IngestEngine engine(db.timeline(), db.policy(), cfg);
+    const auto start = Clock::now();
+    const auto stats = engine.ingest(payloads);
+    const double rate = static_cast<double>(stats.accepted) / seconds_since(start);
+    (multi ? row.multi_vps_per_sec : row.single_vps_per_sec) = rate;
+  }
+  row.speedup = row.single_vps_per_sec > 0 ? row.multi_vps_per_sec / row.single_vps_per_sec
+                                           : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header("Index", "Spatio-temporal VP index: query + ingest scaling");
+  const auto max_vps =
+      static_cast<std::size_t>(bench::int_flag(argc, argv, "max_vps", 1000000));
+  const int queries = bench::int_flag(argc, argv, "queries", 200);
+  const auto ingest_vps =
+      static_cast<std::size_t>(bench::int_flag(argc, argv, "ingest_vps", 20000));
+  unsigned threads = static_cast<unsigned>(bench::int_flag(argc, argv, "threads", 0));
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+
+  std::printf("(hardware_concurrency=%u, ingest workers=%u)\n",
+              std::thread::hardware_concurrency(), threads);
+
+  // ── query latency vs database size ───────────────────────────────────
+  std::printf("\n-- (site, unit-time) query latency: grid index vs linear scan --\n");
+  std::printf("%-10s %-14s %-14s %-10s %-8s\n", "VPs", "indexed (us)", "linear (us)",
+              "speedup", "hits/q");
+  std::vector<QueryRow> query_rows;
+  for (std::size_t n : {std::size_t{10000}, std::size_t{100000}, std::size_t{1000000}}) {
+    if (n > max_vps) break;
+    Rng rng(1000 + n);
+    const auto row = bench_queries(n, queries, rng);
+    char speedup[32];
+    std::snprintf(speedup, sizeof speedup, "%.1fx", row.speedup);
+    std::printf("%-10zu %-14.2f %-14.1f %-10s %-8.1f\n", row.vps, row.indexed_us,
+                row.linear_us, speedup, static_cast<double>(row.hits) / queries);
+    query_rows.push_back(row);
+  }
+
+  // ── ingest throughput: 1 worker vs N ─────────────────────────────────
+  std::printf("\n-- batched ingest throughput (parse + screen + shard commit) --\n");
+  Rng ingest_rng(77);
+  const auto ingest = bench_ingest(ingest_vps, threads, ingest_rng);
+  std::printf("%zu payloads: %.0f VPs/s single-thread, %.0f VPs/s with %u threads "
+              "(%.2fx)\n",
+              ingest.payloads, ingest.single_vps_per_sec, ingest.multi_vps_per_sec,
+              ingest.threads, ingest.speedup);
+  if (std::thread::hardware_concurrency() <= 1)
+    std::printf("note: this host exposes 1 CPU; multi-thread speedup needs cores.\n");
+
+  // ── JSON trajectory ──────────────────────────────────────────────────
+  FILE* json = std::fopen("BENCH_index.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"hardware_concurrency\": %u,\n  \"query\": [\n",
+                 std::thread::hardware_concurrency());
+    for (std::size_t i = 0; i < query_rows.size(); ++i) {
+      const auto& r = query_rows[i];
+      std::fprintf(json,
+                   "    {\"vps\": %zu, \"indexed_us\": %.3f, \"linear_us\": %.3f, "
+                   "\"speedup\": %.2f}%s\n",
+                   r.vps, r.indexed_us, r.linear_us, r.speedup,
+                   i + 1 < query_rows.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"ingest\": {\"payloads\": %zu, \"single_vps_per_sec\": %.1f, "
+                 "\"threads\": %u, \"multi_vps_per_sec\": %.1f, \"speedup\": %.3f%s}\n}\n",
+                 ingest.payloads, ingest.single_vps_per_sec, ingest.threads,
+                 ingest.multi_vps_per_sec, ingest.speedup,
+                 std::thread::hardware_concurrency() <= 1
+                     ? ", \"note\": \"single-core host: thread scaling not observable\""
+                     : "");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_index.json\n");
+  }
+  return 0;
+}

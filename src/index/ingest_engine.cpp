@@ -1,0 +1,88 @@
+#include "index/ingest_engine.h"
+
+#include <atomic>
+#include <thread>
+
+namespace viewmap::index {
+
+IngestStats& IngestStats::operator+=(const IngestStats& o) noexcept {
+  accepted += o.accepted;
+  rejected_malformed += o.rejected_malformed;
+  rejected_duplicate += o.rejected_duplicate;
+  evicted += o.evicted;
+  batches += o.batches;
+  return *this;
+}
+
+IngestEngine::IngestEngine(VpTimeline& timeline, vp::VpUploadPolicy policy,
+                           IngestConfig cfg)
+    : timeline_(timeline), policy_(policy), cfg_(cfg) {}
+
+unsigned IngestEngine::worker_count() const noexcept {
+  if (cfg_.threads != 0) return cfg_.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+IngestStats IngestEngine::ingest(std::vector<std::vector<std::uint8_t>> payloads) {
+  IngestStats stats;
+  stats.batches = 1;
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> accepted{0};
+  std::atomic<std::size_t> malformed{0};
+  std::atomic<std::size_t> duplicate{0};
+
+  const auto worker = [&] {
+    std::size_t ok = 0, bad = 0, dup = 0;
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= payloads.size()) break;
+      try {
+        auto profile = vp::ViewProfile::parse(payloads[i]);
+        if (!policy_.well_formed(profile)) {
+          ++bad;
+        } else if (timeline_.insert(std::move(profile), /*trusted=*/false)) {
+          ++ok;
+        } else {
+          ++dup;
+        }
+      } catch (const std::exception&) {
+        // Malformed payloads are dropped; anonymous senders get no feedback.
+        ++bad;
+      }
+    }
+    accepted.fetch_add(ok, std::memory_order_relaxed);
+    malformed.fetch_add(bad, std::memory_order_relaxed);
+    duplicate.fetch_add(dup, std::memory_order_relaxed);
+  };
+
+  const unsigned workers = worker_count();
+  if (workers <= 1 || payloads.size() < cfg_.min_parallel_batch) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  stats.accepted = accepted.load();
+  stats.rejected_malformed = malformed.load();
+  stats.rejected_duplicate = duplicate.load();
+  if (cfg_.enforce_retention) stats.evicted = timeline_.enforce_retention();
+  totals_ += stats;
+  return stats;
+}
+
+IngestStats IngestEngine::drain(anonet::AnonymousChannel& channel) {
+  IngestStats stats;
+  auto deliveries = channel.drain();
+  if (deliveries.empty()) return stats;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(deliveries.size());
+  for (auto& delivery : deliveries) payloads.push_back(std::move(delivery.payload));
+  return ingest(std::move(payloads));
+}
+
+}  // namespace viewmap::index

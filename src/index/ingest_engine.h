@@ -1,0 +1,71 @@
+// Concurrent batched ingest for anonymous VP uploads.
+//
+// The service-side hot path: drain the anonymous channel in batches,
+// parse + structurally screen each payload (the §4 upload screen — CPU
+// work with no shared state), and commit survivors to the timeline's
+// shards under its striped locks. Workers pull payload indices off one
+// atomic cursor, so parse/screen/commit of different uploads overlap
+// freely; there is no global lock anywhere on the path. Retention is
+// enforced once per batch, between batches — the only moment the engine
+// guarantees no worker holds shard pointers.
+//
+// Accept/reject results are identical to the serial path regardless of
+// thread count (same screen, same duplicate rule); only the order in
+// which duplicates lose is timing-dependent, exactly as it already was
+// for a shuffled anonymous channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anonet/channel.h"
+#include "index/timeline.h"
+#include "vp/view_profile.h"
+
+namespace viewmap::index {
+
+struct IngestConfig {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned threads = 0;
+  /// Payload batches below this size are ingested inline on the calling
+  /// thread — spawning workers for a handful of uploads costs more than
+  /// the parse work itself.
+  std::size_t min_parallel_batch = 64;
+  /// Enforce the timeline's retention window after each batch.
+  bool enforce_retention = true;
+};
+
+struct IngestStats {
+  std::size_t accepted = 0;
+  std::size_t rejected_malformed = 0;  ///< failed parse or the upload screen
+  std::size_t rejected_duplicate = 0;  ///< id collision with a stored VP
+  std::size_t evicted = 0;             ///< VPs aged out by retention
+  std::size_t batches = 0;
+
+  IngestStats& operator+=(const IngestStats& o) noexcept;
+};
+
+class IngestEngine {
+ public:
+  IngestEngine(VpTimeline& timeline, vp::VpUploadPolicy policy, IngestConfig cfg = {});
+
+  /// Ingests one batch of serialized VP payloads (all as anonymous,
+  /// untrusted uploads). Blocks until the batch is fully committed.
+  IngestStats ingest(std::vector<std::vector<std::uint8_t>> payloads);
+
+  /// Drains everything pending on the anonymous channel through ingest().
+  IngestStats drain(anonet::AnonymousChannel& channel);
+
+  /// Running totals across all ingest()/drain() calls on this engine.
+  [[nodiscard]] const IngestStats& totals() const noexcept { return totals_; }
+
+  [[nodiscard]] unsigned worker_count() const noexcept;
+
+ private:
+  VpTimeline& timeline_;
+  vp::VpUploadPolicy policy_;
+  IngestConfig cfg_;
+  IngestStats totals_;
+};
+
+}  // namespace viewmap::index

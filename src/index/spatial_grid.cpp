@@ -1,0 +1,82 @@
+#include "index/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace viewmap::index {
+
+std::int32_t SpatialGrid::cell_coord(double meters) const noexcept {
+  const double c = std::floor(meters / cfg_.cell_m);
+  if (c <= static_cast<double>(std::numeric_limits<std::int32_t>::min()))
+    return std::numeric_limits<std::int32_t>::min();
+  if (c >= static_cast<double>(std::numeric_limits<std::int32_t>::max()))
+    return std::numeric_limits<std::int32_t>::max();
+  return static_cast<std::int32_t>(c);
+}
+
+void SpatialGrid::insert(const vp::ViewProfile* profile) {
+  // A 1-minute trajectory at ≤70 m/s touches at most ~18 distinct 250 m
+  // cells, usually 1-3; dedupe the per-second keys in a small local buffer.
+  CellKey keys[kDigestsPerProfile];
+  std::size_t n = 0;
+  for (int s = 0; s < kDigestsPerProfile; ++s) {
+    const geo::Vec2 p = profile->location_at(s);
+    keys[n++] = pack(cell_coord(p.x), cell_coord(p.y));
+  }
+  std::sort(keys, keys + n);
+  const auto* end = std::unique(keys, keys + n);
+  for (const auto* k = keys; k != end; ++k) {
+    cells_[*k].push_back(profile);
+    ++entries_;
+  }
+}
+
+void SpatialGrid::erase(const vp::ViewProfile* profile) noexcept {
+  for (int s = 0; s < kDigestsPerProfile; ++s) {
+    const geo::Vec2 p = profile->location_at(s);
+    const auto it = cells_.find(pack(cell_coord(p.x), cell_coord(p.y)));
+    if (it == cells_.end()) continue;
+    entries_ -= static_cast<std::size_t>(std::erase(it->second, profile));
+    if (it->second.empty()) cells_.erase(it);
+  }
+}
+
+void SpatialGrid::collect_candidates(const geo::Rect& area,
+                                     std::vector<const vp::ViewProfile*>& out) const {
+  if (cells_.empty() || area.min.x > area.max.x || area.min.y > area.max.y) return;
+  const std::int32_t x0 = cell_coord(area.min.x);
+  const std::int32_t x1 = cell_coord(area.max.x);
+  const std::int32_t y0 = cell_coord(area.min.y);
+  const std::int32_t y1 = cell_coord(area.max.y);
+
+  const std::size_t first = out.size();
+  const auto span_x = static_cast<std::uint64_t>(x1) - static_cast<std::uint64_t>(x0) + 1;
+  const auto span_y = static_cast<std::uint64_t>(y1) - static_cast<std::uint64_t>(y0) + 1;
+  // Huge rectangles ("query everywhere") would enumerate billions of empty
+  // cells; scanning the occupied cells is strictly cheaper past this point.
+  if (span_x > cells_.size() || span_y > cells_.size() ||
+      span_x * span_y > cells_.size()) {
+    for (const auto& [key, vps] : cells_) {
+      const auto cx = static_cast<std::int32_t>(static_cast<std::uint32_t>(key >> 32));
+      const auto cy = static_cast<std::int32_t>(static_cast<std::uint32_t>(key));
+      if (cx < x0 || cx > x1 || cy < y0 || cy > y1) continue;
+      out.insert(out.end(), vps.begin(), vps.end());
+    }
+  } else {
+    for (std::int32_t cx = x0;; ++cx) {
+      for (std::int32_t cy = y0;; ++cy) {
+        if (auto it = cells_.find(pack(cx, cy)); it != cells_.end())
+          out.insert(out.end(), it->second.begin(), it->second.end());
+        if (cy == y1) break;
+      }
+      if (cx == x1) break;
+    }
+  }
+  // A trajectory can touch several matched cells; report each VP once.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
+  out.erase(std::unique(out.begin() + static_cast<std::ptrdiff_t>(first), out.end()),
+            out.end());
+}
+
+}  // namespace viewmap::index

@@ -1,0 +1,285 @@
+#include "index/timeline.h"
+
+#include <algorithm>
+
+namespace viewmap::index {
+
+namespace {
+
+bool id_less(const vp::ViewProfile* a, const vp::ViewProfile* b) {
+  return a->vp_id() < b->vp_id();
+}
+
+}  // namespace
+
+VpTimeline::VpTimeline(TimelineConfig cfg) : cfg_(cfg) { fresh_stripes(); }
+
+void VpTimeline::fresh_stripes() {
+  id_stripes_.clear();
+  time_stripes_.clear();
+  id_stripes_.reserve(kIdStripes);
+  time_stripes_.reserve(kTimeStripes);
+  for (std::size_t i = 0; i < kIdStripes; ++i)
+    id_stripes_.push_back(std::make_unique<IdStripe>());
+  for (std::size_t i = 0; i < kTimeStripes; ++i)
+    time_stripes_.push_back(std::make_unique<TimeStripe>());
+}
+
+VpTimeline::VpTimeline(VpTimeline&& other) noexcept
+    : cfg_(other.cfg_),
+      id_stripes_(std::move(other.id_stripes_)),
+      time_stripes_(std::move(other.time_stripes_)),
+      size_(other.size_.load()),
+      trusted_count_(other.trusted_count_.load()),
+      latest_(other.latest_.load()),
+      tombstones_(other.tombstones_.load()) {
+  other.fresh_stripes();
+  other.size_ = 0;
+  other.trusted_count_ = 0;
+  other.latest_ = std::numeric_limits<TimeSec>::min();
+  other.tombstones_ = 0;
+}
+
+VpTimeline& VpTimeline::operator=(VpTimeline&& other) noexcept {
+  if (this == &other) return *this;
+  cfg_ = other.cfg_;
+  id_stripes_ = std::move(other.id_stripes_);
+  time_stripes_ = std::move(other.time_stripes_);
+  size_ = other.size_.load();
+  trusted_count_ = other.trusted_count_.load();
+  latest_ = other.latest_.load();
+  tombstones_ = other.tombstones_.load();
+  other.fresh_stripes();
+  other.size_ = 0;
+  other.trusted_count_ = 0;
+  other.latest_ = std::numeric_limits<TimeSec>::min();
+  other.tombstones_ = 0;
+  return *this;
+}
+
+bool VpTimeline::shard_holds(TimeSec unit, const Id16& id) const {
+  TimeStripe& ts = time_stripe(unit);
+  std::lock_guard lock(ts.mutex);
+  auto it = ts.shards.find(unit);
+  return it != ts.shards.end() && it->second.profiles.contains(id);
+}
+
+bool VpTimeline::insert(vp::ViewProfile profile, bool trusted) {
+  const Id16 id = profile.vp_id();
+  const TimeSec unit = profile.unit_time();
+
+  // Phase 1: claim the id globally (duplicate screen across all shards).
+  IdStripe& is = id_stripe(id);
+  {
+    std::lock_guard lock(is.mutex);
+    auto [it, fresh] = is.ids.try_emplace(id, IdEntry{unit, false});
+    if (!fresh) {
+      if (!it->second.committed) return false;  // concurrent insert in flight
+      if (shard_holds(it->second.unit_time, id)) return false;  // live duplicate
+      it->second = IdEntry{unit, false};  // tombstone of an evicted shard
+      tombstones_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Phase 2: commit to the minute's shard. Only this id's claimant can be
+  // here, so the shard emplace cannot collide. Allocation failure must not
+  // strand the phase-1 claim (an uncommitted entry blocks its id forever
+  // and compaction keeps it), so unwind rolls back shard state under the
+  // time lock, then the claim under the id lock — never both held.
+  TimeStripe& ts = time_stripe(unit);
+  try {
+    std::lock_guard lock(ts.mutex);
+    auto [sit, created] = ts.shards.try_emplace(unit, cfg_.grid);
+    TimeShard& shard = sit->second;
+    auto [pit, inserted] = shard.profiles.emplace(id, std::move(profile));
+    (void)inserted;
+    try {
+      shard.grid.insert(&pit->second);
+      if (trusted) {
+        shard.trusted.insert(id);
+        trusted_count_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (...) {
+      shard.grid.erase(&pit->second);  // also clears a partial insert
+      shard.profiles.erase(pit);
+      if (created) ts.shards.erase(sit);
+      throw;
+    }
+  } catch (...) {
+    std::lock_guard lock(is.mutex);
+    is.ids.erase(id);
+    throw;
+  }
+
+  // Phase 3: publish — the id entry now survives as a tombstone if its
+  // shard is later evicted.
+  {
+    std::lock_guard lock(is.mutex);
+    is.ids[id].committed = true;
+  }
+  size_.fetch_add(1, std::memory_order_relaxed);
+  TimeSec prev = latest_.load(std::memory_order_relaxed);
+  while (unit > prev &&
+         !latest_.compare_exchange_weak(prev, unit, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+const vp::ViewProfile* VpTimeline::find(const Id16& vp_id) const {
+  TimeSec unit;
+  {
+    IdStripe& is = id_stripe(vp_id);
+    std::lock_guard lock(is.mutex);
+    auto it = is.ids.find(vp_id);
+    if (it == is.ids.end() || !it->second.committed) return nullptr;
+    unit = it->second.unit_time;
+  }
+  TimeStripe& ts = time_stripe(unit);
+  std::lock_guard lock(ts.mutex);
+  auto sit = ts.shards.find(unit);
+  if (sit == ts.shards.end()) return nullptr;  // evicted → id is a tombstone
+  auto pit = sit->second.profiles.find(vp_id);
+  return pit == sit->second.profiles.end() ? nullptr : &pit->second;
+}
+
+bool VpTimeline::is_trusted(const Id16& vp_id) const {
+  TimeSec unit;
+  {
+    IdStripe& is = id_stripe(vp_id);
+    std::lock_guard lock(is.mutex);
+    auto it = is.ids.find(vp_id);
+    if (it == is.ids.end() || !it->second.committed) return false;
+    unit = it->second.unit_time;
+  }
+  TimeStripe& ts = time_stripe(unit);
+  std::lock_guard lock(ts.mutex);
+  auto sit = ts.shards.find(unit);
+  return sit != ts.shards.end() && sit->second.trusted.contains(vp_id);
+}
+
+std::vector<const vp::ViewProfile*> VpTimeline::query(TimeSec unit_time,
+                                                      const geo::Rect& area) const {
+  std::vector<const vp::ViewProfile*> out;
+  TimeStripe& ts = time_stripe(unit_time);
+  std::lock_guard lock(ts.mutex);
+  auto sit = ts.shards.find(unit_time);
+  if (sit == ts.shards.end()) return out;
+  sit->second.grid.collect_candidates(area, out);
+  // The grid yields a cell-granular superset; finish with the exact
+  // predicate so results match the reference linear scan bit-for-bit.
+  std::erase_if(out, [&](const vp::ViewProfile* p) { return !p->visits(area); });
+  std::sort(out.begin(), out.end(), id_less);
+  return out;
+}
+
+std::vector<const vp::ViewProfile*> VpTimeline::trusted_at(TimeSec unit_time) const {
+  std::vector<const vp::ViewProfile*> out;
+  TimeStripe& ts = time_stripe(unit_time);
+  std::lock_guard lock(ts.mutex);
+  auto sit = ts.shards.find(unit_time);
+  if (sit == ts.shards.end()) return out;
+  out.reserve(sit->second.trusted.size());
+  for (const Id16& id : sit->second.trusted) out.push_back(&sit->second.profiles.at(id));
+  std::sort(out.begin(), out.end(), id_less);
+  return out;
+}
+
+std::vector<const vp::ViewProfile*> VpTimeline::all() const {
+  std::vector<const vp::ViewProfile*> out;
+  out.reserve(size());
+  for (const auto& stripe : time_stripes_) {
+    std::lock_guard lock(stripe->mutex);
+    for (const auto& [unit, shard] : stripe->shards)
+      for (const auto& [id, profile] : shard.profiles) out.push_back(&profile);
+  }
+  std::sort(out.begin(), out.end(), [](const vp::ViewProfile* a, const vp::ViewProfile* b) {
+    if (a->unit_time() != b->unit_time()) return a->unit_time() < b->unit_time();
+    return a->vp_id() < b->vp_id();
+  });
+  return out;
+}
+
+std::vector<Id16> VpTimeline::trusted_ids() const {
+  std::vector<std::pair<TimeSec, Id16>> keyed;
+  keyed.reserve(trusted_count());
+  for (const auto& stripe : time_stripes_) {
+    std::lock_guard lock(stripe->mutex);
+    for (const auto& [unit, shard] : stripe->shards)
+      for (const Id16& id : shard.trusted) keyed.emplace_back(unit, id);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<Id16> out;
+  out.reserve(keyed.size());
+  for (const auto& [unit, id] : keyed) out.push_back(id);
+  return out;
+}
+
+std::size_t VpTimeline::evict_older_than(TimeSec cutoff_unit) {
+  std::size_t evicted = 0;
+  std::size_t trusted_evicted = 0;
+  // Shards are destroyed after every lock is released: destruction is the
+  // expensive part and nothing else needs to wait for it.
+  std::vector<TimeShard> graveyard;
+  for (const auto& stripe : time_stripes_) {
+    std::lock_guard lock(stripe->mutex);
+    for (auto it = stripe->shards.begin(); it != stripe->shards.end();) {
+      if (it->first < cutoff_unit) {
+        evicted += it->second.profiles.size();
+        trusted_evicted += it->second.trusted.size();
+        graveyard.push_back(std::move(it->second));
+        it = stripe->shards.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  size_.fetch_sub(evicted, std::memory_order_relaxed);
+  trusted_count_.fetch_sub(trusted_evicted, std::memory_order_relaxed);
+  const std::size_t dead = tombstones_.fetch_add(evicted, std::memory_order_relaxed) + evicted;
+  if (dead > size_.load(std::memory_order_relaxed)) compact_tombstones();
+  return evicted;
+}
+
+std::size_t VpTimeline::enforce_retention() {
+  const TimeSec latest = latest_.load(std::memory_order_relaxed);
+  if (latest == std::numeric_limits<TimeSec>::min()) return 0;
+  return evict_older_than(latest - cfg_.retention.window_sec);
+}
+
+void VpTimeline::compact_tombstones() {
+  // One sweep over the id maps, dropping entries whose shard is gone.
+  // Takes every stripe lock, id stripes first — the same global order any
+  // single insert/lookup follows, so this cannot deadlock against them.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kIdStripes + kTimeStripes);
+  for (const auto& stripe : id_stripes_) locks.emplace_back(stripe->mutex);
+  for (const auto& stripe : time_stripes_) locks.emplace_back(stripe->mutex);
+
+  const auto live = [this](TimeSec unit, const Id16& id) {
+    auto& shards = time_stripes_[static_cast<std::uint64_t>(unit) / kUnitTimeSec %
+                                 kTimeStripes]
+                       ->shards;
+    auto it = shards.find(unit);
+    return it != shards.end() && it->second.profiles.contains(id);
+  };
+  for (const auto& stripe : id_stripes_)
+    std::erase_if(stripe->ids, [&](const auto& entry) {
+      return entry.second.committed && !live(entry.second.unit_time, entry.first);
+    });
+  tombstones_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<ShardStats> VpTimeline::shard_stats() const {
+  std::vector<ShardStats> out;
+  for (const auto& stripe : time_stripes_) {
+    std::lock_guard lock(stripe->mutex);
+    for (const auto& [unit, shard] : stripe->shards)
+      out.push_back({unit, shard.profiles.size(), shard.trusted.size(),
+                     shard.grid.cell_count(), shard.grid.entry_count()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ShardStats& a, const ShardStats& b) { return a.unit_time < b.unit_time; });
+  return out;
+}
+
+}  // namespace viewmap::index

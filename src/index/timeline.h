@@ -1,0 +1,170 @@
+// Time-sharded, grid-indexed VP store with retention-window eviction.
+//
+// ViewMap slices everything by unit-time (1 minute, §5.2.1) and its data
+// ages out naturally — dashcams themselves only retain 2-3 weeks of video
+// (§2), so VPs older than the retention window can never be solicited and
+// are dead weight. The timeline therefore shards storage by unit-time:
+//
+//   unit-time ──► TimeShard { profiles (owning), trusted ids, SpatialGrid }
+//
+// An investigation query (site rect, unit-time) touches exactly one shard
+// and, inside it, only the grid cells overlapping the site — O(VPs near
+// the site that minute) instead of O(all VPs ever stored). Retention
+// eviction drops whole shards.
+//
+// Concurrency: insert/find/query take striped locks — ids are striped by
+// id hash, shards by unit-time hash — so concurrent ingest threads working
+// on different minutes (or different ids within a minute) rarely contend
+// and never take a global lock. The global id map makes duplicate-id
+// detection work across shards; eviction does NOT walk it (that would make
+// eviction O(evicted VPs) of index surgery under the ingest path's locks).
+// Instead evicted ids become *tombstones* that are resolved lazily: a
+// lookup whose shard has vanished reports the id as absent, a re-upload
+// reclaims the entry, and once tombstones outnumber live ids the maps are
+// compacted in one sweep.
+//
+// Pointer stability: pointers handed out by find()/query()/all() point
+// into a shard's node-based map and stay valid across further inserts and
+// across moving the timeline — until that shard is evicted. Callers must
+// not hold pointers across eviction (the service never does: eviction runs
+// between ingest batches, investigations borrow within one call chain).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "geo/geometry.h"
+#include "index/spatial_grid.h"
+#include "vp/view_profile.h"
+
+namespace viewmap::index {
+
+struct RetentionConfig {
+  /// How far behind the newest stored unit-time a shard may fall before
+  /// enforce_retention() drops it. Default: 3 weeks (§2 dashcam storage).
+  TimeSec window_sec = 21 * 24 * 3600;
+};
+
+struct TimelineConfig {
+  SpatialGridConfig grid{};
+  RetentionConfig retention{};
+};
+
+/// Per-shard census row (inspection tooling, persistence stats).
+struct ShardStats {
+  TimeSec unit_time = 0;
+  std::size_t vp_count = 0;
+  std::size_t trusted_count = 0;
+  std::size_t grid_cells = 0;
+  std::size_t grid_entries = 0;
+};
+
+class VpTimeline {
+ public:
+  explicit VpTimeline(TimelineConfig cfg = {});
+
+  VpTimeline(VpTimeline&& other) noexcept;
+  VpTimeline& operator=(VpTimeline&& other) noexcept;
+  VpTimeline(const VpTimeline&) = delete;
+  VpTimeline& operator=(const VpTimeline&) = delete;
+
+  /// Stores an already-screened profile. Thread-safe. Returns false when
+  /// the id collides with a live (or in-flight) entry.
+  bool insert(vp::ViewProfile profile, bool trusted);
+
+  [[nodiscard]] const vp::ViewProfile* find(const Id16& vp_id) const;
+  [[nodiscard]] bool is_trusted(const Id16& vp_id) const;
+
+  /// Exact query semantics of the original linear scan: all VPs whose
+  /// unit_time() equals `unit_time` and that visit `area`, ordered by id
+  /// (deterministic across runs, which the scan never was).
+  [[nodiscard]] std::vector<const vp::ViewProfile*> query(TimeSec unit_time,
+                                                          const geo::Rect& area) const;
+  [[nodiscard]] std::vector<const vp::ViewProfile*> trusted_at(TimeSec unit_time) const;
+
+  /// Every stored VP, ordered by (unit-time, id).
+  [[nodiscard]] std::vector<const vp::ViewProfile*> all() const;
+  [[nodiscard]] std::vector<Id16> trusted_ids() const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t trusted_count() const noexcept {
+    return trusted_count_.load(std::memory_order_relaxed);
+  }
+  /// Newest unit-time ever inserted (the retention clock).
+  [[nodiscard]] TimeSec latest_unit_time() const noexcept {
+    return latest_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every shard with unit-time < cutoff. Returns evicted VP count.
+  std::size_t evict_older_than(TimeSec cutoff_unit);
+  /// Applies the configured retention window against latest_unit_time().
+  std::size_t enforce_retention();
+
+  /// Live shards, ordered by unit-time.
+  [[nodiscard]] std::vector<ShardStats> shard_stats() const;
+
+  [[nodiscard]] const TimelineConfig& config() const noexcept { return cfg_; }
+
+ private:
+  static constexpr std::size_t kIdStripes = 16;
+  static constexpr std::size_t kTimeStripes = 8;
+
+  struct TimeShard {
+    std::unordered_map<Id16, vp::ViewProfile, Id16Hasher> profiles;
+    std::unordered_set<Id16, Id16Hasher> trusted;
+    SpatialGrid grid;
+
+    explicit TimeShard(SpatialGridConfig grid_cfg) : grid(grid_cfg) {}
+  };
+
+  struct IdEntry {
+    TimeSec unit_time = 0;
+    /// False while the owning insert is between claiming the id and
+    /// committing the profile to its shard; such entries are hard
+    /// duplicates, never tombstones.
+    bool committed = false;
+  };
+
+  struct IdStripe {
+    mutable std::mutex mutex;
+    std::unordered_map<Id16, IdEntry, Id16Hasher> ids;
+  };
+
+  struct TimeStripe {
+    mutable std::mutex mutex;
+    std::unordered_map<TimeSec, TimeShard> shards;
+  };
+
+  [[nodiscard]] IdStripe& id_stripe(const Id16& id) const {
+    return *id_stripes_[Id16Hasher{}(id) % kIdStripes];
+  }
+  [[nodiscard]] TimeStripe& time_stripe(TimeSec unit) const {
+    return *time_stripes_[static_cast<std::uint64_t>(unit) / kUnitTimeSec % kTimeStripes];
+  }
+  /// Lock-order invariant: a thread holding an id-stripe mutex may acquire
+  /// a time-stripe mutex, never the reverse. Multi-stripe holders
+  /// (compaction) acquire id stripes in index order, then time stripes.
+  [[nodiscard]] bool shard_holds(TimeSec unit, const Id16& id) const;
+
+  void fresh_stripes();
+  void compact_tombstones();
+
+  TimelineConfig cfg_;
+  std::vector<std::unique_ptr<IdStripe>> id_stripes_;
+  std::vector<std::unique_ptr<TimeStripe>> time_stripes_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> trusted_count_{0};
+  std::atomic<TimeSec> latest_{std::numeric_limits<TimeSec>::min()};
+  std::atomic<std::size_t> tombstones_{0};
+};
+
+}  // namespace viewmap::index

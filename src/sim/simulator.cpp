@@ -285,4 +285,11 @@ SimResult TrafficSimulator::run() {
   return result;
 }
 
+std::vector<std::vector<std::uint8_t>> upload_payloads(const SimResult& result) {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(result.profiles.size());
+  for (const auto& rec : result.profiles) payloads.push_back(rec.profile.serialize());
+  return payloads;
+}
+
 }  // namespace viewmap::sim

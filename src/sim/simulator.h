@@ -94,6 +94,13 @@ struct SimResult {
   std::size_t vd_deliveries = 0;
 };
 
+/// Serializes every generated VP (actual and guard alike — the upload
+/// channel must not distinguish them) in result order. Feed these to the
+/// service's anonymous channel or the index ingest engine; trusted VPs
+/// still go through the authenticated path separately.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> upload_payloads(
+    const SimResult& result);
+
 class TrafficSimulator {
  public:
   /// Random fleet over the city's road network.

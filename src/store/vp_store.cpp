@@ -119,6 +119,7 @@ sys::VpDatabase load_database(std::istream& in, LoadStats* stats) {
     }
   }
   local.trusted_marked = db.trusted_count();
+  local.shards_loaded = db.shard_stats().size();
   if (stats != nullptr) *stats = local;
   return db;
 }

@@ -12,6 +12,10 @@
 // Loading replays the uploads through the normal screening path, so a
 // tampered or corrupted file can only ever yield fewer VPs, never
 // malformed ones.
+//
+// Profiles are written in (unit-time, id) order — the index's shard
+// order — so snapshots are byte-deterministic for equal databases and a
+// reloaded database reconstructs the same shards.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +33,7 @@ struct LoadStats {
   std::size_t profiles_loaded = 0;
   std::size_t profiles_rejected = 0;  ///< failed the upload screen
   std::size_t trusted_marked = 0;
+  std::size_t shards_loaded = 0;  ///< distinct unit-times reconstructed
 };
 
 /// Serializes the snapshot into a stream. Throws std::runtime_error on I/O

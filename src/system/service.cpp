@@ -7,21 +7,19 @@ namespace viewmap::sys {
 ViewMapService::ViewMapService(const ServiceConfig& cfg)
     : cfg_(cfg),
       channel_(cfg.channel_seed, cfg.mix_pool),
+      db_(vp::VpUploadPolicy{}, cfg.index),
       builder_(cfg.viewmap),
       verifier_(cfg.trustrank),
       bank_(cfg.rsa_bits) {}
 
 std::size_t ViewMapService::ingest_uploads() {
-  std::size_t accepted = 0;
-  for (auto& delivery : channel_.drain()) {
-    try {
-      auto profile = vp::ViewProfile::parse(delivery.payload);
-      if (db_.upload(std::move(profile))) ++accepted;
-    } catch (const std::exception&) {
-      // Malformed payloads are dropped; anonymous senders get no feedback.
-    }
-  }
-  return accepted;
+  // The engine is stateless apart from its totals, so a per-call instance
+  // keeps the service free of self-referential members; the service keeps
+  // the running totals itself.
+  index::IngestEngine engine(db_.timeline(), db_.policy(), cfg_.ingest);
+  last_ingest_ = engine.drain(channel_);
+  ingest_totals_ += last_ingest_;
+  return last_ingest_.accepted;
 }
 
 bool ViewMapService::register_trusted(vp::ViewProfile profile) {

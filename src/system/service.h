@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "anonet/channel.h"
+#include "index/ingest_engine.h"
 #include "reward/bank.h"
 #include "system/solicitation.h"
 #include "system/verifier.h"
@@ -28,6 +29,8 @@ namespace viewmap::sys {
 struct ServiceConfig {
   ViewmapConfig viewmap{};
   TrustRankConfig trustrank{};
+  viewmap::index::TimelineConfig index{};  ///< shard grid + retention window
+  viewmap::index::IngestConfig ingest{};   ///< batched concurrent upload ingest
   int rsa_bits = 2048;
   std::uint64_t channel_seed = 0x5eed;
   std::size_t mix_pool = 16;
@@ -48,9 +51,21 @@ class ViewMapService {
   /// The anonymous channel users submit serialized VPs through.
   [[nodiscard]] anonet::AnonymousChannel& upload_channel() noexcept { return channel_; }
 
-  /// Drains the channel into the database. Returns how many VPs were
-  /// accepted (malformed or duplicate payloads are dropped).
+  /// Drains the channel into the database through the concurrent ingest
+  /// engine (parallel parse + screen, striped-lock shard commit, retention
+  /// eviction). Returns how many VPs were accepted (malformed or duplicate
+  /// payloads are dropped).
   std::size_t ingest_uploads();
+
+  /// Full statistics of the most recent ingest_uploads() call.
+  [[nodiscard]] const index::IngestStats& last_ingest() const noexcept {
+    return last_ingest_;
+  }
+
+  /// Cumulative ingest statistics over the service's lifetime.
+  [[nodiscard]] const index::IngestStats& ingest_totals() const noexcept {
+    return ingest_totals_;
+  }
 
   /// Authenticated path for authority vehicles (police cars).
   bool register_trusted(vp::ViewProfile profile);
@@ -113,6 +128,8 @@ class ViewMapService {
   Verifier verifier_;
   NoticeBoard board_;
   reward::Bank bank_;
+  index::IngestStats last_ingest_;
+  index::IngestStats ingest_totals_;
   std::vector<Id16> review_;
   std::unordered_map<Id16, int, Id16Hasher> granted_;  ///< open claims: id → n
 };

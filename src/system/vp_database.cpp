@@ -2,60 +2,35 @@
 
 namespace viewmap::sys {
 
-bool VpDatabase::upload(vp::ViewProfile profile) { return insert(std::move(profile), false); }
-
-bool VpDatabase::upload_trusted(vp::ViewProfile profile) {
-  return insert(std::move(profile), true);
+bool VpDatabase::upload(vp::ViewProfile profile) {
+  if (!policy_.well_formed(profile)) return false;
+  return timeline_.insert(std::move(profile), /*trusted=*/false);
 }
 
-bool VpDatabase::insert(vp::ViewProfile profile, bool trusted) {
+bool VpDatabase::upload_trusted(vp::ViewProfile profile) {
   if (!policy_.well_formed(profile)) return false;
-  const Id16 id = profile.vp_id();
-  if (profiles_.contains(id)) return false;
-  profiles_.emplace(id, std::move(profile));
-  if (trusted) trusted_.emplace(id, true);
-  return true;
+  return timeline_.insert(std::move(profile), /*trusted=*/true);
 }
 
 const vp::ViewProfile* VpDatabase::find(const Id16& vp_id) const noexcept {
-  auto it = profiles_.find(vp_id);
-  return it == profiles_.end() ? nullptr : &it->second;
+  return timeline_.find(vp_id);
 }
 
 bool VpDatabase::is_trusted(const Id16& vp_id) const noexcept {
-  return trusted_.contains(vp_id);
+  return timeline_.is_trusted(vp_id);
 }
 
 std::vector<const vp::ViewProfile*> VpDatabase::query(TimeSec unit_time,
                                                       const geo::Rect& area) const {
-  std::vector<const vp::ViewProfile*> out;
-  for (const auto& [id, profile] : profiles_)
-    if (profile.unit_time() == unit_time && profile.visits(area))
-      out.push_back(&profile);
-  return out;
+  return timeline_.query(unit_time, area);
 }
 
 std::vector<const vp::ViewProfile*> VpDatabase::trusted_at(TimeSec unit_time) const {
-  std::vector<const vp::ViewProfile*> out;
-  for (const auto& [id, flag] : trusted_) {
-    const auto* profile = find(id);
-    if (profile != nullptr && profile->unit_time() == unit_time) out.push_back(profile);
-  }
-  return out;
+  return timeline_.trusted_at(unit_time);
 }
 
-std::vector<const vp::ViewProfile*> VpDatabase::all() const {
-  std::vector<const vp::ViewProfile*> out;
-  out.reserve(profiles_.size());
-  for (const auto& [id, profile] : profiles_) out.push_back(&profile);
-  return out;
-}
+std::vector<const vp::ViewProfile*> VpDatabase::all() const { return timeline_.all(); }
 
-std::vector<Id16> VpDatabase::trusted_ids() const {
-  std::vector<Id16> out;
-  out.reserve(trusted_.size());
-  for (const auto& [id, flag] : trusted_) out.push_back(id);
-  return out;
-}
+std::vector<Id16> VpDatabase::trusted_ids() const { return timeline_.trusted_ids(); }
 
 }  // namespace viewmap::sys

@@ -4,22 +4,31 @@
 // indistinguishable and treated identically — §5.2.1 fn.4) plus trusted
 // VPs from authority vehicles. Uploads pass a structural well-formedness
 // screen; nothing about the uploader is retained.
+//
+// Storage is the spatio-temporal index (src/index/): VPs live in
+// per-unit-time shards, each spatially indexed over the claimed
+// trajectories, with a retention window matching how long dashcams keep
+// video. query() is O(VPs near the site that minute); upload() is
+// thread-safe and lock-striped so the batched ingest engine can commit
+// from many threads at once (see index/ingest_engine.h).
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
 #include "geo/geometry.h"
+#include "index/timeline.h"
 #include "vp/view_profile.h"
 
 namespace viewmap::sys {
 
 class VpDatabase {
  public:
-  explicit VpDatabase(vp::VpUploadPolicy policy = {}) : policy_(policy) {}
+  explicit VpDatabase(vp::VpUploadPolicy policy = {},
+                      index::TimelineConfig index_cfg = {})
+      : policy_(policy), timeline_(index_cfg) {}
 
   /// Screens and stores an anonymous VP. Returns false when the VP is
   /// malformed or its identifier collides with an existing entry.
@@ -34,15 +43,17 @@ class VpDatabase {
   [[nodiscard]] bool is_trusted(const Id16& vp_id) const noexcept;
 
   /// All VPs covering unit-time `t` with any claimed location inside
-  /// `area`. Trusted VPs included.
+  /// `area`. Trusted VPs included. Ordered by id.
   [[nodiscard]] std::vector<const vp::ViewProfile*> query(TimeSec unit_time,
                                                           const geo::Rect& area) const;
 
   /// All trusted VPs covering unit-time `t`.
   [[nodiscard]] std::vector<const vp::ViewProfile*> trusted_at(TimeSec unit_time) const;
 
-  [[nodiscard]] std::size_t size() const noexcept { return profiles_.size(); }
-  [[nodiscard]] std::size_t trusted_count() const noexcept { return trusted_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return timeline_.size(); }
+  [[nodiscard]] std::size_t trusted_count() const noexcept {
+    return timeline_.trusted_count();
+  }
 
   /// Every stored VP (evaluation harnesses iterate the whole dataset, e.g.
   /// the §6.2.2 tracking analysis runs against the raw database).
@@ -51,12 +62,28 @@ class VpDatabase {
   /// Identifiers of all trusted VPs (persistence and audit tooling).
   [[nodiscard]] std::vector<Id16> trusted_ids() const;
 
- private:
-  bool insert(vp::ViewProfile profile, bool trusted);
+  /// The structural screen applied to every upload (the ingest engine
+  /// runs it in its worker threads).
+  [[nodiscard]] const vp::VpUploadPolicy& policy() const noexcept { return policy_; }
 
+  /// The underlying spatio-temporal index (ingest engine, persistence,
+  /// inspection tooling). Inserting through the timeline directly skips
+  /// the upload screen — only do that with screened profiles.
+  [[nodiscard]] index::VpTimeline& timeline() noexcept { return timeline_; }
+  [[nodiscard]] const index::VpTimeline& timeline() const noexcept { return timeline_; }
+
+  /// Per-unit-time shard census, ordered by unit-time.
+  [[nodiscard]] std::vector<index::ShardStats> shard_stats() const {
+    return timeline_.shard_stats();
+  }
+
+  /// Drops shards older than the configured retention window (measured
+  /// from the newest stored unit-time). Returns evicted VP count.
+  std::size_t enforce_retention() { return timeline_.enforce_retention(); }
+
+ private:
   vp::VpUploadPolicy policy_;
-  std::unordered_map<Id16, vp::ViewProfile, Id16Hasher> profiles_;
-  std::unordered_map<Id16, bool, Id16Hasher> trusted_;  // set semantics
+  index::VpTimeline timeline_;
 };
 
 }  // namespace viewmap::sys

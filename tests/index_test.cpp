@@ -1,0 +1,347 @@
+// Unit + property tests: spatial grid, sharded timeline, retention
+// eviction, and the concurrent ingest engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "attack/fake_vp.h"
+#include "common/rng.h"
+#include "index/ingest_engine.h"
+#include "index/spatial_grid.h"
+#include "index/timeline.h"
+#include "sim/simulator.h"
+#include "system/vp_database.h"
+
+namespace viewmap::index {
+namespace {
+
+/// Cheap structurally-valid VP: straight line over one minute. Same
+/// generator the attack experiments use, so it passes VpUploadPolicy.
+vp::ViewProfile straight_vp(TimeSec unit, geo::Vec2 start, geo::Vec2 end, Rng& rng) {
+  return attack::make_fake_profile(unit, start, end, rng);
+}
+
+vp::ViewProfile random_vp(TimeSec unit, double extent, Rng& rng) {
+  const geo::Vec2 start{rng.uniform(-extent, extent), rng.uniform(-extent, extent)};
+  const geo::Vec2 end{start.x + rng.uniform(-1500.0, 1500.0),
+                      start.y + rng.uniform(-1500.0, 1500.0)};
+  return straight_vp(unit, start, end, rng);
+}
+
+/// The pre-index query algorithm, verbatim: linear scan of everything.
+std::vector<Id16> linear_scan_ids(const sys::VpDatabase& db, TimeSec unit_time,
+                                  const geo::Rect& area) {
+  std::vector<Id16> out;
+  for (const auto* profile : db.all())
+    if (profile->unit_time() == unit_time && profile->visits(area))
+      out.push_back(profile->vp_id());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Id16> ids_of(const std::vector<const vp::ViewProfile*>& profiles) {
+  std::vector<Id16> out;
+  out.reserve(profiles.size());
+  for (const auto* p : profiles) out.push_back(p->vp_id());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(SpatialGrid, CandidatesAreSupersetAndDeduplicated) {
+  Rng rng(1);
+  std::vector<vp::ViewProfile> profiles;
+  for (int i = 0; i < 50; ++i) profiles.push_back(random_vp(0, 3000.0, rng));
+
+  SpatialGrid grid;
+  for (const auto& p : profiles) grid.insert(&p);
+  EXPECT_GT(grid.cell_count(), 0u);
+  EXPECT_GE(grid.entry_count(), profiles.size());
+
+  for (int q = 0; q < 100; ++q) {
+    const geo::Vec2 c{rng.uniform(-3000.0, 3000.0), rng.uniform(-3000.0, 3000.0)};
+    const double half = rng.uniform(50.0, 800.0);
+    const geo::Rect area{{c.x - half, c.y - half}, {c.x + half, c.y + half}};
+
+    std::vector<const vp::ViewProfile*> candidates;
+    grid.collect_candidates(area, candidates);
+
+    // No duplicates.
+    auto sorted = candidates;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+
+    // Every VP that exactly visits the area must be among the candidates.
+    for (const auto& p : profiles)
+      if (p.visits(area))
+        EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), &p) !=
+                    candidates.end());
+  }
+}
+
+TEST(SpatialGrid, EraseRemovesAllReferences) {
+  Rng rng(3);
+  auto keep = random_vp(0, 1000.0, rng);
+  auto drop = random_vp(0, 1000.0, rng);
+  SpatialGrid grid;
+  grid.insert(&keep);
+  grid.insert(&drop);
+  grid.erase(&drop);
+
+  std::vector<const vp::ViewProfile*> candidates;
+  grid.collect_candidates({{-1e9, -1e9}, {1e9, 1e9}}, candidates);
+  EXPECT_EQ(candidates, std::vector<const vp::ViewProfile*>{&keep});
+
+  // Erasing the rest leaves a truly empty grid.
+  grid.erase(&keep);
+  EXPECT_EQ(grid.cell_count(), 0u);
+  EXPECT_EQ(grid.entry_count(), 0u);
+}
+
+TEST(SpatialGrid, HugeQueryRectFallsBackToCellScan) {
+  Rng rng(2);
+  std::vector<vp::ViewProfile> profiles;
+  for (int i = 0; i < 10; ++i) profiles.push_back(random_vp(0, 1000.0, rng));
+  SpatialGrid grid;
+  for (const auto& p : profiles) grid.insert(&p);
+
+  std::vector<const vp::ViewProfile*> candidates;
+  grid.collect_candidates({{-1e9, -1e9}, {1e9, 1e9}}, candidates);
+  EXPECT_EQ(candidates.size(), profiles.size());
+}
+
+TEST(VpTimelineProperty, QueryMatchesLinearScanOnRandomWorkloads) {
+  for (std::uint64_t seed = 10; seed < 15; ++seed) {
+    Rng rng(seed);
+    sys::VpDatabase db;
+    const int minutes = 5;
+    for (int i = 0; i < 300; ++i) {
+      const TimeSec unit = kUnitTimeSec * rng.index(static_cast<std::size_t>(minutes));
+      auto profile = random_vp(unit, 4000.0, rng);
+      const bool trusted = rng.index(10) == 0;
+      ASSERT_TRUE(trusted ? db.upload_trusted(std::move(profile))
+                          : db.upload(std::move(profile)));
+    }
+
+    for (int q = 0; q < 200; ++q) {
+      const TimeSec unit = kUnitTimeSec * rng.index(static_cast<std::size_t>(minutes + 1));
+      const geo::Vec2 c{rng.uniform(-4500.0, 4500.0), rng.uniform(-4500.0, 4500.0)};
+      const double half = rng.uniform(10.0, 2000.0);
+      const geo::Rect area{{c.x - half, c.y - half}, {c.x + half, c.y + half}};
+
+      const auto indexed = db.query(unit, area);
+      EXPECT_EQ(ids_of(indexed), linear_scan_ids(db, unit, area));
+      // Results are id-ordered (deterministic across runs).
+      for (std::size_t i = 1; i < indexed.size(); ++i)
+        EXPECT_TRUE(indexed[i - 1]->vp_id() < indexed[i]->vp_id());
+    }
+
+    // Whole-world queries per minute partition all().
+    std::size_t total = 0;
+    const geo::Rect everywhere{{-1e7, -1e7}, {1e7, 1e7}};
+    for (int m = 0; m < minutes; ++m)
+      total += db.query(m * kUnitTimeSec, everywhere).size();
+    EXPECT_EQ(total, db.size());
+  }
+}
+
+TEST(VpTimeline, TrustedSetSemantics) {
+  Rng rng(20);
+  sys::VpDatabase db;
+  auto trusted = random_vp(0, 1000.0, rng);
+  auto plain = random_vp(0, 1000.0, rng);
+  const Id16 trusted_id = trusted.vp_id();
+  const Id16 plain_id = plain.vp_id();
+  ASSERT_TRUE(db.upload_trusted(std::move(trusted)));
+  ASSERT_TRUE(db.upload(std::move(plain)));
+
+  EXPECT_TRUE(db.is_trusted(trusted_id));
+  EXPECT_FALSE(db.is_trusted(plain_id));
+  EXPECT_EQ(db.trusted_count(), 1u);
+  EXPECT_EQ(db.trusted_ids(), std::vector<Id16>{trusted_id});
+  EXPECT_EQ(db.trusted_at(0).size(), 1u);
+  // is_trusted and trusted_ids agree for every stored VP (the old
+  // map<Id,bool> representation could make them disagree).
+  const auto trusted_list = db.trusted_ids();
+  for (const auto* p : db.all())
+    EXPECT_EQ(db.is_trusted(p->vp_id()),
+              std::find(trusted_list.begin(), trusted_list.end(), p->vp_id()) !=
+                  trusted_list.end());
+}
+
+TEST(VpTimeline, RetentionEvictsWholeShards) {
+  Rng rng(30);
+  TimelineConfig cfg;
+  cfg.retention.window_sec = 2 * kUnitTimeSec;  // keep latest two minutes
+  VpTimeline timeline(cfg);
+
+  std::vector<Id16> minute0_ids;
+  for (int i = 0; i < 10; ++i) {
+    auto p = random_vp(0, 1000.0, rng);
+    minute0_ids.push_back(p.vp_id());
+    ASSERT_TRUE(timeline.insert(std::move(p), i == 0));  // one trusted
+  }
+  auto p60 = random_vp(60, 1000.0, rng);
+  const Id16 id60 = p60.vp_id();
+  ASSERT_TRUE(timeline.insert(std::move(p60), false));
+  EXPECT_EQ(timeline.size(), 11u);
+  EXPECT_EQ(timeline.trusted_count(), 1u);
+  EXPECT_EQ(timeline.enforce_retention(), 0u);  // everything within window
+
+  auto p180 = random_vp(180, 1000.0, rng);
+  ASSERT_TRUE(timeline.insert(std::move(p180), false));
+  // latest = 180, cutoff = 60: the minute-0 shard (trusted VP included)
+  // must vanish in one whole-shard eviction.
+  EXPECT_EQ(timeline.enforce_retention(), 10u);
+  EXPECT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline.trusted_count(), 0u);
+  EXPECT_EQ(timeline.shard_stats().size(), 2u);
+  for (const auto& id : minute0_ids) {
+    EXPECT_EQ(timeline.find(id), nullptr);
+    EXPECT_FALSE(timeline.is_trusted(id));
+  }
+  EXPECT_NE(timeline.find(id60), nullptr);
+  EXPECT_TRUE(timeline.query(0, {{-1e6, -1e6}, {1e6, 1e6}}).empty());
+
+  // An evicted id is a tombstone, not a live entry: re-uploading it (the
+  // same vehicle re-submitting after the service aged it out) must work.
+  Rng rng2(30);  // same seed → same first profile → same id
+  auto again = random_vp(0, 1000.0, rng2);
+  ASSERT_EQ(again.vp_id(), minute0_ids[0]);
+  EXPECT_TRUE(timeline.insert(std::move(again), false));
+  EXPECT_NE(timeline.find(minute0_ids[0]), nullptr);
+}
+
+TEST(VpTimeline, TombstoneCompactionKeepsLookupsConsistent) {
+  Rng rng(40);
+  VpTimeline timeline;
+  // Many VPs in an old minute, then few in a new one: eviction leaves
+  // tombstones outnumbering live ids, forcing a compaction sweep.
+  std::vector<Id16> old_ids;
+  for (int i = 0; i < 200; ++i) {
+    auto p = random_vp(0, 2000.0, rng);
+    old_ids.push_back(p.vp_id());
+    ASSERT_TRUE(timeline.insert(std::move(p), false));
+  }
+  std::vector<Id16> new_ids;
+  for (int i = 0; i < 5; ++i) {
+    auto p = random_vp(600, 2000.0, rng);
+    new_ids.push_back(p.vp_id());
+    ASSERT_TRUE(timeline.insert(std::move(p), false));
+  }
+  EXPECT_EQ(timeline.evict_older_than(600), 200u);
+  EXPECT_EQ(timeline.size(), 5u);
+  for (const auto& id : old_ids) EXPECT_EQ(timeline.find(id), nullptr);
+  for (const auto& id : new_ids) EXPECT_NE(timeline.find(id), nullptr);
+}
+
+TEST(IngestEngine, StatsAndDuplicateScreen) {
+  Rng rng(50);
+  sys::VpDatabase db;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (int i = 0; i < 20; ++i) payloads.push_back(random_vp(0, 2000.0, rng).serialize());
+  payloads.push_back(payloads.front());      // duplicate id
+  payloads.push_back({0xde, 0xad, 0xbe});    // malformed
+
+  IngestConfig cfg;
+  cfg.threads = 4;
+  cfg.min_parallel_batch = 1;
+  IngestEngine engine(db.timeline(), db.policy(), cfg);
+  const auto stats = engine.ingest(std::move(payloads));
+  EXPECT_EQ(stats.accepted, 20u);
+  EXPECT_EQ(stats.rejected_duplicate, 1u);
+  EXPECT_EQ(stats.rejected_malformed, 1u);
+  EXPECT_EQ(db.size(), 20u);
+  EXPECT_EQ(engine.totals().accepted, 20u);
+}
+
+TEST(IngestEngine, ThreadCountDoesNotChangeTheOutcome) {
+  Rng rng(60);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (int i = 0; i < 200; ++i) {
+    const TimeSec unit = kUnitTimeSec * rng.index(4);
+    payloads.push_back(random_vp(unit, 3000.0, rng).serialize());
+  }
+  // Every fourth payload duplicated: the duplicates lose regardless of
+  // which worker wins the race.
+  for (std::size_t i = 0; i < 200; i += 4) payloads.push_back(payloads[i]);
+
+  std::vector<Id16> reference;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    sys::VpDatabase db;
+    IngestConfig cfg;
+    cfg.threads = threads;
+    cfg.min_parallel_batch = 1;
+    IngestEngine engine(db.timeline(), db.policy(), cfg);
+    const auto stats = engine.ingest(payloads);
+    EXPECT_EQ(stats.accepted, 200u);
+    EXPECT_EQ(stats.rejected_duplicate, 50u);
+    auto ids = ids_of(db.all());
+    if (reference.empty())
+      reference = ids;
+    else
+      EXPECT_EQ(ids, reference);
+  }
+}
+
+TEST(IngestEngine, ConcurrentInsertsOnOneTimelineAreSafe) {
+  Rng rng(70);
+  // Shared duplicates contended by every thread plus a private set each.
+  std::vector<vp::ViewProfile> shared;
+  for (int i = 0; i < 50; ++i) shared.push_back(random_vp(0, 3000.0, rng));
+
+  VpTimeline timeline;
+  constexpr int kThreads = 4;
+  std::vector<std::vector<vp::ViewProfile>> private_sets(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    for (int i = 0; i < 100; ++i)
+      private_sets[static_cast<std::size_t>(t)].push_back(
+          random_vp(kUnitTimeSec * (t % 3), 3000.0, rng));
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&, t] {
+      for (auto& p : private_sets[static_cast<std::size_t>(t)])
+        EXPECT_TRUE(timeline.insert(std::move(p), false));
+      for (const auto& p : shared) timeline.insert(p, false);  // racing duplicates
+    });
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(timeline.size(), static_cast<std::size_t>(kThreads * 100 + 50));
+  for (const auto& p : shared) EXPECT_NE(timeline.find(p.vp_id()), nullptr);
+}
+
+TEST(IngestEngine, DrainsSimulatedTrafficLikeTheSerialPath) {
+  road::GridCityConfig ccfg;
+  ccfg.extent_m = 1000.0;
+  Rng city_rng(80);
+  auto city = road::make_grid_city(ccfg, city_rng);
+  sim::SimConfig scfg;
+  scfg.seed = 81;
+  scfg.vehicle_count = 12;
+  scfg.minutes = 2;
+  scfg.video_bytes_per_second = 8;
+  sim::TrafficSimulator simulator(std::move(city), scfg);
+  const auto world = simulator.run();
+  auto payloads = sim::upload_payloads(world);
+  ASSERT_FALSE(payloads.empty());
+
+  // Serial reference: the pre-engine upload loop.
+  sys::VpDatabase reference;
+  std::size_t reference_accepted = 0;
+  for (const auto& payload : payloads)
+    if (reference.upload(vp::ViewProfile::parse(payload))) ++reference_accepted;
+
+  sys::VpDatabase db;
+  IngestConfig cfg;
+  cfg.threads = 4;
+  cfg.min_parallel_batch = 1;
+  IngestEngine engine(db.timeline(), db.policy(), cfg);
+  const auto stats = engine.ingest(std::move(payloads));
+  EXPECT_EQ(stats.accepted, reference_accepted);
+  EXPECT_EQ(ids_of(db.all()), ids_of(reference.all()));
+}
+
+}  // namespace
+}  // namespace viewmap::index

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build (Release) and run the index benchmark, leaving BENCH_index.json in
+# the repository root so successive PRs accumulate a perf trajectory.
+#
+#   tools/run_bench.sh [extra bench_index flags, e.g. --max_vps=100000]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" --target bench_index -j "$(nproc)"
+
+cd "$repo_root"
+"$build_dir/bench/bench_index" "$@"
+echo "BENCH_index.json -> $repo_root/BENCH_index.json"

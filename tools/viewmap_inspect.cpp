@@ -6,7 +6,6 @@
 //   viewmap_inspect DB.vmdb X Y RADIUS MINUTE    # investigate a site
 #include <cstdio>
 #include <cstdlib>
-#include <map>
 
 #include "common/hex.h"
 #include "store/vp_store.h"
@@ -29,21 +28,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  std::printf("%s: %zu VPs loaded (%zu rejected by the upload screen), %zu trusted\n",
-              argv[1], stats.profiles_loaded, stats.profiles_rejected,
-              stats.trusted_marked);
+  std::printf(
+      "%s: %zu VPs loaded (%zu rejected by the upload screen), %zu trusted, "
+      "%zu shard(s)\n",
+      argv[1], stats.profiles_loaded, stats.profiles_rejected, stats.trusted_marked,
+      stats.shards_loaded);
 
-  // Per-minute census.
-  std::map<TimeSec, std::pair<std::size_t, std::size_t>> census;  // total, trusted
-  for (const auto* profile : db.all()) {
-    auto& [total, trusted] = census[profile->unit_time()];
-    ++total;
-    trusted += db.is_trusted(profile->vp_id()) ? 1u : 0u;
-  }
-  std::printf("%-12s %-8s %-8s\n", "unit-time", "VPs", "trusted");
-  for (const auto& [unit, counts] : census)
-    std::printf("%-12lld %-8zu %-8zu\n", static_cast<long long>(unit), counts.first,
-                counts.second);
+  // Per-shard census straight from the spatio-temporal index.
+  std::printf("%-12s %-8s %-8s %-10s %-12s\n", "unit-time", "VPs", "trusted",
+              "grid-cells", "grid-entries");
+  for (const auto& shard : db.shard_stats())
+    std::printf("%-12lld %-8zu %-8zu %-10zu %-12zu\n",
+                static_cast<long long>(shard.unit_time), shard.vp_count,
+                shard.trusted_count, shard.grid_cells, shard.grid_entries);
 
   if (argc == 6) {
     const double x = std::atof(argv[2]);

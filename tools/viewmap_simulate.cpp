@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "index/ingest_engine.h"
 #include "sim/simulator.h"
 #include "store/vp_store.h"
 
@@ -43,18 +44,33 @@ int main(int argc, char** argv) {
   sim::TrafficSimulator simulator(std::move(city), cfg);
   const sim::SimResult world = simulator.run();
 
+  // Trusted VPs (vehicle 0, the police car) take the authenticated path;
+  // everything else is serialized and batch-committed by the ingest engine,
+  // exactly as anonymous uploads reach a deployed service.
   sys::VpDatabase db;
   std::size_t guards = 0;
+  std::vector<std::vector<std::uint8_t>> anonymous;
+  anonymous.reserve(world.profiles.size());
   for (const auto& rec : world.profiles) {
     guards += rec.guard;
     if (!rec.guard && rec.creator == 0)
       db.upload_trusted(rec.profile);
     else
-      db.upload(rec.profile);
+      anonymous.push_back(rec.profile.serialize());
   }
+  index::IngestEngine engine(db.timeline(), db.policy());
+  const auto ingest = engine.ingest(std::move(anonymous));
+
   store::save_database_file(db, out_path);
   std::printf("%s: %zu VPs (%zu guards, %zu trusted) from %d vehicles x %d min\n",
               out_path.c_str(), db.size(), guards, db.trusted_count(), vehicles,
               minutes);
+  std::printf("ingest: %zu accepted, %zu malformed, %zu duplicate (%u threads)\n",
+              ingest.accepted, ingest.rejected_malformed, ingest.rejected_duplicate,
+              engine.worker_count());
+  std::printf("%-12s %-8s %-8s %-10s\n", "unit-time", "VPs", "trusted", "grid-cells");
+  for (const auto& shard : db.shard_stats())
+    std::printf("%-12lld %-8zu %-8zu %-10zu\n", static_cast<long long>(shard.unit_time),
+                shard.vp_count, shard.trusted_count, shard.grid_cells);
   return 0;
 }
