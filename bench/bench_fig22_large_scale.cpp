@@ -9,6 +9,7 @@
 // --minutes to approach paper scale); every sub-figure prints its paper
 // reference shape.
 #include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "attack/experiments.h"
@@ -50,6 +51,13 @@ struct HeldViewmap {
 HeldViewmap viewmap_of(const sim::SimResult& result) {
   HeldViewmap held;
   held.db = std::make_unique<sys::VpDatabase>();
+  // Feed the simulated wall-clock first (the single trust seed sits at
+  // minute ~0, and long --minutes runs would otherwise fall outside the
+  // upload timeliness window and be silently dropped).
+  TimeSec newest = std::numeric_limits<TimeSec>::min();
+  for (const auto& rec : result.profiles)
+    newest = std::max(newest, rec.profile.unit_time());
+  if (newest != std::numeric_limits<TimeSec>::min()) held.db->advance_clock(newest);
   bool trusted_done = false;
   for (const auto& rec : result.profiles) {
     if (!trusted_done && !rec.guard) {

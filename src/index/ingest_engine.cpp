@@ -1,5 +1,6 @@
 #include "index/ingest_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -8,6 +9,7 @@ namespace viewmap::index {
 IngestStats& IngestStats::operator+=(const IngestStats& o) noexcept {
   accepted += o.accepted;
   rejected_malformed += o.rejected_malformed;
+  rejected_untimely += o.rejected_untimely;
   rejected_duplicate += o.rejected_duplicate;
   evicted += o.evicted;
   batches += o.batches;
@@ -31,10 +33,11 @@ IngestStats IngestEngine::ingest(std::vector<std::vector<std::uint8_t>> payloads
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> accepted{0};
   std::atomic<std::size_t> malformed{0};
+  std::atomic<std::size_t> untimely{0};
   std::atomic<std::size_t> duplicate{0};
 
   const auto worker = [&] {
-    std::size_t ok = 0, bad = 0, dup = 0;
+    std::size_t ok = 0, bad = 0, late = 0, dup = 0;
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= payloads.size()) break;
@@ -42,6 +45,11 @@ IngestStats IngestEngine::ingest(std::vector<std::vector<std::uint8_t>> payloads
         auto profile = vp::ViewProfile::parse(payloads[i]);
         if (!policy_.well_formed(profile)) {
           ++bad;
+        } else if (!timeline_.admissible(profile.unit_time())) {
+          // Claimed minute implausibly far from the trusted clock —
+          // rejecting here keeps attacker timestamps out of the shards
+          // (retention itself never trusts them either).
+          ++late;
         } else if (timeline_.insert(std::move(profile), /*trusted=*/false)) {
           ++ok;
         } else {
@@ -54,21 +62,34 @@ IngestStats IngestEngine::ingest(std::vector<std::vector<std::uint8_t>> payloads
     }
     accepted.fetch_add(ok, std::memory_order_relaxed);
     malformed.fetch_add(bad, std::memory_order_relaxed);
+    untimely.fetch_add(late, std::memory_order_relaxed);
     duplicate.fetch_add(dup, std::memory_order_relaxed);
   };
 
-  const unsigned workers = worker_count();
+  // Never more threads than payloads: each extra worker would pop the
+  // cursor once past the end and exit, paying spawn/join for nothing.
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(worker_count(), payloads.size()));
   if (workers <= 1 || payloads.size() < cfg_.min_parallel_batch) {
     worker();
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    try {
+      for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    } catch (...) {
+      // A thread that failed to start never claimed a cursor slot; the
+      // ones already running drain the batch and exit, so joining them
+      // terminates. Destroying joinable threads would std::terminate.
+      for (auto& th : pool) th.join();
+      throw;
+    }
     for (auto& th : pool) th.join();
   }
 
   stats.accepted = accepted.load();
   stats.rejected_malformed = malformed.load();
+  stats.rejected_untimely = untimely.load();
   stats.rejected_duplicate = duplicate.load();
   if (cfg_.enforce_retention) stats.evicted = timeline_.enforce_retention();
   totals_ += stats;

@@ -2,12 +2,15 @@
 //
 // The service-side hot path: drain the anonymous channel in batches,
 // parse + structurally screen each payload (the §4 upload screen — CPU
-// work with no shared state), and commit survivors to the timeline's
+// work with no shared state), apply the timeline's timeliness screen
+// (claimed unit-time plausible against the trusted clock, see
+// VpTimeline::admissible), and commit survivors to the timeline's
 // shards under its striped locks. Workers pull payload indices off one
 // atomic cursor, so parse/screen/commit of different uploads overlap
 // freely; there is no global lock anywhere on the path. Retention is
 // enforced once per batch, between batches — the only moment the engine
-// guarantees no worker holds shard pointers.
+// guarantees no worker holds shard pointers — and is driven by the
+// trusted clock, never by timestamps inside the anonymous batch.
 //
 // Accept/reject results are identical to the serial path regardless of
 // thread count (same screen, same duplicate rule); only the order in
@@ -38,6 +41,7 @@ struct IngestConfig {
 struct IngestStats {
   std::size_t accepted = 0;
   std::size_t rejected_malformed = 0;  ///< failed parse or the upload screen
+  std::size_t rejected_untimely = 0;   ///< claimed unit-time implausible vs trusted clock
   std::size_t rejected_duplicate = 0;  ///< id collision with a stored VP
   std::size_t evicted = 0;             ///< VPs aged out by retention
   std::size_t batches = 0;

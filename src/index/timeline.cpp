@@ -32,11 +32,13 @@ VpTimeline::VpTimeline(VpTimeline&& other) noexcept
       size_(other.size_.load()),
       trusted_count_(other.trusted_count_.load()),
       latest_(other.latest_.load()),
+      clock_(other.clock_.load()),
       tombstones_(other.tombstones_.load()) {
   other.fresh_stripes();
   other.size_ = 0;
   other.trusted_count_ = 0;
   other.latest_ = std::numeric_limits<TimeSec>::min();
+  other.clock_ = std::numeric_limits<TimeSec>::min();
   other.tombstones_ = 0;
 }
 
@@ -48,11 +50,13 @@ VpTimeline& VpTimeline::operator=(VpTimeline&& other) noexcept {
   size_ = other.size_.load();
   trusted_count_ = other.trusted_count_.load();
   latest_ = other.latest_.load();
+  clock_ = other.clock_.load();
   tombstones_ = other.tombstones_.load();
   other.fresh_stripes();
   other.size_ = 0;
   other.trusted_count_ = 0;
   other.latest_ = std::numeric_limits<TimeSec>::min();
+  other.clock_ = std::numeric_limits<TimeSec>::min();
   other.tombstones_ = 0;
   return *this;
 }
@@ -99,6 +103,10 @@ bool VpTimeline::insert(vp::ViewProfile profile, bool trusted) {
         shard.trusted.insert(id);
         trusted_count_.fetch_add(1, std::memory_order_relaxed);
       }
+      // Counters commit under the same shard lock as the profile, so a
+      // concurrent eviction sees either both or neither — its fetch_sub
+      // can never precede this add and wrap the size_t counters.
+      size_.fetch_add(1, std::memory_order_relaxed);
     } catch (...) {
       shard.grid.erase(&pit->second);  // also clears a partial insert
       shard.profiles.erase(pit);
@@ -117,12 +125,38 @@ bool VpTimeline::insert(vp::ViewProfile profile, bool trusted) {
     std::lock_guard lock(is.mutex);
     is.ids[id].committed = true;
   }
-  size_.fetch_add(1, std::memory_order_relaxed);
   TimeSec prev = latest_.load(std::memory_order_relaxed);
   while (unit > prev &&
          !latest_.compare_exchange_weak(prev, unit, std::memory_order_relaxed)) {
   }
+  // Trusted uploads arrive authenticated, so their timestamps may drive
+  // the retention clock. Anonymous claims never touch it.
+  if (trusted) advance_clock(unit);
   return true;
+}
+
+void VpTimeline::advance_clock(TimeSec now) noexcept {
+  TimeSec prev = clock_.load(std::memory_order_relaxed);
+  while (now > prev &&
+         !clock_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+VpTimeline::RetentionBounds VpTimeline::retention_bounds(TimeSec now) const noexcept {
+  constexpr TimeSec kFloor = std::numeric_limits<TimeSec>::min();
+  constexpr TimeSec kCeil = std::numeric_limits<TimeSec>::max();
+  const TimeSec window = std::max<TimeSec>(cfg_.retention.window_sec, 0);
+  const TimeSec skew = std::max<TimeSec>(cfg_.retention.max_future_skew_sec, 0);
+  // Saturating arithmetic: a clock near either extreme must not wrap.
+  return {now < kFloor + window ? kFloor : now - window,
+          now > kCeil - skew ? kCeil : now + skew};
+}
+
+bool VpTimeline::admissible(TimeSec unit_time) const noexcept {
+  const TimeSec now = clock_.load(std::memory_order_relaxed);
+  if (now == std::numeric_limits<TimeSec>::min()) return true;  // no reference
+  const auto [oldest, newest] = retention_bounds(now);
+  return unit_time >= oldest && unit_time <= newest;
 }
 
 const vp::ViewProfile* VpTimeline::find(const Id16& vp_id) const {
@@ -215,6 +249,10 @@ std::vector<Id16> VpTimeline::trusted_ids() const {
 }
 
 std::size_t VpTimeline::evict_older_than(TimeSec cutoff_unit) {
+  return evict_outside(cutoff_unit, std::numeric_limits<TimeSec>::max());
+}
+
+std::size_t VpTimeline::evict_outside(TimeSec oldest, TimeSec newest) {
   std::size_t evicted = 0;
   std::size_t trusted_evicted = 0;
   // Shards are destroyed after every lock is released: destruction is the
@@ -223,7 +261,7 @@ std::size_t VpTimeline::evict_older_than(TimeSec cutoff_unit) {
   for (const auto& stripe : time_stripes_) {
     std::lock_guard lock(stripe->mutex);
     for (auto it = stripe->shards.begin(); it != stripe->shards.end();) {
-      if (it->first < cutoff_unit) {
+      if (it->first < oldest || it->first > newest) {
         evicted += it->second.profiles.size();
         trusted_evicted += it->second.trusted.size();
         graveyard.push_back(std::move(it->second));
@@ -241,9 +279,14 @@ std::size_t VpTimeline::evict_older_than(TimeSec cutoff_unit) {
 }
 
 std::size_t VpTimeline::enforce_retention() {
-  const TimeSec latest = latest_.load(std::memory_order_relaxed);
-  if (latest == std::numeric_limits<TimeSec>::min()) return 0;
-  return evict_older_than(latest - cfg_.retention.window_sec);
+  // Measured strictly from the trusted clock: anonymous uploads can claim
+  // any unit-time they like without aging out anyone else's shards. The
+  // future side of the window reclaims implausible claims that slipped in
+  // while the clock was still unset.
+  const TimeSec now = clock_.load(std::memory_order_relaxed);
+  if (now == std::numeric_limits<TimeSec>::min()) return 0;  // clock unset
+  const auto [oldest, newest] = retention_bounds(now);
+  return evict_outside(oldest, newest);
 }
 
 void VpTimeline::compact_tombstones() {
@@ -256,9 +299,7 @@ void VpTimeline::compact_tombstones() {
   for (const auto& stripe : time_stripes_) locks.emplace_back(stripe->mutex);
 
   const auto live = [this](TimeSec unit, const Id16& id) {
-    auto& shards = time_stripes_[static_cast<std::uint64_t>(unit) / kUnitTimeSec %
-                                 kTimeStripes]
-                       ->shards;
+    auto& shards = time_stripe(unit).shards;
     auto it = shards.find(unit);
     return it != shards.end() && it->second.profiles.contains(id);
   };

@@ -12,6 +12,16 @@
 // the site that minute) instead of O(all VPs ever stored). Retention
 // eviction drops whole shards.
 //
+// Retention clock: eviction is measured from a *trusted* clock, never
+// from timestamps claimed inside anonymous uploads. The clock advances
+// monotonically from two sources only: authenticated (trusted) inserts
+// and explicit advance_clock() calls by the operator. Until it is set,
+// enforce_retention() evicts nothing — otherwise one well-formed
+// anonymous upload claiming a far-future minute could age out every
+// real shard. admissible() is the matching upload screen: anonymous
+// claims outside [clock − window, clock + skew] are rejected before
+// they ever reach a shard.
+//
 // Concurrency: insert/find/query take striped locks — ids are striped by
 // id hash, shards by unit-time hash — so concurrent ingest threads working
 // on different minutes (or different ids within a minute) rarely contend
@@ -47,9 +57,13 @@
 namespace viewmap::index {
 
 struct RetentionConfig {
-  /// How far behind the newest stored unit-time a shard may fall before
+  /// How far behind the trusted clock a shard may fall before
   /// enforce_retention() drops it. Default: 3 weeks (§2 dashcam storage).
   TimeSec window_sec = 21 * 24 * 3600;
+  /// How far ahead of the trusted clock an anonymous upload may claim its
+  /// unit-time and still pass admissible() — generous dashcam clock-skew
+  /// allowance; anything further is structurally implausible.
+  TimeSec max_future_skew_sec = 3600;
 };
 
 struct TimelineConfig {
@@ -99,14 +113,51 @@ class VpTimeline {
   [[nodiscard]] std::size_t trusted_count() const noexcept {
     return trusted_count_.load(std::memory_order_relaxed);
   }
-  /// Newest unit-time ever inserted (the retention clock).
+  /// Newest unit-time ever inserted. Informational only (inspection,
+  /// stats): it reflects anonymous claims, so retention deliberately does
+  /// NOT use it — see trusted_now().
   [[nodiscard]] TimeSec latest_unit_time() const noexcept {
     return latest_.load(std::memory_order_relaxed);
   }
 
+  /// Advances the trusted service clock (monotonic max; moves only
+  /// forward). Trusted inserts call this implicitly with their unit-time;
+  /// the operator feeds wall-clock through it. Anonymous uploads never
+  /// touch it.
+  void advance_clock(TimeSec now) noexcept;
+  /// Operator recovery: force-sets the clock, non-monotonically. Needed
+  /// when an authority device with a corrupt RTC (or a compromised one)
+  /// advanced the clock far into the future — advance_clock() alone could
+  /// never bring it back. Routine advancement must use advance_clock().
+  void reset_clock(TimeSec now) noexcept {
+    clock_.store(now, std::memory_order_relaxed);
+  }
+  /// The trusted clock, or TimeSec min when it has never been set.
+  [[nodiscard]] TimeSec trusted_now() const noexcept {
+    return clock_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool has_trusted_clock() const noexcept {
+    return trusted_now() != std::numeric_limits<TimeSec>::min();
+  }
+
+  /// The timeliness screen for anonymous uploads: is a claimed unit-time
+  /// plausible relative to the trusted clock? True whenever the clock is
+  /// unset (no trusted reference to compare against — and then nothing
+  /// can be evicted either). Otherwise the claim must lie within
+  /// [clock − retention window, clock + max_future_skew_sec].
+  [[nodiscard]] bool admissible(TimeSec unit_time) const noexcept;
+
   /// Drops every shard with unit-time < cutoff. Returns evicted VP count.
+  /// Thread-safe, including against concurrent insert(): a profile and
+  /// the size/trusted counters commit atomically under the shard's lock,
+  /// so eviction never observes one without the other. It does invalidate
+  /// pointers into evicted shards (see the pointer-stability note above).
   std::size_t evict_older_than(TimeSec cutoff_unit);
-  /// Applies the configured retention window against latest_unit_time().
+  /// Drops every shard outside the plausible window around the trusted
+  /// clock: older than clock − window AND newer than clock + skew. The
+  /// future side reclaims implausible claims admitted while the clock was
+  /// still unset — without it they would be unevictable forever. A no-op
+  /// until advance_clock() (or a trusted insert) has set the clock.
   std::size_t enforce_retention();
 
   /// Live shards, ordered by unit-time.
@@ -155,6 +206,17 @@ class VpTimeline {
   /// (compaction) acquire id stripes in index order, then time stripes.
   [[nodiscard]] bool shard_holds(TimeSec unit, const Id16& id) const;
 
+  struct RetentionBounds {
+    TimeSec oldest;
+    TimeSec newest;
+  };
+  /// Saturating [now − window, now + skew]. One computation shared by the
+  /// admission screen and the evictor, so the two can never disagree on
+  /// the window edges.
+  [[nodiscard]] RetentionBounds retention_bounds(TimeSec now) const noexcept;
+  /// Drops every shard whose unit-time falls outside [oldest, newest].
+  std::size_t evict_outside(TimeSec oldest, TimeSec newest);
+
   void fresh_stripes();
   void compact_tombstones();
 
@@ -164,6 +226,9 @@ class VpTimeline {
   std::atomic<std::size_t> size_{0};
   std::atomic<std::size_t> trusted_count_{0};
   std::atomic<TimeSec> latest_{std::numeric_limits<TimeSec>::min()};
+  /// Trusted retention clock; min() = never set. Advanced only by
+  /// advance_clock() — i.e. trusted inserts and the operator.
+  std::atomic<TimeSec> clock_{std::numeric_limits<TimeSec>::min()};
   std::atomic<std::size_t> tombstones_{0};
 };
 

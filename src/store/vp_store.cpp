@@ -52,6 +52,7 @@ void save_database(const sys::VpDatabase& db, std::ostream& out) {
   const auto trusted = db.trusted_ids();
   write_u64(out, profiles.size());
   write_u64(out, trusted.size());
+  write_u64(out, static_cast<std::uint64_t>(db.trusted_now()));
   for (const auto* profile : profiles) {
     const auto payload = profile->serialize();
     out.write(reinterpret_cast<const char*>(payload.data()),
@@ -79,6 +80,7 @@ sys::VpDatabase load_database(std::istream& in, LoadStats* stats) {
 
   const std::uint64_t vp_count = read_u64(in);
   const std::uint64_t trusted_count = read_u64(in);
+  const TimeSec saved_clock = static_cast<TimeSec>(read_u64(in));
 
   // Read trusted ids after the profiles; we need them first to route each
   // profile through the right upload path, so buffer the profiles.
@@ -107,8 +109,7 @@ sys::VpDatabase load_database(std::istream& in, LoadStats* stats) {
     try {
       auto profile = vp::ViewProfile::parse(payload);
       const std::string key(profile.vp_id().bytes.begin(), profile.vp_id().bytes.end());
-      accepted = trusted.contains(key) ? db.upload_trusted(std::move(profile))
-                                       : db.upload(std::move(profile));
+      accepted = db.restore(std::move(profile), trusted.contains(key));
     } catch (const std::exception&) {
       accepted = false;
     }
@@ -118,6 +119,13 @@ sys::VpDatabase load_database(std::istream& in, LoadStats* stats) {
       ++local.profiles_rejected;
     }
   }
+  // Force-set, don't advance: trusted inserts above already advanced the
+  // clock to their max unit-time, which exceeds the saved value when the
+  // operator had recovered a poisoned clock via reset_clock() — a
+  // monotonic advance (or skipping a min-sentinel saved value, which
+  // reset_clock(min) can legitimately produce) would silently undo that
+  // recovery on reload. Unconditional reset restores the exact state.
+  db.reset_clock(saved_clock);
   local.trusted_marked = db.trusted_count();
   local.shards_loaded = db.shard_stats().size();
   if (stats != nullptr) *stats = local;

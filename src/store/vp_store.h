@@ -6,12 +6,18 @@
 // container for a VpDatabase snapshot:
 //
 //   magic "VMDB" | version u32 | vp_count u64 | trusted_count u64
+//   trusted_clock i64 (the retention clock; i64 min = never set)
 //   vp_count   × ViewProfile payload (fixed 4576-byte wire format)
 //   trusted_count × Id16
 //
-// Loading replays the uploads through the normal screening path, so a
-// tampered or corrupted file can only ever yield fewer VPs, never
-// malformed ones.
+// Loading re-runs the structural well-formedness screen on every profile,
+// so a tampered or corrupted file can only ever yield fewer VPs, never
+// malformed ones. It deliberately does NOT re-run the upload timeliness
+// screen: snapshot profiles were admitted by the live service already,
+// and trusted profiles loaded mid-stream advance the clock, which must
+// not retro-reject anonymous profiles saved alongside them. The trusted
+// retention clock itself is persisted and restored, so retention resumes
+// where the live service left off.
 //
 // Profiles are written in (unit-time, id) order — the index's shard
 // order — so snapshots are byte-deterministic for equal databases and a
@@ -27,7 +33,7 @@
 
 namespace viewmap::store {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;  ///< v2: + trusted_clock
 
 struct LoadStats {
   std::size_t profiles_loaded = 0;

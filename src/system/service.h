@@ -53,9 +53,20 @@ class ViewMapService {
 
   /// Drains the channel into the database through the concurrent ingest
   /// engine (parallel parse + screen, striped-lock shard commit, retention
-  /// eviction). Returns how many VPs were accepted (malformed or duplicate
-  /// payloads are dropped).
+  /// eviction). Returns how many VPs were accepted (malformed, untimely,
+  /// or duplicate payloads are dropped). Retention runs after the batch,
+  /// measured from the trusted clock (see advance_clock) — it invalidates
+  /// database()-pointers into evicted shards, so do not hold query()/find()
+  /// results across this call.
   std::size_t ingest_uploads();
+
+  /// Feeds the trusted wall-clock that drives retention eviction and the
+  /// upload timeliness screen. register_trusted() advances it implicitly;
+  /// anonymous uploads never do.
+  void advance_clock(TimeSec now) noexcept { db_.advance_clock(now); }
+  /// Operator recovery for a poisoned clock (e.g. an authority device with
+  /// a corrupt far-future RTC): force-sets it non-monotonically.
+  void reset_clock(TimeSec now) noexcept { db_.reset_clock(now); }
 
   /// Full statistics of the most recent ingest_uploads() call.
   [[nodiscard]] const index::IngestStats& last_ingest() const noexcept {

@@ -4,12 +4,20 @@ namespace viewmap::sys {
 
 bool VpDatabase::upload(vp::ViewProfile profile) {
   if (!policy_.well_formed(profile)) return false;
+  // Anonymous claims outside the plausible window around the trusted
+  // clock never enter a shard (and never influence retention).
+  if (!timeline_.admissible(profile.unit_time())) return false;
   return timeline_.insert(std::move(profile), /*trusted=*/false);
 }
 
 bool VpDatabase::upload_trusted(vp::ViewProfile profile) {
   if (!policy_.well_formed(profile)) return false;
   return timeline_.insert(std::move(profile), /*trusted=*/true);
+}
+
+bool VpDatabase::restore(vp::ViewProfile profile, bool trusted) {
+  if (!policy_.well_formed(profile)) return false;
+  return timeline_.insert(std::move(profile), trusted);
 }
 
 const vp::ViewProfile* VpDatabase::find(const Id16& vp_id) const noexcept {

@@ -31,13 +31,42 @@ class VpDatabase {
       : policy_(policy), timeline_(index_cfg) {}
 
   /// Screens and stores an anonymous VP. Returns false when the VP is
-  /// malformed or its identifier collides with an existing entry.
+  /// malformed, claims a unit-time implausibly far from the trusted clock
+  /// (see advance_clock), or its identifier collides with an existing
+  /// entry.
   bool upload(vp::ViewProfile profile);
 
   /// Registers a trusted VP (police car etc.). Trusted uploads arrive over
   /// an authenticated channel, so no anonymity screen — but the same
-  /// structural rules apply.
+  /// structural rules apply. Advances the retention clock to the VP's
+  /// unit-time (authenticated timestamps are trusted; a device with a
+  /// corrupt far-future RTC therefore poisons the clock — reset_clock()
+  /// is the recovery path).
   bool upload_trusted(vp::ViewProfile profile);
+
+  /// Feeds the trusted retention clock (monotonic; see
+  /// index::VpTimeline::advance_clock). Retention eviction and the upload
+  /// timeliness screen are measured from this clock — never from
+  /// timestamps claimed inside anonymous uploads.
+  void advance_clock(TimeSec now) noexcept { timeline_.advance_clock(now); }
+  /// Operator recovery: force-sets the clock non-monotonically (see
+  /// index::VpTimeline::reset_clock).
+  void reset_clock(TimeSec now) noexcept { timeline_.reset_clock(now); }
+
+  /// Re-admits a profile from a snapshot (store/vp_store). Runs the
+  /// structural screen but NOT the upload timeliness screen: snapshot
+  /// profiles were admitted by the live service already, and trusted
+  /// profiles restored mid-stream advance the clock, which must not
+  /// retro-reject anonymous profiles saved alongside them.
+  bool restore(vp::ViewProfile profile, bool trusted);
+  [[nodiscard]] TimeSec trusted_now() const noexcept { return timeline_.trusted_now(); }
+
+  // Pointer lifetime: find()/query()/trusted_at()/all() return pointers
+  // into the index's shards. They stay valid across further uploads but
+  // are INVALIDATED when the owning shard is evicted by retention — which
+  // runs inside enforce_retention() and, implicitly, inside
+  // ViewMapService::ingest_uploads() after every batch. Do not hold
+  // results across either; copy the profiles if they must outlive it.
 
   [[nodiscard]] const vp::ViewProfile* find(const Id16& vp_id) const noexcept;
   [[nodiscard]] bool is_trusted(const Id16& vp_id) const noexcept;
@@ -56,7 +85,8 @@ class VpDatabase {
   }
 
   /// Every stored VP (evaluation harnesses iterate the whole dataset, e.g.
-  /// the §6.2.2 tracking analysis runs against the raw database).
+  /// the §6.2.2 tracking analysis runs against the raw database). Same
+  /// eviction caveat as query() above.
   [[nodiscard]] std::vector<const vp::ViewProfile*> all() const;
 
   /// Identifiers of all trusted VPs (persistence and audit tooling).
@@ -77,8 +107,10 @@ class VpDatabase {
     return timeline_.shard_stats();
   }
 
-  /// Drops shards older than the configured retention window (measured
-  /// from the newest stored unit-time). Returns evicted VP count.
+  /// Drops shards older than the configured retention window, measured
+  /// from the trusted clock (no-op until advance_clock()/upload_trusted()
+  /// has set it). Returns evicted VP count. Invalidates pointers into the
+  /// evicted shards — see the lifetime note above query().
   std::size_t enforce_retention() { return timeline_.enforce_retention(); }
 
  private:

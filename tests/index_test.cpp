@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -187,12 +188,17 @@ TEST(VpTimeline, RetentionEvictsWholeShards) {
   ASSERT_TRUE(timeline.insert(std::move(p60), false));
   EXPECT_EQ(timeline.size(), 11u);
   EXPECT_EQ(timeline.trusted_count(), 1u);
+  EXPECT_EQ(timeline.trusted_now(), 0);  // trusted insert set the clock
   EXPECT_EQ(timeline.enforce_retention(), 0u);  // everything within window
 
   auto p180 = random_vp(180, 1000.0, rng);
   ASSERT_TRUE(timeline.insert(std::move(p180), false));
-  // latest = 180, cutoff = 60: the minute-0 shard (trusted VP included)
-  // must vanish in one whole-shard eviction.
+  // An anonymous insert never advances the retention clock...
+  EXPECT_EQ(timeline.trusted_now(), 0);
+  EXPECT_EQ(timeline.enforce_retention(), 0u);
+  // ...the operator's clock does. now = 180, cutoff = 60: the minute-0
+  // shard (trusted VP included) must vanish in one whole-shard eviction.
+  timeline.advance_clock(180);
   EXPECT_EQ(timeline.enforce_retention(), 10u);
   EXPECT_EQ(timeline.size(), 2u);
   EXPECT_EQ(timeline.trusted_count(), 0u);
@@ -211,6 +217,63 @@ TEST(VpTimeline, RetentionEvictsWholeShards) {
   ASSERT_EQ(again.vp_id(), minute0_ids[0]);
   EXPECT_TRUE(timeline.insert(std::move(again), false));
   EXPECT_NE(timeline.find(minute0_ids[0]), nullptr);
+}
+
+TEST(VpTimeline, RetentionIgnoresAnonymousClaims) {
+  Rng rng(35);
+  TimelineConfig cfg;
+  cfg.retention.window_sec = 2 * kUnitTimeSec;
+  VpTimeline timeline(cfg);
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(timeline.insert(random_vp(0, 1000.0, rng), false));
+
+  // The anonymous-attacker eviction vector: a well-formed upload claiming
+  // a far-future minute must not age out anyone else's shards.
+  ASSERT_TRUE(timeline.insert(random_vp(1'000'000'000'000LL, 1000.0, rng), false));
+  EXPECT_FALSE(timeline.has_trusted_clock());
+  EXPECT_EQ(timeline.enforce_retention(), 0u);  // no trusted clock, no eviction
+  EXPECT_EQ(timeline.size(), 11u);
+
+  // Once the clock is set, the far-future junk admitted while it was
+  // unset is reclaimed (otherwise it would sit beyond every future cutoff
+  // forever); the minute-0 shard is inside the window and stays.
+  timeline.advance_clock(60);
+  EXPECT_EQ(timeline.enforce_retention(), 1u);
+  EXPECT_EQ(timeline.size(), 10u);
+
+  // reset_clock is the operator's non-monotonic escape hatch (a poisoned
+  // clock cannot be walked back via advance_clock), and a clock at the
+  // representable floor must saturate, not wrap (UB).
+  timeline.reset_clock(std::numeric_limits<TimeSec>::min() + 1);
+  EXPECT_EQ(timeline.trusted_now(), std::numeric_limits<TimeSec>::min() + 1);
+  EXPECT_EQ(timeline.enforce_retention(), 10u);  // everything implausibly new now
+  EXPECT_EQ(timeline.size(), 0u);
+}
+
+TEST(VpTimeline, AdmissionScreenBoundsAnonymousTimestamps) {
+  Rng rng(36);
+  TimelineConfig cfg;
+  cfg.retention.window_sec = 2 * kUnitTimeSec;
+  cfg.retention.max_future_skew_sec = kUnitTimeSec;
+  sys::VpDatabase db({}, cfg);
+
+  // No trusted reference yet: every claim is admissible.
+  ASSERT_TRUE(db.upload(random_vp(0, 1000.0, rng)));
+
+  auto authority = random_vp(600, 1000.0, rng);
+  ASSERT_TRUE(db.upload_trusted(std::move(authority)));
+  EXPECT_EQ(db.trusted_now(), 600);
+
+  EXPECT_TRUE(db.upload(random_vp(600 + kUnitTimeSec, 1000.0, rng)));   // at skew edge
+  EXPECT_TRUE(db.upload(random_vp(600 - 2 * kUnitTimeSec, 1000.0, rng)));  // at window edge
+  EXPECT_FALSE(db.upload(random_vp(600 + 2 * kUnitTimeSec, 1000.0, rng)));  // too new
+  EXPECT_FALSE(db.upload(random_vp(600 - 3 * kUnitTimeSec, 1000.0, rng)));  // too old
+  EXPECT_EQ(db.size(), 4u);
+
+  // Retention measures from the same trusted clock: only the pre-clock
+  // minute-0 VP has aged out.
+  EXPECT_EQ(db.enforce_retention(), 1u);
+  EXPECT_EQ(db.size(), 3u);
 }
 
 TEST(VpTimeline, TombstoneCompactionKeepsLookupsConsistent) {
@@ -254,6 +317,31 @@ TEST(IngestEngine, StatsAndDuplicateScreen) {
   EXPECT_EQ(stats.rejected_malformed, 1u);
   EXPECT_EQ(db.size(), 20u);
   EXPECT_EQ(engine.totals().accepted, 20u);
+}
+
+TEST(IngestEngine, FarFutureAnonymousBatchCannotEvictRealShards) {
+  Rng rng(55);
+  TimelineConfig tl_cfg;
+  tl_cfg.retention.window_sec = 2 * kUnitTimeSec;
+  sys::VpDatabase db({}, tl_cfg);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(db.upload(random_vp(0, 2000.0, rng)));
+  ASSERT_TRUE(db.upload_trusted(random_vp(60, 2000.0, rng)));  // clock = 60
+
+  // The batch path enforces retention after every ingest; a far-future
+  // anonymous claim must be screened out, not advance the cutoff.
+  IngestConfig cfg;
+  cfg.threads = 2;
+  cfg.min_parallel_batch = 1;
+  IngestEngine engine(db.timeline(), db.policy(), cfg);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.push_back(random_vp(1'000'000'000'000LL, 2000.0, rng).serialize());
+  payloads.push_back(random_vp(0, 2000.0, rng).serialize());  // still plausible
+  const auto stats = engine.ingest(std::move(payloads));
+  EXPECT_EQ(stats.rejected_untimely, 1u);
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.evicted, 0u);
+  EXPECT_EQ(db.size(), 12u);
+  EXPECT_EQ(db.trusted_now(), 60);
 }
 
 TEST(IngestEngine, ThreadCountDoesNotChangeTheOutcome) {
@@ -310,6 +398,40 @@ TEST(IngestEngine, ConcurrentInsertsOnOneTimelineAreSafe) {
 
   EXPECT_EQ(timeline.size(), static_cast<std::size_t>(kThreads * 100 + 50));
   for (const auto& p : shared) EXPECT_NE(timeline.find(p.vp_id()), nullptr);
+}
+
+TEST(VpTimeline, EvictionConcurrentWithInsertKeepsCountersSane) {
+  Rng rng(45);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 80;
+  std::vector<std::vector<vp::ViewProfile>> sets(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    for (int i = 0; i < kPerThread; ++i)
+      sets[static_cast<std::size_t>(t)].push_back(
+          random_vp(kUnitTimeSec * (i % 6), 2000.0, rng));
+
+  VpTimeline timeline;
+  std::atomic<bool> done{false};
+  std::thread evictor([&] {
+    while (!done.load()) timeline.evict_older_than(3 * kUnitTimeSec);
+    timeline.evict_older_than(3 * kUnitTimeSec);
+  });
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&, t] {
+      for (auto& p : sets[static_cast<std::size_t>(t)])
+        timeline.insert(std::move(p), false);
+    });
+  for (auto& th : pool) th.join();
+  done.store(true);
+  evictor.join();
+
+  // Every survivor is in minutes [3, 6); the counters match a full walk
+  // (a transient counter wrap would leave size() astronomically large).
+  const auto survivors = timeline.all();
+  EXPECT_EQ(timeline.size(), survivors.size());
+  EXPECT_LE(timeline.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (const auto* p : survivors) EXPECT_GE(p->unit_time(), 3 * kUnitTimeSec);
 }
 
 TEST(IngestEngine, DrainsSimulatedTrafficLikeTheSerialPath) {

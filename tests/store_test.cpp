@@ -43,12 +43,27 @@ TEST(VpStore, RoundTripPreservesEverything) {
   EXPECT_EQ(stats.profiles_rejected, 0u);
   EXPECT_EQ(loaded.size(), db.size());
   EXPECT_EQ(loaded.trusted_count(), db.trusted_count());
+  // The trusted retention clock survives the round trip, so retention
+  // resumes where the live service left off.
+  EXPECT_EQ(loaded.trusted_now(), db.trusted_now());
   for (const auto* profile : db.all()) {
     const auto* copy = loaded.find(profile->vp_id());
     ASSERT_NE(copy, nullptr);
     EXPECT_EQ(*copy, *profile);
     EXPECT_EQ(loaded.is_trusted(profile->vp_id()), db.is_trusted(profile->vp_id()));
   }
+}
+
+TEST(VpStore, ClockRecoverySurvivesRoundTrip) {
+  Rng rng(6);
+  auto db = make_db(rng, 2, 1);  // trusted VP at unit 60 → clock = 60
+  db.reset_clock(10);            // operator walked a poisoned clock back
+  std::stringstream buffer;
+  save_database(db, buffer);
+  const auto loaded = load_database(buffer);
+  // Replaying the trusted profile advances the clock to 60 during load;
+  // the persisted value must win or the recovery is silently undone.
+  EXPECT_EQ(loaded.trusted_now(), 10);
 }
 
 TEST(VpStore, RejectsBadMagicAndVersion) {
@@ -84,7 +99,7 @@ TEST(VpStore, CorruptedProfileIsDroppedNotFatal) {
   std::string data = buffer.str();
   // Flip a location byte inside the second profile's payload so it fails
   // the plausibility screen (teleport) but parses fine structurally.
-  const std::size_t header = 4 + 4 + 8 + 8;
+  const std::size_t header = 4 + 4 + 8 + 8 + 8;  // + trusted_clock (v2)
   const std::size_t second_profile = header + vp::kVpWireSize + 30 * 72 + 8;
   data[second_profile] = static_cast<char>(0xff);
   data[second_profile + 1] = static_cast<char>(0xff);
@@ -114,11 +129,15 @@ TEST(VpStore, FileRoundTrip) {
 
 TEST(VpStore, EmptyDatabaseRoundTrips) {
   sys::VpDatabase empty;
+  // Operator-fed wall clock with no trusted profiles stored: the clock
+  // must still survive (no trusted insert replays it on load).
+  empty.advance_clock(12345);
   std::stringstream buffer;
   save_database(empty, buffer);
   const auto loaded = load_database(buffer);
   EXPECT_EQ(loaded.size(), 0u);
   EXPECT_EQ(loaded.trusted_count(), 0u);
+  EXPECT_EQ(loaded.trusted_now(), 12345);
 }
 
 }  // namespace

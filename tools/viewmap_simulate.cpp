@@ -65,9 +65,9 @@ int main(int argc, char** argv) {
   std::printf("%s: %zu VPs (%zu guards, %zu trusted) from %d vehicles x %d min\n",
               out_path.c_str(), db.size(), guards, db.trusted_count(), vehicles,
               minutes);
-  std::printf("ingest: %zu accepted, %zu malformed, %zu duplicate (%u threads)\n",
-              ingest.accepted, ingest.rejected_malformed, ingest.rejected_duplicate,
-              engine.worker_count());
+  std::printf("ingest: %zu accepted, %zu malformed, %zu untimely, %zu duplicate (%u threads)\n",
+              ingest.accepted, ingest.rejected_malformed, ingest.rejected_untimely,
+              ingest.rejected_duplicate, engine.worker_count());
   std::printf("%-12s %-8s %-8s %-10s\n", "unit-time", "VPs", "trusted", "grid-cells");
   for (const auto& shard : db.shard_stats())
     std::printf("%-12lld %-8zu %-8zu %-10zu\n", static_cast<long long>(shard.unit_time),
