@@ -57,7 +57,7 @@ BuiltViewmap build_traffic_viewmap(double speed_kmh, int vehicles, double extent
   }
   const sys::ViewmapBuilder builder;
   const geo::Rect everywhere{{-1e6, -1e6}, {1e6, 1e6}};
-  built.map = std::make_unique<sys::Viewmap>(builder.build(*built.db, everywhere, 0));
+  built.map = std::make_unique<sys::Viewmap>(builder.build(built.db->snapshot(), everywhere, 0));
   return built;
 }
 

@@ -69,7 +69,7 @@ HeldViewmap viewmap_of(const sim::SimResult& result) {
   }
   const sys::ViewmapBuilder builder;
   held.map = std::make_unique<sys::Viewmap>(
-      builder.build(*held.db, {{-1e6, -1e6}, {1e6, 1e6}}, 0));
+      builder.build(held.db->snapshot(), {{-1e6, -1e6}, {1e6, 1e6}}, 0));
   return held;
 }
 

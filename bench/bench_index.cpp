@@ -1,15 +1,20 @@
 // bench_index — perf trajectory for the spatio-temporal VP index.
 //
-//   (1) (site, unit-time) query latency: grid-indexed shards vs the
-//       pre-index linear scan, at growing database sizes.
+//   (1) (site, unit-time) query latency through a DbSnapshot: grid-indexed
+//       shards vs the pre-index linear scan, at growing database sizes.
 //   (2) batched ingest throughput: 1 worker vs N workers through the
 //       striped-lock commit path.
+//   (3) snapshot queries under concurrent ingest + retention eviction:
+//       one thread investigates (snapshot per query), another keeps
+//       committing uploads and evicting — the workload the snapshot API
+//       exists for.
 //
 // Emits BENCH_index.json (cwd) so future PRs can diff the numbers.
 //
 //   ./bench/bench_index [--max_vps=1000000] [--queries=200]
 //                       [--ingest_vps=20000] [--threads=N]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -43,6 +48,7 @@ vp::ViewProfile random_vp(TimeSec unit, double extent, Rng& rng) {
 
 struct QueryRow {
   std::size_t vps = 0;
+  double snapshot_us = 0.0;  ///< cost of taking one DbSnapshot
   double indexed_us = 0.0;
   double linear_us = 0.0;
   double speedup = 0.0;
@@ -74,16 +80,21 @@ QueryRow bench_queries(std::size_t vp_count, int query_count, Rng& rng) {
   QueryRow row;
   row.vps = db.size();
 
+  // The read path is snapshot-first: one pinned view, queried at will.
   auto start = Clock::now();
+  const sys::DbSnapshot snap = db.snapshot();
+  row.snapshot_us = seconds_since(start) * 1e6;
+
+  start = Clock::now();
   for (int q = 0; q < query_count; ++q)
-    row.hits += db.query(units[static_cast<std::size_t>(q)],
-                         sites[static_cast<std::size_t>(q)])
+    row.hits += snap.query(units[static_cast<std::size_t>(q)],
+                           sites[static_cast<std::size_t>(q)])
                     .size();
   row.indexed_us = seconds_since(start) / query_count * 1e6;
 
   // The pre-index algorithm, verbatim: scan every stored VP. all() is
   // hoisted out of the loop — the scan itself is what we are timing.
-  const auto everything = db.all();
+  const auto everything = snap.all();
   const int linear_runs = std::max(5, query_count / 10);
   std::size_t linear_hits = 0;
   start = Clock::now();
@@ -132,6 +143,82 @@ IngestRow bench_ingest(std::size_t payload_count, unsigned threads, Rng& rng) {
   return row;
 }
 
+struct ConcurrentRow {
+  std::size_t vps = 0;           ///< database size when the run started
+  double query_us = 0.0;         ///< snapshot + query, per investigation
+  double writer_vps_per_sec = 0.0;  ///< concurrent ingest throughput meanwhile
+  std::size_t evictions = 0;     ///< retention passes the writer ran
+  std::size_t hits = 0;
+};
+
+/// The workload the snapshot API exists for: one thread investigates
+/// (fresh DbSnapshot per query, as the service does) while another keeps
+/// committing anonymous uploads and running retention eviction. Queries
+/// never block on the writer beyond the stripe-lock handshake of
+/// snapshot(), and eviction never invalidates an investigation.
+ConcurrentRow bench_concurrent(std::size_t vp_count, int query_count, Rng& rng) {
+  const int minutes = 30;
+  const double extent =
+      std::max(2000.0, 250.0 * std::sqrt(static_cast<double>(vp_count) / minutes / 50.0) * 8.0);
+
+  sys::VpDatabase db;
+  for (std::size_t i = 0; i < vp_count; ++i) {
+    const TimeSec unit = kUnitTimeSec * static_cast<TimeSec>(rng.index(minutes));
+    if (!db.timeline().insert(random_vp(unit, extent, rng), false)) --i;
+  }
+
+  std::vector<geo::Rect> sites;
+  std::vector<TimeSec> units;
+  for (int q = 0; q < query_count; ++q) {
+    const geo::Vec2 c{rng.uniform(-extent, extent), rng.uniform(-extent, extent)};
+    sites.push_back({{c.x - 200.0, c.y - 200.0}, {c.x + 200.0, c.y + 200.0}});
+    units.push_back(kUnitTimeSec * static_cast<TimeSec>(rng.index(minutes)));
+  }
+
+  ConcurrentRow row;
+  row.vps = db.size();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> written{0};
+  std::atomic<std::size_t> evictions{0};
+  std::thread writer([&] {
+    Rng wrng(4242);
+    std::size_t n = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const TimeSec unit = kUnitTimeSec * static_cast<TimeSec>(wrng.index(minutes));
+      if (db.timeline().insert(random_vp(unit, extent, wrng), false) && ++n % 128 == 0) {
+        // Churn shards the way the batch path does between batches.
+        db.timeline().evict_older_than(kUnitTimeSec);
+        evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    written.store(n, std::memory_order_relaxed);
+  });
+
+  // Individual investigations are microseconds; loop them for a fixed
+  // wall-clock window so the writer actually races (and evicts) under us.
+  constexpr double kRunSeconds = 0.5;
+  std::size_t investigations = 0;
+  const auto start = Clock::now();
+  do {
+    for (int q = 0; q < query_count; ++q) {
+      const sys::DbSnapshot snap = db.snapshot();  // one pin per investigation
+      row.hits += snap.query(units[static_cast<std::size_t>(q)],
+                             sites[static_cast<std::size_t>(q)])
+                      .size();
+    }
+    investigations += static_cast<std::size_t>(query_count);
+  } while (seconds_since(start) < kRunSeconds);
+  const double elapsed = seconds_since(start);
+  stop.store(true);
+  writer.join();
+
+  row.query_us = elapsed / static_cast<double>(investigations) * 1e6;
+  row.writer_vps_per_sec = static_cast<double>(written.load()) / elapsed;
+  row.evictions = evictions.load();
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -151,9 +238,9 @@ int main(int argc, char** argv) {
               std::thread::hardware_concurrency(), threads);
 
   // ── query latency vs database size ───────────────────────────────────
-  std::printf("\n-- (site, unit-time) query latency: grid index vs linear scan --\n");
-  std::printf("%-10s %-14s %-14s %-10s %-8s\n", "VPs", "indexed (us)", "linear (us)",
-              "speedup", "hits/q");
+  std::printf("\n-- (site, unit-time) snapshot query latency: grid index vs linear scan --\n");
+  std::printf("%-10s %-14s %-14s %-14s %-10s %-8s\n", "VPs", "snapshot (us)",
+              "indexed (us)", "linear (us)", "speedup", "hits/q");
   std::vector<QueryRow> query_rows;
   for (std::size_t n : {std::size_t{10000}, std::size_t{100000}, std::size_t{1000000}}) {
     if (n > max_vps) break;
@@ -161,8 +248,9 @@ int main(int argc, char** argv) {
     const auto row = bench_queries(n, queries, rng);
     char speedup[32];
     std::snprintf(speedup, sizeof speedup, "%.1fx", row.speedup);
-    std::printf("%-10zu %-14.2f %-14.1f %-10s %-8.1f\n", row.vps, row.indexed_us,
-                row.linear_us, speedup, static_cast<double>(row.hits) / queries);
+    std::printf("%-10zu %-14.2f %-14.2f %-14.1f %-10s %-8.1f\n", row.vps,
+                row.snapshot_us, row.indexed_us, row.linear_us, speedup,
+                static_cast<double>(row.hits) / queries);
     query_rows.push_back(row);
   }
 
@@ -177,6 +265,18 @@ int main(int argc, char** argv) {
   if (std::thread::hardware_concurrency() <= 1)
     std::printf("note: this host exposes 1 CPU; multi-thread speedup needs cores.\n");
 
+  // ── snapshot queries under concurrent ingest + eviction ──────────────
+  std::printf("\n-- snapshot queries vs concurrent ingest + retention eviction --\n");
+  Rng conc_rng(55);
+  const std::size_t conc_vps = std::min<std::size_t>(max_vps, 100000);
+  const auto conc = bench_concurrent(conc_vps, queries, conc_rng);
+  std::printf("%zu VPs: %.2f us/investigation (snapshot + query) while a writer "
+              "ingested %.0f VPs/s and ran %zu retention passes\n",
+              conc.vps, conc.query_us, conc.writer_vps_per_sec, conc.evictions);
+  if (std::thread::hardware_concurrency() <= 1)
+    std::printf("note: 1-core host — reader and writer time-slice one CPU, so the\n"
+                "      per-investigation latency above includes writer preemption.\n");
+
   // ── JSON trajectory ──────────────────────────────────────────────────
   FILE* json = std::fopen("BENCH_index.json", "w");
   if (json != nullptr) {
@@ -185,18 +285,26 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < query_rows.size(); ++i) {
       const auto& r = query_rows[i];
       std::fprintf(json,
-                   "    {\"vps\": %zu, \"indexed_us\": %.3f, \"linear_us\": %.3f, "
-                   "\"speedup\": %.2f}%s\n",
-                   r.vps, r.indexed_us, r.linear_us, r.speedup,
+                   "    {\"vps\": %zu, \"snapshot_us\": %.3f, \"indexed_us\": %.3f, "
+                   "\"linear_us\": %.3f, \"speedup\": %.2f}%s\n",
+                   r.vps, r.snapshot_us, r.indexed_us, r.linear_us, r.speedup,
                    i + 1 < query_rows.size() ? "," : "");
     }
     std::fprintf(json,
                  "  ],\n  \"ingest\": {\"payloads\": %zu, \"single_vps_per_sec\": %.1f, "
-                 "\"threads\": %u, \"multi_vps_per_sec\": %.1f, \"speedup\": %.3f%s}\n}\n",
+                 "\"threads\": %u, \"multi_vps_per_sec\": %.1f, \"speedup\": %.3f%s},\n",
                  ingest.payloads, ingest.single_vps_per_sec, ingest.threads,
                  ingest.multi_vps_per_sec, ingest.speedup,
                  std::thread::hardware_concurrency() <= 1
                      ? ", \"note\": \"single-core host: thread scaling not observable\""
+                     : "");
+    std::fprintf(json,
+                 "  \"snapshot_concurrent\": {\"vps\": %zu, \"query_us\": %.3f, "
+                 "\"writer_vps_per_sec\": %.1f, \"retention_passes\": %zu%s}\n}\n",
+                 conc.vps, conc.query_us, conc.writer_vps_per_sec, conc.evictions,
+                 std::thread::hardware_concurrency() <= 1
+                     ? ", \"note\": \"single-core host: reader/writer time-slice one "
+                       "CPU; latency includes writer preemption\""
                      : "");
     std::fclose(json);
     std::printf("\nwrote BENCH_index.json\n");

@@ -60,7 +60,9 @@ int main() {
   const sim::OwnedVp* witness = nullptr;
   for (const auto& o : world.owned)
     if (o.vehicle == 7 && o.unit_time == 60) witness = &o;
-  const auto* witness_vp = service.database().find(witness->vp_id);
+  // find() hands back an owning reference — valid however long we keep
+  // it, even across ingest batches and retention eviction.
+  const auto witness_vp = service.database().find(witness->vp_id);
   const geo::Vec2 c = witness_vp->location_at(30);
   const geo::Rect site{{c.x - 120, c.y - 120}, {c.x + 120, c.y + 120}};
   std::printf("incident at (%.0f, %.0f), minute 1 — investigating…\n", c.x, c.y);

@@ -64,7 +64,9 @@ int main() {
 
   const geo::Rect site{{500, -100}, {800, 100}};  // where the incident was
   const sys::ViewmapBuilder builder;
-  const sys::Viewmap map = builder.build(db, site, 0);
+  // Reads go through an immutable snapshot; the viewmap pins it, so the
+  // investigation stays valid whatever the live database does next.
+  const sys::Viewmap map = builder.build(db.snapshot(), site, 0);
   std::printf("viewmap: %zu members, %zu viewlink(s)\n", map.size(), map.edge_count());
 
   const sys::Verifier verifier;

@@ -1,0 +1,121 @@
+#include "index/db_snapshot.h"
+
+#include <algorithm>
+
+namespace viewmap::index {
+
+namespace {
+
+bool id_less(const vp::ViewProfile* a, const vp::ViewProfile* b) {
+  return a->vp_id() < b->vp_id();
+}
+
+}  // namespace
+
+const TimeShard* DbSnapshot::shard_at(TimeSec unit_time) const noexcept {
+  // The raw pointer stays valid: state_ owns the shard either way.
+  return shard(unit_time).get();
+}
+
+std::shared_ptr<const TimeShard> DbSnapshot::shard(TimeSec unit_time) const noexcept {
+  if (!state_) return nullptr;
+  const auto& shards = state_->shards;
+  auto it = std::lower_bound(
+      shards.begin(), shards.end(), unit_time,
+      [](const std::shared_ptr<const TimeShard>& s, TimeSec t) { return s->unit_time < t; });
+  if (it == shards.end() || (*it)->unit_time != unit_time) return nullptr;
+  return *it;
+}
+
+const vp::ViewProfile* DbSnapshot::find(const Id16& vp_id) const noexcept {
+  if (!state_) return nullptr;
+  for (const auto& shard : state_->shards) {
+    auto it = shard->profiles.find(vp_id);
+    if (it != shard->profiles.end()) return it->second.get();
+  }
+  return nullptr;
+}
+
+bool DbSnapshot::is_trusted(const Id16& vp_id) const noexcept {
+  if (!state_) return false;
+  for (const auto& shard : state_->shards)
+    if (shard->trusted.contains(vp_id)) return true;
+  return false;
+}
+
+std::vector<const vp::ViewProfile*> DbSnapshot::query(TimeSec unit_time,
+                                                      const geo::Rect& area) const {
+  std::vector<const vp::ViewProfile*> out;
+  const TimeShard* shard = shard_at(unit_time);
+  if (shard == nullptr) return out;
+  shard->grid.collect_candidates(area, out);
+  // The grid yields a cell-granular superset; finish with the exact
+  // predicate so results match the reference linear scan bit-for-bit.
+  std::erase_if(out, [&](const vp::ViewProfile* p) { return !p->visits(area); });
+  std::sort(out.begin(), out.end(), id_less);
+  return out;
+}
+
+std::vector<const vp::ViewProfile*> DbSnapshot::trusted_at(TimeSec unit_time) const {
+  std::vector<const vp::ViewProfile*> out;
+  const TimeShard* shard = shard_at(unit_time);
+  if (shard == nullptr) return out;
+  out.reserve(shard->trusted.size());
+  for (const Id16& id : shard->trusted) out.push_back(shard->profiles.at(id).get());
+  std::sort(out.begin(), out.end(), id_less);
+  return out;
+}
+
+std::vector<const vp::ViewProfile*> DbSnapshot::all() const {
+  std::vector<const vp::ViewProfile*> out;
+  if (!state_) return out;
+  out.reserve(state_->vp_count);
+  // Shards are unit-time-ordered already; sort within each shard by id.
+  for (const auto& shard : state_->shards) {
+    const std::size_t first = out.size();
+    for (const auto& [id, profile] : shard->profiles) out.push_back(profile.get());
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(), id_less);
+  }
+  return out;
+}
+
+std::vector<Id16> DbSnapshot::trusted_ids() const {
+  std::vector<Id16> out;
+  if (!state_) return out;
+  out.reserve(state_->trusted_count);
+  for (const auto& shard : state_->shards) {
+    const std::size_t first = out.size();
+    for (const Id16& id : shard->trusted) out.push_back(id);
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
+  }
+  return out;
+}
+
+std::size_t DbSnapshot::size() const noexcept { return state_ ? state_->vp_count : 0; }
+
+std::size_t DbSnapshot::trusted_count() const noexcept {
+  return state_ ? state_->trusted_count : 0;
+}
+
+TimeSec DbSnapshot::trusted_now() const noexcept {
+  return state_ ? state_->clock : std::numeric_limits<TimeSec>::min();
+}
+
+std::vector<ShardStats> DbSnapshot::shard_stats() const {
+  std::vector<ShardStats> out;
+  if (!state_) return out;
+  out.reserve(state_->shards.size());
+  for (const auto& shard : state_->shards) out.push_back(shard->stats());
+  return out;
+}
+
+std::size_t DbSnapshot::shard_count() const noexcept {
+  return state_ ? state_->shards.size() : 0;
+}
+
+std::span<const std::shared_ptr<const TimeShard>> DbSnapshot::shards() const noexcept {
+  if (!state_) return {};
+  return state_->shards;
+}
+
+}  // namespace viewmap::index

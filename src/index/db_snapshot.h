@@ -1,0 +1,173 @@
+// Immutable, refcounted point-in-time views of the VP timeline.
+//
+// The service must answer investigations while anonymous uploads stream
+// in and retention eviction reclaims old shards (paper §4–5). Handing out
+// raw pointers into live shards forces readers to serialize against the
+// ingest path; instead, readers take a DbSnapshot — an RCU-style pinned
+// view built from the timeline's published shards:
+//
+//   * A TimeShard is immutable once published behind a std::shared_ptr.
+//     Writers that must touch a shard some snapshot still references
+//     clone it first (copy-on-write) and publish the clone; the snapshot
+//     keeps the original.
+//   * Eviction merely drops the timeline's reference. A shard pinned by
+//     a snapshot stays alive — bit-identical — until the last snapshot
+//     referencing it is destroyed, then its memory is released.
+//
+// Lifetime contract: every pointer returned by find()/query()/
+// trusted_at()/all() is valid for as long as *any* copy of the snapshot
+// that produced it is alive. There is no "do not hold across ingest"
+// caveat; hold a snapshot as long as you like. Memory cost: a snapshot
+// pins at most the shards that existed when it was taken; shards the
+// live timeline has since replaced (copy-on-write) or evicted are the
+// only ones it keeps alive beyond the timeline's own footprint.
+//
+// Snapshots are cheap (O(live shards) shared_ptr copies under the
+// timeline's stripe locks — profiles are never copied), are plain values
+// (copy/move freely), and are safe to share across threads: all state
+// reachable from a snapshot is const.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "geo/geometry.h"
+#include "index/spatial_grid.h"
+#include "vp/view_profile.h"
+
+namespace viewmap::index {
+
+/// Per-shard census row (inspection tooling, persistence stats).
+struct ShardStats {
+  TimeSec unit_time = 0;
+  std::size_t vp_count = 0;
+  std::size_t trusted_count = 0;
+  std::size_t grid_cells = 0;
+  std::size_t grid_entries = 0;
+};
+
+/// One unit-time worth of storage. Published behind std::shared_ptr and
+/// immutable while pinned: the timeline clones before mutating any shard
+/// a snapshot still pins (see VpTimeline). Profiles are themselves
+/// individually refcounted, so cloning a shard copies maps of pointers,
+/// never the ~4.6 KB profiles, and the grid's raw profile pointers stay
+/// valid in every clone.
+struct TimeShard {
+  TimeSec unit_time = 0;
+  std::unordered_map<Id16, std::shared_ptr<const vp::ViewProfile>, Id16Hasher> profiles;
+  std::unordered_set<Id16, Id16Hasher> trusted;
+  SpatialGrid grid;
+  /// Count of live DbSnapshots pinning this shard. This — not the
+  /// shared_ptr use_count — is the writers' copy-on-write trigger:
+  /// pinning happens under the timeline's stripe lock, unpinning is a
+  /// release decrement (snapshot destruction, any thread), and a writer
+  /// mutates in place only after an acquire load observes 0, which
+  /// orders every released reader's reads before the writer's writes.
+  /// use_count() cannot serve here: its observer is a relaxed load with
+  /// no such ordering. Holding the shared_ptr without a pin (a Viewmap
+  /// does) keeps the *profile objects* alive but does NOT license
+  /// reading the maps/grid, which a writer may then be mutating.
+  mutable std::atomic<std::size_t> pins{0};
+
+  TimeShard(TimeSec unit, SpatialGridConfig grid_cfg) : unit_time(unit), grid(grid_cfg) {}
+  /// COW clone: copies the content, starts unpinned.
+  TimeShard(const TimeShard& other)
+      : unit_time(other.unit_time),
+        profiles(other.profiles),
+        trusted(other.trusted),
+        grid(other.grid) {}
+
+  [[nodiscard]] ShardStats stats() const {
+    return {unit_time, profiles.size(), trusted.size(), grid.cell_count(),
+            grid.entry_count()};
+  }
+};
+
+/// A pinned, immutable view of a VpTimeline (see file comment). Obtained
+/// from VpTimeline::snapshot() / sys::VpDatabase::snapshot(); the
+/// default-constructed snapshot is a valid empty database.
+class DbSnapshot {
+ public:
+  DbSnapshot() = default;
+
+  /// The profile stored under `vp_id` at snapshot time, or nullptr.
+  /// Resolved by probing the pinned shards (O(shard count) hash lookups
+  /// — there is no global id map in a snapshot).
+  [[nodiscard]] const vp::ViewProfile* find(const Id16& vp_id) const noexcept;
+  [[nodiscard]] bool is_trusted(const Id16& vp_id) const noexcept;
+
+  /// All VPs covering `unit_time` with any claimed location inside
+  /// `area`, ordered by id. Exact (not a superset): candidates from the
+  /// shard grid are finished with the ViewProfile::visits() predicate.
+  [[nodiscard]] std::vector<const vp::ViewProfile*> query(TimeSec unit_time,
+                                                          const geo::Rect& area) const;
+  /// All trusted VPs covering `unit_time`, ordered by id.
+  [[nodiscard]] std::vector<const vp::ViewProfile*> trusted_at(TimeSec unit_time) const;
+
+  /// Every VP in the snapshot, ordered by (unit-time, id). This order is
+  /// what makes persistence byte-deterministic (store/vp_store).
+  [[nodiscard]] std::vector<const vp::ViewProfile*> all() const;
+  /// Identifiers of all trusted VPs, ordered by (unit-time, id).
+  [[nodiscard]] std::vector<Id16> trusted_ids() const;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t trusted_count() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// The trusted retention clock as of snapshot time (TimeSec min when it
+  /// had never been set).
+  [[nodiscard]] TimeSec trusted_now() const noexcept;
+  [[nodiscard]] bool has_trusted_clock() const noexcept {
+    return trusted_now() != std::numeric_limits<TimeSec>::min();
+  }
+
+  /// Per-shard census, ordered by unit-time.
+  [[nodiscard]] std::vector<ShardStats> shard_stats() const;
+  [[nodiscard]] std::size_t shard_count() const noexcept;
+
+  /// The pinned shards themselves, ordered by unit-time. Persistence and
+  /// tests iterate these directly instead of materializing all(); the
+  /// shared_ptrs make the pin observable (weak_ptr expiry ⇔ release).
+  [[nodiscard]] std::span<const std::shared_ptr<const TimeShard>> shards() const noexcept;
+
+  /// The pinned shard covering `unit_time` (null when none). Lets
+  /// single-minute consumers — a Viewmap spans exactly one unit-time —
+  /// keep just their shard alive instead of the whole snapshot.
+  [[nodiscard]] std::shared_ptr<const TimeShard> shard(TimeSec unit_time) const noexcept;
+
+ private:
+  friend class VpTimeline;
+
+  struct State {
+    std::vector<std::shared_ptr<const TimeShard>> shards;  ///< sorted by unit_time
+    std::size_t vp_count = 0;
+    std::size_t trusted_count = 0;
+    TimeSec clock = std::numeric_limits<TimeSec>::min();
+
+    State() = default;
+    State(const State&) = delete;
+    State& operator=(const State&) = delete;
+    /// Unpin everything this snapshot was reading. The release pairs
+    /// with the writers' acquire load of TimeShard::pins.
+    ~State() {
+      for (const auto& shard : shards)
+        shard->pins.fetch_sub(1, std::memory_order_release);
+    }
+  };
+
+  explicit DbSnapshot(std::shared_ptr<const State> state) : state_(std::move(state)) {}
+
+  /// The shard covering `unit_time`, or nullptr.
+  [[nodiscard]] const TimeShard* shard_at(TimeSec unit_time) const noexcept;
+
+  std::shared_ptr<const State> state_;  ///< null ⇔ empty snapshot
+};
+
+}  // namespace viewmap::index

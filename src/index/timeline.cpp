@@ -4,14 +4,6 @@
 
 namespace viewmap::index {
 
-namespace {
-
-bool id_less(const vp::ViewProfile* a, const vp::ViewProfile* b) {
-  return a->vp_id() < b->vp_id();
-}
-
-}  // namespace
-
 VpTimeline::VpTimeline(TimelineConfig cfg) : cfg_(cfg) { fresh_stripes(); }
 
 void VpTimeline::fresh_stripes() {
@@ -65,7 +57,7 @@ bool VpTimeline::shard_holds(TimeSec unit, const Id16& id) const {
   TimeStripe& ts = time_stripe(unit);
   std::lock_guard lock(ts.mutex);
   auto it = ts.shards.find(unit);
-  return it != ts.shards.end() && it->second.profiles.contains(id);
+  return it != ts.shards.end() && it->second->profiles.contains(id);
 }
 
 bool VpTimeline::insert(vp::ViewProfile profile, bool trusted) {
@@ -92,13 +84,31 @@ bool VpTimeline::insert(vp::ViewProfile profile, bool trusted) {
   // time lock, then the claim under the id lock — never both held.
   TimeStripe& ts = time_stripe(unit);
   try {
+    auto owned = std::make_shared<const vp::ViewProfile>(std::move(profile));
     std::lock_guard lock(ts.mutex);
-    auto [sit, created] = ts.shards.try_emplace(unit, cfg_.grid);
-    TimeShard& shard = sit->second;
-    auto [pit, inserted] = shard.profiles.emplace(id, std::move(profile));
+    auto sit = ts.shards.find(unit);
+    bool created = false;
+    if (sit == ts.shards.end()) {
+      // Built before the map slot exists so a bad_alloc cannot leave a
+      // null shard published.
+      auto fresh_shard = std::make_shared<TimeShard>(unit, cfg_.grid);
+      sit = ts.shards.emplace(unit, std::move(fresh_shard)).first;
+      created = true;
+    } else if (sit->second->pins.load(std::memory_order_acquire) > 0) {
+      // The shard is pinned by at least one snapshot: copy-on-write.
+      // Cloning copies maps of refcounted profile pointers (and the
+      // grid's raw pointers to those same heap profiles), never profile
+      // payloads. Snapshot holders keep the original, bit-identical.
+      // The acquire pairs with the release unpin of snapshots already
+      // destroyed — observing 0 means their reads are ordered before
+      // our in-place writes (see TimeShard::pins).
+      sit->second = std::make_shared<TimeShard>(*sit->second);
+    }
+    TimeShard& shard = *sit->second;
+    auto [pit, inserted] = shard.profiles.emplace(id, std::move(owned));
     (void)inserted;
     try {
-      shard.grid.insert(&pit->second);
+      shard.grid.insert(pit->second.get());
       if (trusted) {
         shard.trusted.insert(id);
         trusted_count_.fetch_add(1, std::memory_order_relaxed);
@@ -108,7 +118,7 @@ bool VpTimeline::insert(vp::ViewProfile profile, bool trusted) {
       // can never precede this add and wrap the size_t counters.
       size_.fetch_add(1, std::memory_order_relaxed);
     } catch (...) {
-      shard.grid.erase(&pit->second);  // also clears a partial insert
+      shard.grid.erase(pit->second.get());  // also clears a partial insert
       shard.profiles.erase(pit);
       if (created) ts.shards.erase(sit);
       throw;
@@ -159,7 +169,41 @@ bool VpTimeline::admissible(TimeSec unit_time) const noexcept {
   return unit_time >= oldest && unit_time <= newest;
 }
 
-const vp::ViewProfile* VpTimeline::find(const Id16& vp_id) const {
+DbSnapshot VpTimeline::snapshot() const {
+  auto state = std::make_shared<DbSnapshot::State>();
+  {
+    // One consistent cut: hold every time-stripe lock (in index order —
+    // the same global order compaction uses) while collecting shard
+    // references. O(live shards) pointer copies; the copies are what
+    // make every collected shard copy-on-write for later writers.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(kTimeStripes);
+    for (const auto& stripe : time_stripes_) locks.emplace_back(stripe->mutex);
+    std::size_t shard_count = 0;
+    for (const auto& stripe : time_stripes_) shard_count += stripe->shards.size();
+    state->shards.reserve(shard_count);
+    for (const auto& stripe : time_stripes_)
+      for (const auto& [unit, shard] : stripe->shards) {
+        state->shards.push_back(shard);
+        // Pin after the push so ~State's unpin loop always mirrors the
+        // collected set, even if a later push_back throws.
+        shard->pins.fetch_add(1, std::memory_order_relaxed);
+      }
+  }
+  // The collected shards are immutable from here on (any writer now
+  // observes pins > 0 and clones), so ordering and counting can run
+  // outside the locks.
+  std::sort(state->shards.begin(), state->shards.end(),
+            [](const auto& a, const auto& b) { return a->unit_time < b->unit_time; });
+  for (const auto& shard : state->shards) {
+    state->vp_count += shard->profiles.size();
+    state->trusted_count += shard->trusted.size();
+  }
+  state->clock = trusted_now();
+  return DbSnapshot(std::move(state));
+}
+
+std::shared_ptr<const vp::ViewProfile> VpTimeline::find(const Id16& vp_id) const {
   TimeSec unit;
   {
     IdStripe& is = id_stripe(vp_id);
@@ -172,8 +216,8 @@ const vp::ViewProfile* VpTimeline::find(const Id16& vp_id) const {
   std::lock_guard lock(ts.mutex);
   auto sit = ts.shards.find(unit);
   if (sit == ts.shards.end()) return nullptr;  // evicted → id is a tombstone
-  auto pit = sit->second.profiles.find(vp_id);
-  return pit == sit->second.profiles.end() ? nullptr : &pit->second;
+  auto pit = sit->second->profiles.find(vp_id);
+  return pit == sit->second->profiles.end() ? nullptr : pit->second;
 }
 
 bool VpTimeline::is_trusted(const Id16& vp_id) const {
@@ -188,64 +232,7 @@ bool VpTimeline::is_trusted(const Id16& vp_id) const {
   TimeStripe& ts = time_stripe(unit);
   std::lock_guard lock(ts.mutex);
   auto sit = ts.shards.find(unit);
-  return sit != ts.shards.end() && sit->second.trusted.contains(vp_id);
-}
-
-std::vector<const vp::ViewProfile*> VpTimeline::query(TimeSec unit_time,
-                                                      const geo::Rect& area) const {
-  std::vector<const vp::ViewProfile*> out;
-  TimeStripe& ts = time_stripe(unit_time);
-  std::lock_guard lock(ts.mutex);
-  auto sit = ts.shards.find(unit_time);
-  if (sit == ts.shards.end()) return out;
-  sit->second.grid.collect_candidates(area, out);
-  // The grid yields a cell-granular superset; finish with the exact
-  // predicate so results match the reference linear scan bit-for-bit.
-  std::erase_if(out, [&](const vp::ViewProfile* p) { return !p->visits(area); });
-  std::sort(out.begin(), out.end(), id_less);
-  return out;
-}
-
-std::vector<const vp::ViewProfile*> VpTimeline::trusted_at(TimeSec unit_time) const {
-  std::vector<const vp::ViewProfile*> out;
-  TimeStripe& ts = time_stripe(unit_time);
-  std::lock_guard lock(ts.mutex);
-  auto sit = ts.shards.find(unit_time);
-  if (sit == ts.shards.end()) return out;
-  out.reserve(sit->second.trusted.size());
-  for (const Id16& id : sit->second.trusted) out.push_back(&sit->second.profiles.at(id));
-  std::sort(out.begin(), out.end(), id_less);
-  return out;
-}
-
-std::vector<const vp::ViewProfile*> VpTimeline::all() const {
-  std::vector<const vp::ViewProfile*> out;
-  out.reserve(size());
-  for (const auto& stripe : time_stripes_) {
-    std::lock_guard lock(stripe->mutex);
-    for (const auto& [unit, shard] : stripe->shards)
-      for (const auto& [id, profile] : shard.profiles) out.push_back(&profile);
-  }
-  std::sort(out.begin(), out.end(), [](const vp::ViewProfile* a, const vp::ViewProfile* b) {
-    if (a->unit_time() != b->unit_time()) return a->unit_time() < b->unit_time();
-    return a->vp_id() < b->vp_id();
-  });
-  return out;
-}
-
-std::vector<Id16> VpTimeline::trusted_ids() const {
-  std::vector<std::pair<TimeSec, Id16>> keyed;
-  keyed.reserve(trusted_count());
-  for (const auto& stripe : time_stripes_) {
-    std::lock_guard lock(stripe->mutex);
-    for (const auto& [unit, shard] : stripe->shards)
-      for (const Id16& id : shard.trusted) keyed.emplace_back(unit, id);
-  }
-  std::sort(keyed.begin(), keyed.end());
-  std::vector<Id16> out;
-  out.reserve(keyed.size());
-  for (const auto& [unit, id] : keyed) out.push_back(id);
-  return out;
+  return sit != ts.shards.end() && sit->second->trusted.contains(vp_id);
 }
 
 std::size_t VpTimeline::evict_older_than(TimeSec cutoff_unit) {
@@ -255,15 +242,18 @@ std::size_t VpTimeline::evict_older_than(TimeSec cutoff_unit) {
 std::size_t VpTimeline::evict_outside(TimeSec oldest, TimeSec newest) {
   std::size_t evicted = 0;
   std::size_t trusted_evicted = 0;
-  // Shards are destroyed after every lock is released: destruction is the
-  // expensive part and nothing else needs to wait for it.
-  std::vector<TimeShard> graveyard;
+  // Shard references are dropped after every lock is released: when the
+  // timeline holds the last reference, destruction is the expensive part
+  // and nothing else needs to wait for it; when a snapshot still pins a
+  // shard, dropping the reference is all eviction does — the memory
+  // lives exactly until the last snapshot releases it.
+  std::vector<std::shared_ptr<TimeShard>> graveyard;
   for (const auto& stripe : time_stripes_) {
     std::lock_guard lock(stripe->mutex);
     for (auto it = stripe->shards.begin(); it != stripe->shards.end();) {
       if (it->first < oldest || it->first > newest) {
-        evicted += it->second.profiles.size();
-        trusted_evicted += it->second.trusted.size();
+        evicted += it->second->profiles.size();
+        trusted_evicted += it->second->trusted.size();
         graveyard.push_back(std::move(it->second));
         it = stripe->shards.erase(it);
       } else {
@@ -301,7 +291,7 @@ void VpTimeline::compact_tombstones() {
   const auto live = [this](TimeSec unit, const Id16& id) {
     auto& shards = time_stripe(unit).shards;
     auto it = shards.find(unit);
-    return it != shards.end() && it->second.profiles.contains(id);
+    return it != shards.end() && it->second->profiles.contains(id);
   };
   for (const auto& stripe : id_stripes_)
     std::erase_if(stripe->ids, [&](const auto& entry) {
@@ -314,9 +304,7 @@ std::vector<ShardStats> VpTimeline::shard_stats() const {
   std::vector<ShardStats> out;
   for (const auto& stripe : time_stripes_) {
     std::lock_guard lock(stripe->mutex);
-    for (const auto& [unit, shard] : stripe->shards)
-      out.push_back({unit, shard.profiles.size(), shard.trusted.size(),
-                     shard.grid.cell_count(), shard.grid.entry_count()});
+    for (const auto& [unit, shard] : stripe->shards) out.push_back(shard->stats());
   }
   std::sort(out.begin(), out.end(),
             [](const ShardStats& a, const ShardStats& b) { return a.unit_time < b.unit_time; });

@@ -5,7 +5,7 @@
 // (§2), so VPs older than the retention window can never be solicited and
 // are dead weight. The timeline therefore shards storage by unit-time:
 //
-//   unit-time ──► TimeShard { profiles (owning), trusted ids, SpatialGrid }
+//   unit-time ──► shared_ptr<TimeShard> { profiles, trusted ids, grid }
 //
 // An investigation query (site rect, unit-time) touches exactly one shard
 // and, inside it, only the grid cells overlapping the site — O(VPs near
@@ -22,22 +22,27 @@
 // claims outside [clock − window, clock + skew] are rejected before
 // they ever reach a shard.
 //
-// Concurrency: insert/find/query take striped locks — ids are striped by
-// id hash, shards by unit-time hash — so concurrent ingest threads working
-// on different minutes (or different ids within a minute) rarely contend
-// and never take a global lock. The global id map makes duplicate-id
-// detection work across shards; eviction does NOT walk it (that would make
-// eviction O(evicted VPs) of index surgery under the ingest path's locks).
-// Instead evicted ids become *tombstones* that are resolved lazily: a
-// lookup whose shard has vanished reports the id as absent, a re-upload
-// reclaims the entry, and once tombstones outnumber live ids the maps are
-// compacted in one sweep.
+// Concurrency: insert/is_trusted/snapshot take striped locks — ids are
+// striped by id hash, shards by unit-time hash — so concurrent ingest
+// threads working on different minutes (or different ids within a
+// minute) rarely contend and never take a global lock. The global id map
+// makes duplicate-id detection work across shards; eviction does NOT
+// walk it (that would make eviction O(evicted VPs) of index surgery
+// under the ingest path's locks). Instead evicted ids become
+// *tombstones* that are resolved lazily: a lookup whose shard has
+// vanished reports the id as absent, a re-upload reclaims the entry, and
+// once tombstones outnumber live ids the maps are compacted in one
+// sweep.
 //
-// Pointer stability: pointers handed out by find()/query()/all() point
-// into a shard's node-based map and stay valid across further inserts and
-// across moving the timeline — until that shard is evicted. Callers must
-// not hold pointers across eviction (the service never does: eviction runs
-// between ingest batches, investigations borrow within one call chain).
+// Read surface: there is none on the live timeline beyond O(1) scalar
+// accessors, find() (which returns an owning shared_ptr) and is_trusted.
+// Bulk reads go through snapshot() → DbSnapshot, an immutable pinned
+// view whose results stay valid — across further ingest, eviction, and
+// the timeline's own destruction — until the snapshot is released (RCU
+// discipline; see index/db_snapshot.h). Writers honor snapshots by
+// copy-on-write: an insert into a shard some snapshot still pins
+// clones the shard (maps of refcounted profile pointers — cheap) and
+// publishes the clone; eviction just drops the timeline's reference.
 #pragma once
 
 #include <atomic>
@@ -46,11 +51,11 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
 #include "geo/geometry.h"
+#include "index/db_snapshot.h"
 #include "index/spatial_grid.h"
 #include "vp/view_profile.h"
 
@@ -71,15 +76,6 @@ struct TimelineConfig {
   RetentionConfig retention{};
 };
 
-/// Per-shard census row (inspection tooling, persistence stats).
-struct ShardStats {
-  TimeSec unit_time = 0;
-  std::size_t vp_count = 0;
-  std::size_t trusted_count = 0;
-  std::size_t grid_cells = 0;
-  std::size_t grid_entries = 0;
-};
-
 class VpTimeline {
  public:
   explicit VpTimeline(TimelineConfig cfg = {});
@@ -93,19 +89,18 @@ class VpTimeline {
   /// the id collides with a live (or in-flight) entry.
   bool insert(vp::ViewProfile profile, bool trusted);
 
-  [[nodiscard]] const vp::ViewProfile* find(const Id16& vp_id) const;
+  /// An immutable pinned view of every live shard — the read API.
+  /// Results obtained from the snapshot stay valid for the snapshot's
+  /// lifetime regardless of concurrent ingest or eviction. Cost:
+  /// O(live shards) shared_ptr copies under the stripe locks; no
+  /// profile data is copied. Thread-safe.
+  [[nodiscard]] DbSnapshot snapshot() const;
+
+  /// Point lookup returning an *owning* reference: the profile stays
+  /// alive (and bit-identical) for as long as the caller holds the
+  /// pointer, even if its shard is evicted meanwhile. Thread-safe.
+  [[nodiscard]] std::shared_ptr<const vp::ViewProfile> find(const Id16& vp_id) const;
   [[nodiscard]] bool is_trusted(const Id16& vp_id) const;
-
-  /// Exact query semantics of the original linear scan: all VPs whose
-  /// unit_time() equals `unit_time` and that visit `area`, ordered by id
-  /// (deterministic across runs, which the scan never was).
-  [[nodiscard]] std::vector<const vp::ViewProfile*> query(TimeSec unit_time,
-                                                          const geo::Rect& area) const;
-  [[nodiscard]] std::vector<const vp::ViewProfile*> trusted_at(TimeSec unit_time) const;
-
-  /// Every stored VP, ordered by (unit-time, id).
-  [[nodiscard]] std::vector<const vp::ViewProfile*> all() const;
-  [[nodiscard]] std::vector<Id16> trusted_ids() const;
 
   [[nodiscard]] std::size_t size() const noexcept {
     return size_.load(std::memory_order_relaxed);
@@ -150,8 +145,9 @@ class VpTimeline {
   /// Drops every shard with unit-time < cutoff. Returns evicted VP count.
   /// Thread-safe, including against concurrent insert(): a profile and
   /// the size/trusted counters commit atomically under the shard's lock,
-  /// so eviction never observes one without the other. It does invalidate
-  /// pointers into evicted shards (see the pointer-stability note above).
+  /// so eviction never observes one without the other. Shards pinned by
+  /// snapshots stay alive until their last snapshot is released; the
+  /// timeline itself stops referencing them immediately.
   std::size_t evict_older_than(TimeSec cutoff_unit);
   /// Drops every shard outside the plausible window around the trusted
   /// clock: older than clock − window AND newer than clock + skew. The
@@ -169,14 +165,6 @@ class VpTimeline {
   static constexpr std::size_t kIdStripes = 16;
   static constexpr std::size_t kTimeStripes = 8;
 
-  struct TimeShard {
-    std::unordered_map<Id16, vp::ViewProfile, Id16Hasher> profiles;
-    std::unordered_set<Id16, Id16Hasher> trusted;
-    SpatialGrid grid;
-
-    explicit TimeShard(SpatialGridConfig grid_cfg) : grid(grid_cfg) {}
-  };
-
   struct IdEntry {
     TimeSec unit_time = 0;
     /// False while the owning insert is between claiming the id and
@@ -192,7 +180,12 @@ class VpTimeline {
 
   struct TimeStripe {
     mutable std::mutex mutex;
-    std::unordered_map<TimeSec, TimeShard> shards;
+    /// Values are never null. A shard is writable in place exactly when
+    /// its pin count observed under this mutex is 0 — snapshots pin
+    /// under the same mutex and unpin with a release the writer's
+    /// acquire load pairs with (see TimeShard::pins); any live pin makes
+    /// a writer copy-on-write (see insert()).
+    std::unordered_map<TimeSec, std::shared_ptr<TimeShard>> shards;
   };
 
   [[nodiscard]] IdStripe& id_stripe(const Id16& id) const {
@@ -203,7 +196,8 @@ class VpTimeline {
   }
   /// Lock-order invariant: a thread holding an id-stripe mutex may acquire
   /// a time-stripe mutex, never the reverse. Multi-stripe holders
-  /// (compaction) acquire id stripes in index order, then time stripes.
+  /// (compaction, snapshot) acquire id stripes in index order, then time
+  /// stripes in index order.
   [[nodiscard]] bool shard_holds(TimeSec unit, const Id16& id) const;
 
   struct RetentionBounds {

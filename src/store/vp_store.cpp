@@ -44,15 +44,18 @@ std::uint64_t read_u64(std::istream& in) {
 
 }  // namespace
 
-void save_database(const sys::VpDatabase& db, std::ostream& out) {
+void save_snapshot(const index::DbSnapshot& snap, std::ostream& out) {
   out.write(kMagic, 4);
   write_u32(out, kFormatVersion);
 
-  const auto profiles = db.all();
-  const auto trusted = db.trusted_ids();
+  // all()/trusted_ids() iterate the pinned shards in (unit-time, id)
+  // order, so equal snapshots serialize to equal bytes — and a snapshot
+  // never changes, however long serialization takes.
+  const auto profiles = snap.all();
+  const auto trusted = snap.trusted_ids();
   write_u64(out, profiles.size());
   write_u64(out, trusted.size());
-  write_u64(out, static_cast<std::uint64_t>(db.trusted_now()));
+  write_u64(out, static_cast<std::uint64_t>(snap.trusted_now()));
   for (const auto* profile : profiles) {
     const auto payload = profile->serialize();
     out.write(reinterpret_cast<const char*>(payload.data()),
@@ -64,10 +67,18 @@ void save_database(const sys::VpDatabase& db, std::ostream& out) {
   if (!out) throw std::runtime_error("vp_store: write failed");
 }
 
-void save_database_file(const sys::VpDatabase& db, const std::string& path) {
+void save_snapshot_file(const index::DbSnapshot& snap, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("vp_store: cannot open " + path);
-  save_database(db, out);
+  save_snapshot(snap, out);
+}
+
+void save_database(const sys::VpDatabase& db, std::ostream& out) {
+  save_snapshot(db.snapshot(), out);
+}
+
+void save_database_file(const sys::VpDatabase& db, const std::string& path) {
+  save_snapshot_file(db.snapshot(), path);
 }
 
 sys::VpDatabase load_database(std::istream& in, LoadStats* stats) {

@@ -42,8 +42,14 @@ struct LoadStats {
   std::size_t shards_loaded = 0;  ///< distinct unit-times reconstructed
 };
 
-/// Serializes the snapshot into a stream. Throws std::runtime_error on I/O
-/// failure.
+/// Serializes a pinned snapshot into a stream. Because the snapshot is
+/// immutable, the output is byte-deterministic even while ingest and
+/// eviction keep mutating the live database it came from. Throws
+/// std::runtime_error on I/O failure.
+void save_snapshot(const index::DbSnapshot& snap, std::ostream& out);
+void save_snapshot_file(const index::DbSnapshot& snap, const std::string& path);
+
+/// Convenience: snapshot the database and serialize that.
 void save_database(const sys::VpDatabase& db, std::ostream& out);
 void save_database_file(const sys::VpDatabase& db, const std::string& path);
 

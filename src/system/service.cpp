@@ -28,14 +28,22 @@ bool ViewMapService::register_trusted(vp::ViewProfile profile) {
 
 InvestigationReport ViewMapService::investigate(const geo::Rect& site,
                                                 TimeSec unit_time) {
-  Viewmap map = builder_.build(db_, site, unit_time);
+  // One snapshot per investigation: everything below reads a pinned,
+  // immutable view, so ingest and eviction proceed concurrently.
+  return investigate(db_.snapshot(), site, unit_time);
+}
+
+InvestigationReport ViewMapService::investigate(const DbSnapshot& snap,
+                                                const geo::Rect& site,
+                                                TimeSec unit_time) {
+  Viewmap map = builder_.build(snap, site, unit_time);
   VerificationResult verdict = verifier_.verify(map, site);
 
   std::vector<Id16> solicited;
   solicited.reserve(verdict.legitimate.size());
   for (std::size_t i : verdict.legitimate) {
+    if (map.is_trusted(i)) continue;  // authorities' own videos need no request
     const Id16 id = map.member(i).vp_id();
-    if (db_.is_trusted(id)) continue;  // authorities' own videos need no request
     board_.post(id, RequestKind::kVideo);
     solicited.push_back(id);
   }
@@ -44,10 +52,13 @@ InvestigationReport ViewMapService::investigate(const geo::Rect& site,
 
 std::vector<InvestigationReport> ViewMapService::investigate_period(
     const geo::Rect& site, TimeSec begin, TimeSec end) {
+  // One snapshot per period: every minute's viewmap is built over the
+  // same consistent database state.
+  const DbSnapshot snap = db_.snapshot();
   std::vector<InvestigationReport> reports;
   for (TimeSec t = unit_start(begin); t < end; t += kUnitTimeSec) {
-    if (db_.trusted_at(t).empty()) continue;  // no trust seed, no verification
-    reports.push_back(investigate(site, t));
+    if (snap.trusted_at(t).empty()) continue;  // no trust seed, no verification
+    reports.push_back(investigate(snap, site, t));
   }
   return reports;
 }
@@ -62,7 +73,9 @@ std::vector<Id16> ViewMapService::pending_video_requests(
 
 bool ViewMapService::submit_video(const Id16& vp_id, const vp::RecordedVideo& video) {
   if (!board_.is_posted(vp_id, RequestKind::kVideo)) return false;
-  const vp::ViewProfile* profile = db_.find(vp_id);
+  // An owning reference: the validation below is immune to a concurrent
+  // retention pass evicting the profile's shard.
+  const std::shared_ptr<const vp::ViewProfile> profile = db_.find(vp_id);
   if (profile == nullptr) return false;
   if (!validate_solicited_video(*profile, video)) return false;
   board_.withdraw(vp_id, RequestKind::kVideo);

@@ -55,9 +55,9 @@ class ViewMapService {
   /// engine (parallel parse + screen, striped-lock shard commit, retention
   /// eviction). Returns how many VPs were accepted (malformed, untimely,
   /// or duplicate payloads are dropped). Retention runs after the batch,
-  /// measured from the trusted clock (see advance_clock) — it invalidates
-  /// database()-pointers into evicted shards, so do not hold query()/find()
-  /// results across this call.
+  /// measured from the trusted clock (see advance_clock). Safe to run
+  /// concurrently with investigate()/investigate_period(): reads go
+  /// through pinned DbSnapshots, which eviction cannot invalidate.
   std::size_t ingest_uploads();
 
   /// Feeds the trusted wall-clock that drives retention eviction and the
@@ -86,13 +86,24 @@ class ViewMapService {
   // ── investigation path ─────────────────────────────────────────────
   /// Builds the viewmap for (site, unit_time), verifies it, and posts
   /// 'request for video' for every legitimate VP found inside the site.
+  /// Takes one DbSnapshot for the whole investigation, so it runs fully
+  /// concurrent with ingest_uploads() and retention eviction; the
+  /// returned report stays valid indefinitely (the viewmap pins the
+  /// snapshot).
   [[nodiscard]] InvestigationReport investigate(const geo::Rect& site,
+                                                TimeSec unit_time);
+  /// Same, over a caller-supplied snapshot — lets one pinned view serve
+  /// many investigations (investigate_period(), replay tooling).
+  [[nodiscard]] InvestigationReport investigate(const DbSnapshot& snap,
+                                                const geo::Rect& site,
                                                 TimeSec unit_time);
 
   /// §5.2.1: an incident period is investigated as "a series of viewmaps
-  /// each corresponding to a single unit-time". Runs investigate() for
-  /// every whole minute in [begin, end); minutes without a trusted VP
-  /// (unverifiable) are skipped.
+  /// each corresponding to a single unit-time". Takes ONE snapshot for
+  /// the whole period (every minute sees the same consistent database
+  /// state) and runs investigate() for every whole minute in
+  /// [begin, end); minutes without a trusted VP (unverifiable) are
+  /// skipped.
   [[nodiscard]] std::vector<InvestigationReport> investigate_period(
       const geo::Rect& site, TimeSec begin, TimeSec end);
 

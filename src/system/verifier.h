@@ -48,6 +48,10 @@ class Verifier {
  public:
   explicit Verifier(TrustRankConfig cfg = {}) : cfg_(cfg) {}
 
+  /// Pure function of the viewmap. A viewmap built over a DbSnapshot
+  /// pins it, so verification (and the result's member indices) cannot
+  /// race concurrent ingest or retention eviction — the whole
+  /// investigation chain reads one immutable view.
   [[nodiscard]] VerificationResult verify(const Viewmap& map,
                                           const geo::Rect& site) const;
 

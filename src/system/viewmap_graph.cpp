@@ -9,12 +9,13 @@ namespace viewmap::sys {
 
 Viewmap::Viewmap(std::vector<const vp::ViewProfile*> members, std::vector<bool> trusted,
                  std::vector<std::vector<std::uint32_t>> adjacency, TimeSec unit_time,
-                 geo::Rect coverage)
+                 geo::Rect coverage, std::shared_ptr<const index::TimeShard> pinned)
     : members_(std::move(members)),
       trusted_(std::move(trusted)),
       adjacency_(std::move(adjacency)),
       unit_time_(unit_time),
-      coverage_(coverage) {
+      coverage_(coverage),
+      pinned_(std::move(pinned)) {
   if (members_.size() != trusted_.size() || members_.size() != adjacency_.size())
     throw std::invalid_argument("Viewmap: inconsistent member arrays");
 }
@@ -64,9 +65,9 @@ bool ViewmapBuilder::viewlinked(const vp::ViewProfile& a, const vp::ViewProfile&
   return a.heard(b) && b.heard(a);  // two-way membership validation
 }
 
-Viewmap ViewmapBuilder::build(const VpDatabase& db, const geo::Rect& site,
+Viewmap ViewmapBuilder::build(const index::DbSnapshot& snap, const geo::Rect& site,
                               TimeSec unit_time) const {
-  const auto trusted = db.trusted_at(unit_time);
+  const auto trusted = snap.trusted_at(unit_time);
   if (trusted.empty())
     throw std::runtime_error("ViewmapBuilder: no trusted VP for this unit-time");
 
@@ -96,18 +97,28 @@ Viewmap ViewmapBuilder::build(const VpDatabase& db, const geo::Rect& site,
   }
   cover = cover.inflated(cfg_.coverage_margin_m);
 
-  auto members = db.query(unit_time, cover);
+  auto members = snap.query(unit_time, cover);
+  // Everything in a viewmap shares one unit-time, so the minute's trusted
+  // list (id-ordered) answers membership by binary search.
+  const auto trusted_less = [](const vp::ViewProfile* a, const vp::ViewProfile* b) {
+    return a->vp_id() < b->vp_id();
+  };
   std::vector<bool> trusted_flags(members.size());
   for (std::size_t i = 0; i < members.size(); ++i)
-    trusted_flags[i] = db.is_trusted(members[i]->vp_id());
+    trusted_flags[i] =
+        std::binary_search(trusted.begin(), trusted.end(), members[i], trusted_less);
 
+  // The minute's shard rides inside the viewmap: member pointers stay
+  // valid for the viewmap's lifetime, whatever ingest/eviction does
+  // meanwhile — without keeping the snapshot's other shards alive.
   return build_from_members(std::move(members), std::move(trusted_flags), unit_time,
-                            cover);
+                            cover, snap.shard(unit_time));
 }
 
-Viewmap ViewmapBuilder::build_from_members(std::vector<const vp::ViewProfile*> members,
-                                           std::vector<bool> trusted, TimeSec unit_time,
-                                           const geo::Rect& coverage) const {
+Viewmap ViewmapBuilder::build_from_members(
+    std::vector<const vp::ViewProfile*> members, std::vector<bool> trusted,
+    TimeSec unit_time, const geo::Rect& coverage,
+    std::shared_ptr<const index::TimeShard> pinned) const {
   const std::size_t n = members.size();
   std::vector<std::vector<std::uint32_t>> adj(n);
 
@@ -159,7 +170,7 @@ Viewmap ViewmapBuilder::build_from_members(std::vector<const vp::ViewProfile*> m
     }
   }
   return Viewmap(std::move(members), std::move(trusted), std::move(adj), unit_time,
-                 coverage);
+                 coverage, std::move(pinned));
 }
 
 }  // namespace viewmap::sys

@@ -10,12 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/types.h"
 #include "geo/geometry.h"
-#include "system/vp_database.h"
+#include "index/db_snapshot.h"
 #include "vp/view_profile.h"
 
 namespace viewmap::sys {
@@ -27,15 +28,19 @@ struct ViewmapConfig {
 
 /// One constructed viewmap: member VPs with undirected adjacency.
 ///
-/// Lifetime: a Viewmap *borrows* its member profiles from the VpDatabase
-/// (or member vector) it was built over — the database must outlive the
-/// viewmap. Moving a VpDatabase does not invalidate the borrow (node-based
-/// container), destroying it does.
+/// Lifetime: a Viewmap spans one unit-time, so when built over a
+/// DbSnapshot it *pins* that minute's shard — its member profiles stay
+/// valid for the viewmap's own lifetime, fully independent of concurrent
+/// ingest, retention eviction, or the source database's destruction
+/// (and without holding the snapshot's other shards in memory). A
+/// Viewmap built from an explicit member vector (build_from_members
+/// with no shard) borrows those profiles from the caller instead, which
+/// must keep them alive.
 class Viewmap {
  public:
   Viewmap(std::vector<const vp::ViewProfile*> members, std::vector<bool> trusted,
           std::vector<std::vector<std::uint32_t>> adjacency, TimeSec unit_time,
-          geo::Rect coverage);
+          geo::Rect coverage, std::shared_ptr<const index::TimeShard> pinned = {});
 
   [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
   [[nodiscard]] const vp::ViewProfile& member(std::size_t i) const { return *members_.at(i); }
@@ -63,6 +68,9 @@ class Viewmap {
   std::vector<std::vector<std::uint32_t>> adjacency_;
   TimeSec unit_time_;
   geo::Rect coverage_;
+  /// Keeps the member profiles alive (null when members are
+  /// caller-owned — see the class comment).
+  std::shared_ptr<const index::TimeShard> pinned_;
 };
 
 class ViewmapBuilder {
@@ -72,16 +80,22 @@ class ViewmapBuilder {
   /// §5.2.1 procedure: choose the trusted VP closest to `site` at
   /// `unit_time`, span the coverage area over site ∪ that VP's trajectory,
   /// pull in every VP claiming locations inside, and create viewlinks.
-  /// Throws std::runtime_error if the database holds no trusted VP for
-  /// that minute (a viewmap without a trust seed cannot be verified).
-  [[nodiscard]] Viewmap build(const VpDatabase& db, const geo::Rect& site,
+  /// The minute's shard is pinned inside the returned Viewmap, so the
+  /// result remains valid however long the caller keeps it. Throws
+  /// std::runtime_error if the snapshot holds no trusted VP for that
+  /// minute (a viewmap without a trust seed cannot be verified).
+  [[nodiscard]] Viewmap build(const index::DbSnapshot& snap, const geo::Rect& site,
                               TimeSec unit_time) const;
 
   /// Lower-level entry: build a viewmap over an explicit member set
-  /// (evaluation harnesses inject synthetic/fake VPs this way).
-  [[nodiscard]] Viewmap build_from_members(std::vector<const vp::ViewProfile*> members,
-                                           std::vector<bool> trusted, TimeSec unit_time,
-                                           const geo::Rect& coverage) const;
+  /// (evaluation harnesses inject synthetic/fake VPs this way). Pass the
+  /// shard the members point into when there is one, so the viewmap pins
+  /// it; with the default null shard the caller keeps the profiles
+  /// alive.
+  [[nodiscard]] Viewmap build_from_members(
+      std::vector<const vp::ViewProfile*> members, std::vector<bool> trusted,
+      TimeSec unit_time, const geo::Rect& coverage,
+      std::shared_ptr<const index::TimeShard> pinned = {}) const;
 
   /// The §5.2.1 edge predicate, exposed for tests: two-way Bloom pass and
   /// time-aligned proximity.

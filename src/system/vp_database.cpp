@@ -20,25 +20,8 @@ bool VpDatabase::restore(vp::ViewProfile profile, bool trusted) {
   return timeline_.insert(std::move(profile), trusted);
 }
 
-const vp::ViewProfile* VpDatabase::find(const Id16& vp_id) const noexcept {
-  return timeline_.find(vp_id);
-}
-
 bool VpDatabase::is_trusted(const Id16& vp_id) const noexcept {
   return timeline_.is_trusted(vp_id);
 }
-
-std::vector<const vp::ViewProfile*> VpDatabase::query(TimeSec unit_time,
-                                                      const geo::Rect& area) const {
-  return timeline_.query(unit_time, area);
-}
-
-std::vector<const vp::ViewProfile*> VpDatabase::trusted_at(TimeSec unit_time) const {
-  return timeline_.trusted_at(unit_time);
-}
-
-std::vector<const vp::ViewProfile*> VpDatabase::all() const { return timeline_.all(); }
-
-std::vector<Id16> VpDatabase::trusted_ids() const { return timeline_.trusted_ids(); }
 
 }  // namespace viewmap::sys

@@ -8,13 +8,21 @@
 // Storage is the spatio-temporal index (src/index/): VPs live in
 // per-unit-time shards, each spatially indexed over the claimed
 // trajectories, with a retention window matching how long dashcams keep
-// video. query() is O(VPs near the site that minute); upload() is
-// thread-safe and lock-striped so the batched ingest engine can commit
-// from many threads at once (see index/ingest_engine.h).
+// video. upload() is thread-safe and lock-striped so the batched ingest
+// engine can commit from many threads at once (see index/ingest_engine.h).
+//
+// Reads go through snapshot(): an immutable pinned view of the database
+// whose query results stay valid — across concurrent uploads, retention
+// eviction, even destruction of this VpDatabase — until the snapshot is
+// released. One investigation takes one snapshot; there is no pointer-
+// lifetime caveat anywhere on the read surface. A snapshot's memory
+// semantics: it pins the shards it was built from, so shards evicted (or
+// copy-on-write-replaced) while it is held stay alive exactly until its
+// last copy is destroyed.
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
@@ -23,6 +31,10 @@
 #include "vp/view_profile.h"
 
 namespace viewmap::sys {
+
+/// The snapshot type served by VpDatabase::snapshot() (see
+/// index/db_snapshot.h for the full read API and lifetime contract).
+using DbSnapshot = index::DbSnapshot;
 
 class VpDatabase {
  public:
@@ -61,36 +73,25 @@ class VpDatabase {
   bool restore(vp::ViewProfile profile, bool trusted);
   [[nodiscard]] TimeSec trusted_now() const noexcept { return timeline_.trusted_now(); }
 
-  // Pointer lifetime: find()/query()/trusted_at()/all() return pointers
-  // into the index's shards. They stay valid across further uploads but
-  // are INVALIDATED when the owning shard is evicted by retention — which
-  // runs inside enforce_retention() and, implicitly, inside
-  // ViewMapService::ingest_uploads() after every batch. Do not hold
-  // results across either; copy the profiles if they must outlive it.
+  /// The read API: an immutable pinned view of the whole database.
+  /// query()/find()/trusted_at()/all() results obtained from the snapshot
+  /// stay valid for the snapshot's lifetime, fully concurrent with
+  /// uploads and retention eviction. Cheap — O(live shards) refcount
+  /// bumps, no profile copies.
+  [[nodiscard]] DbSnapshot snapshot() const { return timeline_.snapshot(); }
 
-  [[nodiscard]] const vp::ViewProfile* find(const Id16& vp_id) const noexcept;
+  /// Point lookup returning an owning reference: the profile stays alive
+  /// for as long as the caller holds it, independent of eviction. Null
+  /// when absent.
+  [[nodiscard]] std::shared_ptr<const vp::ViewProfile> find(const Id16& vp_id) const {
+    return timeline_.find(vp_id);
+  }
   [[nodiscard]] bool is_trusted(const Id16& vp_id) const noexcept;
-
-  /// All VPs covering unit-time `t` with any claimed location inside
-  /// `area`. Trusted VPs included. Ordered by id.
-  [[nodiscard]] std::vector<const vp::ViewProfile*> query(TimeSec unit_time,
-                                                          const geo::Rect& area) const;
-
-  /// All trusted VPs covering unit-time `t`.
-  [[nodiscard]] std::vector<const vp::ViewProfile*> trusted_at(TimeSec unit_time) const;
 
   [[nodiscard]] std::size_t size() const noexcept { return timeline_.size(); }
   [[nodiscard]] std::size_t trusted_count() const noexcept {
     return timeline_.trusted_count();
   }
-
-  /// Every stored VP (evaluation harnesses iterate the whole dataset, e.g.
-  /// the §6.2.2 tracking analysis runs against the raw database). Same
-  /// eviction caveat as query() above.
-  [[nodiscard]] std::vector<const vp::ViewProfile*> all() const;
-
-  /// Identifiers of all trusted VPs (persistence and audit tooling).
-  [[nodiscard]] std::vector<Id16> trusted_ids() const;
 
   /// The structural screen applied to every upload (the ingest engine
   /// runs it in its worker threads).
@@ -109,8 +110,8 @@ class VpDatabase {
 
   /// Drops shards older than the configured retention window, measured
   /// from the trusted clock (no-op until advance_clock()/upload_trusted()
-  /// has set it). Returns evicted VP count. Invalidates pointers into the
-  /// evicted shards — see the lifetime note above query().
+  /// has set it). Returns evicted VP count. Held snapshots are unaffected:
+  /// they keep their shards alive until released.
   std::size_t enforce_retention() { return timeline_.enforce_retention(); }
 
  private:

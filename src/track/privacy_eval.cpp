@@ -25,6 +25,34 @@ std::vector<std::vector<VpObservation>> observations_by_minute(
   return out;
 }
 
+std::vector<std::vector<VpObservation>> observations_by_minute(
+    const index::DbSnapshot& snap) {
+  // The database cannot tell guards from actual VPs (§5.2.1 fn.4), so
+  // there is no include_guards toggle here: the system-as-tracker always
+  // sees both. The snapshot's shards are already one-per-minute and
+  // unit-time-ordered — one linear pass, no re-bucketing.
+  std::vector<std::vector<VpObservation>> out;
+  out.reserve(snap.shard_count());
+  for (const auto& shard : snap.shards()) {
+    std::vector<VpObservation> minute;
+    minute.reserve(shard->profiles.size());
+    for (const auto& [id, profile] : shard->profiles) {
+      VpObservation obs;
+      obs.vp_id = id;
+      obs.unit_time = profile->unit_time();
+      obs.start = profile->first_location();
+      obs.end = profile->last_location();
+      minute.push_back(obs);
+    }
+    // Id-ordered within the minute: deterministic across runs (hash-map
+    // iteration order is not).
+    std::sort(minute.begin(), minute.end(),
+              [](const VpObservation& a, const VpObservation& b) { return a.vp_id < b.vp_id; });
+    out.push_back(std::move(minute));
+  }
+  return out;
+}
+
 PrivacyCurves evaluate_privacy(const sim::SimResult& result, bool include_guards,
                                const TrackerConfig& cfg) {
   const auto per_minute = observations_by_minute(result, include_guards);

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "index/db_snapshot.h"
 #include "sim/simulator.h"
 #include "track/tracker.h"
 
@@ -23,6 +24,14 @@ struct PrivacyCurves {
 /// `include_guards` toggles the no-guard baseline of Figs. 10/11/22.
 [[nodiscard]] std::vector<std::vector<VpObservation>> observations_by_minute(
     const sim::SimResult& result, bool include_guards);
+
+/// The honest-but-curious system as adversary (§6.2.2 threat model): the
+/// same grouping extracted from a pinned snapshot of the system's own VP
+/// database — exactly what the service can see, with guards and actual
+/// VPs indistinguishable by construction. Runs entirely against the
+/// immutable snapshot, concurrent with live ingest.
+[[nodiscard]] std::vector<std::vector<VpObservation>> observations_by_minute(
+    const index::DbSnapshot& snap);
 
 /// Runs the tracker against every vehicle and averages the curves.
 [[nodiscard]] PrivacyCurves evaluate_privacy(const sim::SimResult& result,

@@ -32,10 +32,10 @@ vp::ViewProfile random_vp(TimeSec unit, double extent, Rng& rng) {
 }
 
 /// The pre-index query algorithm, verbatim: linear scan of everything.
-std::vector<Id16> linear_scan_ids(const sys::VpDatabase& db, TimeSec unit_time,
+std::vector<Id16> linear_scan_ids(const DbSnapshot& snap, TimeSec unit_time,
                                   const geo::Rect& area) {
   std::vector<Id16> out;
-  for (const auto* profile : db.all())
+  for (const auto* profile : snap.all())
     if (profile->unit_time() == unit_time && profile->visits(area))
       out.push_back(profile->vp_id());
   std::sort(out.begin(), out.end());
@@ -125,14 +125,15 @@ TEST(VpTimelineProperty, QueryMatchesLinearScanOnRandomWorkloads) {
                           : db.upload(std::move(profile)));
     }
 
+    const DbSnapshot snap = db.snapshot();
     for (int q = 0; q < 200; ++q) {
       const TimeSec unit = kUnitTimeSec * rng.index(static_cast<std::size_t>(minutes + 1));
       const geo::Vec2 c{rng.uniform(-4500.0, 4500.0), rng.uniform(-4500.0, 4500.0)};
       const double half = rng.uniform(10.0, 2000.0);
       const geo::Rect area{{c.x - half, c.y - half}, {c.x + half, c.y + half}};
 
-      const auto indexed = db.query(unit, area);
-      EXPECT_EQ(ids_of(indexed), linear_scan_ids(db, unit, area));
+      const auto indexed = snap.query(unit, area);
+      EXPECT_EQ(ids_of(indexed), linear_scan_ids(snap, unit, area));
       // Results are id-ordered (deterministic across runs).
       for (std::size_t i = 1; i < indexed.size(); ++i)
         EXPECT_TRUE(indexed[i - 1]->vp_id() < indexed[i]->vp_id());
@@ -142,8 +143,8 @@ TEST(VpTimelineProperty, QueryMatchesLinearScanOnRandomWorkloads) {
     std::size_t total = 0;
     const geo::Rect everywhere{{-1e7, -1e7}, {1e7, 1e7}};
     for (int m = 0; m < minutes; ++m)
-      total += db.query(m * kUnitTimeSec, everywhere).size();
-    EXPECT_EQ(total, db.size());
+      total += snap.query(m * kUnitTimeSec, everywhere).size();
+    EXPECT_EQ(total, snap.size());
   }
 }
 
@@ -157,18 +158,21 @@ TEST(VpTimeline, TrustedSetSemantics) {
   ASSERT_TRUE(db.upload_trusted(std::move(trusted)));
   ASSERT_TRUE(db.upload(std::move(plain)));
 
+  const DbSnapshot snap = db.snapshot();
   EXPECT_TRUE(db.is_trusted(trusted_id));
   EXPECT_FALSE(db.is_trusted(plain_id));
   EXPECT_EQ(db.trusted_count(), 1u);
-  EXPECT_EQ(db.trusted_ids(), std::vector<Id16>{trusted_id});
-  EXPECT_EQ(db.trusted_at(0).size(), 1u);
-  // is_trusted and trusted_ids agree for every stored VP (the old
+  EXPECT_EQ(snap.trusted_ids(), std::vector<Id16>{trusted_id});
+  EXPECT_EQ(snap.trusted_at(0).size(), 1u);
+  // Live and snapshot trust views agree for every stored VP (the old
   // map<Id,bool> representation could make them disagree).
-  const auto trusted_list = db.trusted_ids();
-  for (const auto* p : db.all())
-    EXPECT_EQ(db.is_trusted(p->vp_id()),
-              std::find(trusted_list.begin(), trusted_list.end(), p->vp_id()) !=
-                  trusted_list.end());
+  const auto trusted_list = snap.trusted_ids();
+  for (const auto* p : snap.all()) {
+    const bool listed = std::find(trusted_list.begin(), trusted_list.end(),
+                                  p->vp_id()) != trusted_list.end();
+    EXPECT_EQ(db.is_trusted(p->vp_id()), listed);
+    EXPECT_EQ(snap.is_trusted(p->vp_id()), listed);
+  }
 }
 
 TEST(VpTimeline, RetentionEvictsWholeShards) {
@@ -208,7 +212,7 @@ TEST(VpTimeline, RetentionEvictsWholeShards) {
     EXPECT_FALSE(timeline.is_trusted(id));
   }
   EXPECT_NE(timeline.find(id60), nullptr);
-  EXPECT_TRUE(timeline.query(0, {{-1e6, -1e6}, {1e6, 1e6}}).empty());
+  EXPECT_TRUE(timeline.snapshot().query(0, {{-1e6, -1e6}, {1e6, 1e6}}).empty());
 
   // An evicted id is a tombstone, not a live entry: re-uploading it (the
   // same vehicle re-submitting after the service aged it out) must work.
@@ -365,7 +369,7 @@ TEST(IngestEngine, ThreadCountDoesNotChangeTheOutcome) {
     const auto stats = engine.ingest(payloads);
     EXPECT_EQ(stats.accepted, 200u);
     EXPECT_EQ(stats.rejected_duplicate, 50u);
-    auto ids = ids_of(db.all());
+    auto ids = ids_of(db.snapshot().all());
     if (reference.empty())
       reference = ids;
     else
@@ -428,7 +432,8 @@ TEST(VpTimeline, EvictionConcurrentWithInsertKeepsCountersSane) {
 
   // Every survivor is in minutes [3, 6); the counters match a full walk
   // (a transient counter wrap would leave size() astronomically large).
-  const auto survivors = timeline.all();
+  const DbSnapshot snap = timeline.snapshot();
+  const auto survivors = snap.all();
   EXPECT_EQ(timeline.size(), survivors.size());
   EXPECT_LE(timeline.size(), static_cast<std::size_t>(kThreads * kPerThread));
   for (const auto* p : survivors) EXPECT_GE(p->unit_time(), 3 * kUnitTimeSec);
@@ -462,7 +467,7 @@ TEST(IngestEngine, DrainsSimulatedTrafficLikeTheSerialPath) {
   IngestEngine engine(db.timeline(), db.policy(), cfg);
   const auto stats = engine.ingest(std::move(payloads));
   EXPECT_EQ(stats.accepted, reference_accepted);
-  EXPECT_EQ(ids_of(db.all()), ids_of(reference.all()));
+  EXPECT_EQ(ids_of(db.snapshot().all()), ids_of(reference.snapshot().all()));
 }
 
 }  // namespace

@@ -80,7 +80,7 @@ TEST_F(CityWorld, InvestigationFindsWitnessesAndValidatesVideo) {
   for (const auto& o : result.owned)
     if (o.vehicle == 3 && o.unit_time == 60) witness = &o;
   ASSERT_NE(witness, nullptr);
-  const auto* witness_profile = service.database().find(witness->vp_id);
+  const auto witness_profile = service.database().find(witness->vp_id);
   ASSERT_NE(witness_profile, nullptr);
   const geo::Vec2 c = witness_profile->location_at(30);
   const geo::Rect site{{c.x - 150, c.y - 150}, {c.x + 150, c.y + 150}};
@@ -194,7 +194,7 @@ TEST_F(CityWorld, ViewmapMembershipIsHigh) {
   ASSERT_NE(trusted, nullptr);
   const sys::ViewmapBuilder builder;
   const geo::Rect everywhere{{-1e5, -1e5}, {1e5, 1e5}};
-  const auto map = builder.build(db, everywhere, 0);
+  const auto map = builder.build(db.snapshot(), everywhere, 0);
   EXPECT_GT(map.size(), 10u);
   const double isolated =
       static_cast<double>(map.isolated_from_trusted()) / static_cast<double>(map.size());

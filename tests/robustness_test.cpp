@@ -200,7 +200,7 @@ TEST(Service, MultipleTrustedSeedsShareTrustMass) {
   }
   const sys::ViewmapBuilder builder;
   const geo::Rect site{{-10, -10}, {600, 200}};
-  const auto map = builder.build(db, site, 0);
+  const auto map = builder.build(db.snapshot(), site, 0);
   EXPECT_EQ(map.trusted_indices().size(), 2u);
   const auto ranks = sys::trust_rank(map);
   double total = 0;

@@ -1,0 +1,338 @@
+// DbSnapshot semantics: isolation from later writes, pinned lifetime
+// across eviction (and database destruction), byte-deterministic
+// persistence under concurrent ingest, and TSan-exercised concurrency of
+// investigations against the live ingest + retention path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "attack/fake_vp.h"
+#include "common/rng.h"
+#include "index/ingest_engine.h"
+#include "index/timeline.h"
+#include "sim/simulator.h"
+#include "store/vp_store.h"
+#include "system/service.h"
+#include "system/viewmap_graph.h"
+#include "system/vp_database.h"
+#include "track/privacy_eval.h"
+
+namespace viewmap::index {
+namespace {
+
+vp::ViewProfile random_vp(TimeSec unit, double extent, Rng& rng) {
+  const geo::Vec2 start{rng.uniform(-extent, extent), rng.uniform(-extent, extent)};
+  const geo::Vec2 end{start.x + rng.uniform(-1500.0, 1500.0),
+                      start.y + rng.uniform(-1500.0, 1500.0)};
+  return attack::make_fake_profile(unit, start, end, rng);
+}
+
+/// Concatenated wire bytes of everything a snapshot holds, in its
+/// deterministic (unit-time, id) order — the bit-identity probe.
+std::vector<std::uint8_t> wire_bytes(const DbSnapshot& snap) {
+  std::vector<std::uint8_t> out;
+  for (const auto* profile : snap.all()) {
+    const auto payload = profile->serialize();
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+TEST(DbSnapshot, IsolationFromLaterInserts) {
+  Rng rng(1);
+  VpTimeline timeline;
+  std::vector<Id16> first_wave;
+  for (int i = 0; i < 40; ++i) {
+    auto p = random_vp(kUnitTimeSec * (i % 3), 2000.0, rng);
+    first_wave.push_back(p.vp_id());
+    ASSERT_TRUE(timeline.insert(std::move(p), i == 0));
+  }
+
+  const DbSnapshot snap = timeline.snapshot();
+  const auto bytes_at_cut = wire_bytes(snap);
+  EXPECT_EQ(snap.size(), 40u);
+  EXPECT_EQ(snap.trusted_count(), 1u);
+
+  // Writes into the SAME minutes force copy-on-write of every pinned
+  // shard; the snapshot must not see any of them.
+  for (int i = 0; i < 40; ++i)
+    ASSERT_TRUE(timeline.insert(random_vp(kUnitTimeSec * (i % 3), 2000.0, rng), false));
+  EXPECT_EQ(timeline.size(), 80u);
+  EXPECT_EQ(snap.size(), 40u);
+  EXPECT_EQ(wire_bytes(snap), bytes_at_cut);
+  for (const Id16& id : first_wave) EXPECT_NE(snap.find(id), nullptr);
+
+  // A fresh snapshot sees everything; the old one still answers queries
+  // exactly as of its cut.
+  const DbSnapshot fresh = timeline.snapshot();
+  EXPECT_EQ(fresh.size(), 80u);
+  const geo::Rect everywhere{{-1e7, -1e7}, {1e7, 1e7}};
+  std::size_t old_total = 0;
+  for (int m = 0; m < 3; ++m) old_total += snap.query(m * kUnitTimeSec, everywhere).size();
+  EXPECT_EQ(old_total, 40u);
+}
+
+TEST(DbSnapshot, PinsEvictedShardsUntilLastReleaseThenFrees) {
+  Rng rng(2);
+  TimelineConfig cfg;
+  cfg.retention.window_sec = 2 * kUnitTimeSec;
+  VpTimeline timeline(cfg);
+  std::vector<Id16> ids;
+  for (int i = 0; i < 10; ++i) {
+    auto p = random_vp(0, 1000.0, rng);
+    ids.push_back(p.vp_id());
+    ASSERT_TRUE(timeline.insert(std::move(p), false));
+  }
+
+  std::weak_ptr<const TimeShard> pinned_shard;
+  std::vector<std::uint8_t> bytes_before;
+  {
+    DbSnapshot held = timeline.snapshot();
+    ASSERT_EQ(held.shard_count(), 1u);
+    pinned_shard = held.shards().front();
+    bytes_before = wire_bytes(held);
+
+    // Age the shard out from under the snapshot.
+    timeline.advance_clock(10 * kUnitTimeSec);
+    EXPECT_EQ(timeline.enforce_retention(), 10u);
+    EXPECT_EQ(timeline.size(), 0u);
+    EXPECT_EQ(timeline.snapshot().shard_count(), 0u);  // live view: gone
+
+    // The held snapshot: bit-identical, every lookup intact.
+    EXPECT_FALSE(pinned_shard.expired());
+    EXPECT_EQ(held.size(), 10u);
+    EXPECT_EQ(wire_bytes(held), bytes_before);
+    for (const Id16& id : ids) EXPECT_NE(held.find(id), nullptr);
+
+    // Copies share the pin; dropping one copy must not release it.
+    DbSnapshot copy = held;
+    held = DbSnapshot{};
+    EXPECT_FALSE(pinned_shard.expired());
+    EXPECT_EQ(wire_bytes(copy), bytes_before);
+  }
+  // Last reference gone ⇒ the evicted shard's memory is actually released.
+  EXPECT_TRUE(pinned_shard.expired());
+}
+
+TEST(DbSnapshot, SurvivesDatabaseDestruction) {
+  Rng rng(3);
+  DbSnapshot snap;
+  Id16 id;
+  {
+    sys::VpDatabase db;
+    auto p = random_vp(0, 1000.0, rng);
+    id = p.vp_id();
+    ASSERT_TRUE(db.upload(std::move(p)));
+    snap = db.snapshot();
+  }  // database (and its timeline) destroyed here
+  EXPECT_EQ(snap.size(), 1u);
+  ASSERT_NE(snap.find(id), nullptr);
+  EXPECT_EQ(snap.find(id)->vp_id(), id);
+}
+
+TEST(DbSnapshot, OwningFindOutlivesEviction) {
+  Rng rng(4);
+  TimelineConfig cfg;
+  cfg.retention.window_sec = 2 * kUnitTimeSec;
+  VpTimeline timeline(cfg);
+  auto p = random_vp(0, 1000.0, rng);
+  const Id16 id = p.vp_id();
+  const auto bytes = p.serialize();
+  ASSERT_TRUE(timeline.insert(std::move(p), false));
+
+  const std::shared_ptr<const vp::ViewProfile> held = timeline.find(id);
+  ASSERT_NE(held, nullptr);
+  timeline.advance_clock(10 * kUnitTimeSec);
+  EXPECT_EQ(timeline.enforce_retention(), 1u);
+  EXPECT_EQ(timeline.find(id), nullptr);  // live view: gone
+  EXPECT_EQ(held->serialize(), bytes);    // owned reference: intact
+}
+
+TEST(DbSnapshot, SerializationIsByteDeterministicUnderConcurrentIngest) {
+  Rng rng(5);
+  sys::VpDatabase db;
+  for (int i = 0; i < 60; ++i)
+    ASSERT_TRUE(db.upload(random_vp(kUnitTimeSec * (i % 4), 2000.0, rng)));
+
+  const sys::DbSnapshot snap = db.snapshot();
+  std::stringstream first;
+  store::save_snapshot(snap, first);
+
+  // A writer hammers the same minutes (forcing copy-on-write of every
+  // pinned shard) while the same snapshot serializes again.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng wrng(6);
+    while (!stop.load()) db.upload(random_vp(kUnitTimeSec * wrng.index(4), 2000.0, wrng));
+  });
+  std::stringstream second;
+  store::save_snapshot(snap, second);
+  stop.store(true);
+  writer.join();
+
+  EXPECT_EQ(first.str(), second.str());
+  EXPECT_GT(db.size(), snap.size());  // the writer really did land inserts
+}
+
+TEST(DbSnapshot, SnapshotConcurrentWithInsertAndEvictIsSafe) {
+  // TSan target: snapshots (and queries through them) racing shard
+  // copy-on-write inserts and whole-shard eviction.
+  Rng rng(7);
+  constexpr int kWriters = 2;
+  constexpr int kPerWriter = 150;
+  std::vector<std::vector<vp::ViewProfile>> sets(kWriters);
+  for (int t = 0; t < kWriters; ++t)
+    for (int i = 0; i < kPerWriter; ++i)
+      sets[static_cast<std::size_t>(t)].push_back(
+          random_vp(kUnitTimeSec * (i % 6), 2000.0, rng));
+
+  VpTimeline timeline;
+  std::atomic<bool> done{false};
+  std::thread evictor([&] {
+    while (!done.load()) timeline.evict_older_than(3 * kUnitTimeSec);
+    timeline.evict_older_than(3 * kUnitTimeSec);
+  });
+  std::thread reader([&] {
+    const geo::Rect everywhere{{-1e7, -1e7}, {1e7, 1e7}};
+    while (!done.load()) {
+      const DbSnapshot snap = timeline.snapshot();
+      // Internal consistency of every cut: per-minute queries partition
+      // all(), and the precomputed counters match the pinned shards.
+      std::size_t total = 0;
+      for (int m = 0; m < 6; ++m) total += snap.query(m * kUnitTimeSec, everywhere).size();
+      EXPECT_EQ(total, snap.size());
+      EXPECT_EQ(snap.all().size(), snap.size());
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t)
+    writers.emplace_back([&, t] {
+      for (auto& p : sets[static_cast<std::size_t>(t)])
+        timeline.insert(std::move(p), false);
+    });
+  for (auto& th : writers) th.join();
+  done.store(true);
+  evictor.join();
+  reader.join();
+
+  const DbSnapshot final_snap = timeline.snapshot();
+  EXPECT_EQ(final_snap.size(), timeline.size());
+  for (const auto* p : final_snap.all()) EXPECT_GE(p->unit_time(), 3 * kUnitTimeSec);
+}
+
+TEST(DbSnapshot, InvestigateConcurrentWithIngestAndEviction) {
+  // The service-level satellite: investigate() loops on one thread while
+  // ingest_uploads() (with its per-batch retention pass) runs on another,
+  // until retention evicts the investigated minute itself. Reports built
+  // before the eviction must stay bit-identical afterwards.
+  Rng rng(8);
+  sys::ServiceConfig cfg;
+  cfg.rsa_bits = 1024;
+  cfg.index.retention.window_sec = 2 * kUnitTimeSec;
+  cfg.ingest.min_parallel_batch = 4;
+  sys::ViewMapService service(cfg);
+
+  // Trust seed at minute 0, inside what will be the investigation site.
+  Rng trng(9);
+  ASSERT_TRUE(service.register_trusted(
+      attack::make_fake_profile(0, {0.0, 0.0}, {300.0, 0.0}, trng)));
+  const geo::Rect site{{-400.0, -400.0}, {700.0, 400.0}};
+
+  const auto viewmap_bytes = [](const sys::Viewmap& map) {
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i < map.size(); ++i) {
+      const auto payload = map.member(i).serialize();
+      out.insert(out.end(), payload.begin(), payload.end());
+    }
+    return out;
+  };
+  std::vector<sys::InvestigationReport> reports;
+  std::vector<std::vector<std::uint8_t>> bytes_at_build;
+  std::atomic<bool> evicted{false};
+
+  std::thread investigator([&] {
+    while (!evicted.load()) {
+      try {
+        auto report = service.investigate(site, 0);
+        bytes_at_build.push_back(viewmap_bytes(report.viewmap));
+        reports.push_back(std::move(report));
+      } catch (const std::runtime_error&) {
+        // Minute 0 lost its trust seed: retention reached it. Done.
+        break;
+      }
+    }
+  });
+
+  // Ingest side: keep the channel fed with minute-0/1 uploads and let the
+  // per-batch retention pass run; then walk the trusted clock forward so
+  // retention evicts minute 0 out from under the investigator.
+  Rng urng(10);
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      const TimeSec unit = kUnitTimeSec * (round % 2);
+      const geo::Vec2 a{urng.uniform(-350.0, 650.0), urng.uniform(-350.0, 350.0)};
+      const geo::Vec2 b{a.x + 200.0, a.y};
+      service.upload_channel().submit(attack::make_fake_profile(unit, a, b, urng).serialize());
+    }
+    (void)service.ingest_uploads();
+    if (round == 30) {
+      service.advance_clock(10 * kUnitTimeSec);  // minute 0 now outside the window
+      (void)service.ingest_uploads();            // retention pass evicts it
+      evicted.store(true);
+    }
+  }
+  evicted.store(true);
+  investigator.join();
+
+  // The investigated shard is gone from the live database…
+  EXPECT_TRUE(service.database().snapshot().trusted_at(0).empty());
+  // …but every report pinned its snapshot: still present, bit-identical.
+  ASSERT_FALSE(reports.empty());
+  for (std::size_t r = 0; r < reports.size(); ++r)
+    EXPECT_EQ(viewmap_bytes(reports[r].viewmap), bytes_at_build[r]);
+}
+
+TEST(DbSnapshot, TrackingAnalysisReadsFromSnapshot) {
+  // §6.2.2: the honest-but-curious system extracts tracker observations
+  // from its own database — through a snapshot, not raw pointers.
+  road::GridCityConfig ccfg;
+  ccfg.extent_m = 1000.0;
+  Rng city_rng(11);
+  auto city = road::make_grid_city(ccfg, city_rng);
+  sim::SimConfig scfg;
+  scfg.seed = 12;
+  scfg.vehicle_count = 10;
+  scfg.minutes = 3;
+  scfg.video_bytes_per_second = 8;
+  sim::TrafficSimulator simulator(std::move(city), scfg);
+  const auto world = simulator.run();
+
+  sys::VpDatabase db;
+  IngestEngine engine(db.timeline(), db.policy(), {});
+  (void)engine.ingest(sim::upload_payloads(world));
+  ASSERT_GT(db.size(), 0u);
+
+  const sys::DbSnapshot snap = db.snapshot();
+  const auto per_minute = track::observations_by_minute(snap);
+  ASSERT_EQ(per_minute.size(), snap.shard_count());
+
+  std::size_t total = 0;
+  for (const auto& minute : per_minute) {
+    for (const auto& obs : minute) {
+      ++total;
+      const auto* profile = snap.find(obs.vp_id);
+      ASSERT_NE(profile, nullptr);
+      EXPECT_EQ(obs.unit_time, profile->unit_time());
+      EXPECT_EQ(obs.start.x, profile->first_location().x);
+      EXPECT_EQ(obs.end.y, profile->last_location().y);
+    }
+  }
+  EXPECT_EQ(total, snap.size());
+}
+
+}  // namespace
+}  // namespace viewmap::index

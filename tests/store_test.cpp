@@ -46,12 +46,18 @@ TEST(VpStore, RoundTripPreservesEverything) {
   // The trusted retention clock survives the round trip, so retention
   // resumes where the live service left off.
   EXPECT_EQ(loaded.trusted_now(), db.trusted_now());
-  for (const auto* profile : db.all()) {
-    const auto* copy = loaded.find(profile->vp_id());
+  const sys::DbSnapshot before = db.snapshot();
+  const sys::DbSnapshot after = loaded.snapshot();
+  for (const auto* profile : before.all()) {
+    const auto* copy = after.find(profile->vp_id());
     ASSERT_NE(copy, nullptr);
     EXPECT_EQ(*copy, *profile);
-    EXPECT_EQ(loaded.is_trusted(profile->vp_id()), db.is_trusted(profile->vp_id()));
+    EXPECT_EQ(after.is_trusted(profile->vp_id()), before.is_trusted(profile->vp_id()));
   }
+  // Snapshot serialization is deterministic: same state, same bytes.
+  std::stringstream again;
+  save_snapshot(before, again);
+  EXPECT_EQ(again.str(), buffer.str());
 }
 
 TEST(VpStore, ClockRecoverySurvivesRoundTrip) {

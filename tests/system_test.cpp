@@ -75,12 +75,13 @@ TEST(VpDatabase, QueryByTimeAndArea) {
   for (auto& g : m0) db.upload(g.profile);
   for (auto& g : m1) db.upload(g.profile);
 
+  const DbSnapshot snap = db.snapshot();
   const geo::Rect everywhere{{-1e6, -1e6}, {1e6, 1e6}};
-  EXPECT_EQ(db.query(0, everywhere).size(), 2u);
-  EXPECT_EQ(db.query(60, everywhere).size(), 2u);
-  EXPECT_EQ(db.query(120, everywhere).size(), 0u);
+  EXPECT_EQ(snap.query(0, everywhere).size(), 2u);
+  EXPECT_EQ(snap.query(60, everywhere).size(), 2u);
+  EXPECT_EQ(snap.query(120, everywhere).size(), 0u);
   const geo::Rect nowhere{{5000, 5000}, {6000, 6000}};
-  EXPECT_EQ(db.query(0, nowhere).size(), 0u);
+  EXPECT_EQ(snap.query(0, nowhere).size(), 0u);
 }
 
 TEST(VpDatabase, TrustedRegistry) {
@@ -91,8 +92,9 @@ TEST(VpDatabase, TrustedRegistry) {
   db.upload(convoy[1].profile);
   EXPECT_TRUE(db.is_trusted(convoy[0].profile.vp_id()));
   EXPECT_FALSE(db.is_trusted(convoy[1].profile.vp_id()));
-  EXPECT_EQ(db.trusted_at(0).size(), 1u);
-  EXPECT_EQ(db.trusted_at(60).size(), 0u);
+  const DbSnapshot snap = db.snapshot();
+  EXPECT_EQ(snap.trusted_at(0).size(), 1u);
+  EXPECT_EQ(snap.trusted_at(60).size(), 0u);
 }
 
 TEST(ViewmapBuilder, ConvoyFormsChainGraph) {
@@ -104,7 +106,7 @@ TEST(ViewmapBuilder, ConvoyFormsChainGraph) {
 
   const ViewmapBuilder builder;
   const geo::Rect site{{0, 100}, {600, 200}};  // around vehicles 2-3
-  const Viewmap map = builder.build(db, site, 0);
+  const Viewmap map = builder.build(db.snapshot(), site, 0);
 
   EXPECT_EQ(map.size(), 4u);
   EXPECT_EQ(map.edge_count(), 3u);  // chain 0-1-2-3
@@ -118,7 +120,7 @@ TEST(ViewmapBuilder, NoTrustedVpThrows) {
   VpDatabase db;
   for (auto& g : convoy) db.upload(g.profile);
   const ViewmapBuilder builder;
-  EXPECT_THROW(builder.build(db, {{0, 0}, {10, 10}}, 0), std::runtime_error);
+  EXPECT_THROW(builder.build(db.snapshot(), {{0, 0}, {10, 10}}, 0), std::runtime_error);
 }
 
 TEST(ViewmapBuilder, ViewlinkRequiresBothDirections) {
@@ -216,7 +218,7 @@ TEST(Verifier, EndToEndConvoyAllLegitimate) {
 
   const ViewmapBuilder builder;
   const geo::Rect site{{-10, -10}, {600, 260}};
-  const Viewmap map = builder.build(db, site, 0);
+  const Viewmap map = builder.build(db.snapshot(), site, 0);
   const Verifier verifier;
   const auto result = verifier.verify(map, site);
   EXPECT_EQ(result.site_members.size(), 5u);
@@ -240,7 +242,7 @@ TEST(Verifier, FakeLayerRejected) {
 
   const ViewmapBuilder builder;
   const geo::Rect site{{-10, -10}, {600, 260}};
-  const Viewmap map = builder.build(db, site, 0);
+  const Viewmap map = builder.build(db.snapshot(), site, 0);
   const Verifier verifier;
   const auto result = verifier.verify(map, site);
 

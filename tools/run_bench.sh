@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Build (Release) and run the index benchmark, leaving BENCH_index.json in
 # the repository root so successive PRs accumulate a perf trajectory.
+# Covers snapshot query latency vs db size, ingest throughput, and the
+# snapshot-queries-vs-concurrent-ingest scenario (on a 1-core host the
+# JSON carries a note: reader/writer time-slice one CPU).
 #
 #   tools/run_bench.sh [extra bench_index flags, e.g. --max_vps=100000]
 set -euo pipefail

@@ -34,10 +34,12 @@ int main(int argc, char** argv) {
       argv[1], stats.profiles_loaded, stats.profiles_rejected, stats.trusted_marked,
       stats.shards_loaded);
 
-  // Per-shard census straight from the spatio-temporal index.
+  // One pinned snapshot serves the census and the investigation below —
+  // the read API; nothing here touches live shards.
+  const sys::DbSnapshot snap = db.snapshot();
   std::printf("%-12s %-8s %-8s %-10s %-12s\n", "unit-time", "VPs", "trusted",
               "grid-cells", "grid-entries");
-  for (const auto& shard : db.shard_stats())
+  for (const auto& shard : snap.shard_stats())
     std::printf("%-12lld %-8zu %-8zu %-10zu %-12zu\n",
                 static_cast<long long>(shard.unit_time), shard.vp_count,
                 shard.trusted_count, shard.grid_cells, shard.grid_entries);
@@ -50,7 +52,7 @@ int main(int argc, char** argv) {
     const geo::Rect site{{x - r, y - r}, {x + r, y + r}};
 
     const sys::ViewmapBuilder builder;
-    const sys::Viewmap map = builder.build(db, site, minute);
+    const sys::Viewmap map = builder.build(snap, site, minute);
     const sys::Verifier verifier;
     const auto verdict = verifier.verify(map, site);
     std::printf("\ninvestigation @ (%.0f, %.0f) r=%.0f, minute %lld:\n", x, y, r,

@@ -61,15 +61,18 @@ int main(int argc, char** argv) {
   index::IngestEngine engine(db.timeline(), db.policy());
   const auto ingest = engine.ingest(std::move(anonymous));
 
-  store::save_database_file(db, out_path);
+  // Persist and report from one pinned snapshot: the bytes on disk and
+  // the census below describe exactly the same immutable state.
+  const sys::DbSnapshot snap = db.snapshot();
+  store::save_snapshot_file(snap, out_path);
   std::printf("%s: %zu VPs (%zu guards, %zu trusted) from %d vehicles x %d min\n",
-              out_path.c_str(), db.size(), guards, db.trusted_count(), vehicles,
+              out_path.c_str(), snap.size(), guards, snap.trusted_count(), vehicles,
               minutes);
   std::printf("ingest: %zu accepted, %zu malformed, %zu untimely, %zu duplicate (%u threads)\n",
               ingest.accepted, ingest.rejected_malformed, ingest.rejected_untimely,
               ingest.rejected_duplicate, engine.worker_count());
   std::printf("%-12s %-8s %-8s %-10s\n", "unit-time", "VPs", "trusted", "grid-cells");
-  for (const auto& shard : db.shard_stats())
+  for (const auto& shard : snap.shard_stats())
     std::printf("%-12lld %-8zu %-8zu %-10zu\n", static_cast<long long>(shard.unit_time),
                 shard.vp_count, shard.trusted_count, shard.grid_cells);
   return 0;
