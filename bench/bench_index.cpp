@@ -8,16 +8,23 @@
 //       one thread investigates (snapshot per query), another keeps
 //       committing uploads and evicting — the workload the snapshot API
 //       exists for.
+//   (4) investigation-server throughput: the InvestigationServer's worker
+//       pool drains a bounded request queue (full §5.2 viewmap + verify +
+//       solicitation chain per request, batched snapshot pinning) while a
+//       live ingest loop keeps committing uploads and the trusted clock
+//       walks minutes out of the retention window.
 //
 // Emits BENCH_index.json (cwd) so future PRs can diff the numbers.
 //
 //   ./bench/bench_index [--max_vps=1000000] [--queries=200]
 //                       [--ingest_vps=20000] [--threads=N]
+//                       [--server_requests=500]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -25,6 +32,8 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "index/ingest_engine.h"
+#include "system/investigation_server.h"
+#include "system/service.h"
 #include "system/vp_database.h"
 
 using namespace viewmap;
@@ -219,6 +228,126 @@ ConcurrentRow bench_concurrent(std::size_t vp_count, int query_count, Rng& rng) 
   return row;
 }
 
+struct ServerRow {
+  std::size_t vps = 0;          ///< database size when the run started
+  std::size_t workers = 0;
+  std::size_t requests = 0;     ///< investigation requests submitted
+  double requests_per_sec = 0.0;
+  /// Mean submit→resolve latency per request, measured per future —
+  /// includes queue wait, which dominates when the submitter bursts the
+  /// whole request set ahead of the pool.
+  double request_us = 0.0;
+  std::size_t reports = 0;      ///< InvestigationReports produced
+  double writer_vps_per_sec = 0.0;  ///< concurrent ingest throughput meanwhile
+  std::size_t snapshots = 0;    ///< DbSnapshots pinned by the workers
+  std::size_t batches = 0;      ///< dequeue rounds (snapshots ≤ batches)
+  std::size_t peak_queue = 0;
+};
+
+/// The §5 public-service workload end to end: an InvestigationServer pool
+/// drains submitted (site, unit-time) requests — each the full viewmap →
+/// TrustRank → solicitation chain over a pinned snapshot — while a live
+/// ingest loop keeps committing anonymous uploads and the trusted clock
+/// walks the oldest minutes out of the retention window.
+ServerRow bench_server(std::size_t vp_count, int request_count, unsigned workers,
+                       Rng& rng) {
+  const int minutes = 10;
+  const double extent =
+      std::max(2000.0, 250.0 * std::sqrt(static_cast<double>(vp_count) / minutes / 50.0) * 8.0);
+
+  sys::ServiceConfig scfg;
+  scfg.rsa_bits = 1024;
+  scfg.index.retention.window_sec = 15 * kUnitTimeSec;
+  sys::ViewMapService service(scfg);
+  // One authority trajectory per minute near the city core: the trust
+  // seeds every investigation needs.
+  for (int m = 0; m < minutes; ++m)
+    (void)service.register_trusted(attack::make_fake_profile(
+        kUnitTimeSec * static_cast<TimeSec>(m), {0.0, 0.0}, {300.0, 0.0}, rng));
+  for (std::size_t i = 0; i < vp_count; ++i) {
+    const TimeSec unit = kUnitTimeSec * static_cast<TimeSec>(rng.index(minutes));
+    service.upload_channel().submit(random_vp(unit, extent, rng).serialize());
+  }
+  (void)service.ingest_uploads();
+
+  // Incident sites near the authority corridor (coverage spans site ∪
+  // trusted trajectory, so far-flung sites would drag half the city into
+  // one viewmap — not what §5.2.1 investigations look like).
+  std::vector<geo::Rect> sites;
+  std::vector<TimeSec> units;
+  for (int q = 0; q < request_count; ++q) {
+    const geo::Vec2 c{rng.uniform(-1200.0, 1500.0), rng.uniform(-1200.0, 1200.0)};
+    sites.push_back({{c.x - 200.0, c.y - 200.0}, {c.x + 200.0, c.y + 200.0}});
+    units.push_back(kUnitTimeSec * static_cast<TimeSec>(rng.index(minutes)));
+  }
+
+  ServerRow row;
+  row.vps = service.database().size();
+  row.workers = workers;
+  row.requests = static_cast<std::size_t>(request_count);
+
+  sys::ServerConfig server_cfg;
+  server_cfg.workers = workers;
+  server_cfg.queue_capacity = 1024;
+  server_cfg.batch_max = 8;
+  auto& server = service.start_server(server_cfg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> written{0};
+  std::thread writer([&] {
+    // The live ingest loop: uploads for the newest minutes (always inside
+    // the admission window), per-batch retention, and a trusted clock
+    // walking forward so the oldest minutes age out mid-run.
+    Rng wrng(4242);
+    std::size_t n = 0;
+    std::size_t step = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 64; ++i) {
+        const TimeSec unit =
+            kUnitTimeSec * static_cast<TimeSec>(3 + wrng.index(minutes - 3));
+        service.upload_channel().submit(random_vp(unit, extent, wrng).serialize());
+      }
+      n += service.ingest_uploads();
+      if (++step % 4 == 0)
+        service.advance_clock(kUnitTimeSec * std::min<TimeSec>(
+                                  static_cast<TimeSec>(10 + step / 4), 18));
+    }
+    written.store(n, std::memory_order_relaxed);
+  });
+
+  std::vector<std::future<sys::InvestigationServer::Reports>> futures;
+  std::vector<Clock::time_point> submit_at;
+  futures.reserve(row.requests);
+  submit_at.reserve(row.requests);
+  const auto start = Clock::now();
+  for (int q = 0; q < request_count; ++q) {
+    submit_at.push_back(Clock::now());
+    futures.push_back(server.submit(sites[static_cast<std::size_t>(q)],
+                                    units[static_cast<std::size_t>(q)]));
+  }
+  double latency_sum = 0.0;
+  std::size_t resolved = 0;
+  for (std::size_t q = 0; q < futures.size(); ++q) {
+    if (!futures[q].valid()) continue;
+    row.reports += futures[q].get().size();
+    latency_sum += std::chrono::duration<double>(Clock::now() - submit_at[q]).count();
+    ++resolved;
+  }
+  const double elapsed = seconds_since(start);
+  stop.store(true);
+  writer.join();
+
+  const auto stats = server.stats();
+  service.stop_server();
+  row.requests_per_sec = static_cast<double>(stats.completed) / elapsed;
+  row.request_us = resolved > 0 ? latency_sum / static_cast<double>(resolved) * 1e6 : 0.0;
+  row.writer_vps_per_sec = static_cast<double>(written.load()) / elapsed;
+  row.snapshots = stats.snapshots;
+  row.batches = stats.batches;
+  row.peak_queue = stats.peak_queue;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -228,6 +357,7 @@ int main(int argc, char** argv) {
   const int queries = bench::int_flag(argc, argv, "queries", 200);
   const auto ingest_vps =
       static_cast<std::size_t>(bench::int_flag(argc, argv, "ingest_vps", 20000));
+  const int server_requests = bench::int_flag(argc, argv, "server_requests", 500);
   unsigned threads = static_cast<unsigned>(bench::int_flag(argc, argv, "threads", 0));
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -277,6 +407,22 @@ int main(int argc, char** argv) {
     std::printf("note: 1-core host — reader and writer time-slice one CPU, so the\n"
                 "      per-investigation latency above includes writer preemption.\n");
 
+  // ── investigation-server throughput ──────────────────────────────────
+  std::printf("\n-- investigation server: worker pool vs live ingest + eviction --\n");
+  Rng server_rng(99);
+  const std::size_t server_vps = std::min<std::size_t>(max_vps, 20000);
+  const auto srv = bench_server(server_vps, server_requests, threads, server_rng);
+  std::printf("%zu VPs, %zu workers: %.0f requests/s (%.1f us/request end to end), "
+              "%zu reports from %zu requests;\n"
+              "  %zu snapshots pinned over %zu batches (write-version reuse), "
+              "peak queue %zu, writer ingested %.0f VPs/s\n",
+              srv.vps, srv.workers, srv.requests_per_sec, srv.request_us,
+              srv.reports, srv.requests, srv.snapshots, srv.batches,
+              srv.peak_queue, srv.writer_vps_per_sec);
+  if (std::thread::hardware_concurrency() <= 1)
+    std::printf("note: 1-core host — workers, submitter, and the ingest loop\n"
+                "      time-slice one CPU; worker scaling needs real cores.\n");
+
   // ── JSON trajectory ──────────────────────────────────────────────────
   FILE* json = std::fopen("BENCH_index.json", "w");
   if (json != nullptr) {
@@ -300,11 +446,23 @@ int main(int argc, char** argv) {
                      : "");
     std::fprintf(json,
                  "  \"snapshot_concurrent\": {\"vps\": %zu, \"query_us\": %.3f, "
-                 "\"writer_vps_per_sec\": %.1f, \"retention_passes\": %zu%s}\n}\n",
+                 "\"writer_vps_per_sec\": %.1f, \"retention_passes\": %zu%s},\n",
                  conc.vps, conc.query_us, conc.writer_vps_per_sec, conc.evictions,
                  std::thread::hardware_concurrency() <= 1
                      ? ", \"note\": \"single-core host: reader/writer time-slice one "
                        "CPU; latency includes writer preemption\""
+                     : "");
+    std::fprintf(json,
+                 "  \"server_throughput\": {\"vps\": %zu, \"workers\": %zu, "
+                 "\"requests\": %zu, \"requests_per_sec\": %.1f, \"request_us\": %.1f, "
+                 "\"reports\": %zu, \"writer_vps_per_sec\": %.1f, \"snapshots\": %zu, "
+                 "\"batches\": %zu, \"peak_queue\": %zu%s}\n}\n",
+                 srv.vps, srv.workers, srv.requests, srv.requests_per_sec,
+                 srv.request_us, srv.reports, srv.writer_vps_per_sec, srv.snapshots,
+                 srv.batches, srv.peak_queue,
+                 std::thread::hardware_concurrency() <= 1
+                     ? ", \"note\": \"single-core host: workers/submitter/ingest "
+                       "time-slice one CPU; worker scaling needs cores\""
                      : "");
     std::fclose(json);
     std::printf("\nwrote BENCH_index.json\n");

@@ -11,13 +11,19 @@
 // 4. A witness notices the posted id, uploads its video; the system
 //    replays the cascaded hash chain; human review approves; the owner
 //    claims untraceable cash via blind signatures and spends it once.
+// 5. The investigation *server*: the same pipeline as a public service —
+//    a worker pool drains a bounded queue of concurrent investigation
+//    requests while the anonymous upload stream keeps ingesting.
 //
 // Build & run:  ./examples/incident_investigation
 #include <cstdio>
+#include <future>
+#include <vector>
 
 #include "common/hex.h"
 #include "reward/client.h"
 #include "sim/simulator.h"
+#include "system/investigation_server.h"
 #include "system/service.h"
 
 using namespace viewmap;
@@ -103,5 +109,57 @@ int main() {
     std::printf("  spend → %s\n", reward::to_string(service.bank().redeem(token)));
   std::printf("  spend again → %s (double-spend defense)\n",
               reward::to_string(service.bank().redeem(cash.front())));
+
+  // ── 5. concurrent investigations through the server ────────────────
+  // A live deployment doesn't investigate one incident at a time: the
+  // InvestigationServer puts a worker pool in front of the pipeline.
+  // submit()/submit_period() enqueue onto a bounded MPMC queue and hand
+  // back a std::future; each worker pins one immutable DbSnapshot per
+  // request batch and runs viewmap → verification → solicitation over
+  // it, so investigations run concurrently with each other AND with the
+  // ingest loop below (eviction can never invalidate a report — the
+  // report's viewmap pins its shard).
+  sys::ServerConfig server_cfg;
+  server_cfg.workers = 2;          // investigation worker pool
+  server_cfg.queue_capacity = 64;  // bounded; when full, submit() blocks
+                                   // (OverflowPolicy::kReject fails fast)
+  server_cfg.batch_max = 4;        // serve bursts from one pinned snapshot
+  auto& server = service.start_server(server_cfg);
+
+  // Queue the incident's whole period plus each minute individually —
+  // four requests in flight at once.
+  std::vector<std::future<sys::InvestigationServer::Reports>> minutes;
+  for (TimeSec m = 0; m < 3; ++m)
+    minutes.push_back(server.submit(site, m * 60));
+  auto period = server.submit_period(site, 0, 3 * 60);
+
+  // The upload stream never pauses meanwhile: a re-delivery burst lands
+  // mid-investigation (the §4 screens drop every duplicate on arrival).
+  for (const auto& rec : world.profiles)
+    if (rec.guard || rec.creator != 0)
+      service.upload_channel().submit(rec.profile.serialize());
+  const std::size_t redelivered = service.ingest_uploads();
+
+  const auto period_reports = period.get();
+  std::printf("server: period [0,3min) → %zu reports while ingest screened %zu "
+              "re-deliveries (accepted %zu)\n",
+              period_reports.size(), world.profiles.size() - 3, redelivered);
+  for (TimeSec m = 0; m < 3; ++m) {
+    const auto reports = minutes[static_cast<std::size_t>(m)].get();
+    if (reports.empty()) {
+      std::printf("  minute %lld: no trust seed, skipped\n", static_cast<long long>(m));
+      continue;
+    }
+    std::printf("  minute %lld: viewmap %zu members, %zu legitimate, %zu solicited\n",
+                static_cast<long long>(m), reports[0].viewmap.size(),
+                reports[0].verification.legitimate.size(),
+                reports[0].solicited.size());
+  }
+  const auto stats = server.stats();
+  std::printf("server stats: %zu requests, %zu reports, %zu snapshots over %zu "
+              "batches, peak queue %zu\n",
+              stats.completed, stats.reports, stats.snapshots, stats.batches,
+              stats.peak_queue);
+  service.stop_server();
   return 0;
 }

@@ -128,6 +128,15 @@ class DbSnapshot {
     return trusted_now() != std::numeric_limits<TimeSec>::min();
   }
 
+  /// The timeline write-version observed before this snapshot's cut.
+  /// `timeline.version() == snapshot.version()` ⇒ no write has completed
+  /// since, i.e. the snapshot is still an exact image of the live
+  /// timeline and can be reused instead of re-pinned (the investigation
+  /// server's workers do). 0 for the default-constructed empty snapshot.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return state_ == nullptr ? 0 : state_->version;
+  }
+
   /// Per-shard census, ordered by unit-time.
   [[nodiscard]] std::vector<ShardStats> shard_stats() const;
   [[nodiscard]] std::size_t shard_count() const noexcept;
@@ -150,6 +159,7 @@ class DbSnapshot {
     std::size_t vp_count = 0;
     std::size_t trusted_count = 0;
     TimeSec clock = std::numeric_limits<TimeSec>::min();
+    std::uint64_t version = 0;  ///< timeline write-version before the cut
 
     State() = default;
     State(const State&) = delete;

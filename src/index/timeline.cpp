@@ -25,13 +25,15 @@ VpTimeline::VpTimeline(VpTimeline&& other) noexcept
       trusted_count_(other.trusted_count_.load()),
       latest_(other.latest_.load()),
       clock_(other.clock_.load()),
-      tombstones_(other.tombstones_.load()) {
+      tombstones_(other.tombstones_.load()),
+      version_(other.version_.load()) {
   other.fresh_stripes();
   other.size_ = 0;
   other.trusted_count_ = 0;
   other.latest_ = std::numeric_limits<TimeSec>::min();
   other.clock_ = std::numeric_limits<TimeSec>::min();
   other.tombstones_ = 0;
+  other.version_.fetch_add(1, std::memory_order_release);  // contents changed
 }
 
 VpTimeline& VpTimeline::operator=(VpTimeline&& other) noexcept {
@@ -44,12 +46,14 @@ VpTimeline& VpTimeline::operator=(VpTimeline&& other) noexcept {
   latest_ = other.latest_.load();
   clock_ = other.clock_.load();
   tombstones_ = other.tombstones_.load();
+  version_.fetch_add(other.version_.load() + 1, std::memory_order_release);
   other.fresh_stripes();
   other.size_ = 0;
   other.trusted_count_ = 0;
   other.latest_ = std::numeric_limits<TimeSec>::min();
   other.clock_ = std::numeric_limits<TimeSec>::min();
   other.tombstones_ = 0;
+  other.version_.fetch_add(1, std::memory_order_release);
   return *this;
 }
 
@@ -135,6 +139,9 @@ bool VpTimeline::insert(vp::ViewProfile profile, bool trusted) {
     std::lock_guard lock(is.mutex);
     is.ids[id].committed = true;
   }
+  // Release-bump after the commit: a reader observing the old version is
+  // guaranteed a snapshot cut no earlier than this write (see version()).
+  version_.fetch_add(1, std::memory_order_release);
   TimeSec prev = latest_.load(std::memory_order_relaxed);
   while (unit > prev &&
          !latest_.compare_exchange_weak(prev, unit, std::memory_order_relaxed)) {
@@ -147,8 +154,13 @@ bool VpTimeline::insert(vp::ViewProfile profile, bool trusted) {
 
 void VpTimeline::advance_clock(TimeSec now) noexcept {
   TimeSec prev = clock_.load(std::memory_order_relaxed);
-  while (now > prev &&
-         !clock_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  while (now > prev) {
+    if (clock_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+      // The clock is part of what snapshots capture (trusted_now()), so a
+      // clock change invalidates version-equality reuse like any write.
+      version_.fetch_add(1, std::memory_order_release);
+      return;
+    }
   }
 }
 
@@ -171,6 +183,10 @@ bool VpTimeline::admissible(TimeSec unit_time) const noexcept {
 
 DbSnapshot VpTimeline::snapshot() const {
   auto state = std::make_shared<DbSnapshot::State>();
+  // Recorded before the cut: version() == snapshot.version() later means
+  // no write completed since before this point, so the snapshot is still
+  // an exact image (conservative — see version()).
+  state->version = version_.load(std::memory_order_acquire);
   {
     // One consistent cut: hold every time-stripe lock (in index order —
     // the same global order compaction uses) while collecting shard
@@ -261,6 +277,7 @@ std::size_t VpTimeline::evict_outside(TimeSec oldest, TimeSec newest) {
       }
     }
   }
+  if (!graveyard.empty()) version_.fetch_add(1, std::memory_order_release);
   size_.fetch_sub(evicted, std::memory_order_relaxed);
   trusted_count_.fetch_sub(trusted_evicted, std::memory_order_relaxed);
   const std::size_t dead = tombstones_.fetch_add(evicted, std::memory_order_relaxed) + evicted;

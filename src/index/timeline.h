@@ -126,6 +126,9 @@ class VpTimeline {
   /// never bring it back. Routine advancement must use advance_clock().
   void reset_clock(TimeSec now) noexcept {
     clock_.store(now, std::memory_order_relaxed);
+    // Snapshots capture the clock, so this is a write for version()
+    // purposes too.
+    version_.fetch_add(1, std::memory_order_release);
   }
   /// The trusted clock, or TimeSec min when it has never been set.
   [[nodiscard]] TimeSec trusted_now() const noexcept {
@@ -133,6 +136,23 @@ class VpTimeline {
   }
   [[nodiscard]] bool has_trusted_clock() const noexcept {
     return trusted_now() != std::numeric_limits<TimeSec>::min();
+  }
+
+  /// Monotonic write-version counter: bumped by every successful insert,
+  /// every eviction pass that removed at least one shard, and every
+  /// trusted-clock change (the clock is part of what snapshots capture). A
+  /// DbSnapshot records the version observed *before* its shard
+  /// collection (DbSnapshot::version()), so `timeline.version() ==
+  /// snap.version()` proves no write has completed since before the
+  /// snapshot was cut — the snapshot is still an exact image of the live
+  /// timeline and may be reused instead of re-pinned. The comparison is
+  /// conservative: a write racing the cut bumps the live counter past
+  /// the recorded one even when the snapshot actually caught it, which
+  /// only costs the holder one redundant re-snapshot. This is the
+  /// snapshot-acquisition hook the investigation server's workers use to
+  /// skip O(live shards) re-pinning between batches on a quiet database.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
   }
 
   /// The timeliness screen for anonymous uploads: is a claimed unit-time
@@ -224,6 +244,9 @@ class VpTimeline {
   /// advance_clock() — i.e. trusted inserts and the operator.
   std::atomic<TimeSec> clock_{std::numeric_limits<TimeSec>::min()};
   std::atomic<std::size_t> tombstones_{0};
+  /// Write-version (see version()). Release-bumped after a write commits,
+  /// acquire-read by holders deciding whether a snapshot is still fresh.
+  std::atomic<std::uint64_t> version_{0};
 };
 
 }  // namespace viewmap::index

@@ -1,0 +1,186 @@
+#include "system/investigation_server.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace viewmap::sys {
+
+InvestigationServer::InvestigationServer(ViewMapService& service,
+                                         const ServerConfig& cfg)
+    : service_(service), cfg_(cfg) {
+  if (cfg_.workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    cfg_.workers = hw == 0 ? 1 : hw;
+  }
+  cfg_.queue_capacity = std::max<std::size_t>(cfg_.queue_capacity, 1);
+  cfg_.batch_max = std::max<std::size_t>(cfg_.batch_max, 1);
+  workers_.reserve(cfg_.workers);
+  try {
+    for (std::size_t i = 0; i < cfg_.workers; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  } catch (...) {
+    stop();  // join the workers that did spawn before rethrowing
+    throw;
+  }
+}
+
+InvestigationServer::~InvestigationServer() { stop(); }
+
+std::future<InvestigationServer::Reports> InvestigationServer::submit(
+    const geo::Rect& site, TimeSec unit_time) {
+  const TimeSec begin = unit_start(unit_time);
+  return submit_period(site, begin, begin + kUnitTimeSec);
+}
+
+std::future<InvestigationServer::Reports> InvestigationServer::submit_period(
+    const geo::Rect& site, TimeSec begin, TimeSec end) {
+  Request req{site, begin, end, {}};
+  std::future<Reports> fut = req.promise.get_future();
+  {
+    std::unique_lock lock(mutex_);
+    if (cfg_.overflow == OverflowPolicy::kBlock)
+      not_full_.wait(lock, [this] {
+        return queue_.size() < cfg_.queue_capacity || stopping_;
+      });
+    if (stopping_ || queue_.size() >= cfg_.queue_capacity) {
+      ++stats_.rejected;
+      return {};  // invalid future ⇔ rejected, nothing queued
+    }
+    queue_.push_back(std::move(req));
+    ++stats_.submitted;
+    stats_.peak_queue = std::max(stats_.peak_queue, queue_.size());
+  }
+  not_empty_.notify_one();
+  return fut;
+}
+
+void InvestigationServer::pause() {
+  std::lock_guard lock(mutex_);
+  if (!stopping_) paused_ = true;  // stop() has priority: the queue must drain
+}
+
+void InvestigationServer::resume() {
+  {
+    std::lock_guard lock(mutex_);
+    paused_ = false;
+  }
+  not_empty_.notify_all();
+}
+
+void InvestigationServer::stop() {
+  // The pool is claimed under the lock, joined outside it: two threads
+  // calling stop() on a live server each get a disjoint set of threads
+  // to join — never the same std::thread. (Destroying the server itself
+  // concurrently is a lifecycle question; see ViewMapService's
+  // start_server/stop_server contract.)
+  std::vector<std::thread> claimed;
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    paused_ = false;  // stop overrides pause: the queue must drain
+    claimed.swap(workers_);
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();  // blocked submitters wake up and get rejected
+  for (auto& worker : claimed)
+    if (worker.joinable()) worker.join();
+}
+
+std::size_t InvestigationServer::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t InvestigationServer::worker_count() const {
+  std::lock_guard lock(mutex_);
+  return workers_.size();
+}
+
+ServerStats InvestigationServer::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void InvestigationServer::worker_loop() {
+  // Worker-local snapshot cache (see the header's snapshot discipline).
+  index::DbSnapshot cached;
+  bool has_cached = false;
+  std::vector<Request> batch;
+
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock lock(mutex_);
+      if ((queue_.empty() || paused_) && has_cached) {
+        // About to idle: drop the cached snapshot first so a parked
+        // worker neither keeps evicted shards alive nor forces
+        // copy-on-write on the ingest path. Released outside the lock —
+        // shard destruction can be the expensive part.
+        lock.unlock();
+        cached = index::DbSnapshot{};
+        has_cached = false;
+        lock.lock();
+      }
+      // stopping_ overrides paused_ so a pause() racing stop() can never
+      // strand queued requests (and stop() in workers' join).
+      not_empty_.wait(lock, [this] {
+        return (!queue_.empty() && (!paused_ || stopping_)) ||
+               (stopping_ && queue_.empty());
+      });
+      if (queue_.empty()) return;  // stopping, fully drained
+      const std::size_t take = std::min(cfg_.batch_max, queue_.size());
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++stats_.batches;
+    }
+    not_full_.notify_all();
+
+    // One snapshot serves the batch; reuse the cached one when the
+    // timeline write-version proves nothing changed since its cut.
+    try {
+      const auto& timeline = service_.database().timeline();
+      if (!has_cached || !cfg_.reuse_unchanged_snapshot ||
+          timeline.version() != cached.version()) {
+        cached = service_.database().snapshot();
+        has_cached = true;
+        std::lock_guard lock(mutex_);
+        ++stats_.snapshots;
+      }
+    } catch (...) {
+      // Snapshot acquisition failed (allocation): fail the whole batch.
+      const std::exception_ptr err = std::current_exception();
+      {
+        std::lock_guard lock(mutex_);
+        stats_.completed += batch.size();
+      }
+      for (auto& req : batch) req.promise.set_exception(err);
+      continue;
+    }
+    for (auto& req : batch) serve(cached, req);
+  }
+}
+
+void InvestigationServer::serve(const index::DbSnapshot& snap, Request& req) {
+  // Stats commit BEFORE the promise resolves: a caller returning from
+  // future::get() always observes this request in stats().completed.
+  try {
+    Reports reports = service_.investigate_period(snap, req.site, req.begin, req.end);
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.completed;
+      stats_.reports += reports.size();
+    }
+    req.promise.set_value(std::move(reports));
+  } catch (...) {
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.completed;
+    }
+    req.promise.set_exception(std::current_exception());
+  }
+}
+
+}  // namespace viewmap::sys

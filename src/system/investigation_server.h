@@ -1,0 +1,160 @@
+// Multi-threaded investigation front (the "public service" of §5).
+//
+// ViewMap is pitched as an automated service: investigation requests
+// arrive continuously while the anonymous upload stream never pauses.
+// PR 2's DbSnapshot made a single investigate() safe against concurrent
+// ingest and retention eviction; this server is the missing front — a
+// bounded MPMC request queue drained by a pool of worker threads, so N
+// investigations proceed in parallel with each other AND with one live
+// ingest_uploads() loop.
+//
+//   submit(site, unit_time)            ┐ bounded queue   ┌ worker 0 ─ pin
+//   submit_period(site, begin, end)    ├───────────────▶ │ snapshot, build
+//   … any number of submitter threads  ┘  (capacity K)   │ viewmap, verify,
+//                                                        │ post solicitations
+//                                                        └ worker N−1 …
+//
+// Each request resolves — through the std::future submit() returns — to
+// exactly the reports ViewMapService::investigate_period() would have
+// produced: one InvestigationReport per whole unit-time in [begin, end)
+// that has a trust seed, each built over one immutable DbSnapshot and
+// therefore valid indefinitely (the viewmap pins its shard).
+//
+// Snapshot discipline. A worker pins one DbSnapshot per request batch
+// (batch_max = 1 ⇒ one per request, the default) and serves the whole
+// batch from it. Between batches it consults the timeline write-version
+// (VpTimeline::version(), the snapshot-acquisition hook): if no write
+// completed since the cached snapshot's cut, the snapshot is still an
+// exact image and is reused instead of re-pinned — O(live shards) of
+// stripe-locked pointer copies saved on a quiet database. An idle worker
+// drops its cached snapshot before blocking on the queue, so a parked
+// server never prolongs the life of evicted shards or forces
+// copy-on-write on the ingest path.
+//
+// Backpressure. The queue is bounded (queue_capacity). When it is full,
+// submit() either blocks the submitter until a slot frees
+// (OverflowPolicy::kBlock, the default) or rejects immediately
+// (kReject). A rejected — or post-stop() — submission returns a future
+// for which valid() == false; nothing is enqueued and stats().rejected
+// counts it. pause()/resume() idle the workers without stopping intake
+// (maintenance, tests); stop() rejects new submissions, drains every
+// queued request, and joins the pool. The destructor stop()s.
+//
+// Concurrency contract. submit*/pause/resume/stop/queue_depth/stats are
+// all thread-safe. Workers call ViewMapService::investigate(snap, …),
+// whose shared state is the NoticeBoard — thread-safe as of this PR —
+// and const ViewmapBuilder/Verifier configuration; they never touch the
+// service's ingest-side members, so the one rule for the embedding
+// application is unchanged from ViewMapService's own: drive
+// ingest_uploads() from one thread at a time.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "index/db_snapshot.h"
+#include "system/service.h"
+
+namespace viewmap::sys {
+
+/// What submit() does when the request queue is at capacity.
+enum class OverflowPolicy {
+  kBlock,   ///< block the submitter until a slot frees (or stop())
+  kReject,  ///< fail fast: return an invalid future, count it rejected
+};
+
+struct ServerConfig {
+  /// Worker threads draining the queue. 0 ⇒ hardware_concurrency (min 1).
+  std::size_t workers = 0;
+  /// Bounded queue capacity; submissions beyond it hit `overflow`.
+  std::size_t queue_capacity = 256;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Max requests one worker dequeues and serves from a single pinned
+  /// DbSnapshot. 1 ⇒ snapshot-per-request; larger values amortize the
+  /// O(live shards) snapshot cut across a burst at the cost of serving
+  /// later requests in the batch from a marginally older cut.
+  std::size_t batch_max = 1;
+  /// Reuse a worker's previous snapshot when the timeline write-version
+  /// is unchanged (see VpTimeline::version()) instead of re-pinning.
+  bool reuse_unchanged_snapshot = true;
+};
+
+/// Monotonic counters since construction; taken atomically vs the queue.
+struct ServerStats {
+  std::size_t submitted = 0;   ///< requests accepted into the queue
+  std::size_t completed = 0;   ///< requests resolved (value or exception)
+  std::size_t rejected = 0;    ///< overflow (kReject) + post-stop submissions
+  std::size_t reports = 0;     ///< InvestigationReports produced in total
+  std::size_t batches = 0;     ///< dequeue rounds workers ran
+  std::size_t snapshots = 0;   ///< DbSnapshots actually pinned (≤ batches)
+  std::size_t peak_queue = 0;  ///< queue-depth high-water mark
+};
+
+class InvestigationServer {
+ public:
+  using Reports = std::vector<InvestigationReport>;
+
+  /// Starts the worker pool immediately. The service must outlive the
+  /// server (ViewMapService::start_server() owns one and guarantees it).
+  explicit InvestigationServer(ViewMapService& service, const ServerConfig& cfg = {});
+  ~InvestigationServer();
+  InvestigationServer(const InvestigationServer&) = delete;
+  InvestigationServer& operator=(const InvestigationServer&) = delete;
+
+  /// One unit-time investigation. Equivalent to submit_period over
+  /// [unit_start(t), unit_start(t) + one unit).
+  [[nodiscard]] std::future<Reports> submit(const geo::Rect& site, TimeSec unit_time);
+  /// §5.2.1 period investigation: one report per whole unit-time in
+  /// [begin, end) that has a trust seed (seedless minutes are skipped,
+  /// exactly as investigate_period() does). An invalid returned future
+  /// (valid() == false) means the request was rejected, not queued.
+  [[nodiscard]] std::future<Reports> submit_period(const geo::Rect& site,
+                                                   TimeSec begin, TimeSec end);
+
+  /// Idle the workers after their in-flight batch; the queue still
+  /// accepts (and fills — backpressure becomes observable). Idempotent.
+  void pause();
+  void resume();
+  /// Stops intake (further submits are rejected), drains every queued
+  /// request, joins the pool. Idempotent; called by the destructor.
+  void stop();
+
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Live worker threads (0 once stop() has claimed the pool).
+  [[nodiscard]] std::size_t worker_count() const;
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Request {
+    geo::Rect site;
+    TimeSec begin = 0;
+    TimeSec end = 0;
+    std::promise<Reports> promise;
+  };
+
+  void worker_loop();
+  /// Serves one request from the given snapshot; fulfills its promise
+  /// with reports or with the thrown exception.
+  void serve(const index::DbSnapshot& snap, Request& req);
+
+  ViewMapService& service_;
+  ServerConfig cfg_;
+
+  mutable std::mutex mutex_;  ///< guards queue_, paused_, stopping_, stats_, workers_
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  ServerStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace viewmap::sys

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "system/investigation_server.h"
+
 namespace viewmap::sys {
 
 ViewMapService::ViewMapService(const ServiceConfig& cfg)
@@ -11,6 +13,25 @@ ViewMapService::ViewMapService(const ServiceConfig& cfg)
       builder_(cfg.viewmap),
       verifier_(cfg.trustrank),
       bank_(cfg.rsa_bits) {}
+
+// Out of line: the header only forward-declares InvestigationServer.
+ViewMapService::~ViewMapService() { stop_server(); }
+
+InvestigationServer& ViewMapService::start_server() {
+  return start_server(ServerConfig{});
+}
+
+InvestigationServer& ViewMapService::start_server(const ServerConfig& cfg) {
+  if (server_ == nullptr)
+    server_ = std::make_unique<InvestigationServer>(*this, cfg);
+  return *server_;
+}
+
+void ViewMapService::stop_server() {
+  if (server_ == nullptr) return;
+  server_->stop();
+  server_.reset();
+}
 
 std::size_t ViewMapService::ingest_uploads() {
   // The engine is stateless apart from its totals, so a per-call instance
@@ -54,7 +75,11 @@ std::vector<InvestigationReport> ViewMapService::investigate_period(
     const geo::Rect& site, TimeSec begin, TimeSec end) {
   // One snapshot per period: every minute's viewmap is built over the
   // same consistent database state.
-  const DbSnapshot snap = db_.snapshot();
+  return investigate_period(db_.snapshot(), site, begin, end);
+}
+
+std::vector<InvestigationReport> ViewMapService::investigate_period(
+    const DbSnapshot& snap, const geo::Rect& site, TimeSec begin, TimeSec end) {
   std::vector<InvestigationReport> reports;
   for (TimeSec t = unit_start(begin); t < end; t += kUnitTimeSec) {
     if (snap.trusted_at(t).empty()) continue;  // no trust seed, no verification

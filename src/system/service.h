@@ -26,6 +26,9 @@
 
 namespace viewmap::sys {
 
+class InvestigationServer;  // system/investigation_server.h
+struct ServerConfig;
+
 struct ServiceConfig {
   ViewmapConfig viewmap{};
   TrustRankConfig trustrank{};
@@ -46,6 +49,10 @@ struct InvestigationReport {
 class ViewMapService {
  public:
   explicit ViewMapService(const ServiceConfig& cfg = {});
+  /// Stops the investigation server (if started) before members die.
+  ~ViewMapService();
+  ViewMapService(const ViewMapService&) = delete;
+  ViewMapService& operator=(const ViewMapService&) = delete;
 
   // ── upload path ────────────────────────────────────────────────────
   /// The anonymous channel users submit serialized VPs through.
@@ -93,7 +100,11 @@ class ViewMapService {
   [[nodiscard]] InvestigationReport investigate(const geo::Rect& site,
                                                 TimeSec unit_time);
   /// Same, over a caller-supplied snapshot — lets one pinned view serve
-  /// many investigations (investigate_period(), replay tooling).
+  /// many investigations (investigate_period(), replay tooling). Safe to
+  /// call from many threads at once: it reads the snapshot and const
+  /// configuration, and publishes solicitations through the thread-safe
+  /// NoticeBoard — this is the entry point the investigation server's
+  /// workers drive in parallel.
   [[nodiscard]] InvestigationReport investigate(const DbSnapshot& snap,
                                                 const geo::Rect& site,
                                                 TimeSec unit_time);
@@ -106,8 +117,33 @@ class ViewMapService {
   /// skipped.
   [[nodiscard]] std::vector<InvestigationReport> investigate_period(
       const geo::Rect& site, TimeSec begin, TimeSec end);
+  /// Same, over a caller-supplied snapshot (the investigation server's
+  /// workers serve whole request batches from one pinned view this way).
+  /// Thread-safe like the snapshot investigate() overload.
+  [[nodiscard]] std::vector<InvestigationReport> investigate_period(
+      const DbSnapshot& snap, const geo::Rect& site, TimeSec begin, TimeSec end);
 
   [[nodiscard]] const NoticeBoard& board() const noexcept { return board_; }
+
+  // ── investigation server (system/investigation_server.h) ──────────
+  /// Starts the multi-threaded investigation front: a worker pool
+  /// draining a bounded request queue of submit()/submit_period()
+  /// investigations, fully concurrent with ingest_uploads() and
+  /// retention. Returns the running server; if one is already running it
+  /// is returned unchanged (stop_server() first to apply a new config).
+  ///
+  /// Lifecycle contract: start_server()/stop_server()/server() manage
+  /// the server *object* and must be driven from one control thread
+  /// (like ingest_uploads()); they are not synchronized against each
+  /// other. The running server's own API (submit/pause/stop/stats/…) is
+  /// fully thread-safe — any number of submitter threads is fine.
+  InvestigationServer& start_server();
+  InvestigationServer& start_server(const ServerConfig& cfg);
+  /// Rejects new submissions, drains queued requests, joins the workers,
+  /// destroys the server. No-op when no server is running.
+  void stop_server();
+  /// The running server, or nullptr.
+  [[nodiscard]] InvestigationServer* server() noexcept { return server_.get(); }
 
   /// User side poll: which of my VP ids have a pending video request?
   [[nodiscard]] std::vector<Id16> pending_video_requests(
@@ -154,6 +190,9 @@ class ViewMapService {
   index::IngestStats ingest_totals_;
   std::vector<Id16> review_;
   std::unordered_map<Id16, int, Id16Hasher> granted_;  ///< open claims: id → n
+  /// Declared last: its workers reference the members above, so it must
+  /// be destroyed first (the destructor also stops it explicitly).
+  std::unique_ptr<InvestigationServer> server_;
 };
 
 }  // namespace viewmap::sys

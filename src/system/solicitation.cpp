@@ -3,24 +3,28 @@
 namespace viewmap::sys {
 
 void NoticeBoard::post(const Id16& vp_id, RequestKind kind) {
+  std::lock_guard lock(mutex_);
   auto& e = entries_[vp_id];
   (kind == RequestKind::kVideo ? e.video : e.reward) = true;
 }
 
 void NoticeBoard::withdraw(const Id16& vp_id, RequestKind kind) {
+  std::lock_guard lock(mutex_);
   auto it = entries_.find(vp_id);
   if (it == entries_.end()) return;
   (kind == RequestKind::kVideo ? it->second.video : it->second.reward) = false;
   if (!it->second.video && !it->second.reward) entries_.erase(it);
 }
 
-bool NoticeBoard::is_posted(const Id16& vp_id, RequestKind kind) const noexcept {
+bool NoticeBoard::is_posted(const Id16& vp_id, RequestKind kind) const {
+  std::lock_guard lock(mutex_);
   auto it = entries_.find(vp_id);
   if (it == entries_.end()) return false;
   return kind == RequestKind::kVideo ? it->second.video : it->second.reward;
 }
 
 std::vector<Id16> NoticeBoard::posted(RequestKind kind) const {
+  std::lock_guard lock(mutex_);
   std::vector<Id16> out;
   for (const auto& [id, e] : entries_)
     if (kind == RequestKind::kVideo ? e.video : e.reward) out.push_back(id);

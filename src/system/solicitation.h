@@ -8,6 +8,7 @@
 // "without publicizing location/time of the investigation").
 #pragma once
 
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -20,11 +21,21 @@ namespace viewmap::sys {
 
 enum class RequestKind { kVideo, kReward };
 
+/// Concurrency contract: every method is thread-safe and linearizable —
+/// one internal mutex serializes them, so N investigation-server workers
+/// post solicitations while users poll and the video path withdraws, with
+/// no lost or duplicated notices. post() is idempotent (re-posting an
+/// already-posted id is a no-op by construction: the entry is a flag, not
+/// a count), withdraw() of an absent id is a no-op, and posted() returns
+/// a consistent cut of the board as of some instant during the call.
+/// Hot-path cost is one uncontended lock around one hash probe; the board
+/// is not an ingest-rate structure (it grows with solicitations, not
+/// uploads), so a finer scheme would buy nothing measurable.
 class NoticeBoard {
  public:
   void post(const Id16& vp_id, RequestKind kind);
   void withdraw(const Id16& vp_id, RequestKind kind);
-  [[nodiscard]] bool is_posted(const Id16& vp_id, RequestKind kind) const noexcept;
+  [[nodiscard]] bool is_posted(const Id16& vp_id, RequestKind kind) const;
   [[nodiscard]] std::vector<Id16> posted(RequestKind kind) const;
 
  private:
@@ -32,6 +43,7 @@ class NoticeBoard {
     bool video = false;
     bool reward = false;
   };
+  mutable std::mutex mutex_;  ///< guards entries_ (see class comment)
   std::unordered_map<Id16, Entry, Id16Hasher> entries_;
 };
 

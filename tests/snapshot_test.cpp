@@ -165,10 +165,18 @@ TEST(DbSnapshot, SerializationIsByteDeterministicUnderConcurrentIngest) {
   // A writer hammers the same minutes (forcing copy-on-write of every
   // pinned shard) while the same snapshot serializes again.
   std::atomic<bool> stop{false};
+  std::atomic<std::size_t> landed{0};
   std::thread writer([&] {
     Rng wrng(6);
-    while (!stop.load()) db.upload(random_vp(kUnitTimeSec * wrng.index(4), 2000.0, wrng));
+    while (!stop.load())
+      if (db.upload(random_vp(kUnitTimeSec * wrng.index(4), 2000.0, wrng)))
+        landed.fetch_add(1);
   });
+  // The writer is demonstrably landing inserts BEFORE the second
+  // serialization starts — on a 1-core host it may otherwise never be
+  // scheduled until after the save, and the race this test exists for
+  // would silently not happen.
+  while (landed.load() == 0) std::this_thread::yield();
   std::stringstream second;
   store::save_snapshot(snap, second);
   stop.store(true);
@@ -253,6 +261,7 @@ TEST(DbSnapshot, InvestigateConcurrentWithIngestAndEviction) {
   std::vector<sys::InvestigationReport> reports;
   std::vector<std::vector<std::uint8_t>> bytes_at_build;
   std::atomic<bool> evicted{false};
+  std::atomic<std::size_t> produced{0};
 
   std::thread investigator([&] {
     while (!evicted.load()) {
@@ -260,6 +269,7 @@ TEST(DbSnapshot, InvestigateConcurrentWithIngestAndEviction) {
         auto report = service.investigate(site, 0);
         bytes_at_build.push_back(viewmap_bytes(report.viewmap));
         reports.push_back(std::move(report));
+        produced.fetch_add(1);
       } catch (const std::runtime_error&) {
         // Minute 0 lost its trust seed: retention reached it. Done.
         break;
@@ -269,21 +279,30 @@ TEST(DbSnapshot, InvestigateConcurrentWithIngestAndEviction) {
 
   // Ingest side: keep the channel fed with minute-0/1 uploads and let the
   // per-batch retention pass run; then walk the trusted clock forward so
-  // retention evicts minute 0 out from under the investigator.
+  // retention evicts minute 0 out from under the investigator. The
+  // eviction waits for the investigator to have built at least one
+  // report — on a 1-core host it may not get scheduled for many rounds.
   Rng urng(10);
-  for (int round = 0; round < 40; ++round) {
+  for (std::size_t round = 0; round < 5000; ++round) {
     for (int i = 0; i < 8; ++i) {
-      const TimeSec unit = kUnitTimeSec * (round % 2);
+      const TimeSec unit = kUnitTimeSec * static_cast<TimeSec>(round % 2);
       const geo::Vec2 a{urng.uniform(-350.0, 650.0), urng.uniform(-350.0, 350.0)};
       const geo::Vec2 b{a.x + 200.0, a.y};
       service.upload_channel().submit(attack::make_fake_profile(unit, a, b, urng).serialize());
     }
     (void)service.ingest_uploads();
-    if (round == 30) {
+    if (round >= 30 && produced.load() > 0) {
       service.advance_clock(10 * kUnitTimeSec);  // minute 0 now outside the window
-      (void)service.ingest_uploads();            // retention pass evicts it
+      // Retention runs per non-empty batch (an empty drain returns
+      // early), so feed one admissible upload with the eviction pass.
+      service.upload_channel().submit(
+          attack::make_fake_profile(10 * kUnitTimeSec, {0.0, 0.0}, {200.0, 0.0}, urng)
+              .serialize());
+      (void)service.ingest_uploads();  // retention pass evicts minute 0
       evicted.store(true);
+      break;
     }
+    std::this_thread::yield();
   }
   evicted.store(true);
   investigator.join();

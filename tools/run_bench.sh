@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Build (Release) and run the index benchmark, leaving BENCH_index.json in
 # the repository root so successive PRs accumulate a perf trajectory.
-# Covers snapshot query latency vs db size, ingest throughput, and the
-# snapshot-queries-vs-concurrent-ingest scenario (on a 1-core host the
-# JSON carries a note: reader/writer time-slice one CPU).
+# Covers snapshot query latency vs db size, ingest throughput, the
+# snapshot-queries-vs-concurrent-ingest scenario, and the investigation
+# server throughput scenario (worker pool vs live ingest + eviction; on a
+# 1-core host the JSON carries a note: everything time-slices one CPU).
+# Finishes with a docs-link check: every per-module design doc under
+# src/*/README.md must be referenced from ARCHITECTURE.md.
 #
 #   tools/run_bench.sh [extra bench_index flags, e.g. --max_vps=100000]
 set -euo pipefail
@@ -17,3 +20,16 @@ cmake --build "$build_dir" --target bench_index -j "$(nproc)"
 cd "$repo_root"
 "$build_dir/bench/bench_index" "$@"
 echo "BENCH_index.json -> $repo_root/BENCH_index.json"
+
+# Docs-link check: the architecture map must reach every module design doc.
+missing=0
+for doc in src/*/README.md; do
+  if ! grep -qF "$doc" ARCHITECTURE.md; then
+    echo "docs-link check: ARCHITECTURE.md does not reference $doc" >&2
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  exit 1
+fi
+echo "docs-link check passed: all src/*/README.md reachable from ARCHITECTURE.md"
