@@ -13,12 +13,17 @@
 //       solicitation chain per request, batched snapshot pinning) while a
 //       live ingest loop keeps committing uploads and the trusted clock
 //       walks minutes out of the retention window.
+//   (5) viewmap construction: the grid-accelerated CSR builder vs the
+//       retained naive O(n²) reference, n ∈ {1k, 10k, 50k} members in
+//       dense (urban rush hour) and sparse (city-scale) layouts. The two
+//       edge sets are compared bit-for-bit; tools/run_bench.sh fails the
+//       run if they ever diverge.
 //
 // Emits BENCH_index.json (cwd) so future PRs can diff the numbers.
 //
 //   ./bench/bench_index [--max_vps=1000000] [--queries=200]
 //                       [--ingest_vps=20000] [--threads=N]
-//                       [--server_requests=500]
+//                       [--server_requests=500] [--viewmap_vps=50000]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -348,6 +353,89 @@ ServerRow bench_server(std::size_t vp_count, int request_count, unsigned workers
   return row;
 }
 
+struct ViewmapBuildRow {
+  std::size_t n = 0;
+  const char* layout = "";
+  double density_per_km2 = 0.0;
+  double grid_ms = 0.0;   ///< grid-accelerated CSR builder
+  double naive_ms = 0.0;  ///< retained O(n²) reference builder
+  double speedup = 0.0;
+  std::size_t edges = 0;
+  double edges_per_sec = 0.0;  ///< viewlinks emitted per second (grid path)
+  bool edges_match = false;    ///< CSR bit-identical to the reference
+  /// Upper bound the auto setting resolves to on this host; small
+  /// builds clamp lower inside the builder (serial cutoff, per-thread
+  /// minimum work), so the actual pool may be smaller.
+  std::size_t build_threads_max = 1;
+};
+
+/// §5.2.1 viewmap construction over a synthetic minute of traffic:
+/// vehicles travel in platoons (≤6 vehicles, 40 m headway) with mutual
+/// Bloom links between platoon neighbors — the local connectivity real
+/// VD exchange produces — spread at the layout's density. The grid
+/// builder and the naive reference apply the identical edge predicate;
+/// the row records both times and whether the CSRs matched exactly.
+ViewmapBuildRow bench_viewmap_build(std::size_t n, bool dense, Rng& rng) {
+  // Dense ≈ the paper's Fig. 22 large-scale simulation (25k vehicles on
+  // 10×10 km ⇒ hundreds per km²); sparse ≈ early-adoption metro scale
+  // (50k simultaneous recorders over a ~1700 km² metropolitan area).
+  const double density = dense ? 1200.0 : 30.0;  // VPs per km²
+  const double half = std::sqrt(static_cast<double>(n) / density) * 1000.0 / 2.0;
+  constexpr double kTau = 6.283185307179586;
+
+  std::vector<vp::ViewProfile> fleet;
+  fleet.reserve(n);
+  while (fleet.size() < n) {
+    const geo::Vec2 lead{rng.uniform(-half, half), rng.uniform(-half, half)};
+    const double heading = rng.uniform(0.0, kTau);
+    const geo::Vec2 dir{std::cos(heading), std::sin(heading)};
+    const double len = rng.uniform(200.0, 700.0);
+    const std::size_t platoon = std::min<std::size_t>(1 + rng.index(6), n - fleet.size());
+    const std::size_t first = fleet.size();
+    for (std::size_t k = 0; k < platoon; ++k) {
+      const geo::Vec2 a{lead.x - dir.x * 40.0 * static_cast<double>(k),
+                        lead.y - dir.y * 40.0 * static_cast<double>(k)};
+      fleet.push_back(attack::make_fake_profile(
+          0, a, {a.x + dir.x * len, a.y + dir.y * len}, rng));
+    }
+    for (std::size_t k = first + 1; k < fleet.size(); ++k)
+      vp::link_mutually(fleet[k - 1], fleet[k]);
+  }
+  std::vector<const vp::ViewProfile*> members;
+  members.reserve(n);
+  for (const auto& p : fleet) members.push_back(&p);
+  const std::vector<bool> trusted(n, false);
+  const geo::Rect cover{{-half - 1000.0, -half - 1000.0}, {half + 1000.0, half + 1000.0}};
+
+  // Warm the per-profile probe tables (memoized SHA-256 per VD) so both
+  // timed builds measure pair work — the steady state a live server
+  // sees, since profiles keep their tables across investigations.
+  for (const auto* m : members) (void)m->bloom_probes();
+
+  ViewmapBuildRow row;
+  row.n = n;
+  row.layout = dense ? "dense" : "sparse";
+  row.density_per_km2 = density;
+  const sys::ViewmapBuilder builder;  // default config: auto build_threads
+  row.build_threads_max = sys::ViewmapBuilder::resolved_build_threads(0);
+
+  auto start = Clock::now();
+  const sys::Viewmap grid = builder.build_from_members(members, trusted, 0, cover);
+  row.grid_ms = seconds_since(start) * 1e3;
+
+  start = Clock::now();
+  const sys::Viewmap naive =
+      builder.build_from_members_reference(members, trusted, 0, cover);
+  row.naive_ms = seconds_since(start) * 1e3;
+
+  row.speedup = row.grid_ms > 0 ? row.naive_ms / row.grid_ms : 0.0;
+  row.edges = grid.edge_count();
+  row.edges_per_sec =
+      row.grid_ms > 0 ? static_cast<double>(row.edges) / (row.grid_ms / 1e3) : 0.0;
+  row.edges_match = grid.graph() == naive.graph();
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -358,6 +446,8 @@ int main(int argc, char** argv) {
   const auto ingest_vps =
       static_cast<std::size_t>(bench::int_flag(argc, argv, "ingest_vps", 20000));
   const int server_requests = bench::int_flag(argc, argv, "server_requests", 500);
+  const auto viewmap_vps =
+      static_cast<std::size_t>(bench::int_flag(argc, argv, "viewmap_vps", 50000));
   unsigned threads = static_cast<unsigned>(bench::int_flag(argc, argv, "threads", 0));
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -423,6 +513,25 @@ int main(int argc, char** argv) {
     std::printf("note: 1-core host — workers, submitter, and the ingest loop\n"
                 "      time-slice one CPU; worker scaling needs real cores.\n");
 
+  // ── viewmap construction: grid+CSR vs naive O(n²) reference ─────────
+  std::printf("\n-- viewmap construction: grid+CSR builder vs naive O(n^2) reference --\n");
+  std::printf("%-8s %-8s %-12s %-12s %-10s %-10s %-12s %-6s\n", "members", "layout",
+              "grid (ms)", "naive (ms)", "speedup", "edges", "edges/s", "match");
+  std::vector<ViewmapBuildRow> vm_rows;
+  for (std::size_t n : {std::size_t{1000}, std::size_t{10000}, std::size_t{50000}}) {
+    if (n > viewmap_vps) break;
+    for (const bool dense : {true, false}) {
+      Rng rng(3000 + n + (dense ? 1 : 0));
+      const auto row = bench_viewmap_build(n, dense, rng);
+      char speedup[32];
+      std::snprintf(speedup, sizeof speedup, "%.1fx", row.speedup);
+      std::printf("%-8zu %-8s %-12.2f %-12.1f %-10s %-10zu %-12.0f %-6s\n", row.n,
+                  row.layout, row.grid_ms, row.naive_ms, speedup, row.edges,
+                  row.edges_per_sec, row.edges_match ? "yes" : "NO");
+      vm_rows.push_back(row);
+    }
+  }
+
   // ── JSON trajectory ──────────────────────────────────────────────────
   FILE* json = std::fopen("BENCH_index.json", "w");
   if (json != nullptr) {
@@ -452,6 +561,20 @@ int main(int argc, char** argv) {
                      ? ", \"note\": \"single-core host: reader/writer time-slice one "
                        "CPU; latency includes writer preemption\""
                      : "");
+    std::fprintf(json, "  \"viewmap_build\": [\n");
+    for (std::size_t i = 0; i < vm_rows.size(); ++i) {
+      const auto& r = vm_rows[i];
+      std::fprintf(json,
+                   "    {\"members\": %zu, \"layout\": \"%s\", "
+                   "\"density_per_km2\": %.0f, \"build_threads_max\": %zu, "
+                   "\"grid_ms\": %.3f, \"naive_ms\": %.3f, \"speedup\": %.2f, "
+                   "\"edges\": %zu, \"edges_per_sec\": %.0f, \"edges_match\": %s}%s\n",
+                   r.n, r.layout, r.density_per_km2, r.build_threads_max, r.grid_ms,
+                   r.naive_ms, r.speedup, r.edges, r.edges_per_sec,
+                   r.edges_match ? "true" : "false",
+                   i + 1 < vm_rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
     std::fprintf(json,
                  "  \"server_throughput\": {\"vps\": %zu, \"workers\": %zu, "
                  "\"requests\": %zu, \"requests_per_sec\": %.1f, \"request_us\": %.1f, "

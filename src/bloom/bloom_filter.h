@@ -35,6 +35,14 @@ class BloomFilter {
 
   /// Membership test from precomputed positions (same (bits, hash_count)).
   [[nodiscard]] bool test_positions(std::span<const std::size_t> positions) const;
+  /// Same, from narrow positions (protocol filters have bits ≤ 65536, so
+  /// probe tables store uint16 — see vp::BloomProbes). Inline: viewmap
+  /// construction calls this up to 120× per candidate pair.
+  [[nodiscard]] bool test_positions(std::span<const std::uint16_t> positions) const {
+    for (const std::uint16_t bit : positions)
+      if ((data_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    return true;
+  }
 
   /// Sets every bit — used to model the §6.3.2 "all-ones bit-array" attack.
   void saturate();

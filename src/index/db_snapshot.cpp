@@ -27,13 +27,19 @@ std::shared_ptr<const TimeShard> DbSnapshot::shard(TimeSec unit_time) const noex
   return *it;
 }
 
-const vp::ViewProfile* DbSnapshot::find(const Id16& vp_id) const noexcept {
+const vp::ViewProfile* DbSnapshot::find(const Id16& vp_id) const {
   if (!state_) return nullptr;
-  for (const auto& shard : state_->shards) {
-    auto it = shard->profiles.find(vp_id);
-    if (it != shard->profiles.end()) return it->second.get();
-  }
-  return nullptr;
+  const State* s = state_.get();
+  std::call_once(s->id_index_once, [s] {
+    s->id_index.reserve(s->vp_count);
+    // Shard order ⇒ a duplicate id keeps its earliest-unit-time profile,
+    // matching the per-shard probe this index replaced.
+    for (const auto& shard : s->shards)
+      for (const auto& [id, profile] : shard->profiles)
+        s->id_index.emplace(id, profile.get());
+  });
+  const auto it = s->id_index.find(vp_id);
+  return it == s->id_index.end() ? nullptr : it->second;
 }
 
 bool DbSnapshot::is_trusted(const Id16& vp_id) const noexcept {

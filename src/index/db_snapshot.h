@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -98,9 +99,12 @@ class DbSnapshot {
   DbSnapshot() = default;
 
   /// The profile stored under `vp_id` at snapshot time, or nullptr.
-  /// Resolved by probing the pinned shards (O(shard count) hash lookups
-  /// — there is no global id map in a snapshot).
-  [[nodiscard]] const vp::ViewProfile* find(const Id16& vp_id) const noexcept;
+  /// O(1) amortized: the first find() on a snapshot builds a lazy
+  /// id → profile index over the pinned shards (one pass, call_once —
+  /// safe from any number of concurrent const readers); every later
+  /// probe is a single hash lookup. Snapshots that never find() never
+  /// pay for the index.
+  [[nodiscard]] const vp::ViewProfile* find(const Id16& vp_id) const;
   [[nodiscard]] bool is_trusted(const Id16& vp_id) const noexcept;
 
   /// All VPs covering `unit_time` with any claimed location inside
@@ -160,6 +164,14 @@ class DbSnapshot {
     std::size_t trusted_count = 0;
     TimeSec clock = std::numeric_limits<TimeSec>::min();
     std::uint64_t version = 0;  ///< timeline write-version before the cut
+
+    /// Lazy global id index for find(): built over the pinned shards on
+    /// first use (call_once ⇒ const-concurrent safe), in shard order so
+    /// a duplicate id resolves to the earliest unit-time exactly like
+    /// the original per-shard probe did. Values point into the pinned
+    /// shards, which this State owns.
+    mutable std::once_flag id_index_once;
+    mutable std::unordered_map<Id16, const vp::ViewProfile*, Id16Hasher> id_index;
 
     State() = default;
     State(const State&) = delete;

@@ -6,15 +6,6 @@
 
 namespace viewmap::index {
 
-std::int32_t SpatialGrid::cell_coord(double meters) const noexcept {
-  const double c = std::floor(meters / cfg_.cell_m);
-  if (c <= static_cast<double>(std::numeric_limits<std::int32_t>::min()))
-    return std::numeric_limits<std::int32_t>::min();
-  if (c >= static_cast<double>(std::numeric_limits<std::int32_t>::max()))
-    return std::numeric_limits<std::int32_t>::max();
-  return static_cast<std::int32_t>(c);
-}
-
 void SpatialGrid::insert(const vp::ViewProfile* profile) {
   // A 1-minute trajectory at ≤70 m/s touches at most ~18 distinct 250 m
   // cells, usually 1-3; dedupe the per-second keys in a small local buffer.
@@ -58,8 +49,8 @@ void SpatialGrid::collect_candidates(const geo::Rect& area,
   if (span_x > cells_.size() || span_y > cells_.size() ||
       span_x * span_y > cells_.size()) {
     for (const auto& [key, vps] : cells_) {
-      const auto cx = static_cast<std::int32_t>(static_cast<std::uint32_t>(key >> 32));
-      const auto cy = static_cast<std::int32_t>(static_cast<std::uint32_t>(key));
+      const std::int32_t cx = grid_cell_x(key);
+      const std::int32_t cy = grid_cell_y(key);
       if (cx < x0 || cx > x1 || cy < y0 || cy > y1) continue;
       out.insert(out.end(), vps.begin(), vps.end());
     }

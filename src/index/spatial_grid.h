@@ -14,7 +14,9 @@
 // touches a handful of cells.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +28,37 @@ namespace viewmap::index {
 struct SpatialGridConfig {
   double cell_m = 250.0;  ///< grid pitch in meters
 };
+
+// ── shared uniform-grid cell math ────────────────────────────────────
+// Every grid in the system (the per-shard SpatialGrid below, the
+// viewmap builder's per-build candidate grid) keys cells by packed
+// signed 32-bit coordinates, clamped identically on insert and query so
+// a clamped outlier still lands in the cell a clamped query covers.
+
+/// Cell coordinate of a position along one axis, for pitch `cell_m`.
+[[nodiscard]] inline std::int32_t grid_cell_coord(double meters, double cell_m) noexcept {
+  const double c = std::floor(meters / cell_m);
+  if (c <= static_cast<double>(std::numeric_limits<std::int32_t>::min()))
+    return std::numeric_limits<std::int32_t>::min();
+  if (c >= static_cast<double>(std::numeric_limits<std::int32_t>::max()))
+    return std::numeric_limits<std::int32_t>::max();
+  return static_cast<std::int32_t>(c);
+}
+
+/// Packs a cell coordinate pair into one 64-bit hash key.
+[[nodiscard]] constexpr std::uint64_t grid_pack_cell(std::int32_t cx,
+                                                     std::int32_t cy) noexcept {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32 |
+         static_cast<std::uint32_t>(cy);
+}
+
+/// Inverse of grid_pack_cell: (cx, cy) of a packed key.
+[[nodiscard]] constexpr std::int32_t grid_cell_x(std::uint64_t key) noexcept {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(key >> 32));
+}
+[[nodiscard]] constexpr std::int32_t grid_cell_y(std::uint64_t key) noexcept {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(key));
+}
 
 class SpatialGrid {
  public:
@@ -52,15 +85,13 @@ class SpatialGrid {
   [[nodiscard]] std::size_t entry_count() const noexcept { return entries_; }
 
  private:
-  // Cells are keyed by packed signed 32-bit coordinates. Coordinates are
-  // clamped to that range identically on insert and query, so a clamped
-  // outlier still lands in the cell a clamped query rectangle covers.
   using CellKey = std::uint64_t;
 
-  [[nodiscard]] std::int32_t cell_coord(double meters) const noexcept;
+  [[nodiscard]] std::int32_t cell_coord(double meters) const noexcept {
+    return grid_cell_coord(meters, cfg_.cell_m);
+  }
   static CellKey pack(std::int32_t cx, std::int32_t cy) noexcept {
-    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32 |
-           static_cast<std::uint32_t>(cy);
+    return grid_pack_cell(cx, cy);
   }
 
   SpatialGridConfig cfg_;

@@ -1,0 +1,36 @@
+#include "system/csr_graph.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace viewmap::sys {
+
+CsrGraph::CsrGraph(std::vector<std::size_t> offsets, std::vector<std::uint32_t> edges)
+    : offsets_(std::move(offsets)), edges_(std::move(edges)) {
+  if (offsets_.empty()) {
+    if (!edges_.empty())
+      throw std::invalid_argument("CsrGraph: edges without offsets");
+    return;
+  }
+  if (offsets_.front() != 0 || offsets_.back() != edges_.size())
+    throw std::invalid_argument("CsrGraph: offsets do not frame the edge array");
+  const std::size_t n = offsets_.size() - 1;
+  for (std::size_t i = 0; i < n; ++i)
+    if (offsets_[i] > offsets_[i + 1])
+      throw std::invalid_argument("CsrGraph: offsets must be non-decreasing");
+  for (const std::uint32_t e : edges_)
+    if (e >= n) throw std::invalid_argument("CsrGraph: edge target out of range");
+}
+
+CsrGraph CsrGraph::from_adjacency(
+    std::span<const std::vector<std::uint32_t>> adjacency) {
+  const std::size_t n = adjacency.size();
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) offsets[i + 1] = offsets[i] + adjacency[i].size();
+  std::vector<std::uint32_t> edges;
+  edges.reserve(offsets.back());
+  for (const auto& nbrs : adjacency) edges.insert(edges.end(), nbrs.begin(), nbrs.end());
+  return CsrGraph(std::move(offsets), std::move(edges));
+}
+
+}  // namespace viewmap::sys

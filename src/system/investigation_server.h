@@ -47,6 +47,14 @@
 // service's ingest-side members, so the one rule for the embedding
 // application is unchanged from ViewMapService's own: drive
 // ingest_uploads() from one thread at a time.
+//
+// Parallelism composes on two axes: this pool runs N *requests*
+// concurrently, and each worker's viewmap build can additionally shard
+// its candidate-pair stream across ViewmapConfig::build_threads
+// (ServiceConfig::viewmap). Large single viewmaps benefit from
+// build_threads; high request rates benefit from workers; both read
+// only pinned snapshot state, so they compose with each other and with
+// live ingest/eviction (TSan-covered in tests/server_test.cpp).
 #pragma once
 
 #include <condition_variable>

@@ -30,6 +30,10 @@ class InvestigationServer;  // system/investigation_server.h
 struct ServerConfig;
 
 struct ServiceConfig {
+  /// Viewmap construction knobs, including build_threads — the in-build
+  /// parallelism every investigation entry point (direct investigate(),
+  /// investigate_period(), and the InvestigationServer workers) builds
+  /// with. See src/system/README.md §"Viewmap construction pipeline".
   ViewmapConfig viewmap{};
   TrustRankConfig trustrank{};
   viewmap::index::TimelineConfig index{};  ///< shard grid + retention window

@@ -5,6 +5,12 @@
 // viewlinks, where M distributes a VP's score equally over its undirected
 // edges and δ = 0.8. Fake layers receive trust only through the few edges
 // attackers control, so their scores are bounded (Lemmas 1–2).
+//
+// The core runs on the flat CSR adjacency (system/csr_graph.h) with flat
+// score arrays — the edge loop streams offsets/edges linearly, no
+// per-node heap hops, no bounds-checked access, and no per-call copy of
+// the viewmap's adjacency (the Viewmap overload consumes its CSR view
+// directly).
 #pragma once
 
 #include <cstdint>
@@ -27,13 +33,21 @@ struct TrustRankResult {
   bool converged = false;
 };
 
-/// Runs TrustRank on an explicit adjacency structure. `seeds` receive the
-/// uniform (1−δ) reinjection mass; they must be non-empty.
+/// Runs TrustRank on a CSR adjacency — the zero-copy hot path. `seeds`
+/// receive the uniform (1−δ) reinjection mass; they must be non-empty
+/// and in range (validated once, before the iteration).
+[[nodiscard]] TrustRankResult trust_rank(const CsrGraph& graph,
+                                         std::span<const std::size_t> seeds,
+                                         const TrustRankConfig& cfg = {});
+
+/// Legacy nested-adjacency entry (abstract-graph tests, benches, attack
+/// experiments): converts to CSR once, then runs the flat core.
 [[nodiscard]] TrustRankResult trust_rank(
     std::span<const std::vector<std::uint32_t>> adjacency,
     std::span<const std::size_t> seeds, const TrustRankConfig& cfg = {});
 
-/// Convenience overload seeded at the viewmap's trusted members.
+/// Convenience overload seeded at the viewmap's trusted members. Runs
+/// directly on the viewmap's CSR — no adjacency copy of any kind.
 [[nodiscard]] TrustRankResult trust_rank(const Viewmap& map,
                                          const TrustRankConfig& cfg = {});
 

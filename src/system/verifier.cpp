@@ -5,8 +5,7 @@
 
 namespace viewmap::sys {
 
-Algorithm1Verdict algorithm1(std::span<const std::vector<std::uint32_t>> adjacency,
-                             std::span<const double> scores,
+Algorithm1Verdict algorithm1(const CsrGraph& graph, std::span<const double> scores,
                              std::span<const std::size_t> site_members) {
   Algorithm1Verdict verdict;
   if (site_members.empty()) return verdict;
@@ -18,17 +17,17 @@ Algorithm1Verdict algorithm1(std::span<const std::vector<std::uint32_t>> adjacen
   verdict.top_scored = u;
 
   // W: VPs in X reachable from u strictly via VPs in X.
-  std::vector<bool> in_site(adjacency.size(), false);
+  std::vector<bool> in_site(graph.size(), false);
   for (std::size_t i : site_members) in_site[i] = true;
 
-  std::vector<bool> legit(adjacency.size(), false);
+  std::vector<bool> legit(graph.size(), false);
   legit[u] = true;
   std::queue<std::size_t> frontier;
   frontier.push(u);
   while (!frontier.empty()) {
     const std::size_t v = frontier.front();
     frontier.pop();
-    for (std::uint32_t w : adjacency[v]) {
+    for (std::uint32_t w : graph.neighbors(v)) {
       if (in_site[w] && !legit[w]) {
         legit[w] = true;
         frontier.push(w);
@@ -38,6 +37,12 @@ Algorithm1Verdict algorithm1(std::span<const std::vector<std::uint32_t>> adjacen
   for (std::size_t i : site_members)
     if (legit[i]) verdict.legitimate.push_back(i);
   return verdict;
+}
+
+Algorithm1Verdict algorithm1(std::span<const std::vector<std::uint32_t>> adjacency,
+                             std::span<const double> scores,
+                             std::span<const std::size_t> site_members) {
+  return algorithm1(CsrGraph::from_adjacency(adjacency), scores, site_members);
 }
 
 bool VerificationResult::is_legitimate(std::size_t member_index) const {
@@ -50,16 +55,11 @@ VerificationResult Verifier::verify(const Viewmap& map, const geo::Rect& site) c
   result.site_members = map.members_visiting(site);
   if (result.site_members.empty()) return result;
 
+  // Both stages read the viewmap's CSR in place — the old per-verify
+  // vector-of-vectors rebuild is gone.
   result.ranks = trust_rank(map, cfg_);
-
-  std::vector<std::vector<std::uint32_t>> adjacency;
-  adjacency.reserve(map.size());
-  for (std::size_t i = 0; i < map.size(); ++i) {
-    auto nbrs = map.neighbors(i);
-    adjacency.emplace_back(nbrs.begin(), nbrs.end());
-  }
   const Algorithm1Verdict verdict =
-      algorithm1(adjacency, result.ranks.scores, result.site_members);
+      algorithm1(map.graph(), result.ranks.scores, result.site_members);
 
   std::vector<bool> legit(map.size(), false);
   for (std::size_t i : verdict.legitimate) legit[i] = true;

@@ -27,6 +27,14 @@ struct Algorithm1Verdict {
   std::vector<std::size_t> legitimate;   ///< W ∪ {u}
 };
 
+/// CSR entry — what Verifier::verify runs on the viewmap's own graph
+/// view, with no adjacency copy.
+[[nodiscard]] Algorithm1Verdict algorithm1(const CsrGraph& graph,
+                                           std::span<const double> scores,
+                                           std::span<const std::size_t> site_members);
+
+/// Legacy nested-adjacency entry (abstract-graph benches/experiments):
+/// converts to CSR once and runs the flat flood fill.
 [[nodiscard]] Algorithm1Verdict algorithm1(
     std::span<const std::vector<std::uint32_t>> adjacency,
     std::span<const double> scores, std::span<const std::size_t> site_members);
@@ -48,10 +56,12 @@ class Verifier {
  public:
   explicit Verifier(TrustRankConfig cfg = {}) : cfg_(cfg) {}
 
-  /// Pure function of the viewmap. A viewmap built over a DbSnapshot
-  /// pins it, so verification (and the result's member indices) cannot
-  /// race concurrent ingest or retention eviction — the whole
-  /// investigation chain reads one immutable view.
+  /// Pure function of the viewmap: TrustRank and the Algorithm-1 flood
+  /// fill both consume the viewmap's CSR view directly (zero adjacency
+  /// copies on this path). A viewmap built over a DbSnapshot pins it,
+  /// so verification (and the result's member indices) cannot race
+  /// concurrent ingest or retention eviction — the whole investigation
+  /// chain reads one immutable view.
   [[nodiscard]] VerificationResult verify(const Viewmap& map,
                                           const geo::Rect& site) const;
 

@@ -1,29 +1,32 @@
 #include "system/viewmap_graph.h"
 
 #include <algorithm>
-#include <array>
+#include <exception>
 #include <limits>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "index/spatial_grid.h"
 
 namespace viewmap::sys {
 
 Viewmap::Viewmap(std::vector<const vp::ViewProfile*> members, std::vector<bool> trusted,
-                 std::vector<std::vector<std::uint32_t>> adjacency, TimeSec unit_time,
-                 geo::Rect coverage, std::shared_ptr<const index::TimeShard> pinned)
+                 CsrGraph graph, TimeSec unit_time, geo::Rect coverage,
+                 std::shared_ptr<const index::TimeShard> pinned)
     : members_(std::move(members)),
       trusted_(std::move(trusted)),
-      adjacency_(std::move(adjacency)),
+      graph_(std::move(graph)),
       unit_time_(unit_time),
       coverage_(coverage),
       pinned_(std::move(pinned)) {
-  if (members_.size() != trusted_.size() || members_.size() != adjacency_.size())
+  if (members_.size() != trusted_.size() || members_.size() != graph_.size())
     throw std::invalid_argument("Viewmap: inconsistent member arrays");
 }
 
-std::size_t Viewmap::edge_count() const noexcept {
-  std::size_t degree_sum = 0;
-  for (const auto& n : adjacency_) degree_sum += n.size();
-  return degree_sum / 2;
+std::span<const std::uint32_t> Viewmap::neighbors(std::size_t i) const {
+  if (i >= graph_.size()) throw std::out_of_range("Viewmap::neighbors: bad index");
+  return graph_.neighbors(i);
 }
 
 std::vector<std::size_t> Viewmap::trusted_indices() const {
@@ -41,14 +44,14 @@ std::vector<std::size_t> Viewmap::members_visiting(const geo::Rect& site) const 
 }
 
 std::size_t Viewmap::isolated_from_trusted() const {
-  // BFS from all trusted members simultaneously.
+  // BFS from all trusted members simultaneously, over the flat CSR.
   std::vector<bool> reached(members_.size(), false);
   std::vector<std::size_t> frontier = trusted_indices();
   for (std::size_t i : frontier) reached[i] = true;
   while (!frontier.empty()) {
     std::vector<std::size_t> next;
     for (std::size_t u : frontier)
-      for (std::uint32_t v : adjacency_[u])
+      for (std::uint32_t v : graph_.neighbors(u))
         if (!reached[v]) {
           reached[v] = true;
           next.push_back(v);
@@ -115,62 +118,391 @@ Viewmap ViewmapBuilder::build(const index::DbSnapshot& snap, const geo::Rect& si
                             cover, snap.shard(unit_time));
 }
 
+namespace {
+
+// ── the §5.2.1 edge predicate over a fixed member set ────────────────
+
+/// Packed candidate pair, smaller index in the high half so a sorted
+/// pair array is ordered by (i, j) — the order CSR assembly wants.
+constexpr std::uint64_t pack_pair(std::uint32_t i, std::uint32_t j) noexcept {
+  return static_cast<std::uint64_t>(i) << 32 | j;
+}
+constexpr std::uint32_t pair_lo(std::uint64_t key) noexcept {
+  return static_cast<std::uint32_t>(key >> 32);
+}
+constexpr std::uint32_t pair_hi(std::uint64_t key) noexcept {
+  return static_cast<std::uint32_t>(key);
+}
+
+/// Everything the per-pair test needs, boxed once per build. Bloom
+/// probe positions live on the profiles themselves
+/// (vp::ViewProfile::bloom_probes(), computed once per profile EVER,
+/// not per build — repeated investigations over the same members hit a
+/// warm table).
+struct PairTester {
+  std::span<const vp::ViewProfile* const> members;
+  std::vector<geo::Rect> boxes;  ///< trajectory bboxes, inflated R/2
+  double link_radius_m;
+
+  PairTester(std::span<const vp::ViewProfile* const> m, double radius)
+      : members(m), link_radius_m(radius) {
+    const std::size_t n = members.size();
+    boxes.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto digests = members[i]->digests();
+      geo::Rect box{{digests[0].loc_x, digests[0].loc_y},
+                    {digests[0].loc_x, digests[0].loc_y}};
+      for (const auto& vd : digests) {
+        box.min.x = std::min<double>(box.min.x, vd.loc_x);
+        box.min.y = std::min<double>(box.min.y, vd.loc_y);
+        box.max.x = std::max<double>(box.max.x, vd.loc_x);
+        box.max.y = std::max<double>(box.max.y, vd.loc_y);
+      }
+      boxes[i] = box.inflated(link_radius_m / 2.0);
+    }
+  }
+
+  [[nodiscard]] bool heard(std::size_t listener, std::size_t speaker) const {
+    // One implementation of the one-way membership test: the profile's,
+    // which already runs on the memoized probe tables.
+    return members[listener]->heard(*members[speaker]);
+  }
+
+  /// The full viewlink predicate, cheapest-reject-first. Ordering was
+  /// measured on the bench_index `viewmap_build` layouts: the bbox
+  /// compare (~1 ns) kills far pairs; for the near pairs the grid
+  /// feeds us, the one-way Bloom pass rejects unlinked candidates
+  /// faster than the 60-second proximity scan does, so it runs second
+  /// and the proximity scan only sees pairs that already share a
+  /// filter hit (see src/system/README.md).
+  [[nodiscard]] bool operator()(std::uint32_t i, std::uint32_t j) const {
+    const geo::Rect& a = boxes[i];
+    const geo::Rect& b = boxes[j];
+    if (a.min.x > b.max.x || b.min.x > a.max.x || a.min.y > b.max.y ||
+        b.min.y > a.max.y)
+      return false;
+    if (!heard(i, j)) return false;
+    if (!members[i]->ever_within(*members[j], link_radius_m)) return false;
+    return heard(j, i);
+  }
+};
+
+// ── grid candidate generation ────────────────────────────────────────
+
+/// Below this member count the all-pairs sweep beats grid setup.
+constexpr std::size_t kGridMinMembers = 48;
+/// Candidate-pair estimate below which one thread is always fastest.
+constexpr std::size_t kParallelMinPairs = 2048;
+/// Minimum candidate pairs a worker thread must have to be worth
+/// spawning.
+constexpr std::size_t kMinPairsPerThread = 4096;
+
+/// Per-build uniform grid over member trajectories, pitch = link radius:
+/// two members can only pass the time-aligned proximity test if AT THE
+/// SAME WALL-CLOCK SECOND their cells coincide or are adjacent. Each
+/// (member, cell) incidence therefore carries an occupancy mask with
+/// bit (time mod 64) set for every second the member spends in that
+/// cell — wall-clock, NOT digest index, because profiles in one shard
+/// may start at offset seconds within the minute and ever_within()
+/// aligns by VD timestamp. Aligned seconds always share a bit; times 64
+/// apart collide onto the same bit, which only weakens the pruning
+/// (the candidate set stays a superset). A cell-neighborhood pair whose
+/// masks never overlap cannot link and is pruned by one AND before
+/// anything else runs. Candidates are generated
+/// anchor-style: member i scans the 3×3 neighborhoods of its own cells
+/// and considers every j > i found there, with a per-thread stamp array
+/// deduplicating js across contexts — so the (expensive) edge predicate
+/// runs AT MOST ONCE per unordered pair, no matter how many cells a
+/// pair shares, and memory stays O(n + edges).
+struct CandidateGrid {
+  struct Entry {
+    std::uint32_t member = 0;
+    std::uint64_t mask = 0;  ///< wall-clock seconds (mod 64) spent in the cell
+  };
+
+  std::vector<std::uint64_t> keys;           ///< packed cell coords
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  std::vector<Entry> entries;                 ///< flat, cell-grouped
+  std::vector<std::uint32_t> cell_offsets;    ///< cell count + 1 into entries
+  std::vector<std::uint32_t> member_cells;    ///< flat cell ids, member-grouped
+  std::vector<std::uint64_t> member_masks;    ///< mask per member_cells entry
+  std::vector<std::uint32_t> member_offsets;  ///< n+1 into member_cells
+  std::vector<std::uint32_t> nbr_cells;       ///< flat 3×3 neighborhoods
+  std::vector<std::uint32_t> nbr_offsets;     ///< cell count + 1 into nbr_cells
+  std::vector<std::size_t> cell_scan;         ///< Σ|list| over a cell's 3×3
+
+  CandidateGrid(std::span<const vp::ViewProfile* const> members, double cell_m) {
+    const std::size_t n = members.size();
+    index.reserve(n);
+    member_offsets.reserve(n + 1);
+    member_offsets.push_back(0);
+    // A trajectory changes cells rarely (≤ ~18 touches a minute), so
+    // per-member dedup is a linear probe of a short local list.
+    std::uint64_t local_key[kDigestsPerProfile];
+    std::uint64_t local_mask[kDigestsPerProfile];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto digests = members[i]->digests();
+      std::size_t touched = 0;
+      for (int s = 0; s < kDigestsPerProfile; ++s) {
+        const auto& vd = digests[static_cast<std::size_t>(s)];
+        const std::uint64_t key =
+            index::grid_pack_cell(index::grid_cell_coord(vd.loc_x, cell_m),
+                                  index::grid_cell_coord(vd.loc_y, cell_m));
+        std::size_t slot = 0;
+        while (slot < touched && local_key[slot] != key) ++slot;
+        if (slot == touched) {
+          local_key[touched] = key;
+          local_mask[touched] = 0;
+          ++touched;
+        }
+        // Two's-complement cast keeps the mod-64 bit consistent across
+        // profiles for negative timestamps too.
+        local_mask[slot] |= std::uint64_t{1}
+                            << (static_cast<std::uint64_t>(vd.time) & 63);
+      }
+      for (std::size_t k = 0; k < touched; ++k) {
+        auto [it, fresh] =
+            index.try_emplace(local_key[k], static_cast<std::uint32_t>(keys.size()));
+        if (fresh) keys.push_back(local_key[k]);
+        member_cells.push_back(it->second);
+        member_masks.push_back(local_mask[k]);
+      }
+      member_offsets.push_back(static_cast<std::uint32_t>(member_cells.size()));
+    }
+
+    // Lay the per-cell member lists out flat (counting sort over the
+    // incidences): the scan below streams each list from one contiguous
+    // block instead of chasing a heap vector per cell.
+    const std::size_t cell_count = keys.size();
+    cell_offsets.assign(cell_count + 1, 0);
+    for (const std::uint32_t c : member_cells) ++cell_offsets[c + 1];
+    for (std::size_t c = 0; c < cell_count; ++c) cell_offsets[c + 1] += cell_offsets[c];
+    entries.resize(member_cells.size());
+    {
+      std::vector<std::uint32_t> cursor(cell_offsets.begin(), cell_offsets.end() - 1);
+      for (std::uint32_t i = 0; i < n; ++i)
+        for (std::uint32_t k = member_offsets[i]; k < member_offsets[i + 1]; ++k)
+          entries[cursor[member_cells[k]]++] = {i, member_masks[k]};
+    }
+
+    // Resolve every cell's 3×3 neighborhood (self included) once; the
+    // anchor scan then never touches the hash map.
+    nbr_offsets.reserve(cell_count + 1);
+    nbr_offsets.push_back(0);
+    cell_scan.resize(cell_count);
+    for (std::size_t c = 0; c < cell_count; ++c) {
+      std::size_t scan = 0;
+      for (int dx = -1; dx <= 1; ++dx)
+        for (int dy = -1; dy <= 1; ++dy) {
+          const std::int64_t nx =
+              static_cast<std::int64_t>(index::grid_cell_x(keys[c])) + dx;
+          const std::int64_t ny =
+              static_cast<std::int64_t>(index::grid_cell_y(keys[c])) + dy;
+          if (nx < std::numeric_limits<std::int32_t>::min() ||
+              nx > std::numeric_limits<std::int32_t>::max() ||
+              ny < std::numeric_limits<std::int32_t>::min() ||
+              ny > std::numeric_limits<std::int32_t>::max())
+            continue;
+          const auto it = index.find(index::grid_pack_cell(
+              static_cast<std::int32_t>(nx), static_cast<std::int32_t>(ny)));
+          if (it == index.end()) continue;
+          nbr_cells.push_back(it->second);
+          scan += cell_offsets[it->second + 1] - cell_offsets[it->second];
+        }
+      nbr_offsets.push_back(static_cast<std::uint32_t>(nbr_cells.size()));
+      cell_scan[c] = scan;
+    }
+  }
+
+  /// Stamp checks anchor i will perform — the balance/estimate metric.
+  [[nodiscard]] std::size_t anchor_work(std::uint32_t i) const {
+    std::size_t work = 0;
+    for (std::uint32_t k = member_offsets[i]; k < member_offsets[i + 1]; ++k)
+      work += cell_scan[member_cells[k]];
+    return work;
+  }
+
+  /// Runs the tester once per unordered candidate pair with anchor in
+  /// [lo, hi), appending passing pairs to `out` (anchor ascending;
+  /// `stamp` is the caller's n-entry scratch, zero-initialized once).
+  /// A pair is only considered in a context where the two occupancy
+  /// masks share a second; a context pruned by the mask does NOT stamp,
+  /// so a later context with temporal overlap still gets to test.
+  void test_anchors(const PairTester& test, std::uint32_t lo, std::uint32_t hi,
+                    std::vector<std::uint32_t>& stamp,
+                    std::vector<std::uint64_t>& out) const {
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      const std::uint32_t tag = i + 1;  // 0 = never seen
+      for (std::uint32_t k = member_offsets[i]; k < member_offsets[i + 1]; ++k) {
+        const std::uint32_t c = member_cells[k];
+        const std::uint64_t own_mask = member_masks[k];
+        for (std::uint32_t a = nbr_offsets[c]; a < nbr_offsets[c + 1]; ++a) {
+          const std::uint32_t cc = nbr_cells[a];
+          // Lists are member-ascending: skip the j ≤ i prefix wholesale.
+          const auto* first = entries.data() + cell_offsets[cc];
+          const auto* last = entries.data() + cell_offsets[cc + 1];
+          const auto* ent = std::upper_bound(
+              first, last, i,
+              [](std::uint32_t v, const Entry& e) { return v < e.member; });
+          for (; ent != last; ++ent) {
+            if ((own_mask & ent->mask) == 0 || stamp[ent->member] == tag) continue;
+            stamp[ent->member] = tag;
+            if (test(i, ent->member)) out.push_back(pack_pair(i, ent->member));
+          }
+        }
+      }
+    }
+  }
+};
+
+std::size_t resolve_build_threads(std::size_t configured) {
+  if (configured != 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 4);
+}
+
+/// Contiguous range boundaries over `work.size()` items, balanced so
+/// each of the `threads` ranges carries ≈ total/threads of the work.
+std::vector<std::size_t> balanced_bounds(std::span<const std::size_t> work,
+                                         std::size_t total, std::size_t threads) {
+  std::vector<std::size_t> bounds{0};
+  std::size_t acc = 0;
+  for (std::size_t c = 0; c < work.size() && bounds.size() < threads; ++c) {
+    acc += work[c];
+    if (acc * threads >= total * bounds.size()) bounds.push_back(c + 1);
+  }
+  while (bounds.size() <= threads) bounds.push_back(work.size());
+  return bounds;
+}
+
+/// CSR assembly from the accepted pair list (sorted, unique, smaller id
+/// high): count degrees, prefix-sum, then two fill passes — smaller-side
+/// neighbors first, larger-side second — so every neighbor list comes
+/// out ascending without a per-node sort.
+CsrGraph csr_from_sorted_pairs(std::size_t n, std::span<const std::uint64_t> pairs) {
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (const std::uint64_t key : pairs) {
+    ++offsets[pair_lo(key) + 1];
+    ++offsets[pair_hi(key) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+  std::vector<std::uint32_t> edges(pairs.size() * 2);
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const std::uint64_t key : pairs) edges[cursor[pair_hi(key)]++] = pair_lo(key);
+  for (const std::uint64_t key : pairs) edges[cursor[pair_lo(key)]++] = pair_hi(key);
+  return CsrGraph(std::move(offsets), std::move(edges));
+}
+
+}  // namespace
+
+std::size_t ViewmapBuilder::resolved_build_threads(std::size_t configured) {
+  return resolve_build_threads(configured);
+}
+
 Viewmap ViewmapBuilder::build_from_members(
     std::vector<const vp::ViewProfile*> members, std::vector<bool> trusted,
     TimeSec unit_time, const geo::Rect& coverage,
     std::shared_ptr<const index::TimeShard> pinned) const {
   const std::size_t n = members.size();
-  std::vector<std::vector<std::uint32_t>> adj(n);
+  if (n > std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("ViewmapBuilder: too many members");
+  const PairTester test(members, cfg_.link_radius_m);
 
-  // Spatial prefilter: trajectory bounding boxes inflated by the link
-  // radius must overlap before the quadratic pair test runs.
-  std::vector<geo::Rect> boxes(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    geo::Rect box{members[i]->location_at(0), members[i]->location_at(0)};
-    for (int s = 1; s < kDigestsPerProfile; ++s) {
-      const geo::Vec2 p = members[i]->location_at(s);
-      box.min.x = std::min(box.min.x, p.x);
-      box.min.y = std::min(box.min.y, p.y);
-      box.max.x = std::max(box.max.x, p.x);
-      box.max.y = std::max(box.max.y, p.y);
-    }
-    boxes[i] = box.inflated(cfg_.link_radius_m / 2.0);
-  }
-  auto boxes_overlap = [](const geo::Rect& a, const geo::Rect& b) {
-    return a.min.x <= b.max.x && b.min.x <= a.max.x && a.min.y <= b.max.y &&
-           b.min.y <= a.max.y;
-  };
+  std::vector<std::uint64_t> accepted;
+  if (n < kGridMinMembers) {
+    // Grid setup costs more than it saves on tiny member sets.
+    for (std::uint32_t i = 0; i < n; ++i)
+      for (std::uint32_t j = i + 1; j < n; ++j)
+        if (test(i, j)) accepted.push_back(pack_pair(i, j));
+  } else {
+    const CandidateGrid grid(members, std::max(cfg_.link_radius_m, 1.0));
+    std::vector<std::size_t> work(n);
+    std::size_t total_work = 0;
+    for (std::uint32_t i = 0; i < n; ++i)
+      total_work += work[i] = grid.anchor_work(i);
 
-  // Bloom probes per member VD, hashed once. The pairwise membership test
-  // then reduces to bit lookups — this is what keeps city-scale viewmap
-  // construction subsecond.
-  using Probe = std::array<std::size_t, static_cast<std::size_t>(vp::kBloomHashes)>;
-  std::vector<std::array<Probe, static_cast<std::size_t>(kDigestsPerProfile)>> probes(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto digests = members[i]->digests();
-    for (std::size_t s = 0; s < digests.size(); ++s)
-      bloom::BloomFilter::probe_positions(digests[s].serialize(), vp::kBloomBits,
-                                          vp::kBloomHashes, probes[i][s]);
-  }
-  auto heard = [&](std::size_t listener, std::size_t speaker) {
-    const auto& filter = members[listener]->neighbor_bloom();
-    for (const Probe& p : probes[speaker])
-      if (filter.test_positions(p)) return true;
-    return false;
-  };
+    // When every member piles into a handful of cells (one dense block,
+    // a saturated site), the neighborhood scan would visit more
+    // incidences than the plain sweep visits pairs — fall back to the
+    // duplication-free all-pairs sweep, still sharded across threads.
+    const std::size_t all_pairs = n * (n - 1) / 2;
+    const bool degenerate = total_work >= all_pairs;
+    if (degenerate)
+      for (std::uint32_t i = 0; i < n; ++i) work[i] = n - 1 - i;
+    const std::size_t budget = degenerate ? all_pairs : total_work;
 
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (!boxes_overlap(boxes[i], boxes[j])) continue;
-      if (!members[i]->ever_within(*members[j], cfg_.link_radius_m)) continue;
-      if (heard(i, j) && heard(j, i)) {
-        adj[i].push_back(static_cast<std::uint32_t>(j));
-        adj[j].push_back(static_cast<std::uint32_t>(i));
+    const auto run = [&](std::size_t lo, std::size_t hi,
+                         std::vector<std::uint64_t>& out) {
+      if (degenerate) {
+        for (auto i = static_cast<std::uint32_t>(lo); i < hi; ++i)
+          for (auto j = i + 1; j < n; ++j)
+            if (test(i, j)) out.push_back(pack_pair(i, j));
+      } else {
+        std::vector<std::uint32_t> stamp(n, 0);
+        grid.test_anchors(test, static_cast<std::uint32_t>(lo),
+                          static_cast<std::uint32_t>(hi), stamp, out);
       }
+    };
+
+    const std::size_t threads =
+        std::min(resolve_build_threads(cfg_.build_threads),
+                 budget / kMinPairsPerThread + 1);
+    if (threads <= 1 || budget < kParallelMinPairs) {
+      run(0, n, accepted);
+    } else {
+      // Shard the candidate stream: contiguous anchor ranges balanced
+      // by scan work, one edge buffer per thread, concatenated after
+      // the join (the final sort makes merge order irrelevant).
+      const auto bounds = balanced_bounds(work, budget, threads);
+      std::vector<std::vector<std::uint64_t>> partial(threads);
+      std::vector<std::exception_ptr> errors(threads);
+      std::vector<std::thread> pool;
+      pool.reserve(threads - 1);
+      const auto guarded = [&](std::size_t t) {
+        try {
+          run(bounds[t], bounds[t + 1], partial[t]);
+        } catch (...) {
+          errors[t] = std::current_exception();
+        }
+      };
+      for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(guarded, t);
+      guarded(0);
+      for (auto& th : pool) th.join();
+      for (const auto& err : errors)
+        if (err) std::rethrow_exception(err);
+
+      std::size_t total = 0;
+      for (const auto& p : partial) total += p.size();
+      accepted.reserve(total);
+      for (const auto& p : partial)
+        accepted.insert(accepted.end(), p.begin(), p.end());
     }
+    // The stamp/sweep discipline yields each pair at most once; only
+    // the per-anchor discovery order is loose. Sort for CSR assembly.
+    std::sort(accepted.begin(), accepted.end());
   }
-  return Viewmap(std::move(members), std::move(trusted), std::move(adj), unit_time,
-                 coverage, std::move(pinned));
+
+  return Viewmap(std::move(members), std::move(trusted),
+                 csr_from_sorted_pairs(n, accepted), unit_time, coverage,
+                 std::move(pinned));
+}
+
+Viewmap ViewmapBuilder::build_from_members_reference(
+    std::vector<const vp::ViewProfile*> members, std::vector<bool> trusted,
+    TimeSec unit_time, const geo::Rect& coverage,
+    std::shared_ptr<const index::TimeShard> pinned) const {
+  // The pre-grid algorithm, verbatim: every O(n²) pair, same predicate.
+  const std::size_t n = members.size();
+  if (n > std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("ViewmapBuilder: too many members");
+  const PairTester test(members, cfg_.link_radius_m);
+  std::vector<std::uint64_t> accepted;
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = i + 1; j < n; ++j)
+      if (test(i, j)) accepted.push_back(pack_pair(i, j));
+  return Viewmap(std::move(members), std::move(trusted),
+                 csr_from_sorted_pairs(n, accepted), unit_time, coverage,
+                 std::move(pinned));
 }
 
 }  // namespace viewmap::sys

@@ -7,6 +7,17 @@
 // two-way Bloom membership pass — each VP's filter must recognize some VD
 // of the other. Two-way validation is what stops attackers from forging
 // edges to honest VPs they never actually met (§5.2.2 "Insights").
+//
+// Construction is grid-accelerated: member trajectories are binned into
+// a per-build uniform grid with pitch = link radius, so the edge
+// predicate only runs on pairs sharing a cell or in adjacent cells —
+// O(n · local density) candidate pairs instead of the O(n²) all-pairs
+// sweep — and the surviving edges are laid out as one flat CSR
+// (system/csr_graph.h) that TrustRank and Algorithm 1 consume without
+// copying. The candidate stream can be sharded across a small thread
+// pool (ViewmapConfig::build_threads); the edge set is bit-identical
+// for every thread count and to the retained O(n²) reference builder
+// (property-tested in tests/viewmap_build_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +28,7 @@
 #include "common/types.h"
 #include "geo/geometry.h"
 #include "index/db_snapshot.h"
+#include "system/csr_graph.h"
 #include "vp/view_profile.h"
 
 namespace viewmap::sys {
@@ -24,9 +36,15 @@ namespace viewmap::sys {
 struct ViewmapConfig {
   double link_radius_m = 400.0;  ///< DSRC radio radius (§5.1.2)
   double coverage_margin_m = 200.0;  ///< slack added around site ∪ trusted VP
+  /// Threads sharding the candidate-pair stream of one build. 0 ⇒ pick
+  /// from the hardware (small pool, capped at 4 — investigation-server
+  /// workers already parallelize across requests); 1 ⇒ fully serial.
+  /// Builds below the parallel cutoff run serial regardless; the edge
+  /// set never depends on this knob.
+  std::size_t build_threads = 0;
 };
 
-/// One constructed viewmap: member VPs with undirected adjacency.
+/// One constructed viewmap: member VPs with undirected CSR adjacency.
 ///
 /// Lifetime: a Viewmap spans one unit-time, so when built over a
 /// DbSnapshot it *pins* that minute's shard — its member profiles stay
@@ -39,19 +57,22 @@ struct ViewmapConfig {
 class Viewmap {
  public:
   Viewmap(std::vector<const vp::ViewProfile*> members, std::vector<bool> trusted,
-          std::vector<std::vector<std::uint32_t>> adjacency, TimeSec unit_time,
-          geo::Rect coverage, std::shared_ptr<const index::TimeShard> pinned = {});
+          CsrGraph graph, TimeSec unit_time, geo::Rect coverage,
+          std::shared_ptr<const index::TimeShard> pinned = {});
 
   [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
   [[nodiscard]] const vp::ViewProfile& member(std::size_t i) const { return *members_.at(i); }
   [[nodiscard]] bool is_trusted(std::size_t i) const { return trusted_.at(i); }
-  [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) const {
-    return adjacency_.at(i);
-  }
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) const;
   [[nodiscard]] TimeSec unit_time() const noexcept { return unit_time_; }
   [[nodiscard]] const geo::Rect& coverage() const noexcept { return coverage_; }
 
-  [[nodiscard]] std::size_t edge_count() const noexcept;
+  /// The viewlink graph itself, in flat CSR form. trust_rank() and
+  /// algorithm1() consume this view directly — no per-call adjacency
+  /// copy anywhere on the investigation path.
+  [[nodiscard]] const CsrGraph& graph() const noexcept { return graph_; }
+
+  [[nodiscard]] std::size_t edge_count() const noexcept { return graph_.edge_slots() / 2; }
   [[nodiscard]] std::vector<std::size_t> trusted_indices() const;
 
   /// Indices of members with any claimed location inside `site` — the set
@@ -65,7 +86,7 @@ class Viewmap {
  private:
   std::vector<const vp::ViewProfile*> members_;
   std::vector<bool> trusted_;
-  std::vector<std::vector<std::uint32_t>> adjacency_;
+  CsrGraph graph_;
   TimeSec unit_time_;
   geo::Rect coverage_;
   /// Keeps the member profiles alive (null when members are
@@ -91,8 +112,19 @@ class ViewmapBuilder {
   /// (evaluation harnesses inject synthetic/fake VPs this way). Pass the
   /// shard the members point into when there is one, so the viewmap pins
   /// it; with the default null shard the caller keeps the profiles
-  /// alive.
+  /// alive. Grid-accelerated (see the file comment).
   [[nodiscard]] Viewmap build_from_members(
+      std::vector<const vp::ViewProfile*> members, std::vector<bool> trusted,
+      TimeSec unit_time, const geo::Rect& coverage,
+      std::shared_ptr<const index::TimeShard> pinned = {}) const;
+
+  /// The retained naive O(n²) builder: visits every member pair, applies
+  /// the identical edge predicate, emits the identical CSR. It exists as
+  /// the ground truth the grid-accelerated path is property-tested and
+  /// benchmarked against (tests/viewmap_build_test.cpp, the
+  /// `viewmap_build` scenario of bench_index) — never call it on the
+  /// investigation path.
+  [[nodiscard]] Viewmap build_from_members_reference(
       std::vector<const vp::ViewProfile*> members, std::vector<bool> trusted,
       TimeSec unit_time, const geo::Rect& coverage,
       std::shared_ptr<const index::TimeShard> pinned = {}) const;
@@ -100,6 +132,11 @@ class ViewmapBuilder {
   /// The §5.2.1 edge predicate, exposed for tests: two-way Bloom pass and
   /// time-aligned proximity.
   [[nodiscard]] bool viewlinked(const vp::ViewProfile& a, const vp::ViewProfile& b) const;
+
+  /// What a `build_threads` setting resolves to on this host BEFORE the
+  /// per-build clamps (serial cutoff, per-thread minimum work): 0 ⇒ the
+  /// auto pick. The bench reports this as the pool's upper bound.
+  [[nodiscard]] static std::size_t resolved_build_threads(std::size_t configured);
 
  private:
   ViewmapConfig cfg_;

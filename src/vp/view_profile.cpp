@@ -1,6 +1,7 @@
 #include "vp/view_profile.h"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "common/rng.h"
@@ -20,6 +21,61 @@ ViewProfile::ViewProfile(std::vector<dsrc::ViewDigest> digests,
     throw std::invalid_argument("ViewProfile: non-protocol Bloom configuration");
 }
 
+// The probe cache is derived state over the immutable digests: copies
+// recompute on demand, moves adopt the source's table, assignment drops
+// the stale one. bloom_ mutation (add_neighbor_digest) never touches it
+// — probes hash this profile's own digests, not its filter.
+
+ViewProfile::ViewProfile(const ViewProfile& other)
+    : digests_(other.digests_), bloom_(other.bloom_) {}
+
+ViewProfile::ViewProfile(ViewProfile&& other) noexcept
+    : digests_(std::move(other.digests_)),
+      bloom_(std::move(other.bloom_)),
+      probes_(other.probes_.exchange(nullptr, std::memory_order_acq_rel)) {}
+
+ViewProfile& ViewProfile::operator=(const ViewProfile& other) {
+  if (this != &other) {
+    // Cache first: if a copy below throws, the object must not be left
+    // holding a probe table computed for different digests.
+    delete probes_.exchange(nullptr, std::memory_order_acq_rel);
+    digests_ = other.digests_;
+    bloom_ = other.bloom_;
+  }
+  return *this;
+}
+
+ViewProfile& ViewProfile::operator=(ViewProfile&& other) noexcept {
+  if (this != &other) {
+    digests_ = std::move(other.digests_);
+    bloom_ = std::move(other.bloom_);
+    delete probes_.exchange(other.probes_.exchange(nullptr, std::memory_order_acq_rel),
+                            std::memory_order_acq_rel);
+  }
+  return *this;
+}
+
+ViewProfile::~ViewProfile() { delete probes_.load(std::memory_order_acquire); }
+
+const BloomProbes& ViewProfile::bloom_probes() const {
+  if (const BloomProbes* hit = probes_.load(std::memory_order_acquire))
+    return *hit;
+  auto fresh = std::make_unique<BloomProbes>();
+  std::size_t wide[static_cast<std::size_t>(kBloomHashes)];
+  for (std::size_t s = 0; s < digests_.size(); ++s) {
+    bloom::BloomFilter::probe_positions(digests_[s].serialize(), kBloomBits,
+                                        kBloomHashes, wide);
+    for (std::size_t h = 0; h < static_cast<std::size_t>(kBloomHashes); ++h)
+      fresh->at[s][h] = static_cast<std::uint16_t>(wide[h]);
+  }
+  const BloomProbes* expected = nullptr;
+  if (probes_.compare_exchange_strong(expected, fresh.get(),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire))
+    return *fresh.release();
+  return *expected;  // lost the benign race; another thread published
+}
+
 geo::Vec2 ViewProfile::location_at(int second_index) const {
   const auto& vd = digests_.at(static_cast<std::size_t>(second_index));
   return {vd.loc_x, vd.loc_y};
@@ -34,13 +90,17 @@ bool ViewProfile::visits(const geo::Rect& area) const noexcept {
 bool ViewProfile::ever_within(const ViewProfile& other, double radius_m) const noexcept {
   // Time-aligned comparison: both VPs cover the same minute second-by-
   // second (GPS-synchronized recording), so index i of one aligns with
-  // the digest of the same wall-clock second in the other.
+  // the digest of the same wall-clock second in the other. Compared in
+  // squared distance — this scan runs per candidate pair on the viewmap
+  // construction hot path.
+  if (radius_m < 0.0) return false;
+  const double radius_sq = radius_m * radius_m;
   for (std::size_t i = 0; i < digests_.size(); ++i) {
     for (std::size_t j = 0; j < other.digests_.size(); ++j) {
       if (digests_[i].time != other.digests_[j].time) continue;
       const double dx = digests_[i].loc_x - other.digests_[j].loc_x;
       const double dy = digests_[i].loc_y - other.digests_[j].loc_y;
-      if (std::sqrt(dx * dx + dy * dy) <= radius_m) return true;
+      if (dx * dx + dy * dy <= radius_sq) return true;
       break;  // at most one j matches a given i
     }
   }
@@ -48,8 +108,10 @@ bool ViewProfile::ever_within(const ViewProfile& other, double radius_m) const n
 }
 
 bool ViewProfile::heard(const ViewProfile& other) const {
-  for (const auto& vd : other.digests_)
-    if (bloom_.maybe_contains(vd.serialize())) return true;
+  // Equivalent to probing each of other's serialized VDs, but through
+  // other's memoized probe table: no hashing on the membership path.
+  for (const auto& probe : other.bloom_probes().at)
+    if (bloom_.test_positions(probe)) return true;
   return false;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -41,11 +42,30 @@ inline constexpr std::size_t kVpWireSize =
 inline constexpr std::size_t kVpStorageBytes = kVpWireSize + 8;
 static_assert(kVpStorageBytes == 4584, "must match paper §6.1");
 
+/// Precomputed Bloom probe positions for every VD of one profile under
+/// the protocol constants (kBloomBits, kBloomHashes). Positions fit 16
+/// bits (kBloomBits = 2048), so the whole table is 360 bytes.
+static_assert(kBloomBits <= 65536,
+              "BloomProbes stores positions as uint16; widen Probe before "
+              "growing the protocol filter");
+struct BloomProbes {
+  using Probe = std::array<std::uint16_t, static_cast<std::size_t>(kBloomHashes)>;
+  std::array<Probe, static_cast<std::size_t>(kDigestsPerProfile)> at{};
+};
+
 class ViewProfile {
  public:
   /// Constructs from exactly 60 digests sharing one VP identifier.
   /// Throws std::invalid_argument on malformed input.
   ViewProfile(std::vector<dsrc::ViewDigest> digests, bloom::BloomFilter neighbor_bloom);
+
+  // Value semantics (the probe cache is derived state: copies drop it,
+  // moves carry it, equality ignores it).
+  ViewProfile(const ViewProfile& other);
+  ViewProfile(ViewProfile&& other) noexcept;
+  ViewProfile& operator=(const ViewProfile& other);
+  ViewProfile& operator=(ViewProfile&& other) noexcept;
+  ~ViewProfile();
 
   [[nodiscard]] const Id16& vp_id() const noexcept { return digests_.front().vp_id; }
   [[nodiscard]] std::span<const dsrc::ViewDigest> digests() const noexcept {
@@ -78,6 +98,16 @@ class ViewProfile {
   /// One direction of the §5.2.1 two-way membership test.
   [[nodiscard]] bool heard(const ViewProfile& other) const;
 
+  /// The probe positions of this profile's own 60 VDs — what a
+  /// membership check against ANY other profile's filter tests (the
+  /// protocol fixes (bits, k), so positions transfer between filters).
+  /// Digests are immutable after construction, so the table is computed
+  /// once — lazily, on first use — and memoized; the 60 SHA-256 hashes
+  /// are never redone however many viewmaps the profile lands in.
+  /// Thread-safe: concurrent first calls race benignly (one result is
+  /// published, the rest discarded).
+  [[nodiscard]] const BloomProbes& bloom_probes() const;
+
   /// Records a neighbor VD into this profile's Bloom filter. Only the
   /// owning vehicle calls this, and only at generation time.
   void add_neighbor_digest(const dsrc::ViewDigest& vd);
@@ -85,11 +115,15 @@ class ViewProfile {
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static ViewProfile parse(std::span<const std::uint8_t> data);
 
-  friend bool operator==(const ViewProfile&, const ViewProfile&) = default;
+  friend bool operator==(const ViewProfile& a, const ViewProfile& b) {
+    return a.digests_ == b.digests_ && a.bloom_ == b.bloom_;
+  }
 
  private:
   std::vector<dsrc::ViewDigest> digests_;  // exactly kDigestsPerProfile
   bloom::BloomFilter bloom_;
+  /// Lazily published probe table (see bloom_probes()); owned.
+  mutable std::atomic<const BloomProbes*> probes_{nullptr};
 };
 
 /// Structural well-formedness rules the system applies on upload, before

@@ -400,5 +400,102 @@ TEST(InvestigationServer, ConcurrentWithIngestAndEvictionStress) {
   EXPECT_FALSE(service.database().snapshot().trusted_at(5 * kUnitTimeSec).empty());
 }
 
+TEST(InvestigationServer, ParallelViewmapBuildRacesIngestAndEviction) {
+  // The grid-accelerated builder shards one viewmap's candidate-pair
+  // stream across build_threads (src/system/viewmap_graph.cpp). Here
+  // every build crosses the parallel cutoff — a dense minute of ~160
+  // members — so server workers spawn in-build pools that read pinned
+  // shard profiles while a live ingest loop commits uploads and the
+  // trusted clock walks an older investigated minute out of retention.
+  // TSan (CI runs this suite under it) checks the per-thread edge
+  // buffers and the merge; the assertions check CSR invariants.
+  Rng rng(31);
+  ServiceConfig cfg;
+  cfg.rsa_bits = 1024;
+  cfg.viewmap.build_threads = 3;
+  cfg.index.retention.window_sec = 3 * kUnitTimeSec;
+  cfg.ingest.min_parallel_batch = 4;
+  ViewMapService service(cfg);
+
+  Rng trng(32);
+  for (int m = 0; m < 2; ++m)
+    ASSERT_TRUE(service.register_trusted(attack::make_fake_profile(
+        m * kUnitTimeSec, {0.0, 0.0}, {300.0, 0.0}, trng)));
+  service.reset_clock(0);
+  // Dense seeded minutes: enough members that candidate generation
+  // always engages the thread pool.
+  for (int m = 0; m < 2; ++m)
+    for (int i = 0; i < 160; ++i) {
+      const geo::Vec2 a{rng.uniform(-300.0, 300.0), rng.uniform(-300.0, 300.0)};
+      service.upload_channel().submit(
+          attack::make_fake_profile(m * kUnitTimeSec, a, {a.x + 150.0, a.y}, rng)
+              .serialize());
+    }
+  ASSERT_GT(service.ingest_uploads(), 0u);
+
+  ServerConfig scfg;
+  scfg.workers = 2;
+  scfg.queue_capacity = 16;
+  auto& server = service.start_server(scfg);
+  const geo::Rect site{{-350.0, -350.0}, {350.0, 350.0}};
+
+  // A FIXED number of writer rounds (the submit loop below runs until
+  // they have all raced): unbounded pumping would grow the investigated
+  // minute — and every build over it — without limit on a slow host.
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    // Commits minute-1 uploads while the clock walk evicts minute 0
+    // beneath the investigators (cutoff reaches 60 s).
+    Rng wrng(33);
+    for (std::size_t round = 1; round <= 40; ++round) {
+      for (int i = 0; i < 8; ++i) {
+        const geo::Vec2 a{wrng.uniform(-300.0, 300.0), wrng.uniform(-300.0, 300.0)};
+        service.upload_channel().submit(
+            attack::make_fake_profile(kUnitTimeSec, a, {a.x + 150.0, a.y}, wrng)
+                .serialize());
+      }
+      (void)service.ingest_uploads();
+      service.advance_clock(std::min<TimeSec>(static_cast<TimeSec>(round) * 30,
+                                              4 * kUnitTimeSec));
+      std::this_thread::yield();
+    }
+    writer_done.store(true);
+  });
+
+  std::size_t reports = 0;
+  for (int q = 0; q < 2000 && (q < 12 || !writer_done.load()); ++q) {
+    auto fut = server.submit(site, kUnitTimeSec);
+    ASSERT_TRUE(fut.valid());
+    for (const auto& report : fut.get()) {
+      ++reports;
+      EXPECT_GE(report.viewmap.size(), 160u);
+      // CSR invariants: ascending unique neighbor lists, symmetric edges.
+      const auto& g = report.viewmap.graph();
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        const auto nbrs = g.neighbors(i);
+        EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+        EXPECT_EQ(std::adjacent_find(nbrs.begin(), nbrs.end()), nbrs.end());
+        for (const std::uint32_t j : nbrs) {
+          const auto back = g.neighbors(j);
+          EXPECT_TRUE(std::binary_search(back.begin(), back.end(),
+                                         static_cast<std::uint32_t>(i)));
+        }
+      }
+    }
+  }
+  writer.join();
+  service.stop_server();
+  EXPECT_GT(reports, 0u);
+
+  // Deterministic tail: one more ingest at the final clock must evict
+  // the investigated minute 0 (the reports above keep their pins).
+  service.advance_clock(4 * kUnitTimeSec);
+  service.upload_channel().submit(
+      attack::make_fake_profile(kUnitTimeSec, {0.0, 0.0}, {150.0, 0.0}, rng)
+          .serialize());
+  (void)service.ingest_uploads();
+  EXPECT_TRUE(service.database().snapshot().trusted_at(0).empty());
+}
+
 }  // namespace
 }  // namespace viewmap::sys

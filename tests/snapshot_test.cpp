@@ -134,6 +134,55 @@ TEST(DbSnapshot, SurvivesDatabaseDestruction) {
   EXPECT_EQ(snap.find(id)->vp_id(), id);
 }
 
+TEST(DbSnapshot, LazyIdIndexFindIsExactAndConcurrentSafe) {
+  // find() builds its id → profile index lazily on first probe
+  // (call_once). Hammer one snapshot from several threads racing that
+  // first build: every present id must resolve to the exact shard-order
+  // answer, every absent id to nullptr — TSan (CI runs this suite under
+  // it) watches the build race.
+  Rng rng(14);
+  VpTimeline timeline;
+  std::vector<Id16> ids;
+  for (int i = 0; i < 120; ++i) {
+    auto p = random_vp(kUnitTimeSec * (i % 5), 2000.0, rng);
+    ids.push_back(p.vp_id());
+    ASSERT_TRUE(timeline.insert(std::move(p), false));
+  }
+  const DbSnapshot snap = timeline.snapshot();
+
+  // Reference answers via the shards themselves.
+  std::vector<const vp::ViewProfile*> expected;
+  for (const Id16& id : ids) {
+    const vp::ViewProfile* hit = nullptr;
+    for (const auto& shard : snap.shards())
+      if (auto it = shard->profiles.find(id); it != shard->profiles.end()) {
+        hit = it->second.get();
+        break;
+      }
+    ASSERT_NE(hit, nullptr);
+    expected.push_back(hit);
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t)
+    readers.emplace_back([&] {
+      for (std::size_t k = 0; k < ids.size(); ++k)
+        if (snap.find(ids[k]) != expected[k]) mismatches.fetch_add(1);
+      Id16 absent{};
+      absent.bytes.fill(0xEE);
+      if (snap.find(absent) != nullptr) mismatches.fetch_add(1);
+    });
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Still exact after the live timeline evicts everything: the index
+  // points into pinned shards, not the timeline.
+  timeline.advance_clock(100 * kUnitTimeSec);
+  (void)timeline.enforce_retention();
+  EXPECT_EQ(snap.find(ids.front()), expected.front());
+}
+
 TEST(DbSnapshot, OwningFindOutlivesEviction) {
   Rng rng(4);
   TimelineConfig cfg;

@@ -2,11 +2,14 @@
 # Build (Release) and run the index benchmark, leaving BENCH_index.json in
 # the repository root so successive PRs accumulate a perf trajectory.
 # Covers snapshot query latency vs db size, ingest throughput, the
-# snapshot-queries-vs-concurrent-ingest scenario, and the investigation
+# snapshot-queries-vs-concurrent-ingest scenario, the investigation
 # server throughput scenario (worker pool vs live ingest + eviction; on a
-# 1-core host the JSON carries a note: everything time-slices one CPU).
-# Finishes with a docs-link check: every per-module design doc under
-# src/*/README.md must be referenced from ARCHITECTURE.md.
+# 1-core host the JSON carries a note: everything time-slices one CPU),
+# and viewmap construction (grid+CSR builder vs the naive O(n²)
+# reference). Asserts that every viewmap_build row reports a
+# bit-identical edge set between the two builders, then finishes with a
+# docs-link check: every per-module design doc under src/*/README.md
+# must be referenced from ARCHITECTURE.md.
 #
 #   tools/run_bench.sh [extra bench_index flags, e.g. --max_vps=100000]
 set -euo pipefail
@@ -20,6 +23,18 @@ cmake --build "$build_dir" --target bench_index -j "$(nproc)"
 cd "$repo_root"
 "$build_dir/bench/bench_index" "$@"
 echo "BENCH_index.json -> $repo_root/BENCH_index.json"
+
+# Edge-set assertion: the grid-accelerated builder must have produced the
+# bit-identical CSR as the retained naive reference in every layout.
+if ! grep -q '"viewmap_build"' BENCH_index.json; then
+  echo "viewmap_build check: scenario missing from BENCH_index.json" >&2
+  exit 1
+fi
+if grep -q '"edges_match": false' BENCH_index.json; then
+  echo "viewmap_build check: grid and reference builders disagree on the edge set" >&2
+  exit 1
+fi
+echo "viewmap_build check passed: grid edge sets match the O(n^2) reference"
 
 # Docs-link check: the architecture map must reach every module design doc.
 missing=0
