@@ -18,17 +18,24 @@
 //       dense (urban rush hour) and sparse (city-scale) layouts. The two
 //       edge sets are compared bit-for-bit; tools/run_bench.sh fails the
 //       run if they ever diverge.
+//   (6) incremental persistence: full database save (legacy VMDB rewrite)
+//       vs an incremental segment-store checkpoint after 1% shard churn,
+//       plus cold-restart recovery time. tools/run_bench.sh asserts the
+//       recovery invariant (profiles recovered == profiles the manifest
+//       promises == profiles in the pinned snapshot).
 //
 // Emits BENCH_index.json (cwd) so future PRs can diff the numbers.
 //
 //   ./bench/bench_index [--max_vps=1000000] [--queries=200]
 //                       [--ingest_vps=20000] [--threads=N]
 //                       [--server_requests=500] [--viewmap_vps=50000]
+//                       [--checkpoint_vps=1000000]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <future>
 #include <thread>
 #include <vector>
@@ -37,6 +44,8 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "index/ingest_engine.h"
+#include "store/segment_store.h"
+#include "store/vp_store.h"
 #include "system/investigation_server.h"
 #include "system/service.h"
 #include "system/vp_database.h"
@@ -436,6 +445,102 @@ ViewmapBuildRow bench_viewmap_build(std::size_t n, bool dense, Rng& rng) {
   return row;
 }
 
+struct CheckpointRow {
+  std::size_t vps = 0;
+  std::size_t shards = 0;
+  std::size_t churn_shards = 0;     ///< shards whose content changed (~1%)
+  std::size_t churn_vps = 0;        ///< VPs added to force that churn
+  double legacy_full_ms = 0.0;      ///< vp_store full-database rewrite
+  std::uint64_t legacy_full_bytes = 0;
+  double full_checkpoint_ms = 0.0;  ///< first segment checkpoint (all shards)
+  std::uint64_t full_checkpoint_bytes = 0;
+  double incr_checkpoint_ms = 0.0;  ///< checkpoint after the churn
+  std::uint64_t incr_bytes = 0;     ///< bytes actually written by it
+  std::size_t incr_segments_written = 0;
+  std::size_t incr_segments_reused = 0;
+  double restart_ms = 0.0;          ///< cold recover() of the checkpoint
+  std::size_t recovered_vps = 0;
+  /// The recovery invariant: recovered == manifest promise == snapshot,
+  /// zero rejects. tools/run_bench.sh fails the run when false.
+  bool recovered_matches = false;
+};
+
+/// The always-on persistence workload: a service checkpointing weeks of
+/// history where only the newest minutes change between checkpoints.
+/// Spreads `vp_count` over 200 unit-times, seals a full checkpoint, churns
+/// 1% of the shards (2 of 200), then measures what §"incremental
+/// persistence" buys: a full legacy save rewrites every byte, the segment
+/// checkpoint rewrites only the 2 changed shards + a ~12 KB manifest.
+/// fsync is ON — these are honest durable-write numbers.
+CheckpointRow bench_checkpoint(std::size_t vp_count, Rng& rng) {
+  const int minutes = 200;
+  const double extent =
+      std::max(2000.0, 250.0 * std::sqrt(static_cast<double>(vp_count) / minutes / 50.0) * 8.0);
+
+  sys::VpDatabase db;
+  for (std::size_t i = 0; i < vp_count; ++i) {
+    const TimeSec unit = kUnitTimeSec * static_cast<TimeSec>(rng.index(minutes));
+    if (!db.timeline().insert(random_vp(unit, extent, rng), false)) --i;
+  }
+
+  namespace fs = std::filesystem;
+  const fs::path seg_dir = "bench_segments.tmp";
+  const fs::path vmdb_path = "bench_full_save.vmdb.tmp";
+  fs::remove_all(seg_dir);
+
+  CheckpointRow row;
+  row.vps = db.size();
+
+  store::SegmentStore segments(seg_dir.string());
+  {
+    const sys::DbSnapshot snap = db.snapshot();
+    row.shards = snap.shard_count();
+    const auto start = Clock::now();
+    const auto stats = segments.checkpoint(snap);
+    row.full_checkpoint_ms = seconds_since(start) * 1e3;
+    row.full_checkpoint_bytes = stats.bytes_written;
+  }
+
+  // 1% shard churn: fresh uploads land in 2 of the 200 minutes.
+  row.churn_shards = static_cast<std::size_t>(minutes) / 100;
+  for (std::size_t s = 0; s < row.churn_shards; ++s) {
+    const TimeSec unit = kUnitTimeSec * static_cast<TimeSec>(s * 97 % minutes);
+    for (int i = 0; i < 25; ++i) {
+      if (db.timeline().insert(random_vp(unit, extent, rng), false)) ++row.churn_vps;
+    }
+  }
+
+  const sys::DbSnapshot churned = db.snapshot();
+  {
+    const auto start = Clock::now();
+    store::save_snapshot_file(churned, vmdb_path.string());
+    row.legacy_full_ms = seconds_since(start) * 1e3;
+    row.legacy_full_bytes = static_cast<std::uint64_t>(fs::file_size(vmdb_path));
+  }
+  {
+    const auto start = Clock::now();
+    const auto stats = segments.checkpoint(churned);
+    row.incr_checkpoint_ms = seconds_since(start) * 1e3;
+    row.incr_bytes = stats.bytes_written;
+    row.incr_segments_written = stats.segments_written;
+    row.incr_segments_reused = stats.segments_reused;
+  }
+  {
+    const auto start = Clock::now();
+    store::RecoveryStats rec;
+    const auto recovered = segments.recover(&rec);
+    row.restart_ms = seconds_since(start) * 1e3;
+    row.recovered_vps = recovered.size();
+    row.recovered_matches = rec.profiles_rejected == 0 &&
+                            rec.profiles_loaded == rec.manifest_profiles &&
+                            recovered.size() == churned.size();
+  }
+
+  fs::remove_all(seg_dir);
+  fs::remove(vmdb_path);
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -448,6 +553,9 @@ int main(int argc, char** argv) {
   const int server_requests = bench::int_flag(argc, argv, "server_requests", 500);
   const auto viewmap_vps =
       static_cast<std::size_t>(bench::int_flag(argc, argv, "viewmap_vps", 50000));
+  const auto checkpoint_vps = std::min<std::size_t>(
+      static_cast<std::size_t>(bench::int_flag(argc, argv, "checkpoint_vps", 1000000)),
+      max_vps);
   unsigned threads = static_cast<unsigned>(bench::int_flag(argc, argv, "threads", 0));
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -532,6 +640,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ── incremental persistence: segment checkpoints vs full saves ──────
+  std::printf("\n-- incremental checkpoint (segment store) vs full save (VMDB rewrite) --\n");
+  Rng ckpt_rng(7777);
+  const auto ckpt = bench_checkpoint(checkpoint_vps, ckpt_rng);
+  std::printf(
+      "%zu VPs over %zu shards, %zu churned (+%zu VPs):\n"
+      "  full save (legacy VMDB rewrite): %.1f ms, %llu bytes\n"
+      "  full segment checkpoint (first): %.1f ms, %llu bytes\n"
+      "  incremental checkpoint:          %.1f ms, %llu bytes "
+      "(%zu segments written, %zu sealed by reference)\n"
+      "  cold restart (recover):          %.1f ms, %zu VPs, invariant %s\n",
+      ckpt.vps, ckpt.shards, ckpt.churn_shards, ckpt.churn_vps, ckpt.legacy_full_ms,
+      static_cast<unsigned long long>(ckpt.legacy_full_bytes), ckpt.full_checkpoint_ms,
+      static_cast<unsigned long long>(ckpt.full_checkpoint_bytes),
+      ckpt.incr_checkpoint_ms, static_cast<unsigned long long>(ckpt.incr_bytes),
+      ckpt.incr_segments_written, ckpt.incr_segments_reused, ckpt.restart_ms,
+      ckpt.recovered_vps, ckpt.recovered_matches ? "OK" : "VIOLATED");
+
   // ── JSON trajectory ──────────────────────────────────────────────────
   FILE* json = std::fopen("BENCH_index.json", "w");
   if (json != nullptr) {
@@ -575,6 +701,21 @@ int main(int argc, char** argv) {
                    i + 1 < vm_rows.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n");
+    std::fprintf(
+        json,
+        "  \"checkpoint_incremental\": {\"vps\": %zu, \"shards\": %zu, "
+        "\"churn_shards\": %zu, \"churn_vps\": %zu, \"legacy_full_ms\": %.1f, "
+        "\"legacy_full_bytes\": %llu, \"full_checkpoint_ms\": %.1f, "
+        "\"full_checkpoint_bytes\": %llu, \"incr_checkpoint_ms\": %.1f, "
+        "\"incr_bytes\": %llu, \"segments_written\": %zu, \"segments_reused\": %zu, "
+        "\"restart_ms\": %.1f, \"recovered_vps\": %zu, \"recovered_matches\": %s, "
+        "\"note\": \"fsync on; segment writes proportional to churned shards\"},\n",
+        ckpt.vps, ckpt.shards, ckpt.churn_shards, ckpt.churn_vps, ckpt.legacy_full_ms,
+        static_cast<unsigned long long>(ckpt.legacy_full_bytes), ckpt.full_checkpoint_ms,
+        static_cast<unsigned long long>(ckpt.full_checkpoint_bytes),
+        ckpt.incr_checkpoint_ms, static_cast<unsigned long long>(ckpt.incr_bytes),
+        ckpt.incr_segments_written, ckpt.incr_segments_reused, ckpt.restart_ms,
+        ckpt.recovered_vps, ckpt.recovered_matches ? "true" : "false");
     std::fprintf(json,
                  "  \"server_throughput\": {\"vps\": %zu, \"workers\": %zu, "
                  "\"requests\": %zu, \"requests_per_sec\": %.1f, \"request_us\": %.1f, "

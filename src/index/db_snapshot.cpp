@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
 namespace viewmap::index {
 
 namespace {
@@ -11,6 +14,37 @@ bool id_less(const vp::ViewProfile* a, const vp::ViewProfile* b) {
 }
 
 }  // namespace
+
+void TimeShard::stream_content(
+    const std::function<void(std::span<const std::uint8_t>)>& sink) const {
+  ByteWriter header(24);
+  header.put_i64(unit_time);
+  header.put_u64(profiles.size());
+  header.put_u64(trusted.size());
+  sink(header.bytes());
+
+  // Deterministic order: ascending id, matching DbSnapshot::all() within
+  // one shard — the order store/vp_store has always serialized in.
+  std::vector<const vp::ViewProfile*> ordered;
+  ordered.reserve(profiles.size());
+  for (const auto& [id, profile] : profiles) ordered.push_back(profile.get());
+  std::sort(ordered.begin(), ordered.end(), id_less);
+  for (const auto* profile : ordered) sink(profile->serialize());
+
+  std::vector<Id16> trusted_ordered(trusted.begin(), trusted.end());
+  std::sort(trusted_ordered.begin(), trusted_ordered.end());
+  for (const Id16& id : trusted_ordered) sink(id.bytes);
+}
+
+Hash32 TimeShard::content_digest() const {
+  std::lock_guard lock(digest_mutex_);
+  if (digest_valid_) return digest_;
+  crypto::Sha256 hasher;
+  stream_content([&hasher](std::span<const std::uint8_t> chunk) { hasher.update(chunk); });
+  digest_ = hasher.finish();
+  digest_valid_ = true;
+  return digest_;
+}
 
 const TimeShard* DbSnapshot::shard_at(TimeSec unit_time) const noexcept {
   // The raw pointer stays valid: state_ owns the shard either way.
@@ -117,6 +151,15 @@ std::vector<ShardStats> DbSnapshot::shard_stats() const {
 
 std::size_t DbSnapshot::shard_count() const noexcept {
   return state_ ? state_->shards.size() : 0;
+}
+
+std::vector<DbSnapshot::ShardDigest> DbSnapshot::shard_digests() const {
+  std::vector<ShardDigest> out;
+  if (!state_) return out;
+  out.reserve(state_->shards.size());
+  for (const auto& shard : state_->shards)
+    out.push_back({shard->unit_time, shard->content_digest()});
+  return out;
 }
 
 std::span<const std::shared_ptr<const TimeShard>> DbSnapshot::shards() const noexcept {

@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -78,7 +79,9 @@ struct TimeShard {
   mutable std::atomic<std::size_t> pins{0};
 
   TimeShard(TimeSec unit, SpatialGridConfig grid_cfg) : unit_time(unit), grid(grid_cfg) {}
-  /// COW clone: copies the content, starts unpinned.
+  /// COW clone: copies the content, starts unpinned and with an invalid
+  /// digest cache (the clone exists precisely because it is about to be
+  /// mutated).
   TimeShard(const TimeShard& other)
       : unit_time(other.unit_time),
         profiles(other.profiles),
@@ -89,6 +92,44 @@ struct TimeShard {
     return {unit_time, profiles.size(), trusted.size(), grid.cell_count(),
             grid.entry_count()};
   }
+
+  /// Streams this shard's canonical content bytes into `sink`, in one or
+  /// more chunks:
+  ///
+  ///   unit_time i64 LE | vp_count u64 LE | trusted_count u64 LE |
+  ///   vp_count × ViewProfile wire payload (ascending id) |
+  ///   trusted_count × Id16 (ascending)
+  ///
+  /// This byte stream IS the segment-file content section
+  /// (store/segment_store) and the preimage of content_digest() — one
+  /// serializer, so the digest can never disagree with what a checkpoint
+  /// writes. Deterministic: equal shard content ⇒ equal bytes, whatever
+  /// insertion order produced it.
+  void stream_content(const std::function<void(std::span<const std::uint8_t>)>& sink) const;
+
+  /// SHA-256 over stream_content() — the shard's content identity. The
+  /// segment store keys incremental checkpoints on it: an unchanged shard
+  /// keeps its digest, so its sealed segment is reused by reference
+  /// instead of rewritten. Cached: computed at most once per distinct
+  /// content. Call only while the shard is pinned by a snapshot (writers
+  /// then copy-on-write instead of mutating in place, which also means
+  /// they never race the cache below); concurrent calls from many
+  /// snapshot holders are fine.
+  [[nodiscard]] Hash32 content_digest() const;
+
+  /// Writers call this (under the owning time-stripe lock) after mutating
+  /// the shard in place. In-place mutation happens only on unpinned
+  /// shards, so no concurrent content_digest() reader can exist — the
+  /// stripe lock orders this plain store before any later pin.
+  void invalidate_digest() noexcept { digest_valid_ = false; }
+
+ private:
+  /// content_digest() cache. The mutex only arbitrates concurrent
+  /// snapshot readers computing the digest at the same time; writers
+  /// never touch it (see invalidate_digest()).
+  mutable std::mutex digest_mutex_;
+  mutable bool digest_valid_ = false;
+  mutable Hash32 digest_{};
 };
 
 /// A pinned, immutable view of a VpTimeline (see file comment). Obtained
@@ -144,6 +185,20 @@ class DbSnapshot {
   /// Per-shard census, ordered by unit-time.
   [[nodiscard]] std::vector<ShardStats> shard_stats() const;
   [[nodiscard]] std::size_t shard_count() const noexcept;
+
+  /// Content identity of one pinned shard, ordered by unit-time via
+  /// shard_digests(). The digest is what incremental persistence keys
+  /// segment reuse on (see TimeShard::content_digest and
+  /// store/segment_store).
+  struct ShardDigest {
+    TimeSec unit_time = 0;
+    Hash32 digest{};
+  };
+  /// Content digests of every pinned shard, ordered by unit-time. Cost:
+  /// SHA-256 over each shard whose digest is not already cached; a shard
+  /// untouched since the last call across *any* snapshot answers from its
+  /// cache without re-serializing a byte.
+  [[nodiscard]] std::vector<ShardDigest> shard_digests() const;
 
   /// The pinned shards themselves, ordered by unit-time. Persistence and
   /// tests iterate these directly instead of materializing all(); the

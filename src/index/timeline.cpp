@@ -109,6 +109,10 @@ bool VpTimeline::insert(vp::ViewProfile profile, bool trusted) {
       sit->second = std::make_shared<TimeShard>(*sit->second);
     }
     TimeShard& shard = *sit->second;
+    // Every path from here mutates (or unwinds a mutation of) this shard,
+    // and the shard is unpinned — fresh, a COW clone, or observed at pin
+    // count 0 — so the cache store cannot race a digest reader.
+    shard.invalidate_digest();
     auto [pit, inserted] = shard.profiles.emplace(id, std::move(owned));
     (void)inserted;
     try {

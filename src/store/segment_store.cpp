@@ -1,0 +1,466 @@
+#include "store/segment_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <unordered_set>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/hex.h"
+#include "crypto/sha256.h"
+
+namespace viewmap::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kSegmentMagic{'V', 'S', 'E', 'G'};
+constexpr std::array<std::uint8_t, 4> kManifestMagic{'V', 'M', 'A', 'N'};
+constexpr const char* kSegmentSuffix = ".vseg";
+constexpr const char* kManifestPrefix = "manifest-";
+constexpr const char* kManifestSuffix = ".vman";
+constexpr const char* kTempSuffix = ".tmp";
+
+/// Bounds-checked little-endian reader over an in-memory file image.
+/// Deliberately not common/bytes.h's ByteReader: recovery needs
+/// position() (the checksum covers an exact byte prefix), magic checks,
+/// and errors naming the damaged file — "this checkpoint is not
+/// loadable" must be attributable, never silent garbage.
+class Reader {
+ public:
+  Reader(std::span<const std::uint8_t> data, const std::string& what)
+      : data_(data), what_(what) {}
+
+  [[nodiscard]] std::span<const std::uint8_t> take(std::size_t n) {
+    if (data_.size() - pos_ < n)
+      throw std::runtime_error("segment_store: truncated " + what_);
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    const auto b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    const auto b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] Hash32 hash32() {
+    const auto b = take(32);
+    Hash32 h;
+    std::copy(b.begin(), b.end(), h.bytes.begin());
+    return h;
+  }
+  void expect_magic(const std::array<std::uint8_t, 4>& magic, const char* kind) {
+    const auto b = take(4);
+    if (std::memcmp(b.data(), magic.data(), 4) != 0)
+      throw std::runtime_error(std::string("segment_store: bad ") + kind +
+                               " magic in " + what_);
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::string what_;
+};
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("segment_store: cannot open " + path);
+  std::vector<std::uint8_t> out((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error("segment_store: cannot read " + path);
+  return out;
+}
+
+Hash32 sha256_prefix(std::span<const std::uint8_t> data, std::size_t len) {
+  crypto::Sha256 hasher;
+  hasher.update(data.subspan(0, len));
+  return hasher.finish();
+}
+
+}  // namespace
+
+SegmentStore::SegmentStore(std::string dir, SegmentStoreConfig cfg)
+    : dir_(std::move(dir)), cfg_(cfg) {
+  if (cfg_.keep_manifests == 0) cfg_.keep_manifests = 1;
+}
+
+std::string SegmentStore::segment_file_name(const Hash32& digest) {
+  // 16 digest bytes (128 bits) name the file — ample collision margin —
+  // and keep names filesystem-friendly; the full 32-byte digest still
+  // travels in the manifest entry and the segment trailer.
+  return "seg-" + to_hex(digest.truncated().bytes) + kSegmentSuffix;
+}
+
+std::string SegmentStore::manifest_file_name(std::uint64_t sequence) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(sequence));
+  return std::string(kManifestPrefix) + buf + kManifestSuffix;
+}
+
+std::string SegmentStore::full_path(const std::string& name) const {
+  return (fs::path(dir_) / name).string();
+}
+
+void SegmentStore::write_file(const std::string& name, std::span<const std::uint8_t> bytes) {
+  const std::string path = full_path(name);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw std::runtime_error("segment_store: cannot create " + path);
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw std::runtime_error("segment_store: write failed for " + path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (cfg_.fsync && ::fsync(fd) != 0) {
+    ::close(fd);
+    throw std::runtime_error("segment_store: fsync failed for " + path);
+  }
+  if (::close(fd) != 0)
+    throw std::runtime_error("segment_store: close failed for " + path);
+  if (cfg_.op_log != nullptr)
+    cfg_.op_log->push_back({RecordedOp::Kind::kWriteFile, name, {},
+                            std::vector<std::uint8_t>(bytes.begin(), bytes.end())});
+}
+
+void SegmentStore::rename_file(const std::string& from, const std::string& to) {
+  if (std::rename(full_path(from).c_str(), full_path(to).c_str()) != 0)
+    throw std::runtime_error("segment_store: rename " + from + " -> " + to + " failed");
+  if (cfg_.op_log != nullptr)
+    cfg_.op_log->push_back({RecordedOp::Kind::kRename, from, to, {}});
+}
+
+bool SegmentStore::remove_file(const std::string& name) {
+  if (::unlink(full_path(name).c_str()) != 0) return false;
+  if (cfg_.op_log != nullptr)
+    cfg_.op_log->push_back({RecordedOp::Kind::kRemove, name, {}, {}});
+  return true;
+}
+
+void SegmentStore::fsync_dir() const {
+  const int fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw std::runtime_error("segment_store: cannot open dir " + dir_);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw std::runtime_error("segment_store: fsync failed for dir " + dir_);
+}
+
+std::vector<std::uint64_t> SegmentStore::list_manifests_desc() const {
+  std::vector<std::uint64_t> out;
+  // A store directory that was never created is a fresh store; a
+  // directory that exists but cannot be listed is an I/O failure and
+  // must NOT masquerade as one — recover() would otherwise hand back an
+  // empty database over weeks of intact checkpoints.
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec == std::errc::no_such_file_or_directory) return out;
+  if (ec)
+    throw std::runtime_error("segment_store: cannot list " + dir_ + ": " +
+                             ec.message());
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with(kManifestPrefix) || !name.ends_with(kManifestSuffix)) continue;
+    const std::string hex = name.substr(
+        std::strlen(kManifestPrefix),
+        name.size() - std::strlen(kManifestPrefix) - std::strlen(kManifestSuffix));
+    if (hex.size() != 16 ||
+        hex.find_first_not_of("0123456789abcdef") != std::string::npos)
+      continue;  // not ours; leave alone
+    out.push_back(std::strtoull(hex.c_str(), nullptr, 16));
+  }
+  std::sort(out.rbegin(), out.rend());
+  return out;
+}
+
+std::uint64_t SegmentStore::latest_sequence() const {
+  const auto manifests = list_manifests_desc();
+  return manifests.empty() ? 0 : manifests.front();
+}
+
+CheckpointStats SegmentStore::checkpoint(const index::DbSnapshot& snap) {
+  fs::create_directories(dir_);
+  CheckpointStats stats;
+  stats.sequence = latest_sequence() + 1;
+  stats.shards_total = snap.shard_count();
+
+  // ── segments: write only what the previous checkpoints don't seal ──
+  std::vector<ManifestEntry> entries;
+  entries.reserve(snap.shard_count());
+  for (const auto& shard : snap.shards()) {
+    ManifestEntry entry{shard->unit_time, shard->profiles.size(), shard->trusted.size(),
+                        shard->content_digest()};
+    entries.push_back(entry);
+    const std::string name = segment_file_name(entry.digest);
+    std::error_code ec;
+    const auto existing_size = fs::file_size(full_path(name), ec);
+    if (!ec) {
+      // Already sealed under its content address (a final name is only
+      // ever produced by a completed rename): reuse by reference.
+      ++stats.segments_reused;
+      stats.segment_bytes_total += existing_size;
+      continue;
+    }
+    ByteWriter writer(48 + entry.vp_count * vp::kVpWireSize + entry.trusted_count * 16);
+    writer.put_bytes(kSegmentMagic);
+    writer.put_u32(kSegmentFormatVersion);
+    shard->stream_content(
+        [&writer](std::span<const std::uint8_t> chunk) { writer.put_bytes(chunk); });
+    writer.put_bytes(entry.digest.bytes);
+    const std::vector<std::uint8_t> bytes = std::move(writer).take();
+    write_file(name + kTempSuffix, bytes);
+    rename_file(name + kTempSuffix, name);
+    ++stats.segments_written;
+    stats.bytes_written += bytes.size();
+    stats.segment_bytes_total += bytes.size();
+  }
+  // Durability barrier: every segment rename must be on disk before a
+  // manifest referencing it can appear.
+  if (cfg_.fsync) fsync_dir();
+
+  // ── manifest: the atomic commit point ──────────────────────────────
+  ByteWriter writer(72 + entries.size() * 56);
+  writer.put_bytes(kManifestMagic);
+  writer.put_u32(kManifestFormatVersion);
+  writer.put_u64(stats.sequence);
+  writer.put_i64(snap.trusted_now());
+  writer.put_u64(entries.size());
+  for (const auto& entry : entries) {
+    writer.put_i64(entry.unit_time);
+    writer.put_u64(entry.vp_count);
+    writer.put_u64(entry.trusted_count);
+    writer.put_bytes(entry.digest.bytes);
+  }
+  writer.put_bytes(sha256_prefix(writer.bytes(), writer.size()).bytes);
+  const std::vector<std::uint8_t> manifest = std::move(writer).take();
+
+  const std::string manifest_name = manifest_file_name(stats.sequence);
+  write_file(manifest_name + kTempSuffix, manifest);
+  rename_file(manifest_name + kTempSuffix, manifest_name);
+  if (cfg_.fsync) fsync_dir();
+  stats.bytes_written += manifest.size();
+
+  stats.files_removed = gc();
+  return stats;
+}
+
+SegmentStore::Manifest SegmentStore::read_manifest(std::uint64_t sequence) const {
+  const std::string name = manifest_file_name(sequence);
+  const auto bytes = read_file(full_path(name));
+  Reader reader(bytes, name);
+  reader.expect_magic(kManifestMagic, "manifest");
+  const std::uint32_t version = reader.u32();
+  if (version != kManifestFormatVersion)
+    throw std::runtime_error("segment_store: unsupported manifest version in " + name);
+  Manifest manifest;
+  manifest.sequence = reader.u64();
+  if (manifest.sequence != sequence)
+    throw std::runtime_error("segment_store: sequence mismatch in " + name);
+  manifest.trusted_clock = static_cast<TimeSec>(reader.u64());
+  const std::uint64_t shard_count = reader.u64();
+  // Sanity bound before the reserve: the trailer needs 32 bytes, each
+  // entry 56 — a count the remaining bytes cannot hold is corruption.
+  if (shard_count > (reader.remaining() < 32 ? 0 : (reader.remaining() - 32) / 56))
+    throw std::runtime_error("segment_store: implausible shard count in " + name);
+  manifest.entries.reserve(shard_count);
+  for (std::uint64_t i = 0; i < shard_count; ++i) {
+    ManifestEntry entry;
+    entry.unit_time = static_cast<TimeSec>(reader.u64());
+    entry.vp_count = reader.u64();
+    entry.trusted_count = reader.u64();
+    entry.digest = reader.hash32();
+    manifest.entries.push_back(entry);
+  }
+  const std::size_t payload_len = reader.position();
+  const Hash32 stored = reader.hash32();
+  if (reader.remaining() != 0)
+    throw std::runtime_error("segment_store: trailing bytes in " + name);
+  if (stored != sha256_prefix(bytes, payload_len))
+    throw std::runtime_error("segment_store: manifest checksum mismatch in " + name);
+  return manifest;
+}
+
+void SegmentStore::load_segments(const Manifest& manifest, sys::VpDatabase& db,
+                                 RecoveryStats& stats) const {
+  for (const auto& entry : manifest.entries) {
+    const std::string name = segment_file_name(entry.digest);
+    const auto bytes = read_file(full_path(name));
+    Reader reader(bytes, name);
+    reader.expect_magic(kSegmentMagic, "segment");
+    const std::uint32_t version = reader.u32();
+    if (version != kSegmentFormatVersion)
+      throw std::runtime_error("segment_store: unsupported segment version in " + name);
+    const std::size_t content_begin = reader.position();
+    const auto unit_time = static_cast<TimeSec>(reader.u64());
+    const std::uint64_t vp_count = reader.u64();
+    const std::uint64_t trusted_count = reader.u64();
+    if (unit_time != entry.unit_time || vp_count != entry.vp_count ||
+        trusted_count != entry.trusted_count)
+      throw std::runtime_error("segment_store: segment/manifest disagree on " + name);
+    // Overflow-safe plausibility bound before the multiplication below.
+    if (vp_count > reader.remaining() / vp::kVpWireSize)
+      throw std::runtime_error("segment_store: implausible VP count in " + name);
+    const auto payloads = reader.take(vp_count * vp::kVpWireSize);
+    std::unordered_set<Id16, Id16Hasher> trusted;
+    trusted.reserve(trusted_count);
+    for (std::uint64_t i = 0; i < trusted_count; ++i) {
+      Id16 id;
+      const auto b = reader.take(id.bytes.size());
+      std::copy(b.begin(), b.end(), id.bytes.begin());
+      trusted.insert(id);
+    }
+    const std::size_t content_len = reader.position() - content_begin;
+    const Hash32 stored = reader.hash32();
+    if (reader.remaining() != 0)
+      throw std::runtime_error("segment_store: trailing bytes in " + name);
+    // Both checks matter: the trailer spots torn/corrupted content, the
+    // manifest comparison spots a stale file swapped in under the name.
+    if (stored != entry.digest)
+      throw std::runtime_error("segment_store: digest trailer mismatch in " + name);
+    if (sha256_prefix(std::span<const std::uint8_t>(bytes).subspan(content_begin),
+                      content_len) != entry.digest)
+      throw std::runtime_error("segment_store: content digest mismatch in " + name);
+
+    // Content verified — admit the profiles. The structural screen runs
+    // again anyway (defense in depth, exactly like vp_store): a profile
+    // failing it is counted, never loaded.
+    for (std::uint64_t i = 0; i < vp_count; ++i) {
+      const auto payload = payloads.subspan(i * vp::kVpWireSize, vp::kVpWireSize);
+      bool accepted = false;
+      try {
+        auto profile = vp::ViewProfile::parse(payload);
+        const bool is_trusted = trusted.contains(profile.vp_id());
+        accepted = db.restore(std::move(profile), is_trusted);
+      } catch (const std::exception&) {
+        accepted = false;
+      }
+      if (accepted) {
+        ++stats.profiles_loaded;
+      } else {
+        ++stats.profiles_rejected;
+      }
+    }
+    stats.manifest_profiles += vp_count;
+    ++stats.segments_loaded;
+  }
+}
+
+sys::VpDatabase SegmentStore::recover(RecoveryStats* stats) const {
+  return recover_impl({}, {}, stats);
+}
+
+sys::VpDatabase SegmentStore::recover(vp::VpUploadPolicy policy,
+                                      index::TimelineConfig index_cfg,
+                                      RecoveryStats* stats) const {
+  return recover_impl(policy, index_cfg, stats);
+}
+
+sys::VpDatabase SegmentStore::recover_impl(vp::VpUploadPolicy policy,
+                                           index::TimelineConfig index_cfg,
+                                           RecoveryStats* stats) const {
+  RecoveryStats local;
+  const auto manifests = list_manifests_desc();
+  std::string newest_error;
+  for (const std::uint64_t sequence : manifests) {
+    ++local.manifests_tried;
+    sys::VpDatabase db(policy, index_cfg);
+    RecoveryStats attempt = local;
+    try {
+      const Manifest manifest = read_manifest(sequence);
+      load_segments(manifest, db, attempt);
+      // Force-set, don't advance: trusted restores already advanced the
+      // clock, which must not override an operator's reset_clock()
+      // recovery captured by the checkpoint (same rule as vp_store).
+      db.reset_clock(manifest.trusted_clock);
+      attempt.sequence = sequence;
+      attempt.trusted_marked = db.trusted_count();
+      if (stats != nullptr) *stats = attempt;
+      return db;
+    } catch (const std::exception& e) {
+      if (newest_error.empty()) newest_error = e.what();
+    }
+  }
+  if (manifests.empty()) {
+    // Fresh store: nothing was ever sealed, an empty database is the
+    // correct last checkpoint.
+    if (stats != nullptr) *stats = local;
+    return sys::VpDatabase(policy, index_cfg);
+  }
+  throw std::runtime_error("segment_store: no loadable checkpoint in " + dir_ +
+                           " (newest failure: " + newest_error + ")");
+}
+
+std::size_t SegmentStore::gc() {
+  // Walk manifests newest-first, retaining everything until
+  // keep_manifests *parseable* ones are in hand: an unparseable manifest
+  // must not consume fallback depth — counting it would let one
+  // bit-rotted file push the last good checkpoint out of the window.
+  // (The corrupt file itself is also retained until it ages past the
+  // kept valid ones; a few wasted bytes beat deleting evidence.) A
+  // retained manifest that cannot be parsed makes its segment references
+  // unknowable — skip segment GC entirely rather than risk deleting data
+  // a fallback recovery needs.
+  std::unordered_set<std::string> referenced;
+  std::unordered_set<std::string> kept_manifests;
+  bool references_known = true;
+  std::size_t valid_kept = 0;
+  for (const std::uint64_t sequence : list_manifests_desc()) {
+    if (valid_kept >= cfg_.keep_manifests) break;  // the rest are victims
+    kept_manifests.insert(manifest_file_name(sequence));
+    try {
+      for (const auto& entry : read_manifest(sequence).entries)
+        referenced.insert(segment_file_name(entry.digest));
+      ++valid_kept;
+    } catch (const std::exception&) {
+      references_known = false;
+    }
+  }
+
+  std::size_t removed = 0;
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec == std::errc::no_such_file_or_directory) return 0;  // nothing to collect
+  if (ec)
+    throw std::runtime_error("segment_store: cannot list " + dir_ + ": " +
+                             ec.message());
+  std::vector<std::string> victims;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(std::string(kSegmentSuffix) + kTempSuffix) ||
+        name.ends_with(std::string(kManifestSuffix) + kTempSuffix)) {
+      // Our own crash debris (only ours: a foreign *.tmp is left alone
+      // like any other foreign file). The single-writer contract means no
+      // checkpoint is in flight besides (at most) the one calling us,
+      // whose temps are all renamed by now.
+      victims.push_back(name);
+    } else if (name.starts_with(kManifestPrefix) && name.ends_with(kManifestSuffix)) {
+      if (!kept_manifests.contains(name)) victims.push_back(name);
+    } else if (name.starts_with("seg-") && name.ends_with(kSegmentSuffix)) {
+      if (references_known && !referenced.contains(name)) victims.push_back(name);
+    }
+    // Anything else in the directory is not ours; leave it alone.
+  }
+  for (const auto& name : victims)
+    if (remove_file(name)) ++removed;
+  return removed;
+}
+
+}  // namespace viewmap::store

@@ -1,0 +1,203 @@
+// Incremental, crash-consistent VP persistence: sealed shard segments +
+// atomically-published manifests.
+//
+// The legacy VMDB container (store/vp_store) rewrites every byte of the
+// database on each save — O(database) I/O per checkpoint, a full reparse
+// on restart, and no safe point if the process dies mid-write. A deployed
+// ViewMap service checkpoints continuously over weeks of VP history
+// (§2: dashcam retention is 2–3 weeks), so persistence must be
+// *incremental* and *crash-consistent*. This module stores a database as:
+//
+//   dir/
+//     seg-<digest16 hex>.vseg   one sealed segment per unit-time shard,
+//                               named by its content digest
+//     manifest-<seq hex>.vman   one small root per checkpoint: the list
+//                               of (unit-time, digest, counts) it is
+//                               composed of, plus the trusted clock
+//     *.tmp                     in-flight writes (crash debris; GC'd)
+//
+// Segment file:   "VSEG" | u32 version | content | SHA-256(content)
+//   content    =  unit_time i64 | vp_count u64 | trusted_count u64 |
+//                 vp_count × ViewProfile payload (ascending id) |
+//                 trusted_count × Id16 (ascending)
+// Manifest file:  "VMAN" | u32 version | u64 sequence | i64 trusted_clock |
+//                 u64 shard_count | shard_count × entry | SHA-256(above)
+//   entry      =  unit_time i64 | vp_count u64 | trusted_count u64 |
+//                 Hash32 content digest
+//
+// Incrementality: a checkpoint walks the snapshot's shards and asks each
+// for its content digest (cached on the shard — an untouched shard
+// answers without re-serializing a byte, see TimeShard::content_digest).
+// A digest whose segment file already exists is *sealed by reference*:
+// the new manifest lists it, nothing is rewritten. Only new/changed
+// shards cost serialization + I/O, so checkpoint cost is O(churn), not
+// O(database).
+//
+// Crash consistency: every file is written to a .tmp sibling, fsynced,
+// and atomically renamed into its final name — a file under a final name
+// is always complete. Segments are content-addressed and therefore never
+// overwritten in place; the manifest for sequence N is a NEW file, so no
+// previously-sealed checkpoint is ever touched. The manifest rename is
+// the commit point: a crash at any byte offset before it leaves every
+// older manifest (and every segment it references — GC keeps them, see
+// below) intact, so recovery lands exactly on the last sealed
+// checkpoint. Recovery walks manifests newest-first and returns the
+// first that validates end to end (manifest checksum, per-segment magic/
+// digest/count checks, per-profile structural screen); a damaged newest
+// checkpoint falls back to its predecessor instead of crashing or
+// loading malformed VPs.
+//
+// GC: after each checkpoint (or via gc()), the newest `keep_manifests`
+// manifests survive together with every segment any of them references;
+// older manifests, unreferenced segments, and stale .tmp files are
+// unlinked. Retention eviction therefore works across restarts for free:
+// an evicted shard simply stops being referenced, and its segment is
+// reclaimed once the last manifest naming it rotates out. If a kept
+// manifest cannot be parsed, segment GC is skipped for that round (its
+// references are unknown — deleting would turn one corrupt file into
+// data loss).
+//
+// Concurrency contract: checkpoint()/gc() mutate the directory and must
+// be driven by one thread at a time (the same single-caller discipline
+// as ViewMapService::ingest_uploads()); the snapshot argument makes a
+// checkpoint fully concurrent with live ingest, eviction, and
+// investigations. recover() only reads and is safe from any thread.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "index/db_snapshot.h"
+#include "system/vp_database.h"
+
+namespace viewmap::store {
+
+inline constexpr std::uint32_t kSegmentFormatVersion = 1;
+inline constexpr std::uint32_t kManifestFormatVersion = 1;
+
+/// One durable filesystem mutation a checkpoint performed, in order.
+/// Test instrumentation (SegmentStoreConfig::op_log): the fault-injection
+/// harness replays every prefix of this sequence — truncating the write
+/// it lands inside — to prove recovery from a crash at any byte offset.
+/// Paths are file names relative to the store directory, so a recorded
+/// sequence can be replayed into a scratch directory.
+struct RecordedOp {
+  enum class Kind { kWriteFile, kRename, kRemove };
+  Kind kind = Kind::kWriteFile;
+  std::string name;                 ///< target (write/remove) or rename source
+  std::string to;                   ///< rename destination
+  std::vector<std::uint8_t> bytes;  ///< full contents written (kWriteFile)
+};
+
+struct SegmentStoreConfig {
+  /// How many checkpoint manifests (newest-first) survive GC — the
+  /// recovery fallback depth. Minimum 1; the default keeps the sealed
+  /// predecessor so a corrupted newest checkpoint never strands the
+  /// store.
+  std::size_t keep_manifests = 2;
+  /// fsync file data before each rename and the directory after — the
+  /// barrier that makes the recorded operation order the on-disk order.
+  /// Off only in tests/benches that model durability logically.
+  bool fsync = true;
+  /// Test instrumentation: when set, every durable mutation is appended
+  /// here in execution order. Not owned.
+  std::vector<RecordedOp>* op_log = nullptr;
+};
+
+struct CheckpointStats {
+  std::uint64_t sequence = 0;        ///< manifest sequence number sealed
+  std::size_t shards_total = 0;      ///< shards in the pinned snapshot
+  std::size_t segments_written = 0;  ///< new/changed shards serialized
+  std::size_t segments_reused = 0;   ///< sealed by reference, zero I/O
+  std::uint64_t bytes_written = 0;   ///< segment + manifest bytes this call
+  std::uint64_t segment_bytes_total = 0;  ///< full size of all referenced segments
+  std::size_t files_removed = 0;     ///< GC'd manifests/segments/temps
+};
+
+struct RecoveryStats {
+  std::uint64_t sequence = 0;        ///< manifest the store recovered to
+  std::size_t manifests_tried = 0;   ///< >1 ⇔ fallback happened
+  std::size_t segments_loaded = 0;
+  std::uint64_t manifest_profiles = 0;  ///< VP count the manifest promises
+  std::size_t profiles_loaded = 0;
+  std::size_t profiles_rejected = 0;  ///< failed the structural screen
+  std::size_t trusted_marked = 0;
+};
+
+class SegmentStore {
+ public:
+  explicit SegmentStore(std::string dir, SegmentStoreConfig cfg = {});
+
+  /// Seals one checkpoint of the pinned snapshot: writes segments for
+  /// new/changed shards only, reuses sealed segments by digest, then
+  /// atomically publishes the manifest and garbage-collects. Throws
+  /// std::runtime_error on I/O failure — the store is then still exactly
+  /// its previous checkpoint (nothing final was overwritten).
+  CheckpointStats checkpoint(const index::DbSnapshot& snap);
+
+  /// Loads the newest recoverable checkpoint into a fresh database
+  /// (optionally with the caller's upload policy + index config, so
+  /// retention/screening behave identically after a restart). A store
+  /// with no manifest at all — including a directory never created —
+  /// yields an empty database; a directory that exists but cannot be
+  /// listed, or whose manifests are all damaged, throws
+  /// std::runtime_error (an I/O failure must never masquerade as a
+  /// fresh store). Damaged newest checkpoints fall back
+  /// (RecoveryStats::manifests_tried > 1).
+  [[nodiscard]] sys::VpDatabase recover(RecoveryStats* stats = nullptr) const;
+  [[nodiscard]] sys::VpDatabase recover(vp::VpUploadPolicy policy,
+                                        index::TimelineConfig index_cfg,
+                                        RecoveryStats* stats = nullptr) const;
+
+  /// Newest manifest sequence present (0 = none). Scans the directory.
+  [[nodiscard]] std::uint64_t latest_sequence() const;
+
+  /// Removes everything the retention rules above say is dead. Returns
+  /// files unlinked. checkpoint() calls this automatically.
+  std::size_t gc();
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] const SegmentStoreConfig& config() const noexcept { return cfg_; }
+
+  [[nodiscard]] static std::string segment_file_name(const Hash32& digest);
+  [[nodiscard]] static std::string manifest_file_name(std::uint64_t sequence);
+
+ private:
+  struct ManifestEntry {
+    TimeSec unit_time = 0;
+    std::uint64_t vp_count = 0;
+    std::uint64_t trusted_count = 0;
+    Hash32 digest{};
+  };
+  struct Manifest {
+    std::uint64_t sequence = 0;
+    TimeSec trusted_clock = 0;
+    std::vector<ManifestEntry> entries;
+  };
+
+  /// Manifest sequences present on disk, descending.
+  [[nodiscard]] std::vector<std::uint64_t> list_manifests_desc() const;
+  /// Parses + checksum-validates a manifest file. Throws on any damage.
+  [[nodiscard]] Manifest read_manifest(std::uint64_t sequence) const;
+  /// Loads every segment of `manifest` into `db`. Throws on any segment
+  /// damage (missing file, bad magic/version, digest or count mismatch).
+  void load_segments(const Manifest& manifest, sys::VpDatabase& db,
+                     RecoveryStats& stats) const;
+  [[nodiscard]] sys::VpDatabase recover_impl(vp::VpUploadPolicy policy,
+                                             index::TimelineConfig index_cfg,
+                                             RecoveryStats* stats) const;
+
+  void write_file(const std::string& name, std::span<const std::uint8_t> bytes);
+  void rename_file(const std::string& from, const std::string& to);
+  bool remove_file(const std::string& name);
+  void fsync_dir() const;
+  [[nodiscard]] std::string full_path(const std::string& name) const;
+
+  std::string dir_;
+  SegmentStoreConfig cfg_;
+};
+
+}  // namespace viewmap::store

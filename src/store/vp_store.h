@@ -1,9 +1,14 @@
-// VP database persistence.
+// VP database persistence — the legacy/interchange VMDB container.
 //
 // A deployed ViewMap service accumulates VPs continuously and must survive
 // restarts; investigations run against weeks of history (dashcam storage
 // itself retains 2-3 weeks, §2). This module defines a versioned binary
-// container for a VpDatabase snapshot:
+// container for a VpDatabase snapshot. It rewrites the whole database on
+// every save, so the live service checkpoints through the incremental,
+// crash-consistent segment store instead (store/segment_store.h); VMDB
+// remains the single-file interchange format — byte-deterministic for
+// equal databases, which the tests lean on — and converts losslessly to
+// and from a segment checkpoint (tools/viewmap_convert). Layout:
 //
 //   magic "VMDB" | version u32 | vp_count u64 | trusted_count u64
 //   trusted_clock i64 (the retention clock; i64 min = never set)

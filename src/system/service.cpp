@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "store/segment_store.h"
 #include "system/investigation_server.h"
 
 namespace viewmap::sys {
@@ -45,6 +46,18 @@ std::size_t ViewMapService::ingest_uploads() {
 
 bool ViewMapService::register_trusted(vp::ViewProfile profile) {
   return db_.upload_trusted(std::move(profile));
+}
+
+store::CheckpointStats ViewMapService::checkpoint(store::SegmentStore& store) const {
+  // One pinned snapshot for the whole checkpoint: immutable while ingest,
+  // eviction, and investigations keep mutating the live database.
+  return store.checkpoint(db_.snapshot());
+}
+
+store::RecoveryStats ViewMapService::restore_from(const store::SegmentStore& store) {
+  store::RecoveryStats stats;
+  db_ = store.recover(db_.policy(), cfg_.index, &stats);
+  return stats;
 }
 
 InvestigationReport ViewMapService::investigate(const geo::Rect& site,

@@ -24,6 +24,12 @@
 #include "vp/video.h"
 #include "vp/view_profile.h"
 
+namespace viewmap::store {
+class SegmentStore;       // store/segment_store.h
+struct CheckpointStats;   //   (callers of the persistence API include it)
+struct RecoveryStats;
+}  // namespace viewmap::store
+
 namespace viewmap::sys {
 
 class InvestigationServer;  // system/investigation_server.h
@@ -93,6 +99,24 @@ class ViewMapService {
   bool register_trusted(vp::ViewProfile profile);
 
   [[nodiscard]] const VpDatabase& database() const noexcept { return db_; }
+
+  // ── persistence (store/segment_store.h) ────────────────────────────
+  /// Seals one incremental checkpoint of the database into `store`: pins
+  /// one DbSnapshot and writes segments only for shards that are new or
+  /// changed since the store's previous manifest. Fully concurrent with
+  /// ingest_uploads(), retention eviction, direct investigations, and a
+  /// running InvestigationServer — the snapshot is immutable however long
+  /// the write takes, so each checkpoint is byte-deterministic for the
+  /// database version it pinned. One checkpointer at a time per store
+  /// (same single-caller contract as ingest_uploads()).
+  store::CheckpointStats checkpoint(store::SegmentStore& store) const;
+
+  /// Replaces the database with the newest recoverable checkpoint in
+  /// `store`, preserving this service's upload policy and index (grid /
+  /// retention) configuration so screening and eviction resume exactly as
+  /// configured. Restart path only: must not run concurrently with
+  /// anything else touching the service (stop_server() first).
+  store::RecoveryStats restore_from(const store::SegmentStore& store);
 
   // ── investigation path ─────────────────────────────────────────────
   /// Builds the viewmap for (site, unit_time), verifies it, and posts

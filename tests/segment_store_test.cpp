@@ -1,0 +1,846 @@
+// Segment store: incremental sealed-shard checkpoints + crash-consistent
+// manifests (store/segment_store.h).
+//
+// The fault-injection harness is the core of this suite: every checkpoint
+// records its durable filesystem mutations (RecordedOp log), and the
+// harness replays every prefix of that sequence — truncating the write it
+// lands inside — to prove that a crash at any byte offset recovers to the
+// last sealed checkpoint, bit-for-bit, with zero malformed profiles. A
+// corruption corpus (bit flips, truncations, wrong magic, stale or
+// missing segments, torn renames) then damages sealed stores directly
+// and asserts recovery either falls back to the sealed predecessor or
+// fails with a clear error — never crashes, never loads a malformed VP.
+// Satellites: the {ingest, evict, checkpoint, restart} interleaving
+// property test, VMDB v2 conversion round trips, and the TSan stress
+// where checkpoint() races live ingest + retention eviction + an
+// InvestigationServer worker pool.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "attack/fake_vp.h"
+#include "common/rng.h"
+#include "store/segment_store.h"
+#include "store/vp_store.h"
+#include "system/investigation_server.h"
+#include "system/service.h"
+
+namespace viewmap::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ── helpers ──────────────────────────────────────────────────────────
+
+/// Unique scratch directory, removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    static std::atomic<int> counter{0};
+    path_ = fs::temp_directory_path() /
+            ("viewmap_segstore_" + std::string(tag) + "_" + std::to_string(::getpid()) +
+             "_" + std::to_string(counter.fetch_add(1)));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const noexcept { return path_; }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+vp::ViewProfile make_profile(TimeSec unit, geo::Vec2 start, Rng& rng) {
+  return attack::make_fake_profile(unit, start, {start.x + 200.0, start.y}, rng);
+}
+
+/// Canonical full-database serialization — the equality oracle: two
+/// databases are "the same" iff their VMDB snapshot bytes match.
+std::string db_bytes(const sys::VpDatabase& db) {
+  std::stringstream out;
+  save_database(db, out);
+  return out.str();
+}
+
+std::string snap_bytes(const sys::DbSnapshot& snap) {
+  std::stringstream out;
+  save_snapshot(snap, out);
+  return out.str();
+}
+
+SegmentStoreConfig fast_config() {
+  SegmentStoreConfig cfg;
+  cfg.fsync = false;  // tests model durability logically via the op log
+  return cfg;
+}
+
+// ── fault-injection machinery ────────────────────────────────────────
+
+/// Byte-exact image of a store directory.
+using DirImage = std::map<std::string, std::vector<std::uint8_t>>;
+
+DirImage capture_dir(const fs::path& dir) {
+  DirImage image;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    image[entry.path().filename().string()] =
+        std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  }
+  return image;
+}
+
+void write_raw(const fs::path& file, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+void materialize(const fs::path& dir, const DirImage& image) {
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  for (const auto& [name, bytes] : image) write_raw(dir / name, bytes);
+}
+
+/// Applies the first `full_ops` recorded operations verbatim, then — when
+/// `partial_bytes` targets a kWriteFile op at index full_ops — that op's
+/// write truncated to `partial_bytes`. This models a crash mid-write:
+/// renames and removes are atomic, so they are either applied or not.
+void apply_ops(const fs::path& dir, const std::vector<RecordedOp>& ops,
+               std::size_t full_ops, std::size_t partial_bytes = 0,
+               bool with_partial = false) {
+  for (std::size_t i = 0; i < full_ops; ++i) {
+    const RecordedOp& op = ops[i];
+    switch (op.kind) {
+      case RecordedOp::Kind::kWriteFile:
+        write_raw(dir / op.name, op.bytes);
+        break;
+      case RecordedOp::Kind::kRename:
+        fs::rename(dir / op.name, dir / op.to);
+        break;
+      case RecordedOp::Kind::kRemove:
+        fs::remove(dir / op.name);
+        break;
+    }
+  }
+  if (with_partial) {
+    ASSERT_LT(full_ops, ops.size());
+    ASSERT_EQ(ops[full_ops].kind, RecordedOp::Kind::kWriteFile);
+    write_raw(dir / ops[full_ops].name,
+              std::span<const std::uint8_t>(ops[full_ops].bytes).subspan(0, partial_bytes));
+  }
+}
+
+/// Recovers the scratch directory and returns the VMDB bytes of the
+/// result. Any throw propagates — callers assert either equality with a
+/// sealed state or a clean std::runtime_error.
+std::string recover_bytes(const fs::path& dir) {
+  SegmentStore store(dir.string(), fast_config());
+  return db_bytes(store.recover());
+}
+
+/// The index of the manifest-publishing rename — the commit point: every
+/// prefix strictly before it must recover the previous checkpoint, every
+/// prefix at or past it the new one.
+std::size_t manifest_commit_index(const std::vector<RecordedOp>& ops) {
+  for (std::size_t i = 0; i < ops.size(); ++i)
+    if (ops[i].kind == RecordedOp::Kind::kRename && ops[i].to.starts_with("manifest-"))
+      return i;
+  ADD_FAILURE() << "op log contains no manifest rename";
+  return ops.size();
+}
+
+/// Truncation points for a write of `size` bytes: every offset through
+/// the header region (where every format field lives), then a dense
+/// stride through the payload, plus both edges. A prime stride hits
+/// every residue of the 4576-byte profile record across a few profiles.
+std::vector<std::size_t> truncation_points(std::size_t size) {
+  std::vector<std::size_t> points;
+  const std::size_t dense = std::min<std::size_t>(size, 64);
+  for (std::size_t off = 0; off < dense; ++off) points.push_back(off);
+  for (std::size_t off = dense; off < size; off += 31) points.push_back(off);
+  if (size > 1) points.push_back(size - 1);
+  return points;
+}
+
+/// The harness: given a directory image of the previous sealed
+/// checkpoint and the op log of the next one, replays every crash point
+/// and asserts recovery lands exactly on `prev_bytes` (before the
+/// manifest commit) or `next_bytes` (at/after it).
+void replay_all_crash_points(const DirImage& base, const std::vector<RecordedOp>& ops,
+                             const std::string& prev_bytes, const std::string& next_bytes,
+                             const char* what) {
+  TempDir scratch("replay");
+  const std::size_t commit = manifest_commit_index(ops);
+  std::size_t states = 0;
+  for (std::size_t i = 0; i <= ops.size(); ++i) {
+    const std::string& expect = i > commit ? next_bytes : prev_bytes;
+    // Crash exactly between op i-1 and op i.
+    materialize(scratch.path(), base);
+    apply_ops(scratch.path(), ops, i);
+    EXPECT_EQ(recover_bytes(scratch.path()), expect)
+        << what << ": crash before op " << i;
+    ++states;
+    // Crash inside op i, at every sampled byte offset.
+    if (i < ops.size() && ops[i].kind == RecordedOp::Kind::kWriteFile) {
+      for (const std::size_t off : truncation_points(ops[i].bytes.size())) {
+        materialize(scratch.path(), base);
+        apply_ops(scratch.path(), ops, i, off, /*with_partial=*/true);
+        EXPECT_EQ(recover_bytes(scratch.path()), expect)
+            << what << ": crash inside op " << i << " at byte " << off;
+        ++states;
+      }
+    }
+  }
+  // Make sure the harness actually exercised a meaningful state space.
+  EXPECT_GT(states, ops.size());
+}
+
+// ── corruption-corpus builders (satellite) ───────────────────────────
+// Each builder takes a healthy sealed directory and damages it one
+// specific way; the corpus test asserts every damaged store either
+// recovers to the sealed predecessor or throws a clear error.
+
+void corrupt_flip_byte(const fs::path& dir, const std::string& name, std::size_t off) {
+  auto image = capture_dir(dir);
+  auto& bytes = image.at(name);
+  ASSERT_LT(off, bytes.size());
+  bytes[off] ^= 0x40;
+  write_raw(dir / name, bytes);
+}
+
+void corrupt_truncate(const fs::path& dir, const std::string& name, std::size_t keep) {
+  auto image = capture_dir(dir);
+  auto& bytes = image.at(name);
+  bytes.resize(std::min(keep, bytes.size()));
+  write_raw(dir / name, bytes);
+}
+
+void corrupt_wrong_magic(const fs::path& dir, const std::string& name) {
+  auto image = capture_dir(dir);
+  auto& bytes = image.at(name);
+  ASSERT_GE(bytes.size(), 4u);
+  bytes[0] = 'N';
+  bytes[1] = 'O';
+  bytes[2] = 'P';
+  bytes[3] = 'E';
+  write_raw(dir / name, bytes);
+}
+
+void corrupt_remove(const fs::path& dir, const std::string& name) {
+  fs::remove(dir / name);
+}
+
+/// Stale segment reference: the manifest names a digest whose file now
+/// holds a different (internally valid) segment's bytes.
+void corrupt_swap_contents(const fs::path& dir, const std::string& victim,
+                           const std::string& donor) {
+  auto image = capture_dir(dir);
+  write_raw(dir / victim, image.at(donor));
+}
+
+// ── basic round trips ────────────────────────────────────────────────
+
+TEST(SegmentStore, CheckpointRecoverRoundTrip) {
+  TempDir dir("roundtrip");
+  Rng rng(1);
+  sys::VpDatabase db;
+  for (int m = 0; m < 3; ++m)
+    for (int i = 0; i < 2; ++i)
+      ASSERT_TRUE(db.upload(make_profile(m * kUnitTimeSec, {i * 400.0, m * 100.0}, rng)));
+  ASSERT_TRUE(db.upload_trusted(make_profile(kUnitTimeSec, {0.0, 900.0}, rng)));
+
+  SegmentStore store(dir.str(), fast_config());
+  const auto stats = store.checkpoint(db.snapshot());
+  EXPECT_EQ(stats.sequence, 1u);
+  EXPECT_EQ(stats.shards_total, 3u);
+  EXPECT_EQ(stats.segments_written, 3u);
+  EXPECT_EQ(stats.segments_reused, 0u);
+  EXPECT_GT(stats.bytes_written, 7 * vp::kVpWireSize);
+
+  RecoveryStats rec;
+  const auto loaded = store.recover(&rec);
+  EXPECT_EQ(rec.sequence, 1u);
+  EXPECT_EQ(rec.manifests_tried, 1u);
+  EXPECT_EQ(rec.segments_loaded, 3u);
+  EXPECT_EQ(rec.profiles_loaded, 7u);
+  EXPECT_EQ(rec.profiles_rejected, 0u);
+  EXPECT_EQ(rec.manifest_profiles, 7u);
+  EXPECT_EQ(rec.trusted_marked, 1u);
+  EXPECT_EQ(loaded.trusted_count(), 1u);
+  EXPECT_EQ(loaded.trusted_now(), db.trusted_now());
+  EXPECT_EQ(db_bytes(loaded), db_bytes(db));
+}
+
+TEST(SegmentStore, EmptyAndFreshStores) {
+  TempDir dir("fresh");
+  SegmentStore store(dir.str(), fast_config());
+  EXPECT_EQ(store.latest_sequence(), 0u);
+  RecoveryStats rec;
+  const auto loaded = store.recover(&rec);
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(rec.manifests_tried, 0u);
+
+  // An empty database checkpoints and recovers too (manifest, no segments).
+  sys::VpDatabase empty;
+  empty.advance_clock(777 * kUnitTimeSec);
+  const auto stats = store.checkpoint(empty.snapshot());
+  EXPECT_EQ(stats.segments_written, 0u);
+  const auto again = store.recover();
+  EXPECT_EQ(again.size(), 0u);
+  EXPECT_EQ(again.trusted_now(), 777 * kUnitTimeSec);
+}
+
+TEST(SegmentStore, UnlistableStorePathThrowsInsteadOfReportingEmpty) {
+  // A directory that exists but cannot be iterated (here: the path is a
+  // regular file) is an I/O failure, not a fresh store — returning an
+  // empty database would let restore_from() silently replace weeks of
+  // checkpointed history.
+  TempDir dir("unlistable");
+  const fs::path not_a_dir = dir.path() / "file";
+  const std::vector<std::uint8_t> junk{1};
+  write_raw(not_a_dir, junk);
+  SegmentStore store(not_a_dir.string(), fast_config());
+  EXPECT_THROW((void)store.recover(), std::runtime_error);
+  EXPECT_THROW((void)store.latest_sequence(), std::runtime_error);
+}
+
+TEST(SegmentStore, IncrementalCheckpointWritesOnlyChangedShards) {
+  TempDir dir("incremental");
+  Rng rng(2);
+  sys::VpDatabase db;
+  for (int m = 0; m < 4; ++m)
+    for (int i = 0; i < 3; ++i)
+      ASSERT_TRUE(db.upload(make_profile(m * kUnitTimeSec, {i * 400.0, m * 100.0}, rng)));
+
+  SegmentStore store(dir.str(), fast_config());
+  const auto first = store.checkpoint(db.snapshot());
+  EXPECT_EQ(first.segments_written, 4u);
+
+  // Touch exactly one minute.
+  ASSERT_TRUE(db.upload(make_profile(2 * kUnitTimeSec, {5000.0, 0.0}, rng)));
+  const auto second = store.checkpoint(db.snapshot());
+  EXPECT_EQ(second.sequence, 2u);
+  EXPECT_EQ(second.shards_total, 4u);
+  EXPECT_EQ(second.segments_written, 1u);
+  EXPECT_EQ(second.segments_reused, 3u);
+  // Incremental I/O: one shard's segment + the manifest, nowhere near a
+  // full rewrite.
+  EXPECT_LT(second.bytes_written, first.bytes_written / 2);
+  EXPECT_EQ(db_bytes(store.recover()), db_bytes(db));
+
+  // Nothing changed: the next checkpoint writes only a manifest.
+  const auto third = store.checkpoint(db.snapshot());
+  EXPECT_EQ(third.segments_written, 0u);
+  EXPECT_EQ(third.segments_reused, 4u);
+  EXPECT_LT(third.bytes_written, 1024u);
+  EXPECT_EQ(db_bytes(store.recover()), db_bytes(db));
+}
+
+TEST(SegmentStore, EvictionUnreferencesSegmentsAndGcReclaims) {
+  TempDir dir("eviction");
+  Rng rng(3);
+  index::TimelineConfig tcfg;
+  tcfg.retention.window_sec = 2 * kUnitTimeSec;
+  sys::VpDatabase db(vp::VpUploadPolicy{}, tcfg);
+  db.advance_clock(2 * kUnitTimeSec);
+  for (int m = 0; m < 3; ++m)
+    ASSERT_TRUE(db.upload(make_profile(m * kUnitTimeSec, {m * 300.0, 0.0}, rng)));
+
+  SegmentStore store(dir.str(), fast_config());
+  (void)store.checkpoint(db.snapshot());
+  const auto digests = db.snapshot().shard_digests();
+  ASSERT_EQ(digests.size(), 3u);
+  const std::string evicted_segment = SegmentStore::segment_file_name(digests[0].digest);
+  ASSERT_TRUE(fs::exists(dir.path() / evicted_segment));
+
+  // Walk the clock so minute 0 ages out, then rotate two checkpoints: the
+  // first still keeps the old manifest (fallback depth 2), the second
+  // pushes it out and its exclusive segment with it.
+  db.advance_clock(3 * kUnitTimeSec);
+  EXPECT_GT(db.enforce_retention(), 0u);
+  (void)store.checkpoint(db.snapshot());
+  EXPECT_TRUE(fs::exists(dir.path() / evicted_segment));  // predecessor still refs it
+  const auto stats = store.checkpoint(db.snapshot());
+  EXPECT_GT(stats.files_removed, 0u);
+  EXPECT_FALSE(fs::exists(dir.path() / evicted_segment));
+  // Retention survives the restart: the recovered database has only the
+  // in-window shards.
+  const auto loaded = store.recover(vp::VpUploadPolicy{}, tcfg);
+  EXPECT_EQ(db_bytes(loaded), db_bytes(db));
+  EXPECT_EQ(loaded.snapshot().shard_count(), 2u);
+}
+
+TEST(SegmentStore, KeepManifestsBoundsHistory) {
+  TempDir dir("keep");
+  Rng rng(4);
+  sys::VpDatabase db;
+  SegmentStoreConfig cfg = fast_config();
+  cfg.keep_manifests = 3;
+  SegmentStore store(dir.str(), cfg);
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(db.upload(make_profile(0, {round * 500.0, 0.0}, rng)));
+    (void)store.checkpoint(db.snapshot());
+  }
+  std::size_t manifests = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path()))
+    manifests += entry.path().filename().string().starts_with("manifest-") ? 1 : 0;
+  EXPECT_EQ(manifests, 3u);
+  EXPECT_EQ(store.latest_sequence(), 5u);
+}
+
+TEST(SegmentStore, ClockRecoverySurvivesCheckpoint) {
+  TempDir dir("clock");
+  Rng rng(5);
+  sys::VpDatabase db;
+  ASSERT_TRUE(db.upload_trusted(make_profile(kUnitTimeSec, {0.0, 0.0}, rng)));
+  db.reset_clock(10);  // operator walked a poisoned clock back
+  SegmentStore store(dir.str(), fast_config());
+  (void)store.checkpoint(db.snapshot());
+  // Replaying the trusted profile advances the clock to 60 during load;
+  // the manifest value must win or the recovery is silently undone.
+  EXPECT_EQ(store.recover().trusted_now(), 10);
+}
+
+// ── shard content digests ────────────────────────────────────────────
+
+TEST(ShardDigest, InsertionOrderInsensitiveAndContentSensitive) {
+  Rng rng(6);
+  std::vector<vp::ViewProfile> fleet;
+  for (int i = 0; i < 4; ++i) fleet.push_back(make_profile(0, {i * 350.0, 0.0}, rng));
+
+  sys::VpDatabase forward;
+  sys::VpDatabase backward;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    ASSERT_TRUE(forward.upload(fleet[i]));
+    ASSERT_TRUE(backward.upload(fleet[fleet.size() - 1 - i]));
+  }
+  const auto a = forward.snapshot().shard_digests();
+  const auto b = backward.snapshot().shard_digests();
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  // Same content ⇒ same digest, however it was inserted.
+  EXPECT_EQ(a[0].digest, b[0].digest);
+  EXPECT_EQ(a[0].unit_time, 0);
+
+  // Mutation changes the digest; the cache must not serve stale bytes.
+  ASSERT_TRUE(forward.upload(make_profile(0, {9000.0, 0.0}, rng)));
+  const auto c = forward.snapshot().shard_digests();
+  EXPECT_NE(c[0].digest, a[0].digest);
+
+  // Trusted marking is content too (it changes what recovery restores).
+  sys::VpDatabase trusted_db;
+  ASSERT_TRUE(trusted_db.upload_trusted(fleet[0]));
+  sys::VpDatabase anon_db;
+  ASSERT_TRUE(anon_db.upload(fleet[0]));
+  EXPECT_NE(trusted_db.snapshot().shard_digests()[0].digest,
+            anon_db.snapshot().shard_digests()[0].digest);
+}
+
+// ── fault injection: crash at every byte offset ──────────────────────
+
+TEST(SegmentStoreFaults, EveryCrashPointRecoversTheLastSealedCheckpoint) {
+  TempDir dir("prefix");
+  Rng rng(7);
+  std::vector<RecordedOp> ops;
+  SegmentStoreConfig cfg = fast_config();
+  cfg.op_log = &ops;
+  SegmentStore store(dir.str(), cfg);
+
+  index::TimelineConfig tcfg;
+  tcfg.retention.window_sec = 3 * kUnitTimeSec;
+  sys::VpDatabase db(vp::VpUploadPolicy{}, tcfg);
+  db.advance_clock(2 * kUnitTimeSec);
+  for (int m = 0; m < 2; ++m)
+    for (int i = 0; i < 2; ++i)
+      ASSERT_TRUE(db.upload(make_profile(m * kUnitTimeSec, {i * 400.0, m * 150.0}, rng)));
+
+  // Seal checkpoint 1, the recovery floor for the first replay.
+  (void)store.checkpoint(db.snapshot());
+  const std::string sealed1 = db_bytes(db);
+  const DirImage base1 = capture_dir(dir.path());
+
+  // Transition 1 → 2: one changed shard, one brand-new shard.
+  ASSERT_TRUE(db.upload(make_profile(0, {7000.0, 0.0}, rng)));
+  ASSERT_TRUE(db.upload(make_profile(2 * kUnitTimeSec, {0.0, 2500.0}, rng)));
+  ops.clear();
+  (void)store.checkpoint(db.snapshot());
+  const std::string sealed2 = db_bytes(db);
+  ASSERT_GE(ops.size(), 6u);  // 2 segments (write+rename), manifest (write+rename)
+  replay_all_crash_points(base1, ops, sealed1, sealed2, "transition 1->2");
+
+  // Transition 2 → 3: eviction + churn, so the op log includes GC
+  // removes of a rotated-out manifest.
+  const DirImage base2 = capture_dir(dir.path());
+  db.advance_clock(4 * kUnitTimeSec);
+  EXPECT_GT(db.enforce_retention(), 0u);
+  ASSERT_TRUE(db.upload(make_profile(3 * kUnitTimeSec, {100.0, 100.0}, rng)));
+  ops.clear();
+  (void)store.checkpoint(db.snapshot());
+  const std::string sealed3 = db_bytes(db);
+  bool saw_remove = false;
+  for (const auto& op : ops) saw_remove |= op.kind == RecordedOp::Kind::kRemove;
+  EXPECT_TRUE(saw_remove);
+  replay_all_crash_points(base2, ops, sealed2, sealed3, "transition 2->3");
+}
+
+// ── corruption corpus ────────────────────────────────────────────────
+
+/// Fixture state: a sealed store with checkpoints 1 and 2 where
+/// checkpoint 2 added one shard, so `fresh_segment` is referenced only by
+/// manifest 2 and `shared_segment` by both.
+struct SealedPair {
+  DirImage image;                    ///< healthy directory bytes
+  std::string sealed1, sealed2;      ///< VMDB bytes of each checkpoint
+  std::string manifest1, manifest2;  ///< file names
+  std::string shared_segment, fresh_segment;
+};
+
+SealedPair build_sealed_pair(const fs::path& dir) {
+  Rng rng(8);
+  sys::VpDatabase db;
+  SegmentStore store(dir.string(), fast_config());
+  for (int i = 0; i < 2; ++i)
+    EXPECT_TRUE(db.upload(make_profile(0, {i * 400.0, 0.0}, rng)));
+  (void)store.checkpoint(db.snapshot());
+  SealedPair out;
+  out.sealed1 = db_bytes(db);
+  out.shared_segment =
+      SegmentStore::segment_file_name(db.snapshot().shard_digests()[0].digest);
+
+  EXPECT_TRUE(db.upload(make_profile(kUnitTimeSec, {0.0, 700.0}, rng)));
+  (void)store.checkpoint(db.snapshot());
+  out.sealed2 = db_bytes(db);
+  out.fresh_segment =
+      SegmentStore::segment_file_name(db.snapshot().shard_digests()[1].digest);
+  out.manifest1 = SegmentStore::manifest_file_name(1);
+  out.manifest2 = SegmentStore::manifest_file_name(2);
+  out.image = capture_dir(dir);
+  EXPECT_TRUE(out.image.contains(out.manifest1));
+  EXPECT_TRUE(out.image.contains(out.manifest2));
+  EXPECT_TRUE(out.image.contains(out.shared_segment));
+  EXPECT_TRUE(out.image.contains(out.fresh_segment));
+  return out;
+}
+
+TEST(SegmentStoreFaults, CorruptionCorpusRecoversOrFailsCleanly) {
+  TempDir dir("corpus");
+  const SealedPair sealed = build_sealed_pair(dir.path());
+  TempDir scratch("corpus_scratch");
+
+  const auto reset = [&] { materialize(scratch.path(), sealed.image); };
+
+  // Bit flips anywhere in the newest manifest → fall back to checkpoint 1.
+  const std::size_t manifest_size = sealed.image.at(sealed.manifest2).size();
+  for (std::size_t off = 0; off < manifest_size; off += 7) {
+    reset();
+    corrupt_flip_byte(scratch.path(), sealed.manifest2, off);
+    EXPECT_EQ(recover_bytes(scratch.path()), sealed.sealed1)
+        << "manifest flip at byte " << off;
+  }
+
+  // Bit flips in the newest-only segment → checkpoint 2 unloadable → 1.
+  const std::size_t fresh_size = sealed.image.at(sealed.fresh_segment).size();
+  for (const std::size_t off : {std::size_t{0}, std::size_t{9}, fresh_size / 2,
+                                fresh_size - 1}) {
+    reset();
+    corrupt_flip_byte(scratch.path(), sealed.fresh_segment, off);
+    EXPECT_EQ(recover_bytes(scratch.path()), sealed.sealed1)
+        << "fresh segment flip at byte " << off;
+  }
+
+  // Truncations of the newest manifest at every prefix length → 1.
+  for (std::size_t keep = 0; keep < manifest_size; keep += 5) {
+    reset();
+    corrupt_truncate(scratch.path(), sealed.manifest2, keep);
+    EXPECT_EQ(recover_bytes(scratch.path()), sealed.sealed1)
+        << "manifest truncated to " << keep;
+  }
+
+  // Truncated newest segment → 1.
+  reset();
+  corrupt_truncate(scratch.path(), sealed.fresh_segment, fresh_size / 3);
+  EXPECT_EQ(recover_bytes(scratch.path()), sealed.sealed1);
+
+  // Wrong magic in manifest / segment → 1.
+  reset();
+  corrupt_wrong_magic(scratch.path(), sealed.manifest2);
+  EXPECT_EQ(recover_bytes(scratch.path()), sealed.sealed1);
+  reset();
+  corrupt_wrong_magic(scratch.path(), sealed.fresh_segment);
+  EXPECT_EQ(recover_bytes(scratch.path()), sealed.sealed1);
+
+  // Stale segment reference: manifest 2 names a digest whose file is
+  // missing, or holds some other (internally valid) segment → 1.
+  reset();
+  corrupt_remove(scratch.path(), sealed.fresh_segment);
+  EXPECT_EQ(recover_bytes(scratch.path()), sealed.sealed1);
+  reset();
+  corrupt_swap_contents(scratch.path(), sealed.fresh_segment, sealed.shared_segment);
+  EXPECT_EQ(recover_bytes(scratch.path()), sealed.sealed1);
+
+  // Unrelated junk files are ignored: recovery still lands on 2.
+  reset();
+  const std::vector<std::uint8_t> junk{'j', 'u', 'n', 'k'};
+  write_raw(scratch.path() / "seg-zzzz.vseg", junk);
+  write_raw(scratch.path() / "notes.txt", junk);
+  EXPECT_EQ(recover_bytes(scratch.path()), sealed.sealed2);
+
+  // Damage shared by every sealed checkpoint → a clear error, no crash,
+  // nothing malformed loaded.
+  reset();
+  corrupt_flip_byte(scratch.path(), sealed.shared_segment, 100);
+  corrupt_flip_byte(scratch.path(), sealed.manifest1, 20);
+  corrupt_flip_byte(scratch.path(), sealed.manifest2, 20);
+  try {
+    SegmentStore store(scratch.str(), fast_config());
+    (void)store.recover();
+    FAIL() << "recover() of an unrecoverable store must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("segment_store"), std::string::npos);
+  }
+}
+
+TEST(SegmentStoreFaults, TornRenamesAndStaleTempsNeverMaskTheSealedCheckpoint) {
+  TempDir dir("torn");
+  const SealedPair sealed = build_sealed_pair(dir.path());
+  TempDir scratch("torn_scratch");
+
+  // A "torn rename" artifact: a higher-sequence manifest name holding a
+  // prefix of real manifest bytes (rename is atomic on POSIX; this guards
+  // the format against filesystems where it is not).
+  const auto& real = sealed.image.at(sealed.manifest2);
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{7}, real.size() / 2}) {
+    materialize(scratch.path(), sealed.image);
+    write_raw(scratch.path() / SegmentStore::manifest_file_name(3),
+              std::span<const std::uint8_t>(real).subspan(0, keep));
+    EXPECT_EQ(recover_bytes(scratch.path()), sealed.sealed2)
+        << "torn manifest-3 with " << keep << " bytes";
+  }
+
+  // Stale .tmp debris neither loads nor survives the next checkpoint —
+  // but only the store's own temp patterns are cleaned; a foreign .tmp
+  // is as untouchable as any other foreign file.
+  materialize(scratch.path(), sealed.image);
+  const std::vector<std::uint8_t> junk{1, 2, 3};
+  write_raw(scratch.path() / "seg-dead.vseg.tmp", junk);
+  write_raw(scratch.path() / (SegmentStore::manifest_file_name(9) + ".tmp"), junk);
+  write_raw(scratch.path() / "notes.tmp", junk);
+  EXPECT_EQ(recover_bytes(scratch.path()), sealed.sealed2);
+  SegmentStore store(scratch.str(), fast_config());
+  auto recovered = store.recover();
+  (void)store.checkpoint(recovered.snapshot());
+  EXPECT_FALSE(fs::exists(scratch.path() / "seg-dead.vseg.tmp"));
+  EXPECT_FALSE(
+      fs::exists(scratch.path() / (SegmentStore::manifest_file_name(9) + ".tmp")));
+  EXPECT_TRUE(fs::exists(scratch.path() / "notes.tmp"));
+}
+
+TEST(SegmentStoreFaults, CorruptManifestsNeverConsumeGcFallbackDepth) {
+  // Manifests {1 good, 2 bit-rotted}: later checkpoints must keep good
+  // manifest 1 alive until two *valid* newer checkpoints exist — a
+  // corrupt file counting toward keep_manifests would strand recovery
+  // the moment the newest manifest is also damaged.
+  TempDir dir("gc_depth");
+  const SealedPair sealed = build_sealed_pair(dir.path());
+  corrupt_flip_byte(dir.path(), sealed.manifest2, 25);
+
+  SegmentStore store(dir.str(), fast_config());
+  auto recovered = store.recover();          // falls back to checkpoint 1
+  EXPECT_EQ(db_bytes(recovered), sealed.sealed1);
+  (void)store.checkpoint(recovered.snapshot());  // seals checkpoint 3
+
+  // Keep window is {3 valid, 2 corrupt, 1 valid}: manifest 1 survives.
+  EXPECT_TRUE(fs::exists(dir.path() / sealed.manifest1));
+  corrupt_flip_byte(dir.path(), SegmentStore::manifest_file_name(3), 25);
+  EXPECT_EQ(db_bytes(store.recover()), sealed.sealed1);
+
+  // Once two valid checkpoints exist past it, the corpse rotates out.
+  recovered = store.recover();
+  (void)store.checkpoint(recovered.snapshot());  // 4 (valid; 3 now corrupt)
+  (void)store.checkpoint(recovered.snapshot());  // 5 (valid)
+  EXPECT_FALSE(fs::exists(dir.path() / sealed.manifest1));
+  EXPECT_FALSE(fs::exists(dir.path() / sealed.manifest2));
+  EXPECT_EQ(db_bytes(store.recover()), sealed.sealed1);
+}
+
+// ── property: interleavings vs a never-restarted reference ───────────
+
+TEST(SegmentStoreProperty, AnyInterleavingMatchesNeverRestartedReference) {
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    TempDir dir("prop");
+    Rng rng(seed);
+    index::TimelineConfig tcfg;
+    tcfg.retention.window_sec = 4 * kUnitTimeSec;
+    const vp::VpUploadPolicy policy{};
+    sys::VpDatabase reference(policy, tcfg);
+    sys::VpDatabase live(policy, tcfg);
+    SegmentStore store(dir.str(), fast_config());
+
+    TimeSec clock = 4 * kUnitTimeSec;
+    reference.advance_clock(clock);
+    live.advance_clock(clock);
+
+    for (int step = 0; step < 40; ++step) {
+      const std::size_t pick = rng.index(10);
+      if (pick < 5) {
+        // Ingest a batch: identical profiles offered to both databases.
+        const int batch = 1 + static_cast<int>(rng.index(3));
+        for (int i = 0; i < batch; ++i) {
+          const TimeSec unit =
+              clock + kUnitTimeSec * (static_cast<TimeSec>(rng.index(4)) - 3);
+          const auto profile = make_profile(
+              unit, {rng.uniform(-4000.0, 4000.0), rng.uniform(-4000.0, 4000.0)}, rng);
+          const bool trusted = rng.index(5) == 0;
+          const bool ref_ok = trusted ? reference.upload_trusted(profile)
+                                      : reference.upload(profile);
+          const bool live_ok =
+              trusted ? live.upload_trusted(profile) : live.upload(profile);
+          EXPECT_EQ(ref_ok, live_ok);
+          if (trusted) clock = std::max(clock, unit);
+        }
+      } else if (pick < 7) {
+        // Retention eviction under a walking trusted clock.
+        clock += kUnitTimeSec;
+        reference.advance_clock(clock);
+        live.advance_clock(clock);
+        EXPECT_EQ(reference.enforce_retention(), live.enforce_retention());
+      } else if (pick < 9) {
+        (void)store.checkpoint(live.snapshot());
+      } else {
+        // Restart: checkpoint, drop the live database, recover from disk.
+        (void)store.checkpoint(live.snapshot());
+        live = store.recover(policy, tcfg);
+      }
+      ASSERT_EQ(db_bytes(live), db_bytes(reference)) << "seed " << seed
+                                                     << " step " << step;
+    }
+  }
+}
+
+// ── VMDB v2 interchange (backward compat + conversion path) ──────────
+
+TEST(SegmentStoreCompat, VmdbV2ConvertsLosslesslyBothWays) {
+  TempDir dir("compat");
+  Rng rng(9);
+  sys::VpDatabase db;
+  for (int m = 0; m < 3; ++m)
+    ASSERT_TRUE(db.upload(make_profile(m * kUnitTimeSec, {m * 500.0, 0.0}, rng)));
+  ASSERT_TRUE(db.upload_trusted(make_profile(0, {0.0, 800.0}, rng)));
+  db.reset_clock(42);  // exercise the force-set path through both formats
+
+  // Original service wrote a VMDB v2 file.
+  const std::string vmdb_in = (dir.path() / "in.vmdb").string();
+  save_database_file(db, vmdb_in);
+
+  // v2 file → database → segment checkpoint.
+  LoadStats load_stats;
+  const auto from_vmdb = load_database_file(vmdb_in, &load_stats);
+  EXPECT_EQ(load_stats.profiles_rejected, 0u);
+  SegmentStore store(dir.str(), fast_config());
+  (void)store.checkpoint(from_vmdb.snapshot());
+
+  // Segment checkpoint → database → VMDB v2 file: byte-identical to the
+  // original, so the two formats are interchangeable.
+  const auto from_segments = store.recover();
+  EXPECT_EQ(db_bytes(from_segments), db_bytes(db));
+  const std::string vmdb_out = (dir.path() / "out.vmdb").string();
+  save_database_file(from_segments, vmdb_out);
+  std::ifstream a(vmdb_in, std::ios::binary), b(vmdb_out, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+// ── concurrency: checkpoint vs live service (TSan target) ────────────
+
+TEST(SegmentStoreConcurrency, CheckpointRacesIngestEvictionAndServerWorkers) {
+  TempDir dir("race");
+  sys::ServiceConfig scfg;
+  scfg.rsa_bits = 1024;  // test speed
+  scfg.index.retention.window_sec = 3 * kUnitTimeSec;
+  sys::ViewMapService service(scfg);
+  Rng trng(10);
+  for (int m = 0; m < 6; ++m)
+    ASSERT_TRUE(service.register_trusted(attack::make_fake_profile(
+        m * kUnitTimeSec, {0.0, 0.0}, {300.0, 0.0}, trng)));
+
+  sys::ServerConfig server_cfg;
+  server_cfg.workers = 2;
+  auto& server = service.start_server(server_cfg);
+
+  std::atomic<bool> stop{false};
+  // Live ingest + retention: uploads stream in while the trusted clock
+  // walks the oldest minutes out of the window.
+  std::thread ingester([&] {
+    Rng rng(20);
+    TimeSec clock = 5 * kUnitTimeSec;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 8; ++i) {
+        const TimeSec unit = clock - kUnitTimeSec * static_cast<TimeSec>(rng.index(3));
+        service.upload_channel().submit(
+            attack::make_fake_profile(unit,
+                                      {rng.uniform(-800.0, 800.0), rng.uniform(-800.0, 800.0)},
+                                      {200.0, 0.0}, rng)
+                .serialize());
+      }
+      (void)service.ingest_uploads();
+      clock += kUnitTimeSec;
+      service.advance_clock(clock);
+    }
+  });
+  // Investigation load through the worker pool.
+  std::thread submitter([&] {
+    Rng rng(30);
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto future = server.submit({{-400.0, -400.0}, {400.0, 400.0}},
+                                  kUnitTimeSec * static_cast<TimeSec>(rng.index(6)));
+      if (future.valid()) (void)future.get();
+    }
+  });
+
+  // The checkpointer: each checkpoint pins one snapshot; the recovered
+  // database must serialize to exactly that snapshot's bytes — byte
+  // determinism per pinned version, however hard the writers race.
+  SegmentStore store(dir.str(), fast_config());
+  for (int round = 0; round < 6; ++round) {
+    const sys::DbSnapshot snap = service.database().snapshot();
+    const std::string expected = snap_bytes(snap);
+    const auto stats = store.checkpoint(snap);
+    EXPECT_EQ(stats.sequence, static_cast<std::uint64_t>(round + 1));
+    const auto recovered = store.recover(vp::VpUploadPolicy{}, scfg.index);
+    EXPECT_EQ(db_bytes(recovered), expected) << "round " << round;
+  }
+  stop.store(true);
+  ingester.join();
+  submitter.join();
+  service.stop_server();
+
+  // Service-level wiring: checkpoint through the facade, then restore —
+  // the restarted service resumes with the checkpointed database.
+  (void)service.checkpoint(store);
+  const std::size_t size_at_checkpoint = service.database().size();
+  sys::ViewMapService restarted(scfg);
+  const auto rec = restarted.restore_from(store);
+  EXPECT_EQ(rec.profiles_rejected, 0u);
+  EXPECT_EQ(restarted.database().size(), size_at_checkpoint);
+  EXPECT_EQ(db_bytes(restarted.database()), db_bytes(service.database()));
+}
+
+}  // namespace
+}  // namespace viewmap::store

@@ -5,11 +5,14 @@
 # snapshot-queries-vs-concurrent-ingest scenario, the investigation
 # server throughput scenario (worker pool vs live ingest + eviction; on a
 # 1-core host the JSON carries a note: everything time-slices one CPU),
-# and viewmap construction (grid+CSR builder vs the naive O(n²)
-# reference). Asserts that every viewmap_build row reports a
-# bit-identical edge set between the two builders, then finishes with a
-# docs-link check: every per-module design doc under src/*/README.md
-# must be referenced from ARCHITECTURE.md.
+# viewmap construction (grid+CSR builder vs the naive O(n²) reference),
+# and incremental persistence (segment-store checkpoint vs full VMDB
+# rewrite, plus cold-restart recovery). Asserts that every viewmap_build
+# row reports a bit-identical edge set between the two builders and that
+# the checkpoint scenario's recovery invariant held (profiles recovered ==
+# manifest promise), then finishes with a docs-link check: every
+# per-module design doc under src/*/README.md must be referenced from
+# ARCHITECTURE.md.
 #
 #   tools/run_bench.sh [extra bench_index flags, e.g. --max_vps=100000]
 set -euo pipefail
@@ -35,6 +38,19 @@ if grep -q '"edges_match": false' BENCH_index.json; then
   exit 1
 fi
 echo "viewmap_build check passed: grid edge sets match the O(n^2) reference"
+
+# Recovery-invariant assertion: the checkpoint scenario must have restarted
+# from its own segments and found exactly the profiles the manifest (and the
+# pinned snapshot) promised — zero rejects, zero losses.
+if ! grep -q '"checkpoint_incremental"' BENCH_index.json; then
+  echo "checkpoint check: scenario missing from BENCH_index.json" >&2
+  exit 1
+fi
+if grep -q '"recovered_matches": false' BENCH_index.json; then
+  echo "checkpoint check: post-restart profile count does not match the manifest" >&2
+  exit 1
+fi
+echo "checkpoint check passed: restart recovered exactly the checkpointed profiles"
 
 # Docs-link check: the architecture map must reach every module design doc.
 missing=0

@@ -1,13 +1,17 @@
-// viewmap_inspect — load a VMDB snapshot, print database statistics, and
+// viewmap_inspect — load a persisted database (a VMDB snapshot file or a
+// segment-store checkpoint directory), print database statistics, and
 // optionally run an investigation against it.
 //
 // Usage:
 //   viewmap_inspect DB.vmdb                      # stats per unit-time
+//   viewmap_inspect SEGMENT_DIR                  # same, from a checkpoint
 //   viewmap_inspect DB.vmdb X Y RADIUS MINUTE    # investigate a site
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "common/hex.h"
+#include "store/segment_store.h"
 #include "store/vp_store.h"
 #include "system/verifier.h"
 #include "system/viewmap_graph.h"
@@ -16,23 +20,42 @@ using namespace viewmap;
 
 int main(int argc, char** argv) {
   if (argc != 2 && argc != 6) {
-    std::fprintf(stderr, "usage: %s DB.vmdb [X Y RADIUS MINUTE]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s DB.vmdb|SEGMENT_DIR [X Y RADIUS MINUTE]\n",
+                 argv[0]);
     return 2;
   }
 
-  store::LoadStats stats;
   sys::VpDatabase db;
   try {
-    db = store::load_database_file(argv[1], &stats);
+    if (std::filesystem::is_directory(argv[1])) {
+      store::SegmentStore segments(argv[1]);
+      if (segments.latest_sequence() == 0) {
+        // A directory with no manifest is far more likely a typo than a
+        // store that never checkpointed (same guard as viewmap_convert).
+        std::fprintf(stderr, "error: no checkpoint found in %s\n", argv[1]);
+        return 1;
+      }
+      store::RecoveryStats rec;
+      db = segments.recover(&rec);
+      std::printf(
+          "%s: checkpoint %llu, %zu segments, %zu VPs loaded (%zu rejected by "
+          "the upload screen), %zu trusted%s\n",
+          argv[1], static_cast<unsigned long long>(rec.sequence), rec.segments_loaded,
+          rec.profiles_loaded, rec.profiles_rejected, rec.trusted_marked,
+          rec.manifests_tried > 1 ? " [fell back past a damaged checkpoint]" : "");
+    } else {
+      store::LoadStats stats;
+      db = store::load_database_file(argv[1], &stats);
+      std::printf(
+          "%s: %zu VPs loaded (%zu rejected by the upload screen), %zu trusted, "
+          "%zu shard(s)\n",
+          argv[1], stats.profiles_loaded, stats.profiles_rejected, stats.trusted_marked,
+          stats.shards_loaded);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  std::printf(
-      "%s: %zu VPs loaded (%zu rejected by the upload screen), %zu trusted, "
-      "%zu shard(s)\n",
-      argv[1], stats.profiles_loaded, stats.profiles_rejected, stats.trusted_marked,
-      stats.shards_loaded);
 
   // One pinned snapshot serves the census and the investigation below —
   // the read API; nothing here touches live shards.
