@@ -23,6 +23,10 @@
 //       plus cold-restart recovery time. tools/run_bench.sh asserts the
 //       recovery invariant (profiles recovered == profiles the manifest
 //       promises == profiles in the pinned snapshot).
+//   (7) observability overhead: single-thread ingest with the metrics
+//       registry wired vs disabled (the null-registry switch in
+//       TimelineConfig/IngestConfig). tools/run_bench.sh warns when the
+//       overhead exceeds the 3% budget documented in src/obs/README.md.
 //
 // Emits BENCH_index.json (cwd) so future PRs can diff the numbers.
 //
@@ -44,6 +48,7 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "index/ingest_engine.h"
+#include "obs/metrics.h"
 #include "store/segment_store.h"
 #include "store/vp_store.h"
 #include "system/investigation_server.h"
@@ -256,6 +261,13 @@ struct ServerRow {
   std::size_t snapshots = 0;    ///< DbSnapshots pinned by the workers
   std::size_t batches = 0;      ///< dequeue rounds (snapshots ≤ batches)
   std::size_t peak_queue = 0;
+  /// Serve-side latency distribution from the service registry's
+  /// viewmap_server_request_us histogram (excludes queue wait, unlike
+  /// request_us above). Monotone by construction — run_bench.sh asserts
+  /// p50 ≤ p90 ≤ p99.
+  std::uint64_t request_p50_us = 0;
+  std::uint64_t request_p90_us = 0;
+  std::uint64_t request_p99_us = 0;
 };
 
 /// The §5 public-service workload end to end: an InvestigationServer pool
@@ -352,6 +364,13 @@ ServerRow bench_server(std::size_t vp_count, int request_count, unsigned workers
   writer.join();
 
   const auto stats = server.stats();
+  if (const obs::Histogram* h =
+          service.metrics().find_histogram("viewmap_server_request_us")) {
+    const obs::Histogram::Snapshot snap = h->snapshot();
+    row.request_p50_us = snap.percentile(0.5);
+    row.request_p90_us = snap.percentile(0.9);
+    row.request_p99_us = snap.percentile(0.99);
+  }
   service.stop_server();
   row.requests_per_sec = static_cast<double>(stats.completed) / elapsed;
   row.request_us = resolved > 0 ? latency_sum / static_cast<double>(resolved) * 1e6 : 0.0;
@@ -541,6 +560,56 @@ CheckpointRow bench_checkpoint(std::size_t vp_count, Rng& rng) {
   return row;
 }
 
+struct ObsRow {
+  std::size_t payloads = 0;
+  double plain_vps_per_sec = 0.0;    ///< registry disabled (null pointers)
+  double metered_vps_per_sec = 0.0;  ///< registry wired into timeline + ingest
+  double overhead_pct = 0.0;         ///< (plain − metered) / plain × 100
+};
+
+/// What the always-on instrumentation costs on the hottest path:
+/// single-thread ingest (parse + screen + shard commit, a counter bump
+/// per VP) with the metrics registry wired vs the null-registry switch.
+/// Best-of-3 per side over a fresh database each run, so allocator state
+/// and shard growth are identical; only the counter increments differ.
+ObsRow bench_obs_overhead(std::size_t payload_count, Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(payload_count);
+  for (std::size_t i = 0; i < payload_count; ++i) {
+    const TimeSec unit = kUnitTimeSec * static_cast<TimeSec>(rng.index(30));
+    payloads.push_back(random_vp(unit, 8000.0, rng).serialize());
+  }
+
+  ObsRow row;
+  row.payloads = payload_count;
+  obs::MetricsRegistry registry;
+  for (const bool metered : {false, true}) {
+    double best = 0.0;
+    for (int run = 0; run < 3; ++run) {
+      index::TimelineConfig timeline_cfg;
+      index::IngestConfig ingest_cfg;
+      ingest_cfg.threads = 1;
+      if (metered) {
+        timeline_cfg.metrics = &registry;
+        ingest_cfg.metrics = &registry;
+      }
+      sys::VpDatabase db(vp::VpUploadPolicy{}, timeline_cfg);
+      index::IngestEngine engine(db.timeline(), db.policy(), ingest_cfg);
+      const auto start = Clock::now();
+      const auto stats = engine.ingest(payloads);
+      best = std::max(best,
+                      static_cast<double>(stats.accepted) / seconds_since(start));
+    }
+    (metered ? row.metered_vps_per_sec : row.plain_vps_per_sec) = best;
+  }
+  row.overhead_pct =
+      row.plain_vps_per_sec > 0
+          ? (row.plain_vps_per_sec - row.metered_vps_per_sec) /
+                row.plain_vps_per_sec * 100.0
+          : 0.0;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -617,6 +686,11 @@ int main(int argc, char** argv) {
               srv.vps, srv.workers, srv.requests_per_sec, srv.request_us,
               srv.reports, srv.requests, srv.snapshots, srv.batches,
               srv.peak_queue, srv.writer_vps_per_sec);
+  std::printf("  serve-side latency (viewmap_server_request_us): "
+              "p50=%llu us, p90=%llu us, p99=%llu us\n",
+              static_cast<unsigned long long>(srv.request_p50_us),
+              static_cast<unsigned long long>(srv.request_p90_us),
+              static_cast<unsigned long long>(srv.request_p99_us));
   if (std::thread::hardware_concurrency() <= 1)
     std::printf("note: 1-core host — workers, submitter, and the ingest loop\n"
                 "      time-slice one CPU; worker scaling needs real cores.\n");
@@ -639,6 +713,14 @@ int main(int argc, char** argv) {
       vm_rows.push_back(row);
     }
   }
+
+  // ── observability overhead: registry wired vs disabled ──────────────
+  std::printf("\n-- observability overhead: single-thread ingest, registry on vs off --\n");
+  Rng obs_rng(31337);
+  const auto obs_row = bench_obs_overhead(ingest_vps, obs_rng);
+  std::printf("%zu payloads: %.0f VPs/s plain, %.0f VPs/s metered (%.2f%% overhead)\n",
+              obs_row.payloads, obs_row.plain_vps_per_sec, obs_row.metered_vps_per_sec,
+              obs_row.overhead_pct);
 
   // ── incremental persistence: segment checkpoints vs full saves ──────
   std::printf("\n-- incremental checkpoint (segment store) vs full save (VMDB rewrite) --\n");
@@ -719,15 +801,27 @@ int main(int argc, char** argv) {
     std::fprintf(json,
                  "  \"server_throughput\": {\"vps\": %zu, \"workers\": %zu, "
                  "\"requests\": %zu, \"requests_per_sec\": %.1f, \"request_us\": %.1f, "
+                 "\"request_p50_us\": %llu, \"request_p90_us\": %llu, "
+                 "\"request_p99_us\": %llu, "
                  "\"reports\": %zu, \"writer_vps_per_sec\": %.1f, \"snapshots\": %zu, "
-                 "\"batches\": %zu, \"peak_queue\": %zu%s}\n}\n",
+                 "\"batches\": %zu, \"peak_queue\": %zu%s},\n",
                  srv.vps, srv.workers, srv.requests, srv.requests_per_sec,
-                 srv.request_us, srv.reports, srv.writer_vps_per_sec, srv.snapshots,
+                 srv.request_us,
+                 static_cast<unsigned long long>(srv.request_p50_us),
+                 static_cast<unsigned long long>(srv.request_p90_us),
+                 static_cast<unsigned long long>(srv.request_p99_us),
+                 srv.reports, srv.writer_vps_per_sec, srv.snapshots,
                  srv.batches, srv.peak_queue,
                  std::thread::hardware_concurrency() <= 1
                      ? ", \"note\": \"single-core host: workers/submitter/ingest "
                        "time-slice one CPU; worker scaling needs cores\""
                      : "");
+    std::fprintf(json,
+                 "  \"obs_overhead\": {\"payloads\": %zu, "
+                 "\"plain_vps_per_sec\": %.1f, \"metered_vps_per_sec\": %.1f, "
+                 "\"overhead_pct\": %.2f}\n}\n",
+                 obs_row.payloads, obs_row.plain_vps_per_sec,
+                 obs_row.metered_vps_per_sec, obs_row.overhead_pct);
     std::fclose(json);
     std::printf("\nwrote BENCH_index.json\n");
   }

@@ -25,6 +25,12 @@
 #include "index/timeline.h"
 #include "vp/view_profile.h"
 
+namespace viewmap::obs {
+class MetricsRegistry;  // obs/metrics.h
+class Counter;
+class Histogram;
+}  // namespace viewmap::obs
+
 namespace viewmap::index {
 
 struct IngestConfig {
@@ -36,6 +42,38 @@ struct IngestConfig {
   std::size_t min_parallel_batch = 64;
   /// Enforce the timeline's retention window after each batch.
   bool enforce_retention = true;
+  /// When set, the engine publishes accept/reject counters and a
+  /// per-batch latency histogram here (see IngestMetrics), aggregated
+  /// once per batch from the worker-local tallies so the hot loop pays
+  /// nothing. Null disables all instrumentation — the toggle
+  /// bench_index's obs_overhead scenario measures. Not owned; must
+  /// outlive the engine.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// The registry metrics the ingest path publishes, resolved once at
+/// construction and fed batch-aggregated deltas at the end of each
+/// ingest() (never a registry lookup, never a per-item touch). All
+/// null when no registry is wired (every use is null-checked).
+/// ViewMapService resolves the same set to serve ingest_totals() as a
+/// thin view over the registry.
+struct IngestMetrics {
+  obs::Counter* accepted = nullptr;
+  obs::Counter* rejected_malformed = nullptr;
+  obs::Counter* rejected_untimely = nullptr;
+  obs::Counter* rejected_duplicate = nullptr;
+  obs::Counter* evicted = nullptr;
+  obs::Counter* batches = nullptr;
+  obs::Histogram* batch_us = nullptr;
+
+  /// Registers (idempotently) and resolves the full set.
+  [[nodiscard]] static IngestMetrics wire(obs::MetricsRegistry& registry);
+
+  /// Reads the counters back as one stats struct (all zero when
+  /// unwired). Each field is internally consistent (sharded-sum of
+  /// atomics); the struct as a whole is a relaxed snapshot, exact once
+  /// writers quiesce.
+  [[nodiscard]] struct IngestStats totals() const;
 };
 
 struct IngestStats {
@@ -70,6 +108,7 @@ class IngestEngine {
   vp::VpUploadPolicy policy_;
   IngestConfig cfg_;
   IngestStats totals_;
+  IngestMetrics metrics_;  ///< resolved once in the ctor; all-null when unwired
 };
 
 }  // namespace viewmap::index

@@ -2,9 +2,31 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace viewmap::index {
 
-VpTimeline::VpTimeline(TimelineConfig cfg) : cfg_(cfg) { fresh_stripes(); }
+VpTimeline::VpTimeline(TimelineConfig cfg) : cfg_(cfg) {
+  fresh_stripes();
+  wire_metrics();
+}
+
+void VpTimeline::wire_metrics() {
+  if (cfg_.metrics == nullptr) return;
+  shards_gauge_ = &cfg_.metrics->gauge("viewmap_timeline_shards");
+  eviction_passes_ = &cfg_.metrics->counter("viewmap_timeline_eviction_passes_total");
+  evicted_vps_ = &cfg_.metrics->counter("viewmap_timeline_evicted_vps_total");
+  tombstones_reclaimed_ =
+      &cfg_.metrics->counter("viewmap_timeline_tombstones_reclaimed_total");
+}
+
+VpTimeline::~VpTimeline() {
+  // Withdraw this instance's shards from the shared gauge: a recovered
+  // timeline move-assigned over this one keeps its own contribution, so
+  // the gauge tracks live shards across database generations.
+  if (shards_gauge_ != nullptr)
+    shards_gauge_->sub(static_cast<std::int64_t>(shard_count_.load()));
+}
 
 void VpTimeline::fresh_stripes() {
   id_stripes_.clear();
@@ -26,18 +48,35 @@ VpTimeline::VpTimeline(VpTimeline&& other) noexcept
       latest_(other.latest_.load()),
       clock_(other.clock_.load()),
       tombstones_(other.tombstones_.load()),
-      version_(other.version_.load()) {
+      version_(other.version_.load()),
+      shards_gauge_(other.shards_gauge_),
+      eviction_passes_(other.eviction_passes_),
+      evicted_vps_(other.evicted_vps_),
+      tombstones_reclaimed_(other.tombstones_reclaimed_),
+      shard_count_(other.shard_count_.load()) {
   other.fresh_stripes();
   other.size_ = 0;
   other.trusted_count_ = 0;
   other.latest_ = std::numeric_limits<TimeSec>::min();
   other.clock_ = std::numeric_limits<TimeSec>::min();
   other.tombstones_ = 0;
+  // Gauge contribution moves with the shards; other now owns none.
+  other.shard_count_ = 0;
   other.version_.fetch_add(1, std::memory_order_release);  // contents changed
 }
 
 VpTimeline& VpTimeline::operator=(VpTimeline&& other) noexcept {
   if (this == &other) return *this;
+  // Withdraw the shards being replaced before adopting other's handles —
+  // other's contribution (possibly on the same gauge) transfers as-is.
+  if (shards_gauge_ != nullptr)
+    shards_gauge_->sub(static_cast<std::int64_t>(shard_count_.load()));
+  shards_gauge_ = other.shards_gauge_;
+  eviction_passes_ = other.eviction_passes_;
+  evicted_vps_ = other.evicted_vps_;
+  tombstones_reclaimed_ = other.tombstones_reclaimed_;
+  shard_count_ = other.shard_count_.load();
+  other.shard_count_ = 0;
   cfg_ = other.cfg_;
   id_stripes_ = std::move(other.id_stripes_);
   time_stripes_ = std::move(other.time_stripes_);
@@ -87,6 +126,7 @@ bool VpTimeline::insert(vp::ViewProfile profile, bool trusted) {
   // and compaction keeps it), so unwind rolls back shard state under the
   // time lock, then the claim under the id lock — never both held.
   TimeStripe& ts = time_stripe(unit);
+  bool created_shard = false;
   try {
     auto owned = std::make_shared<const vp::ViewProfile>(std::move(profile));
     std::lock_guard lock(ts.mutex);
@@ -131,10 +171,15 @@ bool VpTimeline::insert(vp::ViewProfile profile, bool trusted) {
       if (created) ts.shards.erase(sit);
       throw;
     }
+    created_shard = created;
   } catch (...) {
     std::lock_guard lock(is.mutex);
     is.ids.erase(id);
     throw;
+  }
+  if (created_shard) {
+    shard_count_.fetch_add(1, std::memory_order_relaxed);
+    if (shards_gauge_ != nullptr) shards_gauge_->add(1);
   }
 
   // Phase 3: publish — the id entry now survives as a tombstone if its
@@ -284,6 +329,13 @@ std::size_t VpTimeline::evict_outside(TimeSec oldest, TimeSec newest) {
   if (!graveyard.empty()) version_.fetch_add(1, std::memory_order_release);
   size_.fetch_sub(evicted, std::memory_order_relaxed);
   trusted_count_.fetch_sub(trusted_evicted, std::memory_order_relaxed);
+  shard_count_.fetch_sub(graveyard.size(), std::memory_order_relaxed);
+  if (eviction_passes_ != nullptr) {
+    eviction_passes_->add();
+    if (evicted != 0) evicted_vps_->add(evicted);
+    if (!graveyard.empty())
+      shards_gauge_->sub(static_cast<std::int64_t>(graveyard.size()));
+  }
   const std::size_t dead = tombstones_.fetch_add(evicted, std::memory_order_relaxed) + evicted;
   if (dead > size_.load(std::memory_order_relaxed)) compact_tombstones();
   return evicted;
@@ -314,11 +366,14 @@ void VpTimeline::compact_tombstones() {
     auto it = shards.find(unit);
     return it != shards.end() && it->second->profiles.contains(id);
   };
+  std::size_t reclaimed = 0;
   for (const auto& stripe : id_stripes_)
-    std::erase_if(stripe->ids, [&](const auto& entry) {
+    reclaimed += std::erase_if(stripe->ids, [&](const auto& entry) {
       return entry.second.committed && !live(entry.second.unit_time, entry.first);
     });
   tombstones_.store(0, std::memory_order_relaxed);
+  if (tombstones_reclaimed_ != nullptr && reclaimed != 0)
+    tombstones_reclaimed_->add(reclaimed);
 }
 
 std::vector<ShardStats> VpTimeline::shard_stats() const {

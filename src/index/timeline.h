@@ -59,6 +59,12 @@
 #include "index/spatial_grid.h"
 #include "vp/view_profile.h"
 
+namespace viewmap::obs {
+class MetricsRegistry;  // obs/metrics.h
+class Counter;
+class Gauge;
+}  // namespace viewmap::obs
+
 namespace viewmap::index {
 
 struct RetentionConfig {
@@ -74,11 +80,16 @@ struct RetentionConfig {
 struct TimelineConfig {
   SpatialGridConfig grid{};
   RetentionConfig retention{};
+  /// When set, the timeline publishes a live-shard gauge and eviction /
+  /// tombstone counters here. Null disables all instrumentation. Not
+  /// owned; must outlive the timeline.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class VpTimeline {
  public:
   explicit VpTimeline(TimelineConfig cfg = {});
+  ~VpTimeline();
 
   VpTimeline(VpTimeline&& other) noexcept;
   VpTimeline& operator=(VpTimeline&& other) noexcept;
@@ -233,6 +244,7 @@ class VpTimeline {
 
   void fresh_stripes();
   void compact_tombstones();
+  void wire_metrics();
 
   TimelineConfig cfg_;
   std::vector<std::unique_ptr<IdStripe>> id_stripes_;
@@ -247,6 +259,17 @@ class VpTimeline {
   /// Write-version (see version()). Release-bumped after a write commits,
   /// acquire-read by holders deciding whether a snapshot is still fresh.
   std::atomic<std::uint64_t> version_{0};
+
+  /// Registry handles, resolved once in wire_metrics(); all null when
+  /// cfg_.metrics is null. shard_count_ mirrors this instance's
+  /// contribution to the (process-wide) shard gauge so the destructor
+  /// and move-assignment can withdraw exactly what this instance added —
+  /// the gauge may be shared with a successor timeline during recovery.
+  obs::Gauge* shards_gauge_ = nullptr;
+  obs::Counter* eviction_passes_ = nullptr;
+  obs::Counter* evicted_vps_ = nullptr;
+  obs::Counter* tombstones_reclaimed_ = nullptr;
+  std::atomic<std::size_t> shard_count_{0};
 };
 
 }  // namespace viewmap::index

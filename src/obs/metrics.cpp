@@ -1,0 +1,224 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace viewmap::obs {
+
+namespace detail {
+
+std::size_t thread_shard() noexcept {
+  // Round-robin assignment at first touch: with ≤ kStatShards live
+  // threads every thread owns a private slot; beyond that, threads
+  // share slots but the sum stays exact (each increment lands in
+  // exactly one slot either way).
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kStatShards;
+  return shard;
+}
+
+}  // namespace detail
+
+std::uint64_t Histogram::Snapshot::percentile(double q) const noexcept {
+  if (count == 0 || buckets.empty()) return 0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; q = 0 means the first sample.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) return bucket_upper(i);
+  }
+  return bucket_upper(buckets.size() - 1);  // unreachable when counts agree
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.buckets.assign(kBuckets, 0);
+  for (const Stripe& stripe : stripes_) {
+    snap.count += stripe.count.load(std::memory_order_relaxed);
+    snap.sum += stripe.sum.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kBuckets; ++i)
+      snap.buckets[i] += stripe.buckets[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::full_name(std::string_view name,
+                                       std::initializer_list<Label> labels) {
+  std::string out(name);
+  if (labels.size() == 0) return out;
+  std::vector<Label> sorted(labels);
+  std::sort(sorted.begin(), sorted.end());
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : sorted) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
+                                               std::initializer_list<Label> labels,
+                                               Kind kind) {
+  std::string key = full_name(name, labels);
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry fresh;
+    fresh.kind = kind;
+    switch (kind) {
+      case Kind::kCounter: fresh.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: fresh.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: fresh.histogram = std::make_unique<Histogram>(); break;
+    }
+    it = entries_.emplace(std::move(key), std::move(fresh)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("MetricsRegistry: '" + it->first +
+                           "' already registered as a different metric kind");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::initializer_list<Label> labels) {
+  return *entry(name, labels, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name,
+                              std::initializer_list<Label> labels) {
+  return *entry(name, labels, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::initializer_list<Label> labels) {
+  return *entry(name, labels, Kind::kHistogram).histogram;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(std::string_view full_name,
+                                                    Kind kind) const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(full_name);
+  if (it == entries_.end() || it->second.kind != kind) return nullptr;
+  return &it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view full_name) const {
+  const Entry* e = find(full_name, Kind::kCounter);
+  return e == nullptr ? nullptr : e->counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view full_name) const {
+  const Entry* e = find(full_name, Kind::kGauge);
+  return e == nullptr ? nullptr : e->gauge.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view full_name) const {
+  const Entry* e = find(full_name, Kind::kHistogram);
+  return e == nullptr ? nullptr : e->histogram.get();
+}
+
+namespace {
+
+/// Splices an extra label into a canonical full name: `n` → `n{extra}`,
+/// `n{a="b"}` → `n{a="b",extra}`.
+std::string with_label(const std::string& key, const std::string& extra) {
+  const std::size_t brace = key.find('{');
+  if (brace == std::string::npos) return key + '{' + extra + '}';
+  std::string out = key;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+std::string base_of(const std::string& key) {
+  return key.substr(0, key.find('{'));
+}
+
+}  // namespace
+
+void MetricsRegistry::render(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  std::string last_base;
+  for (const auto& [key, e] : entries_) {
+    const std::string base = base_of(key);
+    if (base != last_base) {
+      const char* type = e.kind == Kind::kCounter   ? "counter"
+                         : e.kind == Kind::kGauge   ? "gauge"
+                                                    : "histogram";
+      os << "# TYPE " << base << ' ' << type << '\n';
+      last_base = base;
+    }
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << key << ' ' << e.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << key << ' ' << e.gauge->value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot snap = e.histogram->snapshot();
+        os << base_of(key) << "_count"
+           << (key.size() == base.size() ? "" : key.substr(base.size())) << ' '
+           << snap.count << '\n';
+        os << base_of(key) << "_sum"
+           << (key.size() == base.size() ? "" : key.substr(base.size())) << ' '
+           << snap.sum << '\n';
+        os << with_label(key, "quantile=\"0.5\"") << ' ' << snap.percentile(0.5)
+           << '\n';
+        os << with_label(key, "quantile=\"0.9\"") << ' ' << snap.percentile(0.9)
+           << '\n';
+        os << with_label(key, "quantile=\"0.99\"") << ' ' << snap.percentile(0.99)
+           << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::render_json(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  os << "{";
+  bool first = true;
+  for (const auto& [key, e] : entries_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  \"" << key << "\": ";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "{\"type\": \"counter\", \"value\": " << e.counter->value() << "}";
+        break;
+      case Kind::kGauge:
+        os << "{\"type\": \"gauge\", \"value\": " << e.gauge->value() << "}";
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot snap = e.histogram->snapshot();
+        os << "{\"type\": \"histogram\", \"count\": " << snap.count
+           << ", \"sum\": " << snap.sum << ", \"p50\": " << snap.percentile(0.5)
+           << ", \"p90\": " << snap.percentile(0.9)
+           << ", \"p99\": " << snap.percentile(0.99) << "}";
+        break;
+      }
+    }
+  }
+  os << "\n}\n";
+}
+
+std::string MetricsRegistry::render_text() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+}  // namespace viewmap::obs

@@ -1,0 +1,104 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace viewmap::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t us_between(Clock::time_point a, Clock::time_point b) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+thread_local TraceScope* g_active_trace = nullptr;
+
+struct Stash {
+  const char* name = nullptr;
+  std::uint64_t dur_us = 0;
+};
+thread_local Stash g_stashed_span;
+
+}  // namespace
+
+Tracer::Tracer(std::size_t keep) : keep_(std::max<std::size_t>(keep, 1)) {
+  kept_.reserve(keep_);
+}
+
+void Tracer::record(Trace t) {
+  std::lock_guard lock(mutex_);
+  ++recorded_;
+  if (kept_.size() < keep_) {
+    kept_.push_back(std::move(t));
+    return;
+  }
+  // Displace the fastest kept trace if the newcomer is slower. N is
+  // small (default 16) — a linear min scan beats heap bookkeeping.
+  auto fastest = std::min_element(
+      kept_.begin(), kept_.end(),
+      [](const Trace& a, const Trace& b) { return a.total_us < b.total_us; });
+  if (t.total_us > fastest->total_us) *fastest = std::move(t);
+}
+
+std::vector<Trace> Tracer::slowest() const {
+  std::vector<Trace> out;
+  {
+    std::lock_guard lock(mutex_);
+    out = kept_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Trace& a, const Trace& b) { return a.total_us > b.total_us; });
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard lock(mutex_);
+  return recorded_;
+}
+
+TraceScope::TraceScope(Tracer* tracer, std::string label)
+    : tracer_(tracer), start_(Clock::now()) {
+  trace_.label = std::move(label);
+  if (g_stashed_span.name != nullptr) {
+    trace_.spans.push_back(Span{g_stashed_span.name, 0, g_stashed_span.dur_us});
+    g_stashed_span = {};
+  }
+  prev_ = g_active_trace;
+  g_active_trace = this;
+}
+
+Trace TraceScope::finish() {
+  if (finished_) return {};
+  finished_ = true;
+  trace_.total_us = us_between(start_, Clock::now());
+  if (g_active_trace == this) g_active_trace = prev_;
+  if (tracer_ != nullptr) tracer_->record(trace_);
+  return std::move(trace_);
+}
+
+TraceScope::~TraceScope() {
+  if (!finished_) (void)finish();
+}
+
+SpanScope::SpanScope(const char* name) noexcept
+    : name_(name),
+      active_(g_active_trace != nullptr) {
+  if (active_) start_ = Clock::now();
+}
+
+SpanScope::~SpanScope() {
+  if (!active_ || g_active_trace == nullptr) return;
+  TraceScope& trace = *g_active_trace;
+  const auto now = Clock::now();
+  trace.trace_.spans.push_back(
+      Span{name_, us_between(trace.start_, start_), us_between(start_, now)});
+}
+
+void stash_span(const char* name, std::uint64_t dur_us) {
+  g_stashed_span = {name, dur_us};
+}
+
+}  // namespace viewmap::obs

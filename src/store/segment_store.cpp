@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -14,6 +15,7 @@
 #include "common/bytes.h"
 #include "common/hex.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 
 namespace viewmap::store {
 
@@ -93,11 +95,32 @@ Hash32 sha256_prefix(std::span<const std::uint8_t> data, std::size_t len) {
   return hasher.finish();
 }
 
+std::uint64_t us_since(std::chrono::steady_clock::time_point start) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
 }  // namespace
 
 SegmentStore::SegmentStore(std::string dir, SegmentStoreConfig cfg)
     : dir_(std::move(dir)), cfg_(cfg) {
   if (cfg_.keep_manifests == 0) cfg_.keep_manifests = 1;
+  adopt_metrics(cfg_.metrics);
+}
+
+void SegmentStore::adopt_metrics(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr || m_.checkpoints != nullptr) return;
+  m_.checkpoints = &registry->counter("viewmap_store_checkpoints_total");
+  m_.bytes_written = &registry->counter("viewmap_store_bytes_written_total");
+  m_.segments_written = &registry->counter("viewmap_store_segments_written_total");
+  m_.segments_reused = &registry->counter("viewmap_store_segments_reused_total");
+  m_.recoveries = &registry->counter("viewmap_store_recoveries_total");
+  m_.recovered_profiles = &registry->counter("viewmap_store_recovered_profiles_total");
+  m_.checkpoint_us = &registry->histogram("viewmap_store_checkpoint_us");
+  m_.fsync_us = &registry->histogram("viewmap_store_fsync_us");
+  m_.recover_us = &registry->histogram("viewmap_store_recover_us");
 }
 
 std::string SegmentStore::segment_file_name(const Hash32& digest) {
@@ -131,9 +154,13 @@ void SegmentStore::write_file(const std::string& name, std::span<const std::uint
     }
     done += static_cast<std::size_t>(n);
   }
-  if (cfg_.fsync && ::fsync(fd) != 0) {
-    ::close(fd);
-    throw std::runtime_error("segment_store: fsync failed for " + path);
+  if (cfg_.fsync) {
+    const auto fsync_start = std::chrono::steady_clock::now();
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      throw std::runtime_error("segment_store: fsync failed for " + path);
+    }
+    if (m_.fsync_us != nullptr) m_.fsync_us->record(us_since(fsync_start));
   }
   if (::close(fd) != 0)
     throw std::runtime_error("segment_store: close failed for " + path);
@@ -197,6 +224,7 @@ std::uint64_t SegmentStore::latest_sequence() const {
 }
 
 CheckpointStats SegmentStore::checkpoint(const index::DbSnapshot& snap) {
+  const auto start = std::chrono::steady_clock::now();
   fs::create_directories(dir_);
   CheckpointStats stats;
   stats.sequence = latest_sequence() + 1;
@@ -259,6 +287,13 @@ CheckpointStats SegmentStore::checkpoint(const index::DbSnapshot& snap) {
   stats.bytes_written += manifest.size();
 
   stats.files_removed = gc();
+  if (m_.checkpoints != nullptr) {
+    m_.checkpoints->add();
+    m_.bytes_written->add(stats.bytes_written);
+    m_.segments_written->add(stats.segments_written);
+    m_.segments_reused->add(stats.segments_reused);
+    m_.checkpoint_us->record(us_since(start));
+  }
   return stats;
 }
 
@@ -376,6 +411,7 @@ sys::VpDatabase SegmentStore::recover(vp::VpUploadPolicy policy,
 sys::VpDatabase SegmentStore::recover_impl(vp::VpUploadPolicy policy,
                                            index::TimelineConfig index_cfg,
                                            RecoveryStats* stats) const {
+  const auto start = std::chrono::steady_clock::now();
   RecoveryStats local;
   const auto manifests = list_manifests_desc();
   std::string newest_error;
@@ -393,6 +429,11 @@ sys::VpDatabase SegmentStore::recover_impl(vp::VpUploadPolicy policy,
       attempt.sequence = sequence;
       attempt.trusted_marked = db.trusted_count();
       if (stats != nullptr) *stats = attempt;
+      if (m_.recoveries != nullptr) {
+        m_.recoveries->add();
+        m_.recovered_profiles->add(attempt.profiles_loaded);
+        m_.recover_us->record(us_since(start));
+      }
       return db;
     } catch (const std::exception& e) {
       if (newest_error.empty()) newest_error = e.what();
@@ -402,6 +443,10 @@ sys::VpDatabase SegmentStore::recover_impl(vp::VpUploadPolicy policy,
     // Fresh store: nothing was ever sealed, an empty database is the
     // correct last checkpoint.
     if (stats != nullptr) *stats = local;
+    if (m_.recoveries != nullptr) {
+      m_.recoveries->add();
+      m_.recover_us->record(us_since(start));
+    }
     return sys::VpDatabase(policy, index_cfg);
   }
   throw std::runtime_error("segment_store: no loadable checkpoint in " + dir_ +

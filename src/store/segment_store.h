@@ -73,6 +73,12 @@
 #include "index/db_snapshot.h"
 #include "system/vp_database.h"
 
+namespace viewmap::obs {
+class MetricsRegistry;  // obs/metrics.h
+class Counter;
+class Histogram;
+}  // namespace viewmap::obs
+
 namespace viewmap::store {
 
 inline constexpr std::uint32_t kSegmentFormatVersion = 1;
@@ -105,6 +111,11 @@ struct SegmentStoreConfig {
   /// Test instrumentation: when set, every durable mutation is appended
   /// here in execution order. Not owned.
   std::vector<RecordedOp>* op_log = nullptr;
+  /// When set, the store publishes checkpoint/recovery counters and
+  /// fsync latency here (see src/obs/README.md for the names). Null
+  /// disables instrumentation; ViewMapService wires its own registry in
+  /// lazily via adopt_metrics(). Not owned; must outlive the store.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct CheckpointStats {
@@ -162,6 +173,15 @@ class SegmentStore {
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
   [[nodiscard]] const SegmentStoreConfig& config() const noexcept { return cfg_; }
 
+  /// Late metrics wiring: publishes this store's metrics into `registry`
+  /// unless a registry is already wired (then a no-op — first wins, so a
+  /// store shared between services keeps one consistent set of
+  /// counters). ViewMapService calls this on every checkpoint()/
+  /// restore_from(), which is why it is const: the handles are caching
+  /// state, not store content. Call from the single control thread that
+  /// drives checkpoint()/recover() — it is not synchronized.
+  void adopt_metrics(obs::MetricsRegistry* registry) const;
+
   [[nodiscard]] static std::string segment_file_name(const Hash32& digest);
   [[nodiscard]] static std::string manifest_file_name(std::uint64_t sequence);
 
@@ -196,8 +216,24 @@ class SegmentStore {
   void fsync_dir() const;
   [[nodiscard]] std::string full_path(const std::string& name) const;
 
+  /// Registry handles — all null until a registry is wired (config or
+  /// adopt_metrics). Mutable: they cache where to report, they are not
+  /// store content, and recovery instrumentation runs in const methods.
+  struct StoreMetrics {
+    obs::Counter* checkpoints = nullptr;
+    obs::Counter* bytes_written = nullptr;
+    obs::Counter* segments_written = nullptr;
+    obs::Counter* segments_reused = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Counter* recovered_profiles = nullptr;
+    obs::Histogram* checkpoint_us = nullptr;
+    obs::Histogram* fsync_us = nullptr;
+    obs::Histogram* recover_us = nullptr;
+  };
+
   std::string dir_;
   SegmentStoreConfig cfg_;
+  mutable StoreMetrics m_;
 };
 
 }  // namespace viewmap::store

@@ -1,10 +1,25 @@
 #include "system/investigation_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace viewmap::sys {
+
+namespace {
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point start) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 InvestigationServer::InvestigationServer(ViewMapService& service,
                                          const ServerConfig& cfg)
@@ -15,6 +30,24 @@ InvestigationServer::InvestigationServer(ViewMapService& service,
   }
   cfg_.queue_capacity = std::max<std::size_t>(cfg_.queue_capacity, 1);
   cfg_.batch_max = std::max<std::size_t>(cfg_.batch_max, 1);
+
+  // Resolve every registry handle before any worker exists, then record
+  // the counters' current values as this server's zero point.
+  obs::MetricsRegistry& reg = service_.metrics();
+  submitted_c_ = &reg.counter("viewmap_server_submitted_total");
+  completed_c_ = &reg.counter("viewmap_server_completed_total");
+  rejected_c_ = &reg.counter("viewmap_server_rejected_total");
+  reports_c_ = &reg.counter("viewmap_server_reports_total");
+  batches_c_ = &reg.counter("viewmap_server_batches_total");
+  snapshots_c_ = &reg.counter("viewmap_server_snapshots_total");
+  busy_us_c_ = &reg.counter("viewmap_server_busy_us_total");
+  idle_us_c_ = &reg.counter("viewmap_server_idle_us_total");
+  queue_depth_g_ = &reg.gauge("viewmap_server_queue_depth");
+  queue_peak_g_ = &reg.gauge("viewmap_server_queue_peak");
+  request_us_ = &reg.histogram("viewmap_server_request_us");
+  base_ = counters_now();
+  queue_depth_g_->set(0);
+
   workers_.reserve(cfg_.workers);
   try {
     for (std::size_t i = 0; i < cfg_.workers; ++i)
@@ -44,12 +77,17 @@ std::future<InvestigationServer::Reports> InvestigationServer::submit_period(
         return queue_.size() < cfg_.queue_capacity || stopping_;
       });
     if (stopping_ || queue_.size() >= cfg_.queue_capacity) {
-      ++stats_.rejected;
+      rejected_c_->add();
       return {};  // invalid future ⇔ rejected, nothing queued
     }
     queue_.push_back(std::move(req));
-    ++stats_.submitted;
-    stats_.peak_queue = std::max(stats_.peak_queue, queue_.size());
+    submitted_c_->add();
+    const std::size_t depth = queue_.size();
+    queue_depth_g_->set(static_cast<std::int64_t>(depth));
+    queue_peak_g_->update_max(static_cast<std::int64_t>(depth));
+    // Only mutated under mutex_, so a plain max-store cannot lose.
+    if (depth > peak_queue_.load(std::memory_order_relaxed))
+      peak_queue_.store(depth, std::memory_order_relaxed);
   }
   not_empty_.notify_one();
   return fut;
@@ -97,9 +135,28 @@ std::size_t InvestigationServer::worker_count() const {
   return workers_.size();
 }
 
+ServerStats InvestigationServer::counters_now() const {
+  ServerStats s;
+  s.submitted = submitted_c_->value();
+  s.completed = completed_c_->value();
+  s.rejected = rejected_c_->value();
+  s.reports = reports_c_->value();
+  s.batches = batches_c_->value();
+  s.snapshots = snapshots_c_->value();
+  return s;
+}
+
 ServerStats InvestigationServer::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  const ServerStats now = counters_now();
+  ServerStats s;
+  s.submitted = now.submitted - base_.submitted;
+  s.completed = now.completed - base_.completed;
+  s.rejected = now.rejected - base_.rejected;
+  s.reports = now.reports - base_.reports;
+  s.batches = now.batches - base_.batches;
+  s.snapshots = now.snapshots - base_.snapshots;
+  s.peak_queue = peak_queue_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void InvestigationServer::worker_loop() {
@@ -124,19 +181,23 @@ void InvestigationServer::worker_loop() {
       }
       // stopping_ overrides paused_ so a pause() racing stop() can never
       // strand queued requests (and stop() in workers' join).
+      const auto idle_start = std::chrono::steady_clock::now();
       not_empty_.wait(lock, [this] {
         return (!queue_.empty() && (!paused_ || stopping_)) ||
                (stopping_ && queue_.empty());
       });
+      idle_us_c_->add(us_since(idle_start));
       if (queue_.empty()) return;  // stopping, fully drained
       const std::size_t take = std::min(cfg_.batch_max, queue_.size());
       for (std::size_t i = 0; i < take; ++i) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      ++stats_.batches;
+      queue_depth_g_->set(static_cast<std::int64_t>(queue_.size()));
+      batches_c_->add();
     }
     not_full_.notify_all();
+    const auto busy_start = std::chrono::steady_clock::now();
 
     // One snapshot serves the batch; reuse the cached one when the
     // timeline write-version proves nothing changed since its cut.
@@ -144,41 +205,40 @@ void InvestigationServer::worker_loop() {
       const auto& timeline = service_.database().timeline();
       if (!has_cached || !cfg_.reuse_unchanged_snapshot ||
           timeline.version() != cached.version()) {
+        const auto pin_start = std::chrono::steady_clock::now();
         cached = service_.database().snapshot();
         has_cached = true;
-        std::lock_guard lock(mutex_);
-        ++stats_.snapshots;
+        snapshots_c_->add();
+        // The pin precedes the traced investigate() entry point; stash
+        // its duration so the batch's first trace adopts it as a span.
+        obs::stash_span("snapshot_pin", us_since(pin_start));
       }
     } catch (...) {
       // Snapshot acquisition failed (allocation): fail the whole batch.
       const std::exception_ptr err = std::current_exception();
-      {
-        std::lock_guard lock(mutex_);
-        stats_.completed += batch.size();
-      }
+      completed_c_->add(batch.size());
       for (auto& req : batch) req.promise.set_exception(err);
+      busy_us_c_->add(us_since(busy_start));
       continue;
     }
     for (auto& req : batch) serve(cached, req);
+    busy_us_c_->add(us_since(busy_start));
   }
 }
 
 void InvestigationServer::serve(const index::DbSnapshot& snap, Request& req) {
   // Stats commit BEFORE the promise resolves: a caller returning from
   // future::get() always observes this request in stats().completed.
+  const auto start = std::chrono::steady_clock::now();
   try {
     Reports reports = service_.investigate_period(snap, req.site, req.begin, req.end);
-    {
-      std::lock_guard lock(mutex_);
-      ++stats_.completed;
-      stats_.reports += reports.size();
-    }
+    completed_c_->add();
+    reports_c_->add(reports.size());
+    request_us_->record(us_since(start));
     req.promise.set_value(std::move(reports));
   } catch (...) {
-    {
-      std::lock_guard lock(mutex_);
-      ++stats_.completed;
-    }
+    completed_c_->add();
+    request_us_->record(us_since(start));
     req.promise.set_exception(std::current_exception());
   }
 }

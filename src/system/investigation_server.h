@@ -57,6 +57,7 @@
 // live ingest/eviction (TSan-covered in tests/server_test.cpp).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -68,6 +69,12 @@
 #include "geo/geometry.h"
 #include "index/db_snapshot.h"
 #include "system/service.h"
+
+namespace viewmap::obs {
+class Counter;  // obs/metrics.h
+class Gauge;
+class Histogram;
+}  // namespace viewmap::obs
 
 namespace viewmap::sys {
 
@@ -93,7 +100,14 @@ struct ServerConfig {
   bool reuse_unchanged_snapshot = true;
 };
 
-/// Monotonic counters since construction; taken atomically vs the queue.
+/// Monotonic counters since this server's construction. stats() reads
+/// them as a thin snapshot view over the service's metrics registry
+/// (current counter value minus its value when the server started, so a
+/// stop_server()/start_server() cycle on one service still reports
+/// per-server numbers while the registry keeps the cumulative truth).
+/// Every field is a race-free sharded-counter sum — no torn multi-field
+/// reads — though fields of one snapshot may be skewed by concurrent
+/// progress; each is exact once the server quiesces.
 struct ServerStats {
   std::size_t submitted = 0;   ///< requests accepted into the queue
   std::size_t completed = 0;   ///< requests resolved (value or exception)
@@ -150,17 +164,35 @@ class InvestigationServer {
   /// Serves one request from the given snapshot; fulfills its promise
   /// with reports or with the thrown exception.
   void serve(const index::DbSnapshot& snap, Request& req);
+  /// Absolute registry counter values (not base-adjusted).
+  [[nodiscard]] ServerStats counters_now() const;
 
   ViewMapService& service_;
   ServerConfig cfg_;
 
-  mutable std::mutex mutex_;  ///< guards queue_, paused_, stopping_, stats_, workers_
+  mutable std::mutex mutex_;  ///< guards queue_, paused_, stopping_, workers_
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<Request> queue_;
   bool paused_ = false;
   bool stopping_ = false;
-  ServerStats stats_;
+
+  /// Registry handles (the service always has a registry, so never
+  /// null). Counters are cumulative across server generations; base_
+  /// holds their values at construction — see ServerStats.
+  obs::Counter* submitted_c_ = nullptr;
+  obs::Counter* completed_c_ = nullptr;
+  obs::Counter* rejected_c_ = nullptr;
+  obs::Counter* reports_c_ = nullptr;
+  obs::Counter* batches_c_ = nullptr;
+  obs::Counter* snapshots_c_ = nullptr;
+  obs::Counter* busy_us_c_ = nullptr;  ///< worker µs spent serving batches
+  obs::Counter* idle_us_c_ = nullptr;  ///< worker µs blocked on the queue
+  obs::Gauge* queue_depth_g_ = nullptr;
+  obs::Gauge* queue_peak_g_ = nullptr;
+  obs::Histogram* request_us_ = nullptr;
+  ServerStats base_;
+  std::atomic<std::size_t> peak_queue_{0};  ///< this server's own high-water
 
   std::vector<std::thread> workers_;
 };

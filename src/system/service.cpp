@@ -1,19 +1,64 @@
 #include "system/service.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "obs/metrics.h"
 #include "store/segment_store.h"
 #include "system/investigation_server.h"
 
 namespace viewmap::sys {
 
+namespace {
+
+/// Resolves the service's registry (allocating one into `owned` when the
+/// caller supplied none) and propagates it into the component configs
+/// the service constructs its members from — the single place the
+/// registry fans out to every subsystem.
+ServiceConfig wire_config(ServiceConfig cfg,
+                          std::unique_ptr<obs::MetricsRegistry>& owned) {
+  if (cfg.metrics == nullptr) {
+    owned = std::make_unique<obs::MetricsRegistry>();
+    cfg.metrics = owned.get();
+  }
+  cfg.index.metrics = cfg.metrics;
+  cfg.ingest.metrics = cfg.metrics;
+  return cfg;
+}
+
+/// Field-wise `current − base`, the registry-to-snapshot-view offset.
+index::IngestStats minus(const index::IngestStats& cur,
+                         const index::IngestStats& base) noexcept {
+  index::IngestStats out;
+  out.accepted = cur.accepted - base.accepted;
+  out.rejected_malformed = cur.rejected_malformed - base.rejected_malformed;
+  out.rejected_untimely = cur.rejected_untimely - base.rejected_untimely;
+  out.rejected_duplicate = cur.rejected_duplicate - base.rejected_duplicate;
+  out.evicted = cur.evicted - base.evicted;
+  out.batches = cur.batches - base.batches;
+  return out;
+}
+
+}  // namespace
+
 ViewMapService::ViewMapService(const ServiceConfig& cfg)
-    : cfg_(cfg),
-      channel_(cfg.channel_seed, cfg.mix_pool),
-      db_(vp::VpUploadPolicy{}, cfg.index),
-      builder_(cfg.viewmap),
-      verifier_(cfg.trustrank),
-      bank_(cfg.rsa_bits) {}
+    : cfg_(wire_config(cfg, owned_metrics_)),
+      metrics_(cfg_.metrics),
+      channel_(cfg_.channel_seed, cfg_.mix_pool),
+      db_(vp::VpUploadPolicy{}, cfg_.index),
+      builder_(cfg_.viewmap),
+      verifier_(cfg_.trustrank),
+      bank_(cfg_.rsa_bits),
+      tracer_(cfg_.slow_trace_keep),
+      ingest_metrics_(index::IngestMetrics::wire(*metrics_)),
+      ingest_base_(ingest_metrics_.totals()),
+      investigate_us_(&metrics_->histogram("viewmap_investigate_us")) {}
+
+index::IngestStats ViewMapService::ingest_totals() const noexcept {
+  return minus(ingest_metrics_.totals(), ingest_base_);
+}
+
+void ViewMapService::dump_metrics(std::ostream& os) const { metrics_->render(os); }
 
 // Out of line: the header only forward-declares InvestigationServer.
 ViewMapService::~ViewMapService() { stop_server(); }
@@ -40,7 +85,8 @@ std::size_t ViewMapService::ingest_uploads() {
   // the running totals itself.
   index::IngestEngine engine(db_.timeline(), db_.policy(), cfg_.ingest);
   last_ingest_ = engine.drain(channel_);
-  ingest_totals_ += last_ingest_;
+  // No totals accumulator here any more: ingest_totals() reads the
+  // registry counters the engine just incremented.
   return last_ingest_.accepted;
 }
 
@@ -49,13 +95,21 @@ bool ViewMapService::register_trusted(vp::ViewProfile profile) {
 }
 
 store::CheckpointStats ViewMapService::checkpoint(store::SegmentStore& store) const {
+  // First contact wires the store into this service's registry (no-op if
+  // the store already publishes elsewhere); all checkpoint/fsync metrics
+  // are recorded inside SegmentStore itself.
+  store.adopt_metrics(metrics_);
   // One pinned snapshot for the whole checkpoint: immutable while ingest,
   // eviction, and investigations keep mutating the live database.
   return store.checkpoint(db_.snapshot());
 }
 
 store::RecoveryStats ViewMapService::restore_from(const store::SegmentStore& store) {
+  store.adopt_metrics(metrics_);
   store::RecoveryStats stats;
+  // cfg_.index carries this service's registry, so the recovered
+  // timeline publishes its shard gauge here too (the old timeline
+  // withdraws its own contribution as it is destroyed).
   db_ = store.recover(db_.policy(), cfg_.index, &stats);
   return stats;
 }
@@ -70,18 +124,34 @@ InvestigationReport ViewMapService::investigate(const geo::Rect& site,
 InvestigationReport ViewMapService::investigate(const DbSnapshot& snap,
                                                 const geo::Rect& site,
                                                 TimeSec unit_time) {
+  char label[96];
+  std::snprintf(label, sizeof label, "investigate site=(%.0f,%.0f) unit=%lld",
+                site.min.x, site.min.y, static_cast<long long>(unit_time));
+  // The root of this request's trace: SpanScopes inside the builder,
+  // TrustRank, and the verifier attach themselves to it via the
+  // thread-local active trace, and a snapshot_pin span stashed by the
+  // investigation server (when it is the caller) becomes its first span.
+  obs::TraceScope scope(&tracer_, label);
+
   Viewmap map = builder_.build(snap, site, unit_time);
   VerificationResult verdict = verifier_.verify(map, site);
 
   std::vector<Id16> solicited;
-  solicited.reserve(verdict.legitimate.size());
-  for (std::size_t i : verdict.legitimate) {
-    if (map.is_trusted(i)) continue;  // authorities' own videos need no request
-    const Id16 id = map.member(i).vp_id();
-    board_.post(id, RequestKind::kVideo);
-    solicited.push_back(id);
+  {
+    obs::SpanScope span("solicit");
+    solicited.reserve(verdict.legitimate.size());
+    for (std::size_t i : verdict.legitimate) {
+      if (map.is_trusted(i)) continue;  // authorities' own videos need no request
+      const Id16 id = map.member(i).vp_id();
+      board_.post(id, RequestKind::kVideo);
+      solicited.push_back(id);
+    }
   }
-  return InvestigationReport{std::move(map), std::move(verdict), std::move(solicited)};
+
+  InvestigationReport report{std::move(map), std::move(verdict), std::move(solicited)};
+  report.trace = scope.finish();
+  investigate_us_->record(report.trace.total_us);
+  return report;
 }
 
 std::vector<InvestigationReport> ViewMapService::investigate_period(

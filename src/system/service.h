@@ -10,12 +10,15 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "anonet/channel.h"
 #include "index/ingest_engine.h"
+#include "obs/trace.h"
 #include "reward/bank.h"
 #include "system/solicitation.h"
 #include "system/verifier.h"
@@ -29,6 +32,11 @@ class SegmentStore;       // store/segment_store.h
 struct CheckpointStats;   //   (callers of the persistence API include it)
 struct RecoveryStats;
 }  // namespace viewmap::store
+
+namespace viewmap::obs {
+class MetricsRegistry;  // obs/metrics.h
+class Histogram;
+}  // namespace viewmap::obs
 
 namespace viewmap::sys {
 
@@ -47,6 +55,18 @@ struct ServiceConfig {
   int rsa_bits = 2048;
   std::uint64_t channel_seed = 0x5eed;
   std::size_t mix_pool = 16;
+  /// Metrics registry every subsystem publishes into (ingest counters,
+  /// timeline gauges, server histograms, store checkpoint stats). Null —
+  /// the default — makes the service allocate and own a fresh one;
+  /// supply your own to aggregate several components into one
+  /// exposition (not owned, must outlive the service). Either way
+  /// metrics()/dump_metrics() work; instrumentation is always on at the
+  /// service level (the per-component null-registry switch exists for
+  /// direct component users and the obs_overhead bench).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// How many slowest investigation traces the service's Tracer retains
+  /// for inspection (tools/viewmap_metrics renders them).
+  std::size_t slow_trace_keep = 16;
 };
 
 /// Outcome of one investigation over one unit-time.
@@ -54,6 +74,11 @@ struct InvestigationReport {
   Viewmap viewmap;
   VerificationResult verification;
   std::vector<Id16> solicited;  ///< VP ids posted as 'request for video'
+  /// Per-phase timing of this investigation (snapshot_pin when served by
+  /// the investigation server, member_select, candidate_grid, edge_build,
+  /// csr_build, trust_rank, algorithm1, solicit). The same trace competes
+  /// for the service Tracer's slowest-N ring.
+  obs::Trace trace;
 };
 
 class ViewMapService {
@@ -85,15 +110,19 @@ class ViewMapService {
   /// a corrupt far-future RTC): force-sets it non-monotonically.
   void reset_clock(TimeSec now) noexcept { db_.reset_clock(now); }
 
-  /// Full statistics of the most recent ingest_uploads() call.
-  [[nodiscard]] const index::IngestStats& last_ingest() const noexcept {
+  /// Full statistics of the most recent ingest_uploads() call. Returned
+  /// by value: it reflects the single control thread's last call, and a
+  /// copy can never be torn by the next one.
+  [[nodiscard]] index::IngestStats last_ingest() const noexcept {
     return last_ingest_;
   }
 
-  /// Cumulative ingest statistics over the service's lifetime.
-  [[nodiscard]] const index::IngestStats& ingest_totals() const noexcept {
-    return ingest_totals_;
-  }
+  /// Cumulative ingest statistics over the service's lifetime — a thin
+  /// snapshot view over the metrics registry's ingest counters (offset
+  /// by their values at construction, so a shared registry still reads
+  /// per-service). Safe to call from any thread at any time; each field
+  /// is a race-free sharded-counter sum, exact once ingest quiesces.
+  [[nodiscard]] index::IngestStats ingest_totals() const noexcept;
 
   /// Authenticated path for authority vehicles (police cars).
   bool register_trusted(vp::ViewProfile profile);
@@ -206,16 +235,38 @@ class ViewMapService {
   }
   [[nodiscard]] reward::Bank& bank() noexcept { return bank_; }
 
+  // ── observability (obs/metrics.h, obs/trace.h) ─────────────────────
+  /// The registry every subsystem publishes into (owned unless one was
+  /// supplied via ServiceConfig::metrics). Stable for the service's
+  /// lifetime; see src/obs/README.md for the metric name catalogue.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return *metrics_;
+  }
+  /// Prometheus-style text exposition of every metric, plus nothing
+  /// else — pipe to a file or scrape endpoint.
+  void dump_metrics(std::ostream& os) const;
+  /// Keeper of the slowest-N investigation traces.
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const noexcept { return tracer_; }
+
  private:
+  /// Owns the registry when ServiceConfig::metrics was null. Declared
+  /// first: every member below may hold pointers into it.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   ServiceConfig cfg_;
+  obs::MetricsRegistry* metrics_ = nullptr;  ///< == cfg_.metrics, never null
   anonet::AnonymousChannel channel_;
   VpDatabase db_;
   ViewmapBuilder builder_;
   Verifier verifier_;
   NoticeBoard board_;
   reward::Bank bank_;
+  obs::Tracer tracer_;
+  index::IngestMetrics ingest_metrics_;  ///< registry handles + name catalogue
+  index::IngestStats ingest_base_;       ///< registry values at construction
+  obs::Histogram* investigate_us_ = nullptr;
   index::IngestStats last_ingest_;
-  index::IngestStats ingest_totals_;
   std::vector<Id16> review_;
   std::unordered_map<Id16, int, Id16Hasher> granted_;  ///< open claims: id → n
   /// Declared last: its workers reference the members above, so it must

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace viewmap::sys {
 
 TrustRankResult trust_rank(const CsrGraph& graph, std::span<const std::size_t> seeds,
@@ -62,6 +64,9 @@ TrustRankResult trust_rank(std::span<const std::vector<std::uint32_t>> adjacency
 }
 
 TrustRankResult trust_rank(const Viewmap& map, const TrustRankConfig& cfg) {
+  // The investigation-path entry point — the low-level overloads stay
+  // span-free so direct benchmarks measure the bare iteration.
+  obs::SpanScope obs_span("trust_rank");
   const auto seeds = map.trusted_indices();
   return trust_rank(map.graph(), seeds, cfg);
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/trace.h"
+
 namespace viewmap::sys {
 
 Algorithm1Verdict algorithm1(const CsrGraph& graph, std::span<const double> scores,
@@ -58,8 +60,10 @@ VerificationResult Verifier::verify(const Viewmap& map, const geo::Rect& site) c
   // Both stages read the viewmap's CSR in place — the old per-verify
   // vector-of-vectors rebuild is gone.
   result.ranks = trust_rank(map, cfg_);
-  const Algorithm1Verdict verdict =
-      algorithm1(map.graph(), result.ranks.scores, result.site_members);
+  const Algorithm1Verdict verdict = [&] {
+    obs::SpanScope obs_span("algorithm1");
+    return algorithm1(map.graph(), result.ranks.scores, result.site_members);
+  }();
 
   std::vector<bool> legit(map.size(), false);
   for (std::size_t i : verdict.legitimate) legit[i] = true;

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "index/spatial_grid.h"
+#include "obs/trace.h"
 
 namespace viewmap::sys {
 
@@ -70,46 +71,51 @@ bool ViewmapBuilder::viewlinked(const vp::ViewProfile& a, const vp::ViewProfile&
 
 Viewmap ViewmapBuilder::build(const index::DbSnapshot& snap, const geo::Rect& site,
                               TimeSec unit_time) const {
-  const auto trusted = snap.trusted_at(unit_time);
-  if (trusted.empty())
-    throw std::runtime_error("ViewmapBuilder: no trusted VP for this unit-time");
+  std::vector<const vp::ViewProfile*> members;
+  std::vector<bool> trusted_flags;
+  geo::Rect cover = site;
+  {
+    obs::SpanScope obs_span("member_select");
+    const auto trusted = snap.trusted_at(unit_time);
+    if (trusted.empty())
+      throw std::runtime_error("ViewmapBuilder: no trusted VP for this unit-time");
 
-  // Trusted VP closest to the investigation site (§5.2.1). Trusted cars
-  // are rarely at the site itself; the coverage area bridges the gap.
-  const geo::Vec2 site_center = site.center();
-  const vp::ViewProfile* seed = nullptr;
-  double best = std::numeric_limits<double>::infinity();
-  for (const auto* t : trusted) {
-    for (int s = 0; s < kDigestsPerProfile; ++s) {
-      const double d = geo::distance(t->location_at(s), site_center);
-      if (d < best) {
-        best = d;
-        seed = t;
+    // Trusted VP closest to the investigation site (§5.2.1). Trusted cars
+    // are rarely at the site itself; the coverage area bridges the gap.
+    const geo::Vec2 site_center = site.center();
+    const vp::ViewProfile* seed = nullptr;
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto* t : trusted) {
+      for (int s = 0; s < kDigestsPerProfile; ++s) {
+        const double d = geo::distance(t->location_at(s), site_center);
+        if (d < best) {
+          best = d;
+          seed = t;
+        }
       }
     }
-  }
 
-  // Coverage C: bounding box of the site and the seed's trajectory.
-  geo::Rect cover = site;
-  for (int s = 0; s < kDigestsPerProfile; ++s) {
-    const geo::Vec2 p = seed->location_at(s);
-    cover.min.x = std::min(cover.min.x, p.x);
-    cover.min.y = std::min(cover.min.y, p.y);
-    cover.max.x = std::max(cover.max.x, p.x);
-    cover.max.y = std::max(cover.max.y, p.y);
-  }
-  cover = cover.inflated(cfg_.coverage_margin_m);
+    // Coverage C: bounding box of the site and the seed's trajectory.
+    for (int s = 0; s < kDigestsPerProfile; ++s) {
+      const geo::Vec2 p = seed->location_at(s);
+      cover.min.x = std::min(cover.min.x, p.x);
+      cover.min.y = std::min(cover.min.y, p.y);
+      cover.max.x = std::max(cover.max.x, p.x);
+      cover.max.y = std::max(cover.max.y, p.y);
+    }
+    cover = cover.inflated(cfg_.coverage_margin_m);
 
-  auto members = snap.query(unit_time, cover);
-  // Everything in a viewmap shares one unit-time, so the minute's trusted
-  // list (id-ordered) answers membership by binary search.
-  const auto trusted_less = [](const vp::ViewProfile* a, const vp::ViewProfile* b) {
-    return a->vp_id() < b->vp_id();
-  };
-  std::vector<bool> trusted_flags(members.size());
-  for (std::size_t i = 0; i < members.size(); ++i)
-    trusted_flags[i] =
-        std::binary_search(trusted.begin(), trusted.end(), members[i], trusted_less);
+    members = snap.query(unit_time, cover);
+    // Everything in a viewmap shares one unit-time, so the minute's trusted
+    // list (id-ordered) answers membership by binary search.
+    const auto trusted_less = [](const vp::ViewProfile* a, const vp::ViewProfile* b) {
+      return a->vp_id() < b->vp_id();
+    };
+    trusted_flags.resize(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i)
+      trusted_flags[i] =
+          std::binary_search(trusted.begin(), trusted.end(), members[i], trusted_less);
+  }
 
   // The minute's shard rides inside the viewmap: member pointers stay
   // valid for the viewmap's lifetime, whatever ingest/eviction does
@@ -411,11 +417,16 @@ Viewmap ViewmapBuilder::build_from_members(
   std::vector<std::uint64_t> accepted;
   if (n < kGridMinMembers) {
     // Grid setup costs more than it saves on tiny member sets.
+    obs::SpanScope obs_span("edge_build");
     for (std::uint32_t i = 0; i < n; ++i)
       for (std::uint32_t j = i + 1; j < n; ++j)
         if (test(i, j)) accepted.push_back(pack_pair(i, j));
   } else {
-    const CandidateGrid grid(members, std::max(cfg_.link_radius_m, 1.0));
+    const CandidateGrid grid = [&] {
+      obs::SpanScope obs_span("candidate_grid");
+      return CandidateGrid(members, std::max(cfg_.link_radius_m, 1.0));
+    }();
+    obs::SpanScope obs_span("edge_build");
     std::vector<std::size_t> work(n);
     std::size_t total_work = 0;
     for (std::uint32_t i = 0; i < n; ++i)
@@ -482,9 +493,12 @@ Viewmap ViewmapBuilder::build_from_members(
     std::sort(accepted.begin(), accepted.end());
   }
 
-  return Viewmap(std::move(members), std::move(trusted),
-                 csr_from_sorted_pairs(n, accepted), unit_time, coverage,
-                 std::move(pinned));
+  CsrGraph graph = [&] {
+    obs::SpanScope obs_span("csr_build");
+    return csr_from_sorted_pairs(n, accepted);
+  }();
+  return Viewmap(std::move(members), std::move(trusted), std::move(graph),
+                 unit_time, coverage, std::move(pinned));
 }
 
 Viewmap ViewmapBuilder::build_from_members_reference(

@@ -1,0 +1,360 @@
+// Tests: observability primitives (sharded counters, gauges, log-linear
+// histograms, registry exposition, tracing) plus the end-to-end check
+// that every instrumented subsystem actually shows up in a service's
+// exposition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "attack/fake_vp.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/segment_store.h"
+#include "system/service.h"
+
+namespace viewmap::obs {
+namespace {
+
+TEST(Counter, ShardedSumIsExact) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (auto& th : pool) th.join();
+  // Every increment lands in exactly one slot: the sum is exact once
+  // writers quiesce, whatever slots the threads were assigned.
+  EXPECT_EQ(c.value(), 42u + kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAddSubAndHighWater) {
+  Gauge g;
+  g.set(5);
+  EXPECT_EQ(g.value(), 5);
+  g.add(3);
+  g.sub(7);
+  EXPECT_EQ(g.value(), 1);
+  g.set(-4);
+  EXPECT_EQ(g.value(), -4);
+
+  Gauge peak;
+  peak.update_max(10);
+  peak.update_max(3);  // lower: no effect
+  EXPECT_EQ(peak.value(), 10);
+  peak.update_max(12);
+  EXPECT_EQ(peak.value(), 12);
+}
+
+TEST(Histogram, BucketBoundariesAreConsistent) {
+  // Exact region: one bucket per value below 2·kSub.
+  for (std::uint64_t v = 0; v < 2 * Histogram::kSub; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lower(v), v);
+    EXPECT_EQ(Histogram::bucket_upper(v), v);
+  }
+  // Every bucket: lower maps back to it, upper maps back to it, the
+  // next value starts the next bucket, and lowers are strictly
+  // increasing — no gaps, no overlaps, full uint64 coverage.
+  for (std::size_t idx = 0; idx < Histogram::kBuckets; ++idx) {
+    const std::uint64_t lo = Histogram::bucket_lower(idx);
+    const std::uint64_t hi = Histogram::bucket_upper(idx);
+    ASSERT_LE(lo, hi);
+    EXPECT_EQ(Histogram::bucket_index(lo), idx);
+    EXPECT_EQ(Histogram::bucket_index(hi), idx);
+    if (idx + 1 < Histogram::kBuckets) {
+      EXPECT_EQ(hi + 1, Histogram::bucket_lower(idx + 1));
+      EXPECT_EQ(Histogram::bucket_index(hi + 1), idx + 1);
+    } else {
+      EXPECT_EQ(hi, ~std::uint64_t{0});
+    }
+  }
+  // Relative width bound: ≤ 12.5% once past the exact region.
+  for (std::size_t idx = 2 * Histogram::kSub; idx + 1 < Histogram::kBuckets; ++idx) {
+    const double lo = static_cast<double>(Histogram::bucket_lower(idx));
+    const double hi = static_cast<double>(Histogram::bucket_upper(idx));
+    EXPECT_LE(hi, lo * 1.125) << "bucket " << idx;
+  }
+}
+
+TEST(Histogram, PercentilesTrackExactReference) {
+  Histogram h;
+  RunningStats reference;
+  std::vector<std::uint64_t> values;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    // Log-uniform-ish spread: exercises exact buckets and octaves alike.
+    const auto v = static_cast<std::uint64_t>(
+        std::exp(rng.uniform(0.0, std::log(2e6))));
+    values.push_back(v);
+    reference.add(static_cast<double>(v));
+    h.record(v);
+  }
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, values.size());
+  std::uint64_t exact_sum = 0;
+  for (const std::uint64_t v : values) exact_sum += v;
+  EXPECT_EQ(snap.sum, exact_sum);
+  EXPECT_NEAR(snap.mean(), reference.mean(), 1e-6);
+
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const std::uint64_t exact =
+        values[static_cast<std::size_t>(std::ceil(q * 5000.0)) - 1];
+    const std::uint64_t approx = snap.percentile(q);
+    // The reported value is the upper bound of the exact sample's
+    // bucket: never below it, at most one 12.5%-wide bucket above.
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(static_cast<double>(approx),
+              static_cast<double>(exact) * 1.125 + 1.0)
+        << "q=" << q;
+  }
+  // Monotone by construction; the max never underestimates.
+  EXPECT_LE(snap.percentile(0.5), snap.percentile(0.9));
+  EXPECT_LE(snap.percentile(0.9), snap.percentile(0.99));
+  EXPECT_GE(snap.percentile(1.0), values.back());
+}
+
+TEST(Histogram, MergesStripesAcrossThreads) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        h.record(static_cast<std::uint64_t>(t) * kPerThread + i);
+    });
+  for (auto& th : pool) th.join();
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  const std::uint64_t n = kThreads * kPerThread;
+  EXPECT_EQ(snap.sum, n * (n - 1) / 2);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(Registry, GoldenExposition) {
+  MetricsRegistry reg;
+  reg.counter("test_requests_total", {{"kind", "a"}}).add(3);
+  reg.counter("test_requests_total", {{"kind", "b"}}).add(1);
+  reg.gauge("test_queue_depth").set(7);
+  Histogram& h = reg.histogram("test_latency_us");
+  h.record(1);
+  h.record(2);
+  h.record(3);
+
+  // Byte-deterministic: ordered walk, one # TYPE line per family.
+  EXPECT_EQ(reg.render_text(),
+            "# TYPE test_latency_us histogram\n"
+            "test_latency_us_count 3\n"
+            "test_latency_us_sum 6\n"
+            "test_latency_us{quantile=\"0.5\"} 2\n"
+            "test_latency_us{quantile=\"0.9\"} 3\n"
+            "test_latency_us{quantile=\"0.99\"} 3\n"
+            "# TYPE test_queue_depth gauge\n"
+            "test_queue_depth 7\n"
+            "# TYPE test_requests_total counter\n"
+            "test_requests_total{kind=\"a\"} 3\n"
+            "test_requests_total{kind=\"b\"} 1\n");
+
+  std::ostringstream json;
+  reg.render_json(json);
+  EXPECT_NE(json.str().find("\"test_queue_depth\": {\"type\": \"gauge\", \"value\": 7}"),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"p50\": 2"), std::string::npos);
+}
+
+TEST(Registry, IdempotentRegistrationAndKindChecks) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x_total", {{"k", "v"}});
+  Counter& b = reg.counter("x_total", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);  // same name + labels ⇒ same object
+  a.add(2);
+  EXPECT_EQ(b.value(), 2u);
+
+  // Label order does not matter — the canonical name sorts keys.
+  Counter& c = reg.counter("y_total", {{"b", "2"}, {"a", "1"}});
+  Counter& d = reg.counter("y_total", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&c, &d);
+  EXPECT_EQ(MetricsRegistry::full_name("y_total", {{"b", "2"}, {"a", "1"}}),
+            "y_total{a=\"1\",b=\"2\"}");
+
+  EXPECT_THROW((void)reg.gauge("x_total", {{"k", "v"}}), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("x_total", {{"k", "v"}}), std::logic_error);
+
+  EXPECT_NE(reg.find_counter("x_total{k=\"v\"}"), nullptr);
+  EXPECT_EQ(reg.find_counter("x_total{k=\"v\"}")->value(), 2u);
+  EXPECT_EQ(reg.find_gauge("x_total{k=\"v\"}"), nullptr);  // wrong kind
+  EXPECT_EQ(reg.find_counter("missing_total"), nullptr);
+}
+
+TEST(Tracer, KeepsTheSlowestN) {
+  Tracer tracer(16);
+  for (std::uint64_t i = 0; i < 30; ++i)
+    tracer.record(Trace{"t" + std::to_string(i), i, {}});
+  EXPECT_EQ(tracer.recorded(), 30u);
+  const std::vector<Trace> slowest = tracer.slowest();
+  ASSERT_EQ(slowest.size(), 16u);
+  EXPECT_EQ(slowest.front().total_us, 29u);
+  EXPECT_EQ(slowest.back().total_us, 14u);  // 14..29 survive, sorted desc
+  for (std::size_t i = 0; i + 1 < slowest.size(); ++i)
+    EXPECT_GE(slowest[i].total_us, slowest[i + 1].total_us);
+}
+
+TEST(Tracer, ScopesStashedSpansAndNesting) {
+  Tracer tracer(4);
+  {
+    // No active trace: a SpanScope is inert, a stash waits for the next
+    // TraceScope on this thread.
+    SpanScope orphan("ignored");
+  }
+  stash_span("snapshot_pin", 42);
+  Trace trace;
+  {
+    TraceScope scope(&tracer, "req");
+    { SpanScope inner("edge_build"); }
+    { SpanScope later("trust_rank"); }
+    trace = scope.finish();
+  }
+  EXPECT_EQ(tracer.recorded(), 1u);
+  EXPECT_EQ(trace.label, "req");
+  ASSERT_EQ(trace.spans.size(), 3u);
+  EXPECT_EQ(trace.spans[0].name, "snapshot_pin");
+  EXPECT_EQ(trace.spans[0].dur_us, 42u);
+  EXPECT_EQ(trace.spans[0].begin_us, 0u);
+  EXPECT_EQ(trace.spans[1].name, "edge_build");
+  EXPECT_EQ(trace.spans[2].name, "trust_rank");
+  EXPECT_GE(trace.spans[2].begin_us, trace.spans[1].begin_us);
+
+  // The stash was consumed: a second trace starts clean.
+  Trace second;
+  {
+    TraceScope scope(&tracer, "req2");
+    second = scope.finish();
+  }
+  EXPECT_TRUE(second.spans.empty());
+}
+
+// 8 writer threads hammering one counter + one histogram while a reader
+// renders the registry concurrently. Run under TSan in CI: the sharded
+// slots and stripes must be plain atomics, no annotations needed.
+TEST(Registry, ConcurrentRecordAndRenderAreRaceFree) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("stress_total");
+  Histogram& h = reg.histogram("stress_us");
+  Gauge& g = reg.gauge("stress_depth");
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5'000;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    std::size_t renders = 0;
+    while (!done.load(std::memory_order_acquire) || renders == 0) {
+      const std::string text = reg.render_text();
+      EXPECT_NE(text.find("stress_total"), std::string::npos);
+      ++renders;
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(i);
+        g.set(static_cast<std::int64_t>(t));
+      }
+    });
+  for (auto& th : writers) th.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(h.snapshot().count, kThreads * kPerThread);
+}
+
+// End-to-end: drive one small service through ingest, investigation,
+// checkpoint, and recovery, then check every instrumented subsystem
+// reports in the exposition and the stats structs agree with it.
+TEST(Service, ExpositionCoversEverySubsystem) {
+  sys::ServiceConfig cfg;
+  cfg.rsa_bits = 1024;  // test speed
+  sys::ViewMapService service(cfg);
+
+  Rng rng(11);
+  const TimeSec unit = 0;
+  service.register_trusted(attack::make_fake_profile(unit, {0, 0}, {400, 0}, rng));
+  for (int i = 0; i < 6; ++i)
+    service.upload_channel().submit(
+        attack::make_fake_profile(unit, {i * 50.0, 10}, {400 + i * 50.0, 10}, rng)
+            .serialize());
+  service.upload_channel().submit({0xde, 0xad});  // malformed
+  EXPECT_EQ(service.ingest_uploads(), 6u);
+
+  const index::IngestStats totals = service.ingest_totals();
+  EXPECT_EQ(totals.accepted, 6u);
+  EXPECT_EQ(totals.rejected_malformed, 1u);
+  EXPECT_EQ(totals.batches, 1u);
+
+  const auto report = service.investigate({{-50, -50}, {450, 50}}, unit);
+  EXPECT_FALSE(report.trace.label.empty());
+  EXPECT_FALSE(report.trace.spans.empty());
+  std::vector<std::string> span_names;
+  for (const auto& span : report.trace.spans) span_names.push_back(span.name);
+  EXPECT_NE(std::find(span_names.begin(), span_names.end(), "member_select"),
+            span_names.end());
+  EXPECT_NE(std::find(span_names.begin(), span_names.end(), "solicit"),
+            span_names.end());
+  EXPECT_EQ(service.tracer().recorded(), 1u);
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "viewmap_obs_test_store";
+  std::filesystem::remove_all(dir);
+  store::SegmentStoreConfig store_cfg;
+  store_cfg.fsync = false;  // durability is not under test here
+  store::SegmentStore store(dir.string(), store_cfg);
+  (void)service.checkpoint(store);
+  (void)service.restore_from(store);
+  std::filesystem::remove_all(dir);
+
+  const std::string text = service.metrics().render_text();
+  for (const char* family :
+       {"viewmap_ingest_accepted_total", "viewmap_ingest_rejected_total",
+        "viewmap_ingest_batch_us", "viewmap_timeline_shards",
+        "viewmap_investigate_us", "viewmap_store_checkpoints_total",
+        "viewmap_store_checkpoint_us", "viewmap_store_recoveries_total"})
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+
+  // The struct views and the registry agree.
+  const obs::Counter* accepted =
+      service.metrics().find_counter("viewmap_ingest_accepted_total");
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(accepted->value(), service.ingest_totals().accepted);
+  const obs::Gauge* shards =
+      service.metrics().find_gauge("viewmap_timeline_shards");
+  ASSERT_NE(shards, nullptr);
+  // One unit-time in play; the recovered timeline owns the gauge now.
+  EXPECT_EQ(shards->value(), 1);
+}
+
+}  // namespace
+}  // namespace viewmap::obs

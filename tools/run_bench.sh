@@ -6,13 +6,16 @@
 # server throughput scenario (worker pool vs live ingest + eviction; on a
 # 1-core host the JSON carries a note: everything time-slices one CPU),
 # viewmap construction (grid+CSR builder vs the naive O(n²) reference),
-# and incremental persistence (segment-store checkpoint vs full VMDB
-# rewrite, plus cold-restart recovery). Asserts that every viewmap_build
-# row reports a bit-identical edge set between the two builders and that
-# the checkpoint scenario's recovery invariant held (profiles recovered ==
-# manifest promise), then finishes with a docs-link check: every
-# per-module design doc under src/*/README.md must be referenced from
-# ARCHITECTURE.md.
+# incremental persistence (segment-store checkpoint vs full VMDB
+# rewrite, plus cold-restart recovery), and observability overhead
+# (ingest with the metrics registry on vs off). Asserts that every
+# viewmap_build row reports a bit-identical edge set between the two
+# builders, that the checkpoint scenario's recovery invariant held
+# (profiles recovered == manifest promise), and that the server
+# latency percentiles are monotone (p50 ≤ p90 ≤ p99); warns when the
+# observability overhead exceeds its 3% budget. Finishes with a
+# docs-link check: every per-module design doc under src/*/README.md
+# must be referenced from ARCHITECTURE.md.
 #
 #   tools/run_bench.sh [extra bench_index flags, e.g. --max_vps=100000]
 set -euo pipefail
@@ -51,6 +54,38 @@ if grep -q '"recovered_matches": false' BENCH_index.json; then
   exit 1
 fi
 echo "checkpoint check passed: restart recovered exactly the checkpointed profiles"
+
+# Percentile-monotonicity assertion: the server scenario's serve-side
+# latency histogram must report p50 ≤ p90 ≤ p99 — the exposition contract
+# the log-linear bucket walk guarantees by construction.
+if ! grep -q '"request_p50_us"' BENCH_index.json; then
+  echo "percentile check: request_p50_us missing from BENCH_index.json" >&2
+  exit 1
+fi
+read -r p50 p90 p99 < <(sed -n 's/.*"request_p50_us": \([0-9]*\), "request_p90_us": \([0-9]*\), "request_p99_us": \([0-9]*\).*/\1 \2 \3/p' BENCH_index.json)
+if [ -z "${p50:-}" ] || [ -z "${p90:-}" ] || [ -z "${p99:-}" ]; then
+  echo "percentile check: could not parse request percentiles" >&2
+  exit 1
+fi
+if [ "$p50" -gt "$p90" ] || [ "$p90" -gt "$p99" ]; then
+  echo "percentile check: not monotone (p50=$p50 p90=$p90 p99=$p99)" >&2
+  exit 1
+fi
+echo "percentile check passed: p50=$p50 <= p90=$p90 <= p99=$p99 (us)"
+
+# Observability overhead: the scenario must be present; the 3% ingest
+# budget is advisory (timing noise on CI runners), so exceeding it warns
+# rather than fails.
+if ! grep -q '"obs_overhead"' BENCH_index.json; then
+  echo "obs_overhead check: scenario missing from BENCH_index.json" >&2
+  exit 1
+fi
+overhead="$(sed -n 's/.*"overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' BENCH_index.json)"
+if awk -v o="$overhead" 'BEGIN { exit !(o > 3.0) }'; then
+  echo "obs_overhead WARNING: metered ingest is ${overhead}% slower than plain (budget 3%)" >&2
+else
+  echo "obs_overhead check passed: ${overhead}% (budget 3%)"
+fi
 
 # Docs-link check: the architecture map must reach every module design doc.
 missing=0

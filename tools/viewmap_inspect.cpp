@@ -6,11 +6,16 @@
 //   viewmap_inspect DB.vmdb                      # stats per unit-time
 //   viewmap_inspect SEGMENT_DIR                  # same, from a checkpoint
 //   viewmap_inspect DB.vmdb X Y RADIUS MINUTE    # investigate a site
+//   viewmap_inspect --metrics SEGMENT_DIR ...    # also dump the metrics
+//                                                  the load/recovery published
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <iostream>
 
 #include "common/hex.h"
+#include "obs/metrics.h"
 #include "store/segment_store.h"
 #include "store/vp_store.h"
 #include "system/verifier.h"
@@ -19,16 +24,29 @@
 using namespace viewmap;
 
 int main(int argc, char** argv) {
+  // Recovery and timeline instrumentation publish here when --metrics is
+  // given; the registry is rendered after the census.
+  const char* prog = argv[0];
+  bool metrics_on = false;
+  if (argc >= 2 && std::strcmp(argv[1], "--metrics") == 0) {
+    metrics_on = true;
+    --argc;
+    ++argv;
+  }
   if (argc != 2 && argc != 6) {
-    std::fprintf(stderr, "usage: %s DB.vmdb|SEGMENT_DIR [X Y RADIUS MINUTE]\n",
-                 argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [--metrics] DB.vmdb|SEGMENT_DIR [X Y RADIUS MINUTE]\n",
+                 prog);
     return 2;
   }
 
+  obs::MetricsRegistry registry;
   sys::VpDatabase db;
   try {
     if (std::filesystem::is_directory(argv[1])) {
-      store::SegmentStore segments(argv[1]);
+      store::SegmentStoreConfig store_cfg;
+      if (metrics_on) store_cfg.metrics = &registry;
+      store::SegmentStore segments(argv[1], store_cfg);
       if (segments.latest_sequence() == 0) {
         // A directory with no manifest is far more likely a typo than a
         // store that never checkpointed (same guard as viewmap_convert).
@@ -36,7 +54,9 @@ int main(int argc, char** argv) {
         return 1;
       }
       store::RecoveryStats rec;
-      db = segments.recover(&rec);
+      index::TimelineConfig index_cfg;
+      if (metrics_on) index_cfg.metrics = &registry;
+      db = segments.recover(vp::VpUploadPolicy{}, index_cfg, &rec);
       std::printf(
           "%s: checkpoint %llu, %zu segments, %zu VPs loaded (%zu rejected by "
           "the upload screen), %zu trusted%s\n",
@@ -89,6 +109,11 @@ int main(int argc, char** argv) {
       std::printf("    LEGITIMATE %s trust=%.5f\n",
                   to_hex(map.member(i).vp_id().bytes).substr(0, 16).c_str(),
                   verdict.ranks.scores[i]);
+  }
+
+  if (metrics_on) {
+    std::printf("\n");
+    registry.render(std::cout);
   }
   return 0;
 }
