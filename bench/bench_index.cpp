@@ -27,6 +27,11 @@
 //       registry wired vs disabled (the null-registry switch in
 //       TimelineConfig/IngestConfig). tools/run_bench.sh warns when the
 //       overhead exceeds the 3% budget documented in src/obs/README.md.
+//   (8) daemon soak: the assembled ServiceLifecycle daemon under kill -9
+//       cycles — sustained ingest rate through the IngestService drain,
+//       checkpoint cadence, and per-restart recovery latency. Every
+//       restart asserts the recovery invariant; tools/run_bench.sh fails
+//       the run when any cycle violates it.
 //
 // Emits BENCH_index.json (cwd) so future PRs can diff the numbers.
 //
@@ -34,6 +39,7 @@
 //                       [--ingest_vps=20000] [--threads=N]
 //                       [--server_requests=500] [--viewmap_vps=50000]
 //                       [--checkpoint_vps=1000000]
+//                       [--soak_cycles=5] [--soak_vps=300]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -47,6 +53,7 @@
 #include "attack/fake_vp.h"
 #include "bench_util.h"
 #include "common/rng.h"
+#include "daemon/lifecycle.h"
 #include "index/ingest_engine.h"
 #include "obs/metrics.h"
 #include "store/segment_store.h"
@@ -610,6 +617,115 @@ ObsRow bench_obs_overhead(std::size_t payload_count, Rng& rng) {
   return row;
 }
 
+struct DaemonSoakRow {
+  std::size_t kill_cycles = 0;
+  std::size_t vps_submitted = 0;       ///< admitted by IngestService::submit
+  std::size_t vps_recovered = 0;       ///< final cold recover() of the store
+  double sustained_ingest_vps_per_sec = 0.0;
+  std::size_t checkpoints = 0;         ///< manifests sealed across all cycles
+  double recovery_ms_mean = 0.0;       ///< start()-time restore, cycles 2..N
+  double recovery_ms_max = 0.0;
+  /// Every restart's recovery invariant (single-attempt recover, zero
+  /// rejects, loaded == manifest promise) plus a clean final cold
+  /// recover. tools/run_bench.sh fails the run when false.
+  bool recovered_matches = false;
+};
+
+/// The assembled daemon under the crash workload the soak test hammers:
+/// each cycle constructs a fresh ServiceLifecycle on the same store
+/// directory, times the restore start() performs, pushes `vps_per_cycle`
+/// uploads through the IngestService drain (blocking backpressure), waits
+/// for a checkpoint sealed after the channel emptied, then kill_for_test()
+/// — the in-process kill -9: no drain, no final checkpoint. fsync is ON;
+/// recovery_ms and checkpoint cadence are honest durable numbers.
+DaemonSoakRow bench_daemon_soak(std::size_t cycles, std::size_t vps_per_cycle,
+                                Rng& rng) {
+  namespace fs = std::filesystem;
+  const fs::path dir = "bench_daemon_soak.tmp";
+  fs::remove_all(dir);
+
+  daemon::DaemonConfig cfg;
+  cfg.service.rsa_bits = 1024;  // keygen is not what this bench measures
+  cfg.start_server = false;
+  cfg.store_dir = dir.string();
+  cfg.checkpoint.interval = std::chrono::milliseconds(25);
+  cfg.checkpoint.jitter_pct = 0;
+  cfg.ingest.idle_backoff_max = std::chrono::milliseconds(5);
+  cfg.scrape.enabled = false;
+  cfg.watchdog.enabled = false;
+
+  DaemonSoakRow row;
+  row.kill_cycles = cycles;
+  bool invariant_ok = true;
+  double feed_seconds = 0.0;
+  std::vector<double> recovery_ms;
+
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    daemon::ServiceLifecycle d(cfg);
+    const auto t0 = Clock::now();
+    d.start();
+    const double start_ms = seconds_since(t0) * 1e3;
+    if (cycle > 0) {
+      // Restarts after a kill must land on the newest sealed manifest in
+      // one attempt with nothing rejected — the PR 5 recovery invariant.
+      const auto& rec = d.recovery();
+      recovery_ms.push_back(start_ms);
+      invariant_ok = invariant_ok && d.recovered() && rec.manifests_tried == 1 &&
+                     rec.profiles_rejected == 0 &&
+                     rec.profiles_loaded == rec.manifest_profiles;
+    }
+
+    std::vector<std::vector<std::uint8_t>> payloads;
+    payloads.reserve(vps_per_cycle);
+    for (std::size_t i = 0; i < vps_per_cycle; ++i) {
+      const TimeSec unit = kUnitTimeSec * static_cast<TimeSec>(rng.index(30));
+      payloads.push_back(random_vp(unit, 8000.0, rng).serialize());
+    }
+    const auto feed_start = Clock::now();
+    for (auto& p : payloads)
+      if (d.ingest().submit(std::move(p))) ++row.vps_submitted;
+    // Admission rate: submit-to-admitted through the bounded channel while
+    // the drain thread time-slices the same core(s).
+    feed_seconds += seconds_since(feed_start);
+
+    // Wait until the channel emptied, then for one checkpoint sealed
+    // after that — the manifest a kill now must leave recoverable.
+    while (d.service().upload_channel().pending() != 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::uint64_t sealed = d.checkpointer()->written();
+    while (d.checkpointer()->written() <= sealed) {
+      d.checkpointer()->poke();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    d.kill_for_test();
+  }
+
+  row.sustained_ingest_vps_per_sec =
+      feed_seconds > 0 ? static_cast<double>(row.vps_submitted) / feed_seconds
+                       : 0.0;
+  if (!recovery_ms.empty()) {
+    double sum = 0.0;
+    for (const double ms : recovery_ms) {
+      sum += ms;
+      row.recovery_ms_max = std::max(row.recovery_ms_max, ms);
+    }
+    row.recovery_ms_mean = sum / static_cast<double>(recovery_ms.size());
+  }
+
+  {
+    store::SegmentStore store(dir.string());
+    row.checkpoints = static_cast<std::size_t>(store.latest_sequence());
+    store::RecoveryStats rec;
+    const auto db = store.recover(&rec);
+    row.vps_recovered = db.size();
+    row.recovered_matches = invariant_ok && rec.profiles_rejected == 0 &&
+                            rec.profiles_loaded == rec.manifest_profiles;
+  }
+
+  fs::remove_all(dir);
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -625,6 +741,10 @@ int main(int argc, char** argv) {
   const auto checkpoint_vps = std::min<std::size_t>(
       static_cast<std::size_t>(bench::int_flag(argc, argv, "checkpoint_vps", 1000000)),
       max_vps);
+  const auto soak_cycles =
+      static_cast<std::size_t>(bench::int_flag(argc, argv, "soak_cycles", 5));
+  const auto soak_vps =
+      static_cast<std::size_t>(bench::int_flag(argc, argv, "soak_vps", 300));
   unsigned threads = static_cast<unsigned>(bench::int_flag(argc, argv, "threads", 0));
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -740,6 +860,19 @@ int main(int argc, char** argv) {
       ckpt.incr_segments_written, ckpt.incr_segments_reused, ckpt.restart_ms,
       ckpt.recovered_vps, ckpt.recovered_matches ? "OK" : "VIOLATED");
 
+  // ── daemon soak: the assembled service under kill -9 cycles ─────────
+  std::printf("\n-- daemon soak: ServiceLifecycle under repeated kill -9 + restart --\n");
+  Rng soak_rng(4242);
+  const auto soak = bench_daemon_soak(soak_cycles, soak_vps, soak_rng);
+  std::printf(
+      "%zu kill cycles, %zu VPs submitted (%.0f VPs/s sustained through the "
+      "ingest drain):\n"
+      "  %zu checkpoints sealed, restart recovery %.1f ms mean / %.1f ms max, "
+      "%zu VPs in the final cold recover, invariant %s\n",
+      soak.kill_cycles, soak.vps_submitted, soak.sustained_ingest_vps_per_sec,
+      soak.checkpoints, soak.recovery_ms_mean, soak.recovery_ms_max,
+      soak.vps_recovered, soak.recovered_matches ? "OK" : "VIOLATED");
+
   // ── JSON trajectory ──────────────────────────────────────────────────
   FILE* json = std::fopen("BENCH_index.json", "w");
   if (json != nullptr) {
@@ -819,9 +952,20 @@ int main(int argc, char** argv) {
     std::fprintf(json,
                  "  \"obs_overhead\": {\"payloads\": %zu, "
                  "\"plain_vps_per_sec\": %.1f, \"metered_vps_per_sec\": %.1f, "
-                 "\"overhead_pct\": %.2f}\n}\n",
+                 "\"overhead_pct\": %.2f},\n",
                  obs_row.payloads, obs_row.plain_vps_per_sec,
                  obs_row.metered_vps_per_sec, obs_row.overhead_pct);
+    std::fprintf(json,
+                 "  \"daemon_soak\": {\"kill_cycles\": %zu, "
+                 "\"vps_submitted\": %zu, \"sustained_ingest_vps_per_sec\": %.1f, "
+                 "\"checkpoints\": %zu, \"recovery_ms_mean\": %.2f, "
+                 "\"recovery_ms_max\": %.2f, \"vps_recovered\": %zu, "
+                 "\"recovered_matches\": %s, \"note\": \"fsync on; kill -9 via "
+                 "kill_for_test between cycles\"}\n}\n",
+                 soak.kill_cycles, soak.vps_submitted,
+                 soak.sustained_ingest_vps_per_sec, soak.checkpoints,
+                 soak.recovery_ms_mean, soak.recovery_ms_max, soak.vps_recovered,
+                 soak.recovered_matches ? "true" : "false");
     std::fclose(json);
     std::printf("\nwrote BENCH_index.json\n");
   }

@@ -3,6 +3,7 @@
 namespace viewmap::anonet {
 
 void AnonymousChannel::submit(std::vector<std::uint8_t> payload) {
+  std::lock_guard lock(mutex_);
   pending_.push_back(std::move(payload));
 }
 
@@ -20,9 +21,13 @@ std::vector<Delivery> AnonymousChannel::release(std::size_t count) {
   return out;
 }
 
-std::vector<Delivery> AnonymousChannel::drain() { return release(pending_.size()); }
+std::vector<Delivery> AnonymousChannel::drain() {
+  std::lock_guard lock(mutex_);
+  return release(pending_.size());
+}
 
 std::vector<Delivery> AnonymousChannel::drain_batch() {
+  std::lock_guard lock(mutex_);
   if (pending_.size() < mix_pool_) return {};
   return release(mix_pool_);
 }

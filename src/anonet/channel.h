@@ -7,9 +7,16 @@
 // throwaway session identifiers, in an order decorrelated from submission
 // order (a small mix pool). No sender identity exists anywhere in the
 // delivered record — verified by tests, relied on by the privacy analysis.
+//
+// Thread safety: submit/drain/drain_batch/pending are internally
+// synchronized (one mutex; the pending vector and the RNG are the only
+// shared state). This is what lets the daemon's IngestService thread
+// drain continuously while any number of uploader threads submit —
+// exactly the always-on shape of the paper's public service.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
@@ -30,22 +37,28 @@ class AnonymousChannel {
   explicit AnonymousChannel(std::uint64_t seed, std::size_t mix_pool = 16)
       : rng_(seed), mix_pool_(mix_pool) {}
 
-  /// Client side: enqueue one payload.
+  /// Client side: enqueue one payload. Thread-safe.
   void submit(std::vector<std::uint8_t> payload);
 
   /// Server side: receive every pending upload, shuffled, each under a
-  /// fresh session id.
+  /// fresh session id. Thread-safe.
   [[nodiscard]] std::vector<Delivery> drain();
 
   /// Server side: receive up to the mix-pool batch (empty if fewer than
   /// `mix_pool` uploads are pending — batching is what hides timing).
+  /// Thread-safe.
   [[nodiscard]] std::vector<Delivery> drain_batch();
 
-  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    std::lock_guard lock(mutex_);
+    return pending_.size();
+  }
 
  private:
+  /// Caller holds mutex_.
   [[nodiscard]] std::vector<Delivery> release(std::size_t count);
 
+  mutable std::mutex mutex_;  ///< guards pending_ and rng_
   Rng rng_;
   std::size_t mix_pool_;
   std::vector<std::vector<std::uint8_t>> pending_;

@@ -1,0 +1,40 @@
+// Debug-build enforcement of single-caller contracts.
+//
+// Several hot paths (ViewMapService::ingest_uploads(), checkpoint-per-
+// store) are documented "one caller at a time" and stay lock-free on
+// that promise. A violation is a programming error in the embedding
+// process, not a runtime condition to handle — so in debug builds we
+// crash loudly at the exact call site instead of letting two drains
+// interleave and corrupt last-call statistics. Release builds compile
+// the guard away entirely (see the NDEBUG use sites).
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace viewmap {
+
+/// RAII occupancy check over a caller-owned flag: the constructor aborts
+/// the process if the flag is already held, i.e. if a second thread (or
+/// a re-entrant call on the same thread) entered the guarded region
+/// before the first left it. acquire/release ordering makes the state
+/// the guarded region mutated visible to the next legitimate entrant.
+class ReentrancyGuard {
+ public:
+  ReentrancyGuard(std::atomic<bool>& flag, const char* what) : flag_(flag) {
+    if (flag_.exchange(true, std::memory_order_acquire)) {
+      std::fprintf(stderr, "fatal: re-entered single-caller %s\n", what);
+      std::abort();
+    }
+  }
+  ~ReentrancyGuard() { flag_.store(false, std::memory_order_release); }
+
+  ReentrancyGuard(const ReentrancyGuard&) = delete;
+  ReentrancyGuard& operator=(const ReentrancyGuard&) = delete;
+
+ private:
+  std::atomic<bool>& flag_;
+};
+
+}  // namespace viewmap

@@ -1,0 +1,163 @@
+#include "daemon/checkpoint_daemon.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "store/segment_store.h"
+#include "system/service.h"
+
+namespace viewmap::daemon {
+
+namespace {
+
+/// Slice long waits so the thread heartbeats (and notices stop/poke)
+/// at least once a second.
+constexpr std::chrono::milliseconds kMaxSlice{1000};
+
+bool same_digests(const std::vector<index::DbSnapshot::ShardDigest>& a,
+                  const std::vector<index::DbSnapshot::ShardDigest>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].unit_time != b[i].unit_time || a[i].digest != b[i].digest)
+      return false;
+  return true;
+}
+
+}  // namespace
+
+CheckpointDaemon::CheckpointDaemon(sys::ViewMapService& service,
+                                   store::SegmentStore& store,
+                                   CheckpointConfig cfg)
+    : service_(service),
+      store_(store),
+      cfg_(cfg),
+      jitter_rng_(cfg.jitter_seed) {
+  auto& reg = service_.metrics();
+  store_.adopt_metrics(&reg);
+  heartbeats_ = &reg.counter("viewmap_daemon_heartbeats_total",
+                             {{"component", "checkpoint"}});
+  written_c_ = &reg.counter("viewmap_daemon_checkpoints_total",
+                            {{"result", "written"}});
+  skipped_c_ = &reg.counter("viewmap_daemon_checkpoints_total",
+                            {{"result", "skipped"}});
+  sequence_g_ = &reg.gauge("viewmap_daemon_checkpoint_sequence");
+}
+
+CheckpointDaemon::~CheckpointDaemon() { abort(); }
+
+bool CheckpointDaemon::start() {
+  std::lock_guard lock(mutex_);
+  if (thread_.joinable()) return false;
+  stop_requested_ = false;
+  final_checkpoint_ = false;
+  poked_ = false;
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void CheckpointDaemon::finish_and_stop() { stop_impl(/*final_checkpoint=*/true); }
+
+void CheckpointDaemon::abort() { stop_impl(/*final_checkpoint=*/false); }
+
+void CheckpointDaemon::stop_impl(bool final_checkpoint) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+    final_checkpoint_ = final_checkpoint;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void CheckpointDaemon::poke() {
+  {
+    std::lock_guard lock(mutex_);
+    poked_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool CheckpointDaemon::running() const {
+  std::lock_guard lock(mutex_);
+  return thread_.joinable();
+}
+
+std::uint64_t CheckpointDaemon::written() const {
+  std::lock_guard lock(mutex_);
+  return written_n_;
+}
+
+std::uint64_t CheckpointDaemon::skipped() const {
+  std::lock_guard lock(mutex_);
+  return skipped_n_;
+}
+
+std::chrono::milliseconds CheckpointDaemon::next_wait() {
+  if (cfg_.jitter_pct == 0) return cfg_.interval;
+  const auto base = cfg_.interval.count();
+  const std::int64_t span =
+      std::max<std::int64_t>(1, base * static_cast<std::int64_t>(cfg_.jitter_pct) / 100);
+  // interval − span … interval + span, uniform.
+  const std::int64_t offset =
+      static_cast<std::int64_t>(jitter_rng_.next_u64() % (2 * span + 1)) - span;
+  return std::chrono::milliseconds(std::max<std::int64_t>(1, base + offset));
+}
+
+void CheckpointDaemon::cycle() {
+  // One pinned snapshot for digesting and (maybe) writing: the
+  // comparison and the checkpoint describe the same database version.
+  const index::DbSnapshot snap = service_.database().snapshot();
+  auto digests = snap.shard_digests();
+  if (cfg_.skip_if_unchanged && have_last_ &&
+      same_digests(digests, last_digests_)) {
+    skipped_c_->add();
+    std::lock_guard lock(mutex_);
+    ++skipped_n_;
+    return;
+  }
+  const store::CheckpointStats stats = store_.checkpoint(snap);
+  last_digests_ = std::move(digests);
+  have_last_ = true;
+  written_c_->add();
+  sequence_g_->set(static_cast<std::int64_t>(stats.sequence));
+  std::lock_guard lock(mutex_);
+  ++written_n_;
+}
+
+void CheckpointDaemon::run() {
+  for (;;) {
+    const auto deadline = std::chrono::steady_clock::now() + next_wait();
+    bool stopping = false;
+    bool do_final = false;
+    {
+      std::unique_lock lock(mutex_);
+      while (!stop_requested_ && !poked_ &&
+             std::chrono::steady_clock::now() < deadline) {
+        heartbeats_->add();
+        const auto remaining = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline - std::chrono::steady_clock::now());
+        cv_.wait_for(lock, std::min(remaining, kMaxSlice));
+      }
+      poked_ = false;
+      stopping = stop_requested_;
+      do_final = final_checkpoint_;
+    }
+    if (stopping) {
+      // The final cycle runs HERE, after stop was observed at the wait
+      // phase — never skipped because stop arrived while a periodic
+      // cycle (possibly pinned before ingest settled) was in flight.
+      // That stale-snapshot window is exactly what the SIGTERM-during-
+      // checkpoint lifecycle test exercises.
+      if (do_final) {
+        heartbeats_->add();
+        cycle();
+      }
+      return;
+    }
+    heartbeats_->add();
+    cycle();
+  }
+}
+
+}  // namespace viewmap::daemon

@@ -1,0 +1,127 @@
+// Periodic checkpointer: the daemon thread that owns the one-
+// checkpointer-per-store contract.
+//
+// Every `interval` (± jitter, so a fleet of daemons restarted together
+// doesn't fsync in lockstep) the thread pins one DbSnapshot and seals it
+// into the SegmentStore. Before writing it compares the snapshot's
+// shard_digests() against the digests of the last checkpoint it wrote:
+// identical content ⇒ the write is skipped outright. The comparison is
+// content identity (cached SHA-256 per shard, see DbSnapshot), not a
+// heuristic — a skipped cycle is *proof* the newest manifest already
+// equals the live database, which is why the final shutdown checkpoint
+// may also skip without weakening the clean-drain guarantee.
+//
+// Shutdown has two shapes, mirroring IngestService: finish_and_stop()
+// runs one final cycle after ingest has drained (so the newest manifest
+// captures every accepted VP), abort() stops without it — the in-process
+// stand-in for a crash, leaving whatever the last periodic cycle sealed.
+//
+// Long intervals are waited out in ≤1 s slices, each bumping
+// viewmap_daemon_heartbeats_total{component="checkpoint"}: the lifecycle
+// watchdog must be able to tell "waiting out a 5-minute interval" from
+// "wedged inside fsync".
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/db_snapshot.h"
+
+namespace viewmap::obs {
+class Counter;
+class Gauge;
+}  // namespace viewmap::obs
+namespace viewmap::store {
+class SegmentStore;
+}  // namespace viewmap::store
+namespace viewmap::sys {
+class ViewMapService;
+}  // namespace viewmap::sys
+
+namespace viewmap::daemon {
+
+struct CheckpointConfig {
+  std::chrono::milliseconds interval{30000};
+  /// Each cycle's wait is interval ± this percentage, drawn per cycle.
+  unsigned jitter_pct = 10;
+  std::uint64_t jitter_seed = 0x7ea5;
+  /// Compare shard digests against the previous checkpoint and skip the
+  /// write when nothing changed. Off only for tests that count writes.
+  bool skip_if_unchanged = true;
+};
+
+class CheckpointDaemon {
+ public:
+  /// Wires `store` into the service's registry (adopt_metrics) and
+  /// registers its own metrics there. Nothing runs until start().
+  CheckpointDaemon(sys::ViewMapService& service, store::SegmentStore& store,
+                   CheckpointConfig cfg);
+  /// abort()s — destruction must not write a checkpoint nobody asked for.
+  ~CheckpointDaemon();
+
+  CheckpointDaemon(const CheckpointDaemon&) = delete;
+  CheckpointDaemon& operator=(const CheckpointDaemon&) = delete;
+
+  /// Spawns the checkpoint thread. False if already started.
+  bool start();
+
+  /// Graceful shutdown: waits out any in-flight cycle, runs one final
+  /// cycle (which may skip — see header comment), joins. After this the
+  /// newest manifest is content-identical to the live database as of the
+  /// call. Idempotent.
+  void finish_and_stop();
+
+  /// Crash-path shutdown: joins after the in-flight cycle (a thread
+  /// cannot be torn mid-fsync in-process) with NO final checkpoint —
+  /// everything ingested since the last sealed manifest is lost, exactly
+  /// like kill -9. Idempotent.
+  void abort();
+
+  /// Nudges the thread to run a cycle now instead of at the next
+  /// deadline (tests, operator-forced checkpoint).
+  void poke();
+
+  [[nodiscard]] bool running() const;
+
+  /// Cycles that sealed a manifest / that skipped as unchanged, this
+  /// daemon instance.
+  [[nodiscard]] std::uint64_t written() const;
+  [[nodiscard]] std::uint64_t skipped() const;
+
+ private:
+  void run();
+  void cycle();
+  void stop_impl(bool final_checkpoint);
+  [[nodiscard]] std::chrono::milliseconds next_wait();
+
+  sys::ViewMapService& service_;
+  store::SegmentStore& store_;
+  CheckpointConfig cfg_;
+
+  obs::Counter* heartbeats_ = nullptr;
+  obs::Counter* written_c_ = nullptr;
+  obs::Counter* skipped_c_ = nullptr;
+  obs::Gauge* sequence_g_ = nullptr;  ///< newest manifest this daemon sealed
+
+  /// Digests of the snapshot behind the last checkpoint this daemon
+  /// wrote (or skipped against). Thread-private: only run() touches it.
+  std::vector<index::DbSnapshot::ShardDigest> last_digests_;
+  bool have_last_ = false;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;   ///< under mutex_
+  bool final_checkpoint_ = false; ///< under mutex_
+  bool poked_ = false;            ///< under mutex_
+  std::uint64_t written_n_ = 0;   ///< under mutex_ (readable while running)
+  std::uint64_t skipped_n_ = 0;   ///< under mutex_
+  Rng jitter_rng_{0};
+  std::thread thread_;
+};
+
+}  // namespace viewmap::daemon

@@ -1,0 +1,195 @@
+// ServiceLifecycle: the composition root of the always-on daemon.
+//
+// Owns one ViewMapService plus the threads that make it a service
+// instead of a library: the IngestService drain, the CheckpointDaemon,
+// the service's own InvestigationServer pool, the scrape endpoint, and
+// a watchdog. Sequences them through
+//
+//   Init ──start()──▶ Running ──drain()──▶ Draining ──stop()──▶ Stopped
+//
+// start() first restores from the segment store (point-in-time when
+// recover_sequence names a manifest, newest otherwise), *then* starts
+// threads — recovery must finish before anything mutates the database.
+//
+// Shutdown ordering is the load-bearing part (argued in
+// src/daemon/README.md): drain() flips the state first (healthz goes
+// not-ready, submits start rejecting), stops ingest second (drains the
+// channel to empty), the investigation server third, and the
+// checkpointer LAST — its final cycle therefore seals a manifest
+// containing every VP any submitter was ever told was accepted. The
+// scrape endpoint outlives the drain so operators can watch it happen;
+// stop() takes it down with the watchdog.
+//
+// kill_for_test() is the in-process stand-in for kill -9: every thread
+// is abort()ed — no channel drain, no final checkpoint — so the store
+// holds exactly what the last periodic cycle sealed, which is precisely
+// the state a crash leaves. The soak harness alternates it with fresh
+// ServiceLifecycle instances on the same directory to hammer the PR 5
+// recovery invariant.
+//
+// The watchdog samples every component's
+// viewmap_daemon_heartbeats_total{component=…} counter; a counter that
+// stops moving for stall_after while the daemon is Running flips
+// viewmap_daemon_wedged{component=…} to 1 (and back on recovery), which
+// healthz reports as 503. Components heartbeat even when idle (sliced
+// waits), so "quiet" and "wedged" are distinguishable by construction.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "daemon/checkpoint_daemon.h"
+#include "daemon/ingest_service.h"
+#include "daemon/scrape_endpoint.h"
+#include "store/segment_store.h"
+#include "system/investigation_server.h"
+#include "system/service.h"
+
+namespace viewmap::daemon {
+
+enum class LifecycleState : int {
+  kInit = 0,
+  kRunning = 1,
+  kDraining = 2,
+  kStopped = 3,
+};
+
+[[nodiscard]] const char* to_string(LifecycleState s) noexcept;
+
+struct WatchdogConfig {
+  bool enabled = true;
+  std::chrono::milliseconds interval{500};
+  /// A Running component whose heartbeat counter has not moved for this
+  /// long is flagged wedged. Generous default: a loaded 1-core box
+  /// legitimately schedules threads coarsely.
+  std::chrono::milliseconds stall_after{10000};
+};
+
+struct DaemonConfig {
+  sys::ServiceConfig service{};
+  /// Investigation front. start_server = false runs ingest-only (the
+  /// paper's service still answers investigations, but a test may not
+  /// want the pool).
+  sys::ServerConfig server{};
+  bool start_server = true;
+  /// Segment-store directory. Empty ⇒ no persistence: no recovery on
+  /// start, no checkpoint thread (a pure in-memory service).
+  std::string store_dir;
+  store::SegmentStoreConfig store{};
+  /// 0 ⇒ recover newest-recoverable; otherwise restore exactly this
+  /// manifest sequence (throws out of start() if absent/damaged).
+  std::uint64_t recover_sequence = 0;
+  IngestServiceConfig ingest{};
+  CheckpointConfig checkpoint{};
+  ScrapeConfig scrape{};
+  WatchdogConfig watchdog{};
+};
+
+class ServiceLifecycle {
+ public:
+  /// Constructs the service (and store when configured) but starts no
+  /// thread: state() == kInit until start().
+  explicit ServiceLifecycle(DaemonConfig cfg);
+  /// stop()s (which drains first when still Running).
+  ~ServiceLifecycle();
+
+  ServiceLifecycle(const ServiceLifecycle&) = delete;
+  ServiceLifecycle& operator=(const ServiceLifecycle&) = delete;
+
+  /// Init → Running: restore from the store, then start ingest,
+  /// checkpointer, investigation server, scrape endpoint, watchdog — in
+  /// that order. False when not in Init (double start, restart of a
+  /// stopped instance — construct a fresh one). Throws when recovery or
+  /// the scrape bind fails; no thread is left running on throw.
+  bool start();
+
+  /// Running → Draining: stop intake and settle all accepted work (see
+  /// header comment for the ordering argument). The scrape endpoint
+  /// stays up. No-op unless Running.
+  void drain();
+
+  /// → Stopped: drain() first when still Running, then stop the scrape
+  /// endpoint and watchdog. Safe before start() (Init → Stopped, no-op
+  /// otherwise) and idempotent.
+  void stop();
+
+  /// Crash simulation: abort every thread with no drain and no final
+  /// checkpoint, → Stopped. The store is left exactly as the last
+  /// sealed manifest describes — the on-disk state of kill -9.
+  void kill_for_test();
+
+  [[nodiscard]] LifecycleState state() const noexcept {
+    return static_cast<LifecycleState>(state_.load(std::memory_order_acquire));
+  }
+
+  [[nodiscard]] sys::ViewMapService& service() noexcept { return service_; }
+  [[nodiscard]] IngestService& ingest() noexcept { return *ingest_; }
+  [[nodiscard]] CheckpointDaemon* checkpointer() noexcept {
+    return checkpointer_.get();
+  }
+  [[nodiscard]] store::SegmentStore* store() noexcept { return store_.get(); }
+  /// 0 when the scrape endpoint is disabled or not running.
+  [[nodiscard]] std::uint16_t scrape_port() const noexcept {
+    return scrape_ ? scrape_->port() : 0;
+  }
+  /// Stats of the restore start() performed; recovered() false when the
+  /// store was empty or absent (fresh database).
+  [[nodiscard]] bool recovered() const noexcept { return recovered_; }
+  [[nodiscard]] const store::RecoveryStats& recovery() const noexcept {
+    return recovery_;
+  }
+
+  /// healthz payload: (Running-and-nothing-wedged, state + wedged list).
+  [[nodiscard]] std::pair<bool, std::string> health() const;
+
+  // ── process signal plumbing (used by viewmapd) ─────────────────────
+  /// Installs SIGTERM/SIGINT handlers that set a process-wide flag (a
+  /// handler can do nothing else safely); the main loop polls
+  /// shutdown_requested() and runs drain()+stop() itself.
+  static void install_signal_handlers();
+  [[nodiscard]] static bool shutdown_requested() noexcept;
+  static void request_shutdown() noexcept;  ///< what the handlers call
+  static void clear_shutdown() noexcept;    ///< tests re-arm the flag
+
+ private:
+  void set_state(LifecycleState s) noexcept;
+  void start_watchdog();
+  void stop_watchdog();
+  void watchdog_run();
+
+  DaemonConfig cfg_;
+  sys::ViewMapService service_;
+  std::unique_ptr<store::SegmentStore> store_;
+  std::unique_ptr<IngestService> ingest_;
+  std::unique_ptr<CheckpointDaemon> checkpointer_;
+  std::unique_ptr<ScrapeEndpoint> scrape_;
+
+  store::RecoveryStats recovery_{};
+  bool recovered_ = false;
+
+  std::atomic<int> state_{static_cast<int>(LifecycleState::kInit)};
+  obs::Gauge* state_g_ = nullptr;
+
+  struct Watched {
+    std::string component;          ///< heartbeat label value
+    const obs::Counter* beats = nullptr;
+    obs::Gauge* wedged = nullptr;
+    std::uint64_t last_value = 0;
+    std::chrono::steady_clock::time_point last_change{};
+  };
+  std::vector<Watched> watched_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  ///< under watchdog_mutex_
+  std::thread watchdog_;
+};
+
+}  // namespace viewmap::daemon

@@ -1,0 +1,136 @@
+#include "daemon/scrape_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace viewmap::daemon {
+
+namespace {
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; a scraper will retry
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(int status, const char* reason,
+                          const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << ' ' << reason << "\r\n"
+     << "Content-Type: text/plain; version=0.0.4\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+}  // namespace
+
+ScrapeEndpoint::ScrapeEndpoint(const obs::MetricsRegistry& registry,
+                               HealthProbe health, ScrapeConfig cfg,
+                               obs::MetricsRegistry& own_metrics)
+    : registry_(registry), health_(std::move(health)), cfg_(std::move(cfg)) {
+  heartbeats_ = &own_metrics.counter("viewmap_daemon_heartbeats_total",
+                                     {{"component", "scrape"}});
+  requests_ = &own_metrics.counter("viewmap_daemon_scrape_requests_total");
+}
+
+ScrapeEndpoint::~ScrapeEndpoint() { stop(); }
+
+bool ScrapeEndpoint::start() {
+  if (!cfg_.enabled || thread_.joinable()) return false;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("scrape: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("scrape: bad bind address " + cfg_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw std::runtime_error("scrape: cannot bind " + cfg_.bind_address + ":" +
+                             std::to_string(cfg_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+
+  listen_fd_ = fd;
+  stop_flag_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void ScrapeEndpoint::stop() {
+  stop_flag_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+  port_.store(0, std::memory_order_release);
+}
+
+void ScrapeEndpoint::run() {
+  while (!stop_flag_.load(std::memory_order_acquire)) {
+    heartbeats_->add();
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    serve_one(client);
+    ::close(client);
+  }
+}
+
+void ScrapeEndpoint::serve_one(int client_fd) {
+  requests_->add();
+  // One read is enough: both routes are tiny GETs and we only need the
+  // request line. Slow-loris resistance: 500 ms and we hang up.
+  timeval tv{0, 500 * 1000};
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  char buf[1024];
+  const ssize_t n = ::recv(client_fd, buf, sizeof buf - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  const std::string_view request(buf, static_cast<std::size_t>(n));
+  const auto line_end = request.find("\r\n");
+  const std::string_view line = request.substr(0, line_end);
+
+  if (line.starts_with("GET /metrics")) {
+    send_all(client_fd, http_response(200, "OK", registry_.render_text()));
+  } else if (line.starts_with("GET /healthz")) {
+    auto [healthy, body] = health_();
+    send_all(client_fd,
+             healthy ? http_response(200, "OK", body)
+                     : http_response(503, "Service Unavailable", body));
+  } else {
+    send_all(client_fd, http_response(404, "Not Found", "not found\n"));
+  }
+}
+
+}  // namespace viewmap::daemon

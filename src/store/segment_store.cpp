@@ -223,6 +223,12 @@ std::uint64_t SegmentStore::latest_sequence() const {
   return manifests.empty() ? 0 : manifests.front();
 }
 
+std::vector<std::uint64_t> SegmentStore::manifest_sequences() const {
+  auto out = list_manifests_desc();
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
 CheckpointStats SegmentStore::checkpoint(const index::DbSnapshot& snap) {
   const auto start = std::chrono::steady_clock::now();
   fs::create_directories(dir_);
@@ -408,6 +414,46 @@ sys::VpDatabase SegmentStore::recover(vp::VpUploadPolicy policy,
   return recover_impl(policy, index_cfg, stats);
 }
 
+sys::VpDatabase SegmentStore::recover(std::uint64_t sequence,
+                                      RecoveryStats* stats) const {
+  return recover(sequence, {}, {}, stats);
+}
+
+sys::VpDatabase SegmentStore::recover(std::uint64_t sequence,
+                                      vp::VpUploadPolicy policy,
+                                      index::TimelineConfig index_cfg,
+                                      RecoveryStats* stats) const {
+  const auto start = std::chrono::steady_clock::now();
+  RecoveryStats local;
+  ++local.manifests_tried;
+  // No fallback: a damaged named checkpoint throws out of load_checkpoint
+  // rather than landing the caller on a sibling they did not ask for.
+  sys::VpDatabase db = load_checkpoint(sequence, policy, index_cfg, local);
+  if (stats != nullptr) *stats = local;
+  if (m_.recoveries != nullptr) {
+    m_.recoveries->add();
+    m_.recovered_profiles->add(local.profiles_loaded);
+    m_.recover_us->record(us_since(start));
+  }
+  return db;
+}
+
+sys::VpDatabase SegmentStore::load_checkpoint(std::uint64_t sequence,
+                                              vp::VpUploadPolicy policy,
+                                              index::TimelineConfig index_cfg,
+                                              RecoveryStats& stats) const {
+  sys::VpDatabase db(policy, index_cfg);
+  const Manifest manifest = read_manifest(sequence);
+  load_segments(manifest, db, stats);
+  // Force-set, don't advance: trusted restores already advanced the
+  // clock, which must not override an operator's reset_clock()
+  // recovery captured by the checkpoint (same rule as vp_store).
+  db.reset_clock(manifest.trusted_clock);
+  stats.sequence = sequence;
+  stats.trusted_marked = db.trusted_count();
+  return db;
+}
+
 sys::VpDatabase SegmentStore::recover_impl(vp::VpUploadPolicy policy,
                                            index::TimelineConfig index_cfg,
                                            RecoveryStats* stats) const {
@@ -417,17 +463,9 @@ sys::VpDatabase SegmentStore::recover_impl(vp::VpUploadPolicy policy,
   std::string newest_error;
   for (const std::uint64_t sequence : manifests) {
     ++local.manifests_tried;
-    sys::VpDatabase db(policy, index_cfg);
     RecoveryStats attempt = local;
     try {
-      const Manifest manifest = read_manifest(sequence);
-      load_segments(manifest, db, attempt);
-      // Force-set, don't advance: trusted restores already advanced the
-      // clock, which must not override an operator's reset_clock()
-      // recovery captured by the checkpoint (same rule as vp_store).
-      db.reset_clock(manifest.trusted_clock);
-      attempt.sequence = sequence;
-      attempt.trusted_marked = db.trusted_count();
+      sys::VpDatabase db = load_checkpoint(sequence, policy, index_cfg, attempt);
       if (stats != nullptr) *stats = attempt;
       if (m_.recoveries != nullptr) {
         m_.recoveries->add();

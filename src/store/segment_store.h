@@ -163,6 +163,26 @@ class SegmentStore {
                                         index::TimelineConfig index_cfg,
                                         RecoveryStats* stats = nullptr) const;
 
+  /// Point-in-time restore: loads exactly the checkpoint sealed under
+  /// manifest `sequence` — the daemon's "restart from a chosen
+  /// checkpoint" path, and the investigation path for historical
+  /// database states (run with keep_manifests > 2 to retain history).
+  /// Unlike the newest-first recover() above this never falls back: a
+  /// missing or damaged named manifest throws std::runtime_error,
+  /// because silently landing on a different checkpoint than the one the
+  /// operator named would defeat the point of naming it.
+  [[nodiscard]] sys::VpDatabase recover(std::uint64_t sequence,
+                                        RecoveryStats* stats = nullptr) const;
+  [[nodiscard]] sys::VpDatabase recover(std::uint64_t sequence,
+                                        vp::VpUploadPolicy policy,
+                                        index::TimelineConfig index_cfg,
+                                        RecoveryStats* stats = nullptr) const;
+
+  /// Manifest sequences present on disk, ascending — the menu a
+  /// point-in-time recover(sequence) picks from. Presence does not imply
+  /// loadability (that is recover's job to verify).
+  [[nodiscard]] std::vector<std::uint64_t> manifest_sequences() const;
+
   /// Newest manifest sequence present (0 = none). Scans the directory.
   [[nodiscard]] std::uint64_t latest_sequence() const;
 
@@ -209,6 +229,13 @@ class SegmentStore {
   [[nodiscard]] sys::VpDatabase recover_impl(vp::VpUploadPolicy policy,
                                              index::TimelineConfig index_cfg,
                                              RecoveryStats* stats) const;
+  /// Parses + fully validates exactly one checkpoint into a fresh
+  /// database. Throws on any damage; shared by the fallback walk and the
+  /// point-in-time recover(sequence).
+  [[nodiscard]] sys::VpDatabase load_checkpoint(std::uint64_t sequence,
+                                                vp::VpUploadPolicy policy,
+                                                index::TimelineConfig index_cfg,
+                                                RecoveryStats& stats) const;
 
   void write_file(const std::string& name, std::span<const std::uint8_t> bytes);
   void rename_file(const std::string& from, const std::string& to);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/reentrancy.h"
 #include "obs/metrics.h"
 #include "store/segment_store.h"
 #include "system/investigation_server.h"
@@ -80,6 +81,10 @@ void ViewMapService::stop_server() {
 }
 
 std::size_t ViewMapService::ingest_uploads() {
+#ifndef NDEBUG
+  // Catch two control threads draining at once (last_ingest_ would tear).
+  ReentrancyGuard guard(ingest_entered_, "ViewMapService::ingest_uploads()");
+#endif
   // The engine is stateless apart from its totals, so a per-call instance
   // keeps the service free of self-referential members; the service keeps
   // the running totals itself.
@@ -111,6 +116,16 @@ store::RecoveryStats ViewMapService::restore_from(const store::SegmentStore& sto
   // timeline publishes its shard gauge here too (the old timeline
   // withdraws its own contribution as it is destroyed).
   db_ = store.recover(db_.policy(), cfg_.index, &stats);
+  return stats;
+}
+
+store::RecoveryStats ViewMapService::restore_from(
+    const store::SegmentStore& store, std::uint64_t sequence) {
+  store.adopt_metrics(metrics_);
+  store::RecoveryStats stats;
+  // recover(sequence) throws on a missing/damaged manifest *before* the
+  // assignment, so a failed point-in-time restore leaves db_ intact.
+  db_ = store.recover(sequence, db_.policy(), cfg_.index, &stats);
   return stats;
 }
 

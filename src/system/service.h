@@ -9,6 +9,7 @@
 // stage is also usable on its own (see the per-module headers).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -147,6 +148,14 @@ class ViewMapService {
   /// anything else touching the service (stop_server() first).
   store::RecoveryStats restore_from(const store::SegmentStore& store);
 
+  /// Point-in-time variant: restores exactly the checkpoint sealed under
+  /// manifest `sequence` (see SegmentStore::recover(sequence)). Unlike
+  /// the newest-recoverable overload this never falls back — a missing
+  /// or damaged named manifest throws and the live database is left
+  /// untouched. Same restart-path-only contract as above.
+  store::RecoveryStats restore_from(const store::SegmentStore& store,
+                                    std::uint64_t sequence);
+
   // ── investigation path ─────────────────────────────────────────────
   /// Builds the viewmap for (site, unit_time), verifies it, and posts
   /// 'request for video' for every legitimate VP found inside the site.
@@ -267,6 +276,10 @@ class ViewMapService {
   index::IngestStats ingest_base_;       ///< registry values at construction
   obs::Histogram* investigate_us_ = nullptr;
   index::IngestStats last_ingest_;
+  /// Debug-build enforcement of the ingest_uploads() single-caller
+  /// contract (see common/reentrancy.h). Header always declares it so
+  /// NDEBUG and debug TUs agree on the object layout.
+  std::atomic<bool> ingest_entered_{false};
   std::vector<Id16> review_;
   std::unordered_map<Id16, int, Id16Hasher> granted_;  ///< open claims: id → n
   /// Declared last: its workers reference the members above, so it must

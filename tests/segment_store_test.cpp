@@ -402,6 +402,77 @@ TEST(SegmentStore, KeepManifestsBoundsHistory) {
   EXPECT_EQ(store.latest_sequence(), 5u);
 }
 
+TEST(SegmentStore, PointInTimeRecoverLandsOnTheNamedManifest) {
+  TempDir dir("pit");
+  Rng rng(40);
+  sys::VpDatabase db;
+  SegmentStoreConfig cfg = fast_config();
+  cfg.keep_manifests = 4;  // retain the history the named restores walk
+  SegmentStore store(dir.str(), cfg);
+  std::map<std::uint64_t, std::string> sealed;  // sequence → VMDB bytes
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(db.upload(
+        make_profile(round * kUnitTimeSec, {round * 300.0, 0.0}, rng)));
+    const auto stats = store.checkpoint(db.snapshot());
+    sealed[stats.sequence] = db_bytes(db);
+  }
+  EXPECT_EQ(store.manifest_sequences(),
+            (std::vector<std::uint64_t>{1, 2, 3}));
+
+  // Every retained checkpoint — including the middle of history, which
+  // newest-first recover() can never land on — restores bit-for-bit.
+  for (const auto& [seq, bytes] : sealed) {
+    RecoveryStats rec;
+    const sys::VpDatabase loaded = store.recover(seq, &rec);
+    EXPECT_EQ(rec.sequence, seq);
+    EXPECT_EQ(rec.manifests_tried, 1u);
+    EXPECT_EQ(rec.profiles_loaded, rec.manifest_profiles);
+    EXPECT_EQ(rec.profiles_rejected, 0u);
+    EXPECT_TRUE(db_bytes(loaded) == bytes)
+        << "sequence " << seq << " did not restore bit-for-bit";
+  }
+}
+
+TEST(SegmentStore, PointInTimeRecoverMissingSequenceThrows) {
+  TempDir dir("pitmissing");
+  Rng rng(41);
+  sys::VpDatabase db;
+  SegmentStore store(dir.str(), fast_config());
+  ASSERT_TRUE(db.upload(make_profile(0, {0.0, 0.0}, rng)));
+  (void)store.checkpoint(db.snapshot());
+
+  const std::uint64_t absent = 99;
+  EXPECT_THROW((void)store.recover(absent), std::runtime_error);
+  // GC'd history is equally absent: only the kept manifests are menu.
+  const std::uint64_t sealed = 1;
+  EXPECT_NO_THROW((void)store.recover(sealed));
+}
+
+TEST(SegmentStore, PointInTimeRecoverNeverFallsBack) {
+  TempDir dir("pitdamaged");
+  Rng rng(42);
+  sys::VpDatabase db;
+  SegmentStore store(dir.str(), fast_config());
+  ASSERT_TRUE(db.upload(make_profile(0, {0.0, 0.0}, rng)));
+  (void)store.checkpoint(db.snapshot());
+  const std::string sealed_bytes = db_bytes(db);
+  ASSERT_TRUE(db.upload(make_profile(kUnitTimeSec, {400.0, 0.0}, rng)));
+  (void)store.checkpoint(db.snapshot());
+
+  // Damage the newest manifest. Newest-first recover() falls back to
+  // checkpoint 1; naming sequence 2 must throw instead of silently
+  // landing the caller on a checkpoint they did not ask for.
+  const std::vector<std::uint8_t> junk{'j', 'u', 'n', 'k'};
+  write_raw(dir.path() / "manifest-0000000000000002.vman", junk);
+  RecoveryStats rec;
+  const sys::VpDatabase fallback = store.recover(&rec);
+  EXPECT_EQ(rec.sequence, 1u);
+  EXPECT_EQ(rec.manifests_tried, 2u);
+  EXPECT_TRUE(db_bytes(fallback) == sealed_bytes);
+  const std::uint64_t named = 2;
+  EXPECT_THROW((void)store.recover(named), std::runtime_error);
+}
+
 TEST(SegmentStore, ClockRecoverySurvivesCheckpoint) {
   TempDir dir("clock");
   Rng rng(5);

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Compressed-time soak/crash smoke of the viewmapd daemon (well under
+# 60 s end to end). Exercises the full service lifecycle the way an
+# operator would see it:
+#
+#   1. start viewmapd on a fresh store with live soak ingest
+#      (--soak_rate), a compressed trusted clock (--unit_every_ms), and
+#      concurrent investigations;
+#   2. scrape /metrics and /healthz over the daemon's own TCP endpoint
+#      (plain bash /dev/tcp — no curl dependency);
+#   3. kill -9 the process mid-checkpoint-cadence (200 ms interval, so
+#      a hard kill lands between — or inside — cycles);
+#   4. restart on the same store and assert the recovery line
+#      (recovered seq=N ... rejected=0) and a green /healthz;
+#   5. SIGTERM the daemon and assert the clean drain+stop lines.
+#
+#   tools/daemon_smoke.sh [path/to/viewmapd]   (default build/tools/viewmapd)
+set -euo pipefail
+
+bin="${1:-build/tools/viewmapd}"
+if [ ! -x "$bin" ]; then
+  echo "daemon_smoke: $bin not found or not executable" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+store="$workdir/store"
+log="$workdir/viewmapd.log"
+port=""
+
+start_daemon() {
+  : > "$log"
+  "$bin" --store="$store" --port=0 --workers=1 \
+         --checkpoint_interval_ms=200 --jitter=0 \
+         --soak_rate=400 --unit_every_ms=250 --investigate_every_ms=100 \
+         >"$log" 2>&1 &
+  pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^viewmapd: scrape listening on [0-9.]*:\([0-9]*\)$/\1/p' "$log" | head -n 1)"
+    [ -n "$port" ] && return 0
+    if ! kill -0 "$pid" 2>/dev/null; then break; fi
+    sleep 0.1
+  done
+  echo "daemon_smoke: daemon did not announce its scrape endpoint" >&2
+  cat "$log" >&2
+  exit 1
+}
+
+# GET a path from the scrape endpoint; prints status line + headers + body.
+http_get() {
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' "$1" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+# ── 1. fresh start under soak load ───────────────────────────────────
+start_daemon
+grep -q '^viewmapd: fresh database$' "$log" || {
+  echo "daemon_smoke: expected a fresh database on first start" >&2
+  cat "$log" >&2
+  exit 1
+}
+echo "daemon_smoke: started (pid=$pid, scrape port=$port)"
+
+# Let the soak loop ingest and the 200 ms checkpoint cadence seal a few
+# manifests worth of live state.
+sleep 3
+
+# ── 2. scrape the live daemon ────────────────────────────────────────
+metrics="$(http_get /metrics)"
+echo "$metrics" | grep -q '^HTTP/1.1 200 OK' ||
+  { echo "daemon_smoke: /metrics did not return 200" >&2; exit 1; }
+echo "$metrics" | grep -q 'viewmap_daemon_heartbeats_total' ||
+  { echo "daemon_smoke: /metrics is missing daemon heartbeat counters" >&2; exit 1; }
+echo "$metrics" | grep -q 'viewmap_daemon_checkpoints_total' ||
+  { echo "daemon_smoke: /metrics is missing checkpoint counters" >&2; exit 1; }
+health="$(http_get /healthz)"
+echo "$health" | grep -q '^HTTP/1.1 200 OK' ||
+  { echo "daemon_smoke: /healthz not green on a running daemon" >&2; exit 1; }
+echo "$health" | grep -q '^state=running' ||
+  { echo "daemon_smoke: /healthz body does not report state=running" >&2; exit 1; }
+echo "daemon_smoke: /metrics + /healthz green under live ingest"
+
+# ── 3. kill -9 mid-cadence ───────────────────────────────────────────
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+echo "daemon_smoke: killed -9"
+
+# ── 4. restart on the crashed store: the recovery invariant ──────────
+start_daemon
+recovered="$(grep '^viewmapd: recovered seq=' "$log" | head -n 1 || true)"
+[ -n "$recovered" ] || {
+  echo "daemon_smoke: restart did not recover from the crashed store" >&2
+  cat "$log" >&2
+  exit 1
+}
+echo "$recovered" | grep -q 'rejected=0' ||
+  { echo "daemon_smoke: recovery rejected profiles: $recovered" >&2; exit 1; }
+health="$(http_get /healthz)"
+echo "$health" | grep -q '^HTTP/1.1 200 OK' ||
+  { echo "daemon_smoke: /healthz not green after crash recovery" >&2; exit 1; }
+echo "daemon_smoke: $recovered — /healthz green after kill -9 restart"
+
+# ── 5. graceful shutdown: drain then stop ────────────────────────────
+sleep 1
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+  if ! kill -0 "$pid" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "daemon_smoke: daemon ignored SIGTERM" >&2
+  kill -9 "$pid"
+  exit 1
+fi
+wait "$pid" 2>/dev/null || true
+pid=""
+grep -q '^viewmapd: draining$' "$log" ||
+  { echo "daemon_smoke: SIGTERM did not drain" >&2; cat "$log" >&2; exit 1; }
+grep -q '^viewmapd: stopped' "$log" ||
+  { echo "daemon_smoke: daemon did not report a clean stop" >&2; cat "$log" >&2; exit 1; }
+echo "daemon_smoke: clean SIGTERM drain+stop"
+echo "daemon_smoke: PASS"

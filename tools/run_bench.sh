@@ -7,11 +7,14 @@
 # 1-core host the JSON carries a note: everything time-slices one CPU),
 # viewmap construction (grid+CSR builder vs the naive O(n²) reference),
 # incremental persistence (segment-store checkpoint vs full VMDB
-# rewrite, plus cold-restart recovery), and observability overhead
-# (ingest with the metrics registry on vs off). Asserts that every
+# rewrite, plus cold-restart recovery), observability overhead
+# (ingest with the metrics registry on vs off), and the daemon soak
+# (ServiceLifecycle under kill -9 cycles: sustained ingest rate,
+# checkpoint cadence, restart recovery latency). Asserts that every
 # viewmap_build row reports a bit-identical edge set between the two
-# builders, that the checkpoint scenario's recovery invariant held
-# (profiles recovered == manifest promise), and that the server
+# builders, that the checkpoint and daemon-soak scenarios' recovery
+# invariant held (profiles recovered == manifest promise, single-attempt
+# restarts), and that the server
 # latency percentiles are monotone (p50 ≤ p90 ≤ p99); warns when the
 # observability overhead exceeds its 3% budget. Finishes with a
 # docs-link check: every per-module design doc under src/*/README.md
@@ -86,6 +89,16 @@ if awk -v o="$overhead" 'BEGIN { exit !(o > 3.0) }'; then
 else
   echo "obs_overhead check passed: ${overhead}% (budget 3%)"
 fi
+
+# Daemon-soak assertion: the always-on service scenario must be present,
+# and every kill -9 restart must have recovered the newest sealed manifest
+# in a single attempt with zero rejects (the shared recovered_matches
+# grep above already fails the run if the invariant broke).
+if ! grep -q '"daemon_soak"' BENCH_index.json; then
+  echo "daemon_soak check: scenario missing from BENCH_index.json" >&2
+  exit 1
+fi
+echo "daemon_soak check passed: every kill -9 restart recovered the sealed manifest"
 
 # Docs-link check: the architecture map must reach every module design doc.
 missing=0
