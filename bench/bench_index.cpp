@@ -23,6 +23,12 @@
 //       plus cold-restart recovery time. tools/run_bench.sh asserts the
 //       recovery invariant (profiles recovered == profiles the manifest
 //       promises == profiles in the pinned snapshot).
+//   (6b) recovery_v2: the same churned checkpoint migrated to the packed
+//       v2 codec and cold-restarted through the parallel recovery pool,
+//       head-to-head against the v1 stream restart of (6) — plus the
+//       per-phase (read/validate/parse/adopt) breakdown. tools/
+//       run_bench.sh asserts recovered_matches and, on 1M-VP runs, a
+//       ≥ 5× speedup over the recorded v1 baseline restart.
 //   (7) observability overhead: single-thread ingest with the metrics
 //       registry wired vs disabled (the null-registry switch in
 //       TimelineConfig/IngestConfig). tools/run_bench.sh warns when the
@@ -491,6 +497,30 @@ struct CheckpointRow {
   bool recovered_matches = false;
 };
 
+/// The v1 restart_ms recorded for this scenario at 1M VPs before the
+/// packed v2 codec landed — the restart-time target the v2 row is
+/// judged against (tools/run_bench.sh asserts ≥ 5×).
+constexpr double kRecordedV1RestartMs1M = 83652.5;
+constexpr std::size_t kBaselineVps = 1000000;
+
+struct RecoveryV2Row {
+  std::size_t vps = 0;
+  std::size_t shards = 0;
+  double restart_v1_ms = 0.0;        ///< same-run cold recover of the v1 store
+  double restart_v2_ms = 0.0;        ///< cold recover of the migrated v2 store
+  double speedup_vs_v1 = 0.0;
+  double baseline_restart_ms = 0.0;  ///< recorded v1 number (1M-VP runs only)
+  double speedup_vs_baseline = 0.0;
+  unsigned threads = 0;              ///< recovery worker-pool width used
+  /// Per-phase cost of the v2 restart. read/validate/parse are summed
+  /// across workers; adopt is wall clock on the recovering thread.
+  double read_ms = 0.0;
+  double validate_ms = 0.0;
+  double parse_ms = 0.0;
+  double adopt_ms = 0.0;
+  bool recovered_matches = false;
+};
+
 /// The always-on persistence workload: a service checkpointing weeks of
 /// history where only the newest minutes change between checkpoints.
 /// Spreads `vp_count` over 200 unit-times, seals a full checkpoint, churns
@@ -498,7 +528,13 @@ struct CheckpointRow {
 /// persistence" buys: a full legacy save rewrites every byte, the segment
 /// checkpoint rewrites only the 2 changed shards + a ~12 KB manifest.
 /// fsync is ON — these are honest durable-write numbers.
-CheckpointRow bench_checkpoint(std::size_t vp_count, Rng& rng) {
+///
+/// When `v2out` is non-null the same dataset also feeds the recovery_v2
+/// scenario: the churned checkpoint is migrated into a packed v2 store
+/// and cold-recovered through the parallel worker pool, head-to-head
+/// against the v1 stream restart measured here.
+CheckpointRow bench_checkpoint(std::size_t vp_count, Rng& rng,
+                               RecoveryV2Row* v2out = nullptr) {
   const int minutes = 200;
   const double extent =
       std::max(2000.0, 250.0 * std::sqrt(static_cast<double>(vp_count) / minutes / 50.0) * 8.0);
@@ -517,7 +553,11 @@ CheckpointRow bench_checkpoint(std::size_t vp_count, Rng& rng) {
   CheckpointRow row;
   row.vps = db.size();
 
-  store::SegmentStore segments(seg_dir.string());
+  // Pinned to the v1 stream codec: this row is the legacy-format
+  // trajectory the recorded baseline (and the v2 comparison) reference.
+  store::SegmentStoreConfig v1cfg;
+  v1cfg.codec = store::SegmentCodec::kV1;
+  store::SegmentStore segments(seg_dir.string(), v1cfg);
   {
     const sys::DbSnapshot snap = db.snapshot();
     row.shards = snap.shard_count();
@@ -560,6 +600,47 @@ CheckpointRow bench_checkpoint(std::size_t vp_count, Rng& rng) {
     row.recovered_matches = rec.profiles_rejected == 0 &&
                             rec.profiles_loaded == rec.manifest_profiles &&
                             recovered.size() == churned.size();
+  }
+
+  if (v2out != nullptr) {
+    // Migrate the churned checkpoint into a packed v2 store (cross-codec
+    // reuse off ⇒ every shard is re-encoded), then cold-restart it
+    // through the parallel recovery pool.
+    const fs::path v2_dir = "bench_segments_v2.tmp";
+    fs::remove_all(v2_dir);
+    store::SegmentStoreConfig v2cfg;
+    v2cfg.codec = store::SegmentCodec::kV2;
+    v2cfg.reuse_any_codec = false;
+    store::SegmentStore packed(v2_dir.string(), v2cfg);
+    (void)packed.checkpoint(churned);
+
+    v2out->vps = row.vps;
+    v2out->shards = row.shards;
+    v2out->restart_v1_ms = row.restart_ms;
+    {
+      const auto start = Clock::now();
+      store::RecoveryStats rec;
+      const auto recovered = packed.recover(&rec);
+      v2out->restart_v2_ms = seconds_since(start) * 1e3;
+      v2out->threads = rec.threads_used;
+      v2out->read_ms = static_cast<double>(rec.read_us) / 1e3;
+      v2out->validate_ms = static_cast<double>(rec.validate_us) / 1e3;
+      v2out->parse_ms = static_cast<double>(rec.parse_us) / 1e3;
+      v2out->adopt_ms = static_cast<double>(rec.adopt_us) / 1e3;
+      v2out->recovered_matches = rec.profiles_rejected == 0 &&
+                                 rec.profiles_loaded == rec.manifest_profiles &&
+                                 recovered.size() == churned.size();
+    }
+    if (v2out->restart_v2_ms > 0.0)
+      v2out->speedup_vs_v1 = v2out->restart_v1_ms / v2out->restart_v2_ms;
+    if (row.vps == kBaselineVps) {
+      // The recorded-baseline comparison only means something at the VP
+      // count the baseline was recorded at.
+      v2out->baseline_restart_ms = kRecordedV1RestartMs1M;
+      if (v2out->restart_v2_ms > 0.0)
+        v2out->speedup_vs_baseline = kRecordedV1RestartMs1M / v2out->restart_v2_ms;
+    }
+    fs::remove_all(v2_dir);
   }
 
   fs::remove_all(seg_dir);
@@ -845,7 +926,8 @@ int main(int argc, char** argv) {
   // ── incremental persistence: segment checkpoints vs full saves ──────
   std::printf("\n-- incremental checkpoint (segment store) vs full save (VMDB rewrite) --\n");
   Rng ckpt_rng(7777);
-  const auto ckpt = bench_checkpoint(checkpoint_vps, ckpt_rng);
+  RecoveryV2Row rv2;
+  const auto ckpt = bench_checkpoint(checkpoint_vps, ckpt_rng, &rv2);
   std::printf(
       "%zu VPs over %zu shards, %zu churned (+%zu VPs):\n"
       "  full save (legacy VMDB rewrite): %.1f ms, %llu bytes\n"
@@ -859,6 +941,21 @@ int main(int argc, char** argv) {
       ckpt.incr_checkpoint_ms, static_cast<unsigned long long>(ckpt.incr_bytes),
       ckpt.incr_segments_written, ckpt.incr_segments_reused, ckpt.restart_ms,
       ckpt.recovered_vps, ckpt.recovered_matches ? "OK" : "VIOLATED");
+
+  // ── recovery_v2: packed codec + parallel restore vs the v1 stream ───
+  std::printf("\n-- recovery_v2: packed v2 restart vs v1 stream restart --\n");
+  std::printf(
+      "%zu VPs over %zu shards, %u recovery thread(s):\n"
+      "  v1 stream cold restart: %.1f ms\n"
+      "  v2 packed cold restart: %.1f ms (%.1fx vs same-run v1), invariant %s\n"
+      "  v2 phases: read %.1f ms, validate %.1f ms, parse %.1f ms "
+      "(worker-summed), adopt %.1f ms\n",
+      rv2.vps, rv2.shards, rv2.threads, rv2.restart_v1_ms, rv2.restart_v2_ms,
+      rv2.speedup_vs_v1, rv2.recovered_matches ? "OK" : "VIOLATED", rv2.read_ms,
+      rv2.validate_ms, rv2.parse_ms, rv2.adopt_ms);
+  if (rv2.baseline_restart_ms > 0.0)
+    std::printf("  vs recorded v1 baseline (%.1f ms at 1M VPs): %.1fx\n",
+                rv2.baseline_restart_ms, rv2.speedup_vs_baseline);
 
   // ── daemon soak: the assembled service under kill -9 cycles ─────────
   std::printf("\n-- daemon soak: ServiceLifecycle under repeated kill -9 + restart --\n");
@@ -931,6 +1028,20 @@ int main(int argc, char** argv) {
         ckpt.incr_checkpoint_ms, static_cast<unsigned long long>(ckpt.incr_bytes),
         ckpt.incr_segments_written, ckpt.incr_segments_reused, ckpt.restart_ms,
         ckpt.recovered_vps, ckpt.recovered_matches ? "true" : "false");
+    std::fprintf(
+        json,
+        "  \"recovery_v2\": {\"vps\": %zu, \"shards\": %zu, \"threads\": %u, "
+        "\"restart_v1_ms\": %.1f, \"restart_v2_ms\": %.1f, "
+        "\"speedup_vs_v1\": %.2f, \"baseline_restart_ms\": %.1f, "
+        "\"speedup_vs_baseline\": %.2f, \"read_ms\": %.1f, "
+        "\"validate_ms\": %.1f, \"parse_ms\": %.1f, \"adopt_ms\": %.1f, "
+        "\"recovered_matches\": %s, \"note\": \"packed v2 codec + parallel "
+        "restore; baseline is the recorded v1 restart at 1M VPs "
+        "(0.0 when this run used a different VP count)\"},\n",
+        rv2.vps, rv2.shards, rv2.threads, rv2.restart_v1_ms, rv2.restart_v2_ms,
+        rv2.speedup_vs_v1, rv2.baseline_restart_ms, rv2.speedup_vs_baseline,
+        rv2.read_ms, rv2.validate_ms, rv2.parse_ms, rv2.adopt_ms,
+        rv2.recovered_matches ? "true" : "false");
     std::fprintf(json,
                  "  \"server_throughput\": {\"vps\": %zu, \"workers\": %zu, "
                  "\"requests\": %zu, \"requests_per_sec\": %.1f, \"request_us\": %.1f, "

@@ -1,0 +1,80 @@
+#include "crypto/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace viewmap::crypto {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82f63b78u;  // Castagnoli, reflected
+
+/// Slicing-by-8 tables, built once at first use. Table 0 is the plain
+/// bitwise CRC table; table k folds a byte that is k positions ahead.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (std::size_t k = 1; k < 8; ++k)
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xffu];
+  }
+};
+
+std::uint32_t crc32c_sw(const std::uint8_t* p, std::size_t n, std::uint32_t crc) {
+  static const Tables tables;
+  const auto& t = tables.t;
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // little-endian: the CRC folds into the low 4 bytes
+    crc = t[7][word & 0xffu] ^ t[6][(word >> 8) & 0xffu] ^
+          t[5][(word >> 16) & 0xffu] ^ t[4][(word >> 24) & 0xffu] ^
+          t[3][(word >> 32) & 0xffu] ^ t[2][(word >> 40) & 0xffu] ^
+          t[1][(word >> 48) & 0xffu] ^ t[0][(word >> 56) & 0xffu];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xffu];
+  return crc;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(const std::uint8_t* p,
+                                                          std::size_t n,
+                                                          std::uint32_t crc) {
+  std::uint64_t c = crc;
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    c = __builtin_ia32_crc32di(c, word);
+    p += 8;
+    n -= 8;
+  }
+  auto c32 = static_cast<std::uint32_t>(c);
+  while (n-- > 0) c32 = __builtin_ia32_crc32qi(c32, *p++);
+  return c32;
+}
+
+bool have_sse42() {
+  static const bool yes = __builtin_cpu_supports("sse4.2") != 0;
+  return yes;
+}
+#endif
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (have_sse42()) return ~crc32c_hw(data.data(), data.size(), crc);
+#endif
+  return ~crc32c_sw(data.data(), data.size(), crc);
+}
+
+}  // namespace viewmap::crypto

@@ -123,6 +123,19 @@ struct TimeShard {
   /// stripe lock orders this plain store before any later pin.
   void invalidate_digest() noexcept { digest_valid_ = false; }
 
+  /// Pre-seeds the digest cache with an externally-known content digest.
+  /// Only valid on a shard the caller owns exclusively (recovery builds
+  /// shards off-thread before publishing them — see
+  /// VpTimeline::adopt_shard), and only when `digest` really is the
+  /// SHA-256 of this shard's stream_content() — the segment store seeds
+  /// the manifest digest iff every profile of the segment was adopted
+  /// unchanged, so the first checkpoint after a restart reuses every
+  /// sealed segment without re-serializing a byte.
+  void seed_digest(const Hash32& digest) noexcept {
+    digest_ = digest;
+    digest_valid_ = true;
+  }
+
  private:
   /// content_digest() cache. The mutex only arbitrates concurrent
   /// snapshot readers computing the digest at the same time; writers

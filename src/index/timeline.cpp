@@ -1,6 +1,7 @@
 #include "index/timeline.h"
 
 #include <algorithm>
+#include <array>
 
 #include "obs/metrics.h"
 
@@ -199,6 +200,147 @@ bool VpTimeline::insert(vp::ViewProfile profile, bool trusted) {
   // the retention clock. Anonymous claims never touch it.
   if (trusted) advance_clock(unit);
   return true;
+}
+
+std::size_t VpTimeline::adopt_shard(std::shared_ptr<TimeShard> shard) {
+  if (shard == nullptr || shard->profiles.empty()) return 0;
+  const TimeSec unit = shard->unit_time;
+
+  // ── Phase 1: claim every id, uncommitted — the same in-flight marker
+  // insert() uses, so a concurrent insert of a colliding id is rejected
+  // rather than racing the publish below. Ids are bucketed per stripe so
+  // each stripe mutex is taken once, not once per profile.
+  std::array<std::vector<Id16>, kIdStripes> buckets;
+  for (const auto& [id, profile] : shard->profiles)
+    buckets[Id16Hasher{}(id) % kIdStripes].push_back(id);
+
+  std::vector<Id16> drops;
+  /// Exactly the ids this call claimed (fresh entries), per stripe — the
+  /// precise set phase 3 commits and a failed publish unwinds. Dropped
+  /// ids and foreign in-flight claims are never touched.
+  std::array<std::vector<Id16>, kIdStripes> claimed;
+  /// Tombstones overwritten by the claim, with their pre-images — the
+  /// rollback set if publication fails.
+  std::vector<std::pair<Id16, IdEntry>> reclaimed;
+  for (std::size_t s = 0; s < kIdStripes; ++s) {
+    if (buckets[s].empty()) continue;
+    IdStripe& is = *id_stripes_[s];
+    std::lock_guard lock(is.mutex);
+    for (const Id16& id : buckets[s]) {
+      auto [it, fresh] = is.ids.try_emplace(id, IdEntry{unit, false});
+      if (fresh) {
+        claimed[s].push_back(id);
+        continue;
+      }
+      if (!it->second.committed || shard_holds(it->second.unit_time, id)) {
+        drops.push_back(id);  // in-flight or live elsewhere: first wins
+        continue;
+      }
+      reclaimed.emplace_back(id, it->second);  // tombstone of an evicted shard
+      it->second = IdEntry{unit, false};
+      tombstones_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  // The caller owns the shard exclusively, so collisions are removed
+  // without any lock; the digest cache dies with the first removal (the
+  // shard no longer matches the segment it was built from).
+  for (const Id16& id : drops) {
+    auto pit = shard->profiles.find(id);
+    shard->grid.erase(pit->second.get());
+    shard->trusted.erase(id);
+    shard->profiles.erase(pit);
+  }
+  if (!drops.empty()) shard->invalidate_digest();
+
+  const std::size_t adopted = shard->profiles.size();
+  const std::size_t trusted_added = shard->trusted.size();
+  if (adopted == 0) return drops.size();  // everything collided; no claims held
+
+  const auto unwind_claims = [&] {
+    for (std::size_t s = 0; s < kIdStripes; ++s) {
+      if (claimed[s].empty()) continue;
+      IdStripe& is = *id_stripes_[s];
+      std::lock_guard lock(is.mutex);
+      for (const Id16& id : claimed[s]) is.ids.erase(id);
+    }
+    for (const auto& [id, entry] : reclaimed) {
+      IdStripe& is = id_stripe(id);
+      std::lock_guard lock(is.mutex);
+      is.ids[id] = entry;
+      tombstones_.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  // ── Phase 2: publish the whole shard in one critical section. An
+  // occupied slot (a live service adopting into a non-empty minute) takes
+  // the merge path: survivors move into the existing shard, cloned first
+  // when pinned — exactly insert()'s copy-on-write rule.
+  bool created_shard = false;
+  try {
+    TimeStripe& ts = time_stripe(unit);
+    std::lock_guard lock(ts.mutex);
+    auto sit = ts.shards.find(unit);
+    if (sit == ts.shards.end()) {
+      ts.shards.emplace(unit, shard);
+      created_shard = true;
+    } else {
+      if (sit->second->pins.load(std::memory_order_acquire) > 0)
+        sit->second = std::make_shared<TimeShard>(*sit->second);
+      TimeShard& dst = *sit->second;
+      dst.invalidate_digest();
+      std::size_t merged = 0;
+      try {
+        for (const auto& [id, profile] : shard->profiles) {
+          auto [pit, inserted] = dst.profiles.emplace(id, profile);
+          (void)inserted;  // claims guarantee the id is new to dst
+          dst.grid.insert(pit->second.get());
+          if (shard->trusted.contains(id)) dst.trusted.insert(id);
+          ++merged;
+        }
+      } catch (...) {
+        // Unwind the partial merge so dst is exactly its pre-call content.
+        std::size_t undone = 0;
+        for (const auto& [id, profile] : shard->profiles) {
+          if (undone++ == merged) break;
+          dst.grid.erase(profile.get());
+          dst.trusted.erase(id);
+          dst.profiles.erase(id);
+        }
+        throw;
+      }
+    }
+  } catch (...) {
+    unwind_claims();
+    throw;
+  }
+  if (created_shard) {
+    shard_count_.fetch_add(1, std::memory_order_relaxed);
+    if (shards_gauge_ != nullptr) shards_gauge_->add(1);
+  }
+  size_.fetch_add(adopted, std::memory_order_relaxed);
+  trusted_count_.fetch_add(trusted_added, std::memory_order_relaxed);
+
+  // ── Phase 3: commit the claims; ids now survive eviction as tombstones.
+  for (std::size_t s = 0; s < kIdStripes; ++s) {
+    if (claimed[s].empty()) continue;
+    IdStripe& is = *id_stripes_[s];
+    std::lock_guard lock(is.mutex);
+    for (const Id16& id : claimed[s]) is.ids[id].committed = true;
+  }
+  for (const auto& pre : reclaimed) {
+    IdStripe& is = id_stripe(pre.first);
+    std::lock_guard lock(is.mutex);
+    is.ids[pre.first].committed = true;
+  }
+
+  version_.fetch_add(1, std::memory_order_release);
+  TimeSec prev = latest_.load(std::memory_order_relaxed);
+  while (unit > prev &&
+         !latest_.compare_exchange_weak(prev, unit, std::memory_order_relaxed)) {
+  }
+  if (trusted_added > 0) advance_clock(unit);
+  return drops.size();
 }
 
 void VpTimeline::advance_clock(TimeSec now) noexcept {

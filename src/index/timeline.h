@@ -100,6 +100,23 @@ class VpTimeline {
   /// the id collides with a live (or in-flight) entry.
   bool insert(vp::ViewProfile profile, bool trusted);
 
+  /// Bulk shard adoption — the recovery fast path. The caller hands over
+  /// a fully-built shard (profiles map, trusted set, grid) it owns
+  /// exclusively; the timeline claims every id, removes collisions
+  /// (an id already live elsewhere keeps its earlier profile — the same
+  /// first-wins rule the per-profile insert() path applies), and
+  /// publishes the shard in one time-stripe critical section instead of
+  /// one three-phase insert per profile. When the unit-time slot is
+  /// already occupied the survivors are merged into the existing shard
+  /// (copy-on-write when pinned). Counters, the write version, and —
+  /// when the shard carries trusted ids — the trusted clock are updated
+  /// exactly as `profiles.size()` individual inserts would have.
+  /// Returns the number of profiles dropped as id collisions; any drop
+  /// or merge invalidates the shard's digest cache. Thread-safe against
+  /// concurrent inserts/snapshots, but the shard argument must not be
+  /// reachable by any other thread.
+  std::size_t adopt_shard(std::shared_ptr<TimeShard> shard);
+
   /// An immutable pinned view of every live shard — the read API.
   /// Results obtained from the snapshot stay valid for the snapshot's
   /// lifetime regardless of concurrent ingest or eviction. Cost:

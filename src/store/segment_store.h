@@ -16,14 +16,26 @@
 //                               composed of, plus the trusted clock
 //     *.tmp                     in-flight writes (crash debris; GC'd)
 //
-// Segment file:   "VSEG" | u32 version | content | SHA-256(content)
+// Segment v1:     "VSEG" | u32 1 | content | SHA-256(content)
 //   content    =  unit_time i64 | vp_count u64 | trusted_count u64 |
 //                 vp_count × ViewProfile payload (ascending id) |
 //                 trusted_count × Id16 (ascending)
+// Segment v2:     "VSG2" | u32 2 | unit_time i64 | vp_count u64 |
+//   (.vseg2)      trusted_count u64 | arena_len u64 |
+//                 vp_count × (offset u64, len u32) offset table |
+//                 payload arena (ascending id) |
+//                 trusted_count × Id16 (ascending) |
+//                 Hash32 content digest | u32 CRC32C(all preceding bytes)
+//   The arena holds the profiles in ascending-id order, so header fields
+//   + arena + trusted ids ARE the canonical content bytes and the stored
+//   digest equals TimeShard::content_digest() — identity is codec-
+//   independent, incremental reuse works across codecs (see
+//   SegmentCodec). See src/store/README.md for the full v2 rationale.
 // Manifest file:  "VMAN" | u32 version | u64 sequence | i64 trusted_clock |
 //                 u64 shard_count | shard_count × entry | SHA-256(above)
-//   entry      =  unit_time i64 | vp_count u64 | trusted_count u64 |
+//   entry v1   =  unit_time i64 | vp_count u64 | trusted_count u64 |
 //                 Hash32 content digest
+//   entry v2   =  the same + u32 codec (1|2) before the digest
 //
 // Incrementality: a checkpoint walks the snapshot's shards and asks each
 // for its content digest (cached on the shard — an untouched shard
@@ -82,7 +94,28 @@ class Histogram;
 namespace viewmap::store {
 
 inline constexpr std::uint32_t kSegmentFormatVersion = 1;
+inline constexpr std::uint32_t kSegmentFormatVersionV2 = 2;
 inline constexpr std::uint32_t kManifestFormatVersion = 1;
+inline constexpr std::uint32_t kManifestFormatVersionV2 = 2;
+
+/// On-disk layout a segment is sealed in. Both are readable forever; the
+/// codec only selects what checkpoint() writes for NEW segments.
+///
+///   kV1  "VSEG": the PR 5 stream format — the canonical content bytes
+///        (TimeShard::stream_content) framed by magic/version and a
+///        SHA-256 trailer. Verifying it on restart costs a full SHA-256
+///        pass; loading it costs a per-profile parse.
+///   kV2  "VSG2" (.vseg2): flat packed arrays — an offset/length table
+///        into a payload arena holding the profiles in ascending-id
+///        order, so the arena IS the canonical payload section and a
+///        shard can be bulk-read and adopted wholesale
+///        (VpTimeline::adopt_shard) instead of re-inserted profile by
+///        profile. Integrity is a whole-file CRC32C (memory-bandwidth
+///        cheap) plus the embedded content digest checked against the
+///        manifest; identity stays the same SHA-256 content digest, so
+///        v1 and v2 segments of one shard share a digest and incremental
+///        reuse works across codecs.
+enum class SegmentCodec : std::uint32_t { kV1 = 1, kV2 = 2 };
 
 /// One durable filesystem mutation a checkpoint performed, in order.
 /// Test instrumentation (SegmentStoreConfig::op_log): the fault-injection
@@ -108,6 +141,31 @@ struct SegmentStoreConfig {
   /// barrier that makes the recorded operation order the on-disk order.
   /// Off only in tests/benches that model durability logically.
   bool fsync = true;
+  /// Codec NEW segments are sealed in. kV1 writes byte-identical PR 5
+  /// segments AND version-1 manifests, so a store driven with kV1 is
+  /// indistinguishable from one written by the old code
+  /// (viewmap_convert's downgrade migration relies on this — with kV1,
+  /// only v1 segments are ever reused, whatever reuse_any_codec says).
+  SegmentCodec codec = SegmentCodec::kV2;
+  /// When true (default) a kV2 checkpoint reuses an unchanged shard's
+  /// sealed segment in EITHER codec — upgrading a store never rewrites
+  /// history, new churn just arrives in v2. False forces shards whose
+  /// sealed segment is not in `codec` to be rewritten: the migration
+  /// knob (one full checkpoint converts the whole store).
+  bool reuse_any_codec = true;
+  /// Recovery worker-pool width: segments are read, validated, and
+  /// parsed into ready-to-adopt shards by this many threads. Adoption
+  /// itself stays ordered and serial, so the recovered database is
+  /// bit-identical whatever the width (the determinism tests prove it).
+  /// 0 = hardware_concurrency().
+  unsigned restore_threads = 0;
+  /// Paranoia knob: additionally recompute the full SHA-256 content
+  /// digest of every v2 segment during recovery. v1 always pays the SHA
+  /// pass (the digest is its only integrity check); v2's default check —
+  /// whole-file CRC32C plus the embedded-digest/manifest comparison —
+  /// already catches torn writes, bit rot, and stale-file swaps at
+  /// memory-bandwidth cost instead of hash cost.
+  bool deep_verify = false;
   /// Test instrumentation: when set, every durable mutation is appended
   /// here in execution order. Not owned.
   std::vector<RecordedOp>* op_log = nullptr;
@@ -136,6 +194,17 @@ struct RecoveryStats {
   std::size_t profiles_loaded = 0;
   std::size_t profiles_rejected = 0;  ///< failed the structural screen
   std::size_t trusted_marked = 0;
+  std::size_t segments_v1 = 0;       ///< segments loaded from the v1 stream codec
+  std::size_t segments_v2 = 0;       ///< segments loaded from the packed v2 codec
+  unsigned threads_used = 0;         ///< recovery worker-pool width actually used
+  /// Per-phase timings. read/validate/parse are summed across workers
+  /// (CPU time — exceeds wall clock when parallel); adopt and total are
+  /// wall clock on the recovering thread.
+  std::uint64_t read_us = 0;
+  std::uint64_t validate_us = 0;
+  std::uint64_t parse_us = 0;
+  std::uint64_t adopt_us = 0;
+  std::uint64_t total_us = 0;
 };
 
 class SegmentStore {
@@ -202,7 +271,12 @@ class SegmentStore {
   /// drives checkpoint()/recover() — it is not synchronized.
   void adopt_metrics(obs::MetricsRegistry* registry) const;
 
+  /// The v1 (".vseg") and v2 (".vseg2") file names for a content digest.
+  /// One shard sealed in both codecs yields two distinct files sharing
+  /// the digest — which codec a manifest entry references travels in the
+  /// entry itself.
   [[nodiscard]] static std::string segment_file_name(const Hash32& digest);
+  [[nodiscard]] static std::string segment_file_name_v2(const Hash32& digest);
   [[nodiscard]] static std::string manifest_file_name(std::uint64_t sequence);
 
  private:
@@ -210,6 +284,7 @@ class SegmentStore {
     TimeSec unit_time = 0;
     std::uint64_t vp_count = 0;
     std::uint64_t trusted_count = 0;
+    SegmentCodec codec = SegmentCodec::kV1;
     Hash32 digest{};
   };
   struct Manifest {
@@ -222,8 +297,13 @@ class SegmentStore {
   [[nodiscard]] std::vector<std::uint64_t> list_manifests_desc() const;
   /// Parses + checksum-validates a manifest file. Throws on any damage.
   [[nodiscard]] Manifest read_manifest(std::uint64_t sequence) const;
-  /// Loads every segment of `manifest` into `db`. Throws on any segment
-  /// damage (missing file, bad magic/version, digest or count mismatch).
+  /// Loads every segment of `manifest` into `db`: a worker pool
+  /// (restore_threads wide) reads/validates/parses segments into
+  /// ready-to-adopt shards; the calling thread then adopts them in
+  /// manifest order (deterministic whatever the pool width). Throws on
+  /// any segment damage (missing file, bad magic/version, CRC / digest /
+  /// count / offset-table mismatch) — when several segments are damaged,
+  /// deterministically the earliest one in manifest order.
   void load_segments(const Manifest& manifest, sys::VpDatabase& db,
                      RecoveryStats& stats) const;
   [[nodiscard]] sys::VpDatabase recover_impl(vp::VpUploadPolicy policy,
@@ -256,6 +336,13 @@ class SegmentStore {
     obs::Histogram* checkpoint_us = nullptr;
     obs::Histogram* fsync_us = nullptr;
     obs::Histogram* recover_us = nullptr;
+    /// Per-phase recovery timings (one record per recovery, the summed
+    /// worker micros from RecoveryStats) — makes a slow restart
+    /// attributable to I/O vs validation vs parse vs adoption.
+    obs::Histogram* recover_read_us = nullptr;
+    obs::Histogram* recover_validate_us = nullptr;
+    obs::Histogram* recover_parse_us = nullptr;
+    obs::Histogram* recover_adopt_us = nullptr;
   };
 
   std::string dir_;

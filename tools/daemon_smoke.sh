@@ -9,9 +9,12 @@
 #   2. scrape /metrics and /healthz over the daemon's own TCP endpoint
 #      (plain bash /dev/tcp — no curl dependency);
 #   3. kill -9 the process mid-checkpoint-cadence (200 ms interval, so
-#      a hard kill lands between — or inside — cycles);
+#      a hard kill lands between — or inside — cycles); the cadence must
+#      have sealed packed .vseg2 segments (the daemon's default codec);
 #   4. restart on the same store and assert the recovery line
-#      (recovered seq=N ... rejected=0) and a green /healthz;
+#      (recovered seq=N ... rejected=0 ... ms=T), that the parallel v2
+#      cold restart stayed inside its timing budget, and a green
+#      /healthz;
 #   5. SIGTERM the daemon and assert the clean drain+stop lines.
 #
 #   tools/daemon_smoke.sh [path/to/viewmapd]   (default build/tools/viewmapd)
@@ -54,12 +57,27 @@ start_daemon() {
   exit 1
 }
 
-# GET a path from the scrape endpoint; prints status line + headers + body.
+# GET a path from the scrape endpoint; prints status line + headers +
+# body. Runs the socket I/O in a command-substitution subshell and
+# retries: on a busy 1-core host the daemon's accept loop can drop a
+# connection mid-request, and a stray SIGPIPE must not kill the harness.
 http_get() {
-  exec 3<>"/dev/tcp/127.0.0.1/$port"
-  printf 'GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' "$1" >&3
-  cat <&3
-  exec 3<&- 3>&-
+  local path="$1" out="" attempt
+  for attempt in $(seq 1 25); do
+    out="$( {
+      exec 3<>"/dev/tcp/127.0.0.1/$port" &&
+        printf 'GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' \
+          "$path" >&3 &&
+        cat <&3
+    } 2>/dev/null )" || out=""
+    if [ -n "$out" ]; then
+      printf '%s\n' "$out"
+      return 0
+    fi
+    sleep 0.4
+  done
+  echo "daemon_smoke: scrape GET $path failed after 25 attempts" >&2
+  return 1
 }
 
 # ── 1. fresh start under soak load ───────────────────────────────────
@@ -74,6 +92,15 @@ echo "daemon_smoke: started (pid=$pid, scrape port=$port)"
 # Let the soak loop ingest and the 200 ms checkpoint cadence seal a few
 # manifests worth of live state.
 sleep 3
+
+# The daemon checkpoints with the packed v2 codec by default: sealed
+# segments must be .vseg2 files.
+ls "$store"/seg-*.vseg2 >/dev/null 2>&1 || {
+  echo "daemon_smoke: no packed .vseg2 segments after checkpoint cadence" >&2
+  ls "$store" >&2 || true
+  exit 1
+}
+echo "daemon_smoke: packed v2 segments sealed under live ingest"
 
 # ── 2. scrape the live daemon ────────────────────────────────────────
 metrics="$(http_get /metrics)"
@@ -105,6 +132,18 @@ recovered="$(grep '^viewmapd: recovered seq=' "$log" | head -n 1 || true)"
 }
 echo "$recovered" | grep -q 'rejected=0' ||
   { echo "daemon_smoke: recovery rejected profiles: $recovered" >&2; exit 1; }
+# Cold-restart timing: the recovery line reports ms=N.N for the parallel
+# v2 restore; at smoke scale (a few seconds of soak) anything over 5 s
+# means the packed read path regressed catastrophically.
+recover_ms="$(echo "$recovered" | sed -n 's/.* ms=\([0-9.]*\)$/\1/p')"
+[ -n "$recover_ms" ] || {
+  echo "daemon_smoke: recovery line is missing the ms= timing: $recovered" >&2
+  exit 1
+}
+awk -v ms="$recover_ms" 'BEGIN { exit !(ms < 5000.0) }' || {
+  echo "daemon_smoke: cold restart took ${recover_ms} ms (budget 5000)" >&2
+  exit 1
+}
 health="$(http_get /healthz)"
 echo "$health" | grep -q '^HTTP/1.1 200 OK' ||
   { echo "daemon_smoke: /healthz not green after crash recovery" >&2; exit 1; }

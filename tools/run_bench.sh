@@ -12,9 +12,11 @@
 # (ServiceLifecycle under kill -9 cycles: sustained ingest rate,
 # checkpoint cadence, restart recovery latency). Asserts that every
 # viewmap_build row reports a bit-identical edge set between the two
-# builders, that the checkpoint and daemon-soak scenarios' recovery
-# invariant held (profiles recovered == manifest promise, single-attempt
-# restarts), and that the server
+# builders, that the checkpoint, recovery_v2, and daemon-soak scenarios'
+# recovery invariant held (profiles recovered == manifest promise,
+# single-attempt restarts), that the packed-v2 restart beats the recorded
+# v1 baseline by ≥ 5× on 1M-VP runs, that viewmap_convert's v1 ↔ v2
+# migration round trips are byte-identical, and that the server
 # latency percentiles are monotone (p50 ≤ p90 ≤ p99); warns when the
 # observability overhead exceeds its 3% budget. Finishes with a
 # docs-link check: every per-module design doc under src/*/README.md
@@ -27,7 +29,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" --target bench_index -j "$(nproc)"
+cmake --build "$build_dir" --target bench_index viewmap_convert viewmap_simulate -j "$(nproc)"
 
 cd "$repo_root"
 "$build_dir/bench/bench_index" "$@"
@@ -57,6 +59,49 @@ if grep -q '"recovered_matches": false' BENCH_index.json; then
   exit 1
 fi
 echo "checkpoint check passed: restart recovered exactly the checkpointed profiles"
+
+# recovery_v2 assertion: the packed-codec restart must be present, must
+# have recovered exactly the checkpointed profiles (the shared
+# recovered_matches grep above already fails the run on false), and — on
+# 1M-VP runs, where the recorded v1 baseline applies — must beat that
+# baseline by at least 5x.
+if ! grep -q '"recovery_v2"' BENCH_index.json; then
+  echo "recovery_v2 check: scenario missing from BENCH_index.json" >&2
+  exit 1
+fi
+baseline_speedup="$(sed -n 's/.*"speedup_vs_baseline": \([0-9.]*\).*/\1/p' BENCH_index.json)"
+if [ -z "${baseline_speedup:-}" ]; then
+  echo "recovery_v2 check: could not parse speedup_vs_baseline" >&2
+  exit 1
+fi
+if awk -v s="$baseline_speedup" 'BEGIN { exit !(s == 0.0) }'; then
+  echo "recovery_v2 check: non-1M run; baseline speedup not applicable (skipped)"
+elif awk -v s="$baseline_speedup" 'BEGIN { exit !(s < 5.0) }'; then
+  echo "recovery_v2 check: packed restart is only ${baseline_speedup}x the recorded v1 baseline (need >= 5x)" >&2
+  exit 1
+else
+  echo "recovery_v2 check passed: packed restart is ${baseline_speedup}x the recorded v1 baseline"
+fi
+
+# Migration round trip: v1 -> v2 -> v1 through viewmap_convert must
+# reproduce the store directory bit-for-bit (shard identity is codec-
+# independent, segments are digest-named, manifests are deterministic).
+roundtrip_dir="$(mktemp -d)"
+trap 'rm -rf "$roundtrip_dir"' EXIT
+"$build_dir/tools/viewmap_simulate" "$roundtrip_dir/seed.vmdb" 40 4 2000 7 >/dev/null
+"$build_dir/tools/viewmap_convert" to-segments "$roundtrip_dir/seed.vmdb" "$roundtrip_dir/s_v2" >/dev/null
+"$build_dir/tools/viewmap_convert" migrate "$roundtrip_dir/s_v2" "$roundtrip_dir/s_v1" v1 >/dev/null
+"$build_dir/tools/viewmap_convert" migrate "$roundtrip_dir/s_v1" "$roundtrip_dir/s_v2rt" v2 >/dev/null
+"$build_dir/tools/viewmap_convert" migrate "$roundtrip_dir/s_v2rt" "$roundtrip_dir/s_v1rt" v1 >/dev/null
+if ! diff -r "$roundtrip_dir/s_v1" "$roundtrip_dir/s_v1rt" >/dev/null; then
+  echo "migration check: v1 -> v2 -> v1 round trip is not byte-identical" >&2
+  exit 1
+fi
+if ! diff -r "$roundtrip_dir/s_v2" "$roundtrip_dir/s_v2rt" >/dev/null; then
+  echo "migration check: v2 -> v1 -> v2 round trip is not byte-identical" >&2
+  exit 1
+fi
+echo "migration check passed: v1 <-> v2 round trips are byte-identical"
 
 # Percentile-monotonicity assertion: the server scenario's serve-side
 # latency histogram must report p50 ≤ p90 ≤ p99 — the exposition contract

@@ -5,12 +5,20 @@
 // Usage:
 //   viewmap_convert to-segments DB.vmdb SEGMENT_DIR   # vmdb → checkpoint
 //   viewmap_convert to-vmdb SEGMENT_DIR DB.vmdb       # checkpoint → vmdb
+//   viewmap_convert migrate SRC_DIR DST_DIR v1|v2     # re-encode segments
 //
 // Both directions round-trip byte-exactly: converting a VMDB file to a
 // segment checkpoint and back reproduces the identical file (the suite
 // asserts this in tests/segment_store_test.cpp). `to-segments` into a
 // directory that already holds checkpoints seals a new incremental one —
 // only shards that differ from the previous manifest are written.
+//
+// `migrate` recovers the newest checkpoint of SRC_DIR and seals it into
+// DST_DIR with every segment rewritten in the requested codec (cross-
+// codec reuse is disabled, so nothing is aliased from the old format).
+// Because shard identity is codec-independent, v1 → v2 → v1 reproduces
+// the original store directory bit-for-bit — run_bench.sh asserts that
+// round trip on every benchmark run.
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -25,21 +33,52 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s to-segments DB.vmdb SEGMENT_DIR\n"
-               "       %s to-vmdb SEGMENT_DIR DB.vmdb\n",
-               argv0, argv0);
+               "       %s to-vmdb SEGMENT_DIR DB.vmdb\n"
+               "       %s migrate SRC_DIR DST_DIR v1|v2\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 4) return usage(argv[0]);
+  if (argc < 2) return usage(argv[0]);
   const bool to_segments = std::strcmp(argv[1], "to-segments") == 0;
   const bool to_vmdb = std::strcmp(argv[1], "to-vmdb") == 0;
-  if (!to_segments && !to_vmdb) return usage(argv[0]);
+  const bool migrate = std::strcmp(argv[1], "migrate") == 0;
+  if ((to_segments || to_vmdb) && argc != 4) return usage(argv[0]);
+  if (migrate && argc != 5) return usage(argv[0]);
+  if (!to_segments && !to_vmdb && !migrate) return usage(argv[0]);
 
   try {
-    if (to_segments) {
+    if (migrate) {
+      store::SegmentCodec codec;
+      if (std::strcmp(argv[4], "v1") == 0) codec = store::SegmentCodec::kV1;
+      else if (std::strcmp(argv[4], "v2") == 0) codec = store::SegmentCodec::kV2;
+      else return usage(argv[0]);
+      store::SegmentStore src(argv[2]);
+      if (src.latest_sequence() == 0) {
+        std::fprintf(stderr, "error: no checkpoint found in %s\n", argv[2]);
+        return 1;
+      }
+      store::RecoveryStats rec;
+      const auto db = src.recover(&rec);
+      store::SegmentStoreConfig cfg;
+      cfg.codec = codec;
+      cfg.reuse_any_codec = false;  // a migration rewrites, never aliases
+      store::SegmentStore dst(argv[3], cfg);
+      const auto stats = dst.checkpoint(db.snapshot());
+      std::printf(
+          "%s checkpoint %llu (%zu v1 + %zu v2 segments) -> %s checkpoint "
+          "%llu as %s: %zu/%zu segments written (%zu reused), %llu bytes\n",
+          argv[2], static_cast<unsigned long long>(rec.sequence), rec.segments_v1,
+          rec.segments_v2, argv[3], static_cast<unsigned long long>(stats.sequence),
+          argv[4], stats.segments_written, stats.shards_total, stats.segments_reused,
+          static_cast<unsigned long long>(stats.bytes_written));
+      if (rec.manifests_tried > 1)
+        std::printf("note: newest checkpoint was damaged; fell back %zu manifest(s)\n",
+                    rec.manifests_tried - 1);
+    } else if (to_segments) {
       store::LoadStats load;
       const auto db = store::load_database_file(argv[2], &load);
       store::SegmentStore segments(argv[3]);

@@ -153,10 +153,16 @@ int main(int argc, char** argv) {
   std::printf("viewmapd: scrape listening on %s:%u\n", opt.bind.c_str(),
               static_cast<unsigned>(daemon_instance.scrape_port()));
   if (daemon_instance.recovered()) {
+    // One parseable line per restart: which manifest the daemon resumed
+    // from, what it cost, and how wide the recovery pool ran — the smoke
+    // harness asserts the seq/rejected fields and the cold-restart time.
     const auto& r = daemon_instance.recovery();
-    std::printf("viewmapd: recovered seq=%llu profiles=%zu rejected=%zu\n",
-                static_cast<unsigned long long>(r.sequence), r.profiles_loaded,
-                r.profiles_rejected);
+    std::printf(
+        "viewmapd: recovered seq=%llu profiles=%zu rejected=%zu "
+        "segments=%zu (v1=%zu v2=%zu) threads=%u ms=%.1f\n",
+        static_cast<unsigned long long>(r.sequence), r.profiles_loaded,
+        r.profiles_rejected, r.segments_loaded, r.segments_v1, r.segments_v2,
+        r.threads_used, static_cast<double>(r.total_us) / 1000.0);
   } else {
     std::printf("viewmapd: fresh database\n");
   }
