@@ -38,6 +38,13 @@
 //       checkpoint cadence, and per-restart recovery latency. Every
 //       restart asserts the recovery invariant; tools/run_bench.sh fails
 //       the run when any cycle violates it.
+//   (9) daemon chaos: the soak workload with failpoints firing inside the
+//       durable-I/O path (ENOSPC bursts, fsync EIO, rename failures, torn
+//       short writes, whole-cycle faults). Each cycle the daemon must eat
+//       a window of injected checkpoint failures without dying, health
+//       must visibly degrade and recover, no *.tmp file may survive, and
+//       a cold recover must match the live shard digests bit-for-bit.
+//       tools/run_bench.sh fails the run on any violated assertion.
 //
 // Emits BENCH_index.json (cwd) so future PRs can diff the numbers.
 //
@@ -46,6 +53,8 @@
 //                       [--server_requests=500] [--viewmap_vps=50000]
 //                       [--checkpoint_vps=1000000]
 //                       [--soak_cycles=5] [--soak_vps=300]
+//                       [--chaos_cycles=6] [--chaos_failures=4]
+//                       [--chaos_vps=200]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -58,6 +67,7 @@
 
 #include "attack/fake_vp.h"
 #include "bench_util.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "daemon/lifecycle.h"
 #include "index/ingest_engine.h"
@@ -807,6 +817,160 @@ DaemonSoakRow bench_daemon_soak(std::size_t cycles, std::size_t vps_per_cycle,
   return row;
 }
 
+struct DaemonChaosRow {
+  std::size_t cycles = 0;               ///< lifecycle cycles (kill/drain alternating)
+  std::size_t injected_failures = 0;    ///< failpoint fires across all cycles
+  std::size_t checkpoint_failures = 0;  ///< failed checkpoint cycles (all retried)
+  bool daemon_survived = false;         ///< every thread alive through every window
+  bool health_degraded_seen = false;    ///< healthz left kHealthy inside windows
+  bool health_recovered = false;        ///< back to kHealthy after every window
+  bool clean_drains = false;            ///< drain cycles reported clean stops
+  std::size_t leaked_temps = 0;         ///< *.tmp files found after any cycle
+  bool recovered_matches = false;       ///< per-cycle shard-digest bit-for-bit
+};
+
+/// The chaos soak: the daemon_soak workload with failpoints firing inside
+/// the checkpoint path. Each cycle arms one fault family (ENOSPC on
+/// segment data, EIO on fsync, rename failure, torn short writes, whole-
+/// cycle failures), feeds live ingest through it, and requires the daemon
+/// to eat `failures_per_cycle` consecutive checkpoint failures — health
+/// must leave healthy — then disarms and requires a sealed checkpoint and
+/// health back to healthy. Cycles alternate kill_for_test (crash) with
+/// drain+stop (clean); after each, a cold recover must reproduce the live
+/// database's shard digests bit-for-bit and the store directory must hold
+/// zero temp files. This is the acceptance harness for the failpoint
+/// framework: ≥ 20 injected I/O failures per run with no daemon death.
+DaemonChaosRow bench_daemon_chaos(std::size_t cycles,
+                                  std::size_t failures_per_cycle,
+                                  std::size_t vps_per_cycle, Rng& rng) {
+  namespace fs = std::filesystem;
+  const fs::path dir = "bench_daemon_chaos.tmp";
+  fs::remove_all(dir);
+  failpoint::disarm_all();
+
+  daemon::DaemonConfig cfg;
+  cfg.service.rsa_bits = 1024;
+  cfg.start_server = false;
+  cfg.store_dir = dir.string();
+  cfg.checkpoint.interval = std::chrono::milliseconds(25);
+  cfg.checkpoint.jitter_pct = 0;
+  cfg.checkpoint.retry_backoff_min = std::chrono::milliseconds(2);
+  cfg.checkpoint.retry_backoff_max = std::chrono::milliseconds(20);
+  cfg.ingest.idle_backoff_max = std::chrono::milliseconds(5);
+  cfg.scrape.enabled = false;
+  cfg.watchdog.enabled = false;
+  cfg.health.degraded_after = 1;
+  cfg.health.failing_after = 3;
+
+  // One fault family per cycle, round-robin. Windows are sized so each
+  // family yields exactly `failures_per_cycle` failed checkpoint cycles
+  // (one fire aborts one checkpoint attempt) and then exhausts.
+  const std::string windowed = "@window:0:" + std::to_string(failures_per_cycle);
+  const std::vector<std::string> specs{
+      "store.write.data=enospc" + windowed,
+      "store.write.fsync=eio" + windowed,
+      "store.rename=eio" + windowed,
+      "store.write.data=short" + windowed,
+      "daemon.checkpoint.cycle=eio" + windowed,
+      "store.write.open=enospc" + windowed,
+  };
+
+  DaemonChaosRow row;
+  row.cycles = cycles;
+  bool survived = true;
+  bool degraded_seen_all = true;
+  bool recovered_all = true;
+  bool clean_all = true;
+  bool matches_all = true;
+
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    daemon::ServiceLifecycle d(cfg);
+    d.start();
+    row.leaked_temps += d.swept_temps();  // a prior cycle leaked debris
+
+    // Arm BEFORE feeding: the first checkpoint that tries to seal the
+    // new shards walks straight into the fault window.
+    failpoint::arm_from_spec(specs[cycle % specs.size()]);
+
+    std::vector<std::vector<std::uint8_t>> payloads;
+    payloads.reserve(vps_per_cycle);
+    for (std::size_t i = 0; i < vps_per_cycle; ++i) {
+      const TimeSec unit = kUnitTimeSec * static_cast<TimeSec>(rng.index(30));
+      payloads.push_back(random_vp(unit, 8000.0, rng).serialize());
+    }
+    for (auto& p : payloads) (void)d.ingest().submit(std::move(p));
+    while (d.service().upload_channel().pending() != 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // Eat the whole fault window: poke the checkpointer through its
+    // backoff until every armed fire has failed a cycle. The daemon must
+    // stay Running (and its threads alive) the entire time, and health
+    // must visibly leave kHealthy.
+    bool left_healthy = false;
+    while (d.checkpointer()->failures() < failures_per_cycle) {
+      d.checkpointer()->poke();
+      if (d.health_state() != daemon::HealthState::kHealthy) left_healthy = true;
+      survived = survived && d.state() == daemon::LifecycleState::kRunning &&
+                 d.ingest().running() && d.checkpointer()->running();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    left_healthy = left_healthy ||
+                   d.health_state() != daemon::HealthState::kHealthy;
+    degraded_seen_all = degraded_seen_all && left_healthy;
+    row.checkpoint_failures += d.checkpointer()->failures();
+    row.injected_failures += failpoint::total_fires();
+    failpoint::disarm_all();
+
+    // Recovery: the next successful cycle (written or provably skipped)
+    // must snap health back to healthy.
+    const std::uint64_t sealed =
+        d.checkpointer()->written() + d.checkpointer()->skipped();
+    while (d.checkpointer()->written() + d.checkpointer()->skipped() <= sealed) {
+      d.checkpointer()->poke();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    recovered_all =
+        recovered_all && d.health_state() == daemon::HealthState::kHealthy;
+    survived = survived && d.state() == daemon::LifecycleState::kRunning;
+
+    // The database is now quiescent: capture its shard digests as the
+    // bit-for-bit oracle for what a recover must reproduce.
+    const auto expected = d.service().database().snapshot().shard_digests();
+
+    if (cycle % 2 == 0) {
+      d.kill_for_test();
+    } else {
+      const bool drained = d.drain();
+      const bool stopped = d.stop();
+      clean_all = clean_all && drained && stopped;
+    }
+
+    std::size_t temps = 0;
+    for (const auto& entry : fs::directory_iterator(dir))
+      if (entry.path().filename().string().ends_with(".tmp")) ++temps;
+    row.leaked_temps += temps;
+
+    store::SegmentStore store(dir.string());
+    store::RecoveryStats rec;
+    const auto db = store.recover(&rec);
+    const auto got = db.snapshot().shard_digests();
+    bool match = rec.profiles_rejected == 0 && got.size() == expected.size();
+    for (std::size_t i = 0; match && i < got.size(); ++i)
+      match = got[i].unit_time == expected[i].unit_time &&
+              got[i].digest == expected[i].digest;
+    matches_all = matches_all && match;
+  }
+
+  row.daemon_survived = survived;
+  row.health_degraded_seen = degraded_seen_all;
+  row.health_recovered = recovered_all;
+  row.clean_drains = clean_all;
+  row.recovered_matches = matches_all;
+  failpoint::disarm_all();
+  fs::remove_all(dir);
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -826,6 +990,12 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(bench::int_flag(argc, argv, "soak_cycles", 5));
   const auto soak_vps =
       static_cast<std::size_t>(bench::int_flag(argc, argv, "soak_vps", 300));
+  const auto chaos_cycles =
+      static_cast<std::size_t>(bench::int_flag(argc, argv, "chaos_cycles", 6));
+  const auto chaos_failures =
+      static_cast<std::size_t>(bench::int_flag(argc, argv, "chaos_failures", 4));
+  const auto chaos_vps =
+      static_cast<std::size_t>(bench::int_flag(argc, argv, "chaos_vps", 200));
   unsigned threads = static_cast<unsigned>(bench::int_flag(argc, argv, "threads", 0));
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -970,6 +1140,22 @@ int main(int argc, char** argv) {
       soak.checkpoints, soak.recovery_ms_mean, soak.recovery_ms_max,
       soak.vps_recovered, soak.recovered_matches ? "OK" : "VIOLATED");
 
+  // ── daemon chaos: the soak under injected durable-I/O failures ──────
+  std::printf("\n-- daemon chaos: failpoint-injected I/O failures through the "
+              "checkpoint path --\n");
+  Rng chaos_rng(31415);
+  const auto chaos =
+      bench_daemon_chaos(chaos_cycles, chaos_failures, chaos_vps, chaos_rng);
+  std::printf(
+      "%zu cycles, %zu injected faults, %zu checkpoint failures eaten:\n"
+      "  daemon survived %s, health degraded %s / recovered %s, clean drains "
+      "%s, leaked temps %zu, recovery invariant %s\n",
+      chaos.cycles, chaos.injected_failures, chaos.checkpoint_failures,
+      chaos.daemon_survived ? "yes" : "NO",
+      chaos.health_degraded_seen ? "yes" : "NO",
+      chaos.health_recovered ? "yes" : "NO", chaos.clean_drains ? "yes" : "NO",
+      chaos.leaked_temps, chaos.recovered_matches ? "OK" : "VIOLATED");
+
   // ── JSON trajectory ──────────────────────────────────────────────────
   FILE* json = std::fopen("BENCH_index.json", "w");
   if (json != nullptr) {
@@ -1072,11 +1258,26 @@ int main(int argc, char** argv) {
                  "\"checkpoints\": %zu, \"recovery_ms_mean\": %.2f, "
                  "\"recovery_ms_max\": %.2f, \"vps_recovered\": %zu, "
                  "\"recovered_matches\": %s, \"note\": \"fsync on; kill -9 via "
-                 "kill_for_test between cycles\"}\n}\n",
+                 "kill_for_test between cycles\"},\n",
                  soak.kill_cycles, soak.vps_submitted,
                  soak.sustained_ingest_vps_per_sec, soak.checkpoints,
                  soak.recovery_ms_mean, soak.recovery_ms_max, soak.vps_recovered,
                  soak.recovered_matches ? "true" : "false");
+    std::fprintf(json,
+                 "  \"daemon_chaos\": {\"cycles\": %zu, "
+                 "\"injected_failures\": %zu, \"checkpoint_failures\": %zu, "
+                 "\"daemon_survived\": %s, \"health_degraded_seen\": %s, "
+                 "\"health_recovered\": %s, \"clean_drains\": %s, "
+                 "\"leaked_temps\": %zu, \"recovered_matches\": %s, "
+                 "\"note\": \"failpoint windows: enospc/eio/fsync/rename/torn "
+                 "writes; alternating kill -9 and clean drains\"}\n}\n",
+                 chaos.cycles, chaos.injected_failures,
+                 chaos.checkpoint_failures,
+                 chaos.daemon_survived ? "true" : "false",
+                 chaos.health_degraded_seen ? "true" : "false",
+                 chaos.health_recovered ? "true" : "false",
+                 chaos.clean_drains ? "true" : "false", chaos.leaked_temps,
+                 chaos.recovered_matches ? "true" : "false");
     std::fclose(json);
     std::printf("\nwrote BENCH_index.json\n");
   }

@@ -1,0 +1,273 @@
+#include "common/failpoint.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace viewmap::failpoint {
+
+namespace detail {
+std::atomic<std::uint64_t> g_armed{0};
+}  // namespace detail
+
+namespace {
+
+struct Point {
+  Action action = Action::kNone;
+  Trigger trigger;
+  std::chrono::milliseconds delay{0};
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  Rng rng{0};  // re-seeded on arm for kProbability
+};
+
+struct Registry {
+  std::mutex mu;
+  // Ordered map: armed_points() reports sorted names for free, and the
+  // registry only ever holds a handful of entries.
+  std::map<std::string, Point, std::less<>> points;
+  std::uint64_t total_fires = 0;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+bool trigger_fires(Point& p) {
+  // hits was already incremented; the hit index of this evaluation is
+  // hits - 1 so windows and every-Nth count from zero.
+  const std::uint64_t idx = p.hits - 1;
+  switch (p.trigger.kind) {
+    case Trigger::Kind::kAlways:
+      return true;
+    case Trigger::Kind::kOnce:
+      return idx == 0;
+    case Trigger::Kind::kEveryNth:
+      return p.trigger.n != 0 && (idx + 1) % p.trigger.n == 0;
+    case Trigger::Kind::kProbability:
+      return p.rng.bernoulli(p.trigger.p);
+    case Trigger::Kind::kWindow:
+      return idx >= p.trigger.from && idx < p.trigger.to;
+  }
+  return false;
+}
+
+Action parse_action(std::string_view s, std::chrono::milliseconds& delay) {
+  const auto colon = s.find(':');
+  const std::string_view name = s.substr(0, colon);
+  std::string_view arg =
+      colon == std::string_view::npos ? std::string_view{} : s.substr(colon + 1);
+  if (name == "eio") return Action::kEIO;
+  if (name == "enospc") return Action::kENOSPC;
+  if (name == "short") return Action::kShortWrite;
+  if (name == "error") return Action::kError;
+  if (name == "delay") {
+    if (arg.empty()) throw std::invalid_argument("failpoint: delay needs :MS");
+    delay = std::chrono::milliseconds{std::stoll(std::string(arg))};
+    return Action::kDelay;
+  }
+  throw std::invalid_argument("failpoint: unknown action '" + std::string(s) + "'");
+}
+
+Trigger parse_trigger(std::string_view s) {
+  // Split on ':' into at most three fields.
+  std::vector<std::string> f;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto colon = s.find(':', start);
+    if (colon == std::string_view::npos) {
+      f.emplace_back(s.substr(start));
+      break;
+    }
+    f.emplace_back(s.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (f.empty()) throw std::invalid_argument("failpoint: empty trigger");
+  const std::string& kind = f[0];
+  if (kind == "always" && f.size() == 1) return Trigger::always();
+  if (kind == "once" && f.size() == 1) return Trigger::once();
+  if (kind == "every" && f.size() == 2)
+    return Trigger::every_nth(std::stoull(f[1]));
+  if (kind == "prob" && (f.size() == 2 || f.size() == 3)) {
+    const double p = std::stod(f[1]);
+    return f.size() == 3 ? Trigger::probability(p, std::stoull(f[2]))
+                         : Trigger::probability(p);
+  }
+  if (kind == "window" && f.size() == 3)
+    return Trigger::window(std::stoull(f[1]), std::stoull(f[2]));
+  throw std::invalid_argument("failpoint: bad trigger '" + std::string(s) + "'");
+}
+
+}  // namespace
+
+int Decision::injected_errno() const noexcept {
+  switch (action) {
+    case Action::kEIO:
+    case Action::kShortWrite:
+      return EIO;
+    case Action::kENOSPC:
+      return ENOSPC;
+    default:
+      return 0;
+  }
+}
+
+namespace detail {
+
+Decision evaluate_slow(std::string_view point) {
+  std::chrono::milliseconds delay{0};
+  Decision d;
+  {
+    auto& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(point);
+    if (it == r.points.end()) return {};
+    Point& p = it->second;
+    ++p.hits;
+    if (!trigger_fires(p)) return {};
+    ++p.fires;
+    ++r.total_fires;
+    d.action = p.action;
+    delay = p.delay;
+  }
+  // Sleep outside the lock so a delay point never serializes other
+  // points behind it.
+  if (d.action == Action::kDelay && delay.count() > 0)
+    std::this_thread::sleep_for(delay);
+  return d;
+}
+
+}  // namespace detail
+
+Trigger Trigger::every_nth(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("failpoint: every:N needs N >= 1");
+  Trigger t{Kind::kEveryNth};
+  t.n = n;
+  return t;
+}
+
+Trigger Trigger::probability(double p, std::uint64_t seed) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("failpoint: prob:P needs P in [0, 1]");
+  Trigger t{Kind::kProbability};
+  t.p = p;
+  t.seed = seed;
+  return t;
+}
+
+Trigger Trigger::window(std::uint64_t from, std::uint64_t to) {
+  if (to < from) throw std::invalid_argument("failpoint: window:A:B needs A <= B");
+  Trigger t{Kind::kWindow};
+  t.from = from;
+  t.to = to;
+  return t;
+}
+
+void arm(std::string point, Action action, Trigger trigger,
+         std::chrono::milliseconds delay) {
+  if (point.empty()) throw std::invalid_argument("failpoint: empty point name");
+  if (action == Action::kNone)
+    throw std::invalid_argument("failpoint: cannot arm kNone");
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Point p;
+  p.action = action;
+  p.trigger = trigger;
+  p.delay = delay;
+  p.rng = Rng(trigger.seed);
+  auto [it, inserted] = r.points.insert_or_assign(std::move(point), std::move(p));
+  (void)it;
+  if (inserted) detail::g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t arm_from_spec(std::string_view spec) {
+  // Two-phase: parse every clause before arming anything, so a spec with
+  // a bad clause arms nothing (no partially-applied chaos).
+  struct Parsed {
+    std::string point;
+    Action action;
+    Trigger trigger;
+    std::chrono::milliseconds delay;
+  };
+  std::vector<Parsed> parsed;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    auto end = spec.find(';', start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view clause = spec.substr(start, end - start);
+    start = end + 1;
+    if (clause.empty()) continue;
+    const auto eq = clause.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+      throw std::invalid_argument("failpoint: bad clause '" + std::string(clause) +
+                                  "' (want point=action[@trigger])");
+    const std::string_view point = clause.substr(0, eq);
+    std::string_view rhs = clause.substr(eq + 1);
+    Trigger trigger = Trigger::always();
+    const auto at = rhs.find('@');
+    if (at != std::string_view::npos) {
+      trigger = parse_trigger(rhs.substr(at + 1));
+      rhs = rhs.substr(0, at);
+    }
+    std::chrono::milliseconds delay{0};
+    const Action action = parse_action(rhs, delay);
+    parsed.push_back({std::string(point), action, trigger, delay});
+  }
+  for (auto& p : parsed)
+    arm(std::move(p.point), p.action, p.trigger, p.delay);
+  return parsed.size();
+}
+
+std::size_t arm_from_env() {
+  const char* spec = std::getenv("VIEWMAP_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return 0;
+  return arm_from_spec(spec);
+}
+
+void disarm(std::string_view point) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(point);
+  if (it == r.points.end()) return;
+  r.points.erase(it);
+  detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  detail::g_armed.fetch_sub(r.points.size(), std::memory_order_relaxed);
+  r.points.clear();
+  r.total_fires = 0;
+}
+
+PointStats stats(std::string_view point) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(point);
+  if (it == r.points.end()) return {};
+  return {it->second.hits, it->second.fires};
+}
+
+std::uint64_t total_fires() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.total_fires;
+}
+
+std::vector<std::string> armed_points() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.points.size());
+  for (const auto& [name, p] : r.points) names.push_back(name);
+  return names;
+}
+
+}  // namespace viewmap::failpoint

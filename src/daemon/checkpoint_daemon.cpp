@@ -1,7 +1,10 @@
 #include "daemon/checkpoint_daemon.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <string_view>
 
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 #include "store/segment_store.h"
 #include "system/service.h"
@@ -41,6 +44,15 @@ CheckpointDaemon::CheckpointDaemon(sys::ViewMapService& service,
   skipped_c_ = &reg.counter("viewmap_daemon_checkpoints_total",
                             {{"result", "skipped"}});
   sequence_g_ = &reg.gauge("viewmap_daemon_checkpoint_sequence");
+  failures_enospc_ = &reg.counter("viewmap_daemon_checkpoint_failures_total",
+                                  {{"reason", "enospc"}});
+  failures_eio_ = &reg.counter("viewmap_daemon_checkpoint_failures_total",
+                               {{"reason", "eio"}});
+  failures_permission_ = &reg.counter("viewmap_daemon_checkpoint_failures_total",
+                                      {{"reason", "permission"}});
+  failures_other_ = &reg.counter("viewmap_daemon_checkpoint_failures_total",
+                                 {{"reason", "other"}});
+  consecutive_g_ = &reg.gauge("viewmap_daemon_checkpoint_consecutive_failures");
 }
 
 CheckpointDaemon::~CheckpointDaemon() { abort(); }
@@ -55,19 +67,22 @@ bool CheckpointDaemon::start() {
   return true;
 }
 
-void CheckpointDaemon::finish_and_stop() { stop_impl(/*final_checkpoint=*/true); }
+bool CheckpointDaemon::finish_and_stop() {
+  return stop_impl(/*final_checkpoint=*/true);
+}
 
 void CheckpointDaemon::abort() { stop_impl(/*final_checkpoint=*/false); }
 
-void CheckpointDaemon::stop_impl(bool final_checkpoint) {
+bool CheckpointDaemon::stop_impl(bool final_checkpoint) {
   {
     std::lock_guard lock(mutex_);
-    if (!thread_.joinable()) return;
+    if (!thread_.joinable()) return final_ok_;
     stop_requested_ = true;
     final_checkpoint_ = final_checkpoint;
   }
   cv_.notify_all();
   thread_.join();
+  return final_ok_;
 }
 
 void CheckpointDaemon::poke() {
@@ -93,41 +108,105 @@ std::uint64_t CheckpointDaemon::skipped() const {
   return skipped_n_;
 }
 
-std::chrono::milliseconds CheckpointDaemon::next_wait() {
-  if (cfg_.jitter_pct == 0) return cfg_.interval;
-  const auto base = cfg_.interval.count();
-  const std::int64_t span =
-      std::max<std::int64_t>(1, base * static_cast<std::int64_t>(cfg_.jitter_pct) / 100);
-  // interval − span … interval + span, uniform.
-  const std::int64_t offset =
-      static_cast<std::int64_t>(jitter_rng_.next_u64() % (2 * span + 1)) - span;
-  return std::chrono::milliseconds(std::max<std::int64_t>(1, base + offset));
+std::uint64_t CheckpointDaemon::failures() const {
+  std::lock_guard lock(mutex_);
+  return failed_n_;
 }
 
-void CheckpointDaemon::cycle() {
-  // One pinned snapshot for digesting and (maybe) writing: the
-  // comparison and the checkpoint describe the same database version.
-  const index::DbSnapshot snap = service_.database().snapshot();
-  auto digests = snap.shard_digests();
-  if (cfg_.skip_if_unchanged && have_last_ &&
-      same_digests(digests, last_digests_)) {
-    skipped_c_->add();
-    std::lock_guard lock(mutex_);
-    ++skipped_n_;
-    return;
-  }
-  const store::CheckpointStats stats = store_.checkpoint(snap);
-  last_digests_ = std::move(digests);
-  have_last_ = true;
-  written_c_->add();
-  sequence_g_->set(static_cast<std::int64_t>(stats.sequence));
+std::uint64_t CheckpointDaemon::consecutive_failures() const {
   std::lock_guard lock(mutex_);
-  ++written_n_;
+  return consecutive_failures_n_;
+}
+
+std::string CheckpointDaemon::last_error() const {
+  std::lock_guard lock(mutex_);
+  return last_error_;
+}
+
+std::chrono::milliseconds CheckpointDaemon::jittered(std::chrono::milliseconds base) {
+  if (cfg_.jitter_pct == 0) return std::max<std::chrono::milliseconds>(
+      base, std::chrono::milliseconds{1});
+  const auto b = base.count();
+  const std::int64_t span =
+      std::max<std::int64_t>(1, b * static_cast<std::int64_t>(cfg_.jitter_pct) / 100);
+  // base − span … base + span, uniform.
+  const std::int64_t offset =
+      static_cast<std::int64_t>(jitter_rng_.next_u64() % (2 * span + 1)) - span;
+  return std::chrono::milliseconds(std::max<std::int64_t>(1, b + offset));
+}
+
+std::chrono::milliseconds CheckpointDaemon::next_wait() {
+  return jittered(cfg_.interval);
+}
+
+std::chrono::milliseconds CheckpointDaemon::next_backoff(
+    std::chrono::milliseconds prev, bool permanent) const {
+  if (permanent) return cfg_.retry_backoff_max;
+  if (prev < cfg_.retry_backoff_min) return cfg_.retry_backoff_min;
+  return std::min(prev * 2, cfg_.retry_backoff_max);
+}
+
+bool CheckpointDaemon::cycle() {
+  try {
+    if (const int err = failpoint::inject("daemon.checkpoint.cycle"); err != 0)
+      throw store::StoreError("checkpoint_daemon: cycle failed (injected)", err);
+    // One pinned snapshot for digesting and (maybe) writing: the
+    // comparison and the checkpoint describe the same database version.
+    const index::DbSnapshot snap = service_.database().snapshot();
+    auto digests = snap.shard_digests();
+    if (cfg_.skip_if_unchanged && have_last_ &&
+        same_digests(digests, last_digests_)) {
+      skipped_c_->add();
+      consecutive_g_->set(0);
+      std::lock_guard lock(mutex_);
+      ++skipped_n_;
+      consecutive_failures_n_ = 0;
+      last_error_.clear();
+      return true;
+    }
+    const store::CheckpointStats stats = store_.checkpoint(snap);
+    last_digests_ = std::move(digests);
+    have_last_ = true;
+    written_c_->add();
+    sequence_g_->set(static_cast<std::int64_t>(stats.sequence));
+    consecutive_g_->set(0);
+    std::lock_guard lock(mutex_);
+    ++written_n_;
+    consecutive_failures_n_ = 0;
+    last_error_.clear();
+    return true;
+  } catch (const std::exception& e) {
+    // A failed checkpoint is survivable by construction: the store's
+    // manifest rename is the commit point, so the previous sealed
+    // checkpoint is untouched and retrying later is always safe.
+    const auto* se = dynamic_cast<const store::StoreError*>(&e);
+    last_failure_transient_ = se == nullptr || se->transient();
+    obs::Counter* reason = failures_other_;
+    if (se != nullptr) {
+      const std::string_view r = se->reason();
+      if (r == "enospc") reason = failures_enospc_;
+      else if (r == "eio") reason = failures_eio_;
+      else if (r == "permission") reason = failures_permission_;
+    }
+    reason->add();
+    std::uint64_t consecutive = 0;
+    {
+      std::lock_guard lock(mutex_);
+      ++failed_n_;
+      consecutive = ++consecutive_failures_n_;
+      last_error_ = e.what();
+    }
+    consecutive_g_->set(static_cast<std::int64_t>(consecutive));
+    return false;
+  }
 }
 
 void CheckpointDaemon::run() {
+  // 0 = healthy cadence; otherwise the current retry backoff step.
+  std::chrono::milliseconds backoff{0};
   for (;;) {
-    const auto deadline = std::chrono::steady_clock::now() + next_wait();
+    const auto wait = backoff.count() > 0 ? jittered(backoff) : next_wait();
+    const auto deadline = std::chrono::steady_clock::now() + wait;
     bool stopping = false;
     bool do_final = false;
     {
@@ -148,15 +227,29 @@ void CheckpointDaemon::run() {
       // phase — never skipped because stop arrived while a periodic
       // cycle (possibly pinned before ingest settled) was in flight.
       // That stale-snapshot window is exactly what the SIGTERM-during-
-      // checkpoint lifecycle test exercises.
+      // checkpoint lifecycle test exercises. SIGTERM may also land
+      // mid-retry-backoff: the wait loop above wakes immediately and the
+      // final checkpoint gets its own bounded attempts regardless of how
+      // many periodic retries already failed.
       if (do_final) {
-        heartbeats_->add();
-        cycle();
+        bool ok = false;
+        std::chrono::milliseconds final_backoff{0};
+        const unsigned attempts = std::max(1u, cfg_.final_attempts);
+        for (unsigned attempt = 0; attempt < attempts && !ok; ++attempt) {
+          heartbeats_->add();
+          if (attempt > 0) {
+            final_backoff = next_backoff(final_backoff, !last_failure_transient_);
+            std::this_thread::sleep_for(jittered(final_backoff));
+          }
+          ok = cycle();
+        }
+        final_ok_ = ok;
       }
       return;
     }
     heartbeats_->add();
-    cycle();
+    backoff = cycle() ? std::chrono::milliseconds{0}
+                      : next_backoff(backoff, !last_failure_transient_);
   }
 }
 

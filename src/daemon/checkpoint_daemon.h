@@ -20,12 +20,26 @@
 // viewmap_daemon_heartbeats_total{component="checkpoint"}: the lifecycle
 // watchdog must be able to tell "waiting out a 5-minute interval" from
 // "wedged inside fsync".
+//
+// Failure handling: a cycle that throws (disk full, EIO, an armed
+// failpoint) must NEVER take the daemon down — the store guarantees a
+// failed checkpoint leaves the previous sealed manifest intact, so the
+// correct response is to keep serving and retry. Failed cycles are
+// retried with capped exponential backoff (retry_backoff_min doubling to
+// retry_backoff_max, ± the same jitter as the cadence; a permanent
+// store::StoreError jumps straight to the cap — hammering a read-only
+// filesystem helps nobody). Each failure bumps
+// viewmap_daemon_checkpoint_failures_total{reason} and the
+// viewmap_daemon_checkpoint_consecutive_failures gauge (health turns
+// degraded/failing on it, see ServiceLifecycle); the first success
+// zeroes the gauge and resumes the normal cadence.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -53,6 +67,14 @@ struct CheckpointConfig {
   /// Compare shard digests against the previous checkpoint and skip the
   /// write when nothing changed. Off only for tests that count writes.
   bool skip_if_unchanged = true;
+  /// Retry cadence after a failed cycle: first retry after
+  /// retry_backoff_min, doubling per consecutive failure, capped at
+  /// retry_backoff_max (jittered by jitter_pct like the normal cadence).
+  std::chrono::milliseconds retry_backoff_min{100};
+  std::chrono::milliseconds retry_backoff_max{5000};
+  /// How many times the FINAL checkpoint (finish_and_stop) is attempted
+  /// before giving up and reporting an unclean stop. ≥ 1.
+  unsigned final_attempts = 3;
 };
 
 class CheckpointDaemon {
@@ -71,10 +93,14 @@ class CheckpointDaemon {
   bool start();
 
   /// Graceful shutdown: waits out any in-flight cycle, runs one final
-  /// cycle (which may skip — see header comment), joins. After this the
-  /// newest manifest is content-identical to the live database as of the
-  /// call. Idempotent.
-  void finish_and_stop();
+  /// cycle (which may skip — see header comment), joins. True: the final
+  /// checkpoint sealed (or provably skipped) and the newest manifest is
+  /// content-identical to the live database as of the call. False: every
+  /// final_attempts attempt failed — the thread is still joined and the
+  /// store still holds its last good checkpoint, but data ingested since
+  /// is not sealed; last_error() says why. Idempotent (a repeat call
+  /// reports the first call's outcome).
+  [[nodiscard]] bool finish_and_stop();
 
   /// Crash-path shutdown: joins after the in-flight cycle (a thread
   /// cannot be torn mid-fsync in-process) with NO final checkpoint —
@@ -88,16 +114,31 @@ class CheckpointDaemon {
 
   [[nodiscard]] bool running() const;
 
-  /// Cycles that sealed a manifest / that skipped as unchanged, this
-  /// daemon instance.
+  /// Cycles that sealed a manifest / that skipped as unchanged / that
+  /// failed, this daemon instance.
   [[nodiscard]] std::uint64_t written() const;
   [[nodiscard]] std::uint64_t skipped() const;
+  [[nodiscard]] std::uint64_t failures() const;
+
+  /// Failed cycles since the last success (0 = healthy). The health
+  /// state machine reads this from the lifecycle/scrape threads.
+  [[nodiscard]] std::uint64_t consecutive_failures() const;
+
+  /// what() of the most recent cycle failure; empty after a success (or
+  /// if none ever failed).
+  [[nodiscard]] std::string last_error() const;
 
  private:
   void run();
-  void cycle();
-  void stop_impl(bool final_checkpoint);
+  bool cycle();
+  bool stop_impl(bool final_checkpoint);
   [[nodiscard]] std::chrono::milliseconds next_wait();
+  /// Doubles `prev` from retry_backoff_min toward retry_backoff_max;
+  /// `permanent` jumps straight to the cap.
+  [[nodiscard]] std::chrono::milliseconds next_backoff(
+      std::chrono::milliseconds prev, bool permanent) const;
+  [[nodiscard]] std::chrono::milliseconds jittered(
+      std::chrono::milliseconds base);
 
   sys::ViewMapService& service_;
   store::SegmentStore& store_;
@@ -107,6 +148,13 @@ class CheckpointDaemon {
   obs::Counter* written_c_ = nullptr;
   obs::Counter* skipped_c_ = nullptr;
   obs::Gauge* sequence_g_ = nullptr;  ///< newest manifest this daemon sealed
+  /// viewmap_daemon_checkpoint_failures_total{reason=…}, pre-registered
+  /// for every StoreError::reason() label so exposition is deterministic.
+  obs::Counter* failures_enospc_ = nullptr;
+  obs::Counter* failures_eio_ = nullptr;
+  obs::Counter* failures_permission_ = nullptr;
+  obs::Counter* failures_other_ = nullptr;
+  obs::Gauge* consecutive_g_ = nullptr;  ///< viewmap_daemon_checkpoint_consecutive_failures
 
   /// Digests of the snapshot behind the last checkpoint this daemon
   /// wrote (or skipped against). Thread-private: only run() touches it.
@@ -120,6 +168,15 @@ class CheckpointDaemon {
   bool poked_ = false;            ///< under mutex_
   std::uint64_t written_n_ = 0;   ///< under mutex_ (readable while running)
   std::uint64_t skipped_n_ = 0;   ///< under mutex_
+  std::uint64_t failed_n_ = 0;    ///< under mutex_
+  std::uint64_t consecutive_failures_n_ = 0;  ///< under mutex_
+  std::string last_error_;        ///< under mutex_
+  /// Last failure's transient/permanent classification. Thread-private:
+  /// only run() reads it (to pick the next backoff step).
+  bool last_failure_transient_ = true;
+  /// Outcome of the final checkpoint; written by run() before it
+  /// returns, read by stop_impl() after join() (the join orders it).
+  bool final_ok_ = true;
   Rng jitter_rng_{0};
   std::thread thread_;
 };

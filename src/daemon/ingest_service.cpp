@@ -1,7 +1,9 @@
 #include "daemon/ingest_service.h"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 #include "system/service.h"
 
@@ -14,6 +16,7 @@ IngestService::IngestService(sys::ViewMapService& service,
   heartbeats_ =
       &reg.counter("viewmap_daemon_heartbeats_total", {{"component", "ingest"}});
   passes_ = &reg.counter("viewmap_daemon_ingest_passes_total");
+  failures_ = &reg.counter("viewmap_daemon_ingest_failures_total");
   rejected_ = &reg.counter("viewmap_daemon_submit_rejected_total");
   backlog_ = &reg.gauge("viewmap_daemon_ingest_backlog");
 }
@@ -82,7 +85,24 @@ void IngestService::run() {
   auto backoff = cfg_.idle_backoff_min;
   for (;;) {
     heartbeats_->add();
-    const std::size_t accepted = service_.ingest_uploads();
+    // A throwing drain pass must not take the thread (and with it the
+    // whole daemon) down: the payloads stay queued in the channel, so
+    // backing off and re-draining loses nothing. Real throws here are
+    // resource exhaustion inside ingest; the failpoint stands in for
+    // them in the chaos suite.
+    std::size_t accepted = 0;
+    try {
+      if (const int err = failpoint::inject("daemon.ingest.pass"); err != 0)
+        throw std::runtime_error("ingest_service: drain pass failed (injected)");
+      accepted = service_.ingest_uploads();
+    } catch (const std::exception&) {
+      failures_->add();
+      std::unique_lock lock(mutex_);
+      if (stop_requested_ && !drain_final_) return;
+      work_cv_.wait_for(lock, backoff);
+      backoff = std::min(backoff * 2, cfg_.idle_backoff_max);
+      continue;
+    }
     backlog_->set(
         static_cast<std::int64_t>(service_.upload_channel().pending()));
     // The drain freed channel slots — wake submitters parked on the

@@ -103,6 +103,7 @@ class IngestService {
 
   obs::Counter* heartbeats_ = nullptr;
   obs::Counter* passes_ = nullptr;      ///< drain passes that accepted work
+  obs::Counter* failures_ = nullptr;    ///< drain passes that threw (retried)
   obs::Counter* rejected_ = nullptr;    ///< submit()s refused
   obs::Gauge* backlog_ = nullptr;       ///< channel pending() after each pass
 

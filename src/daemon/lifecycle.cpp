@@ -23,11 +23,22 @@ const char* to_string(LifecycleState s) noexcept {
   return "unknown";
 }
 
+const char* to_string(HealthState s) noexcept {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kFailing: return "failing";
+  }
+  return "unknown";
+}
+
 ServiceLifecycle::ServiceLifecycle(DaemonConfig cfg)
     : cfg_(std::move(cfg)), service_(cfg_.service) {
   auto& reg = service_.metrics();
   state_g_ = &reg.gauge("viewmap_daemon_state");
   state_g_->set(static_cast<int>(LifecycleState::kInit));
+  health_g_ = &reg.gauge("viewmap_daemon_health");
+  health_g_->set(static_cast<int>(HealthState::kHealthy));
 
   if (!cfg_.store_dir.empty()) {
     auto store_cfg = cfg_.store;
@@ -67,6 +78,11 @@ bool ServiceLifecycle::start() {
   if (state() != LifecycleState::kInit) return false;
 
   if (store_ != nullptr) {
+    // Crash debris first: a checkpoint interrupted by the previous
+    // process's death may have left a half-written `*.tmp` behind.
+    // recover() is contractually read-only, so the sweep is its own
+    // explicit step (still before any thread could start a checkpoint).
+    swept_temps_ = store_->sweep_temps();
     if (cfg_.recover_sequence != 0) {
       recovery_ = service_.restore_from(*store_, cfg_.recover_sequence);
       recovered_ = true;
@@ -96,8 +112,8 @@ bool ServiceLifecycle::start() {
   return true;
 }
 
-void ServiceLifecycle::drain() {
-  if (state() != LifecycleState::kRunning) return;
+bool ServiceLifecycle::drain() {
+  if (state() != LifecycleState::kRunning) return true;
   // 1) Flip the state first: healthz goes not-ready and new submits are
   //    rejected while the settle below runs.
   set_state(LifecycleState::kDraining);
@@ -111,17 +127,31 @@ void ServiceLifecycle::drain() {
   service_.stop_server();
   // 4) Checkpointer LAST: its final cycle runs after (2), so the newest
   //    manifest contains every accepted VP — the clean-drain guarantee.
-  if (checkpointer_ != nullptr) checkpointer_->finish_and_stop();
+  //    When every final attempt fails, that guarantee is broken: record
+  //    it so stop()/viewmapd report an unclean shutdown instead of
+  //    silently dropping the tail.
+  if (checkpointer_ != nullptr && !checkpointer_->finish_and_stop()) {
+    std::lock_guard lock(error_mutex_);
+    clean_ = false;
+    last_error_ = "final checkpoint failed: " + checkpointer_->last_error();
+  }
   // The scrape endpoint stays up: operators watch the drain complete.
+  std::lock_guard lock(error_mutex_);
+  return clean_;
 }
 
-void ServiceLifecycle::stop() {
+bool ServiceLifecycle::stop() {
   const LifecycleState s = state();
-  if (s == LifecycleState::kStopped) return;
+  if (s == LifecycleState::kStopped) {
+    std::lock_guard lock(error_mutex_);
+    return clean_;
+  }
   if (s == LifecycleState::kRunning) drain();
   stop_watchdog();
   if (scrape_ != nullptr) scrape_->stop();
   set_state(LifecycleState::kStopped);
+  std::lock_guard lock(error_mutex_);
+  return clean_;
 }
 
 void ServiceLifecycle::kill_for_test() {
@@ -136,21 +166,53 @@ void ServiceLifecycle::kill_for_test() {
   set_state(LifecycleState::kStopped);
 }
 
+HealthState ServiceLifecycle::health_state() const {
+  bool wedged_any = false;
+  for (const auto& w : watched_)
+    if (w.wedged->value() != 0) wedged_any = true;
+  const std::uint64_t consecutive =
+      checkpointer_ != nullptr ? checkpointer_->consecutive_failures() : 0;
+  HealthState h = HealthState::kHealthy;
+  if (wedged_any || consecutive >= cfg_.health.failing_after)
+    h = HealthState::kFailing;
+  else if (consecutive >= cfg_.health.degraded_after)
+    h = HealthState::kDegraded;
+  health_g_->set(static_cast<int>(h));
+  return h;
+}
+
 std::pair<bool, std::string> ServiceLifecycle::health() const {
   const LifecycleState s = state();
+  const HealthState h = health_state();
   std::string body = "state=";
   body += to_string(s);
   body += '\n';
-  bool wedged_any = false;
+  body += "health=";
+  body += to_string(h);
+  body += '\n';
   for (const auto& w : watched_) {
-    if (w.wedged->value() != 0) {
-      wedged_any = true;
-      body += "wedged=" + w.component + '\n';
+    if (w.wedged->value() != 0) body += "wedged=" + w.component + '\n';
+  }
+  if (h != HealthState::kHealthy && checkpointer_ != nullptr) {
+    const std::uint64_t consecutive = checkpointer_->consecutive_failures();
+    if (consecutive > 0) {
+      body += "reason=checkpoint-failures:" + std::to_string(consecutive) + '\n';
+      body += "last_error=" + checkpointer_->last_error() + '\n';
     }
   }
-  const bool healthy = s == LifecycleState::kRunning && !wedged_any;
+  {
+    std::lock_guard lock(error_mutex_);
+    if (!clean_) body += "last_error=" + last_error_ + '\n';
+  }
+  const bool healthy =
+      s == LifecycleState::kRunning && h == HealthState::kHealthy;
   body += healthy ? "ok\n" : "not-ready\n";
   return {healthy, body};
+}
+
+std::string ServiceLifecycle::last_error() const {
+  std::lock_guard lock(error_mutex_);
+  return last_error_;
 }
 
 void ServiceLifecycle::start_watchdog() {
@@ -195,6 +257,9 @@ void ServiceLifecycle::watchdog_run() {
         w.wedged->set(1);
       }
     }
+    // Keep the exported health gauge moving even when nobody scrapes
+    // /healthz — alerting reads the metric, not the endpoint.
+    (void)health_state();
   }
 }
 

@@ -33,6 +33,20 @@
 // viewmap_daemon_wedged{component=…} to 1 (and back on recovery), which
 // healthz reports as 503. Components heartbeat even when idle (sliced
 // waits), so "quiet" and "wedged" are distinguishable by construction.
+//
+// Health is a second axis, orthogonal to lifecycle state: a Running
+// daemon is healthy / degraded / failing depending on what its
+// components report (today: the checkpointer's consecutive-failure
+// count, and any wedged component). Degraded means "serving, but a
+// durability cycle has failed recently — data since the last sealed
+// manifest is at risk if we crash now"; failing means the condition has
+// persisted past failing_after failures (or a component is wedged) and
+// an operator/orchestrator should act. /healthz returns 200 only for a
+// healthy Running daemon; the body carries health= and reason= lines,
+// and viewmap_daemon_health exports 0/1/2 for alerting without scraping
+// /healthz at all. The first successful checkpoint snaps health straight
+// back to healthy — the state machine has no memory beyond the
+// consecutive-failure gauge it reads.
 #pragma once
 
 #include <atomic>
@@ -64,6 +78,24 @@ enum class LifecycleState : int {
 
 [[nodiscard]] const char* to_string(LifecycleState s) noexcept;
 
+/// Health of a Running daemon (see header comment). Ordered: higher is
+/// worse, and the exported viewmap_daemon_health gauge is the enum value.
+enum class HealthState : int {
+  kHealthy = 0,
+  kDegraded = 1,
+  kFailing = 2,
+};
+
+[[nodiscard]] const char* to_string(HealthState s) noexcept;
+
+struct HealthConfig {
+  /// Consecutive checkpoint failures at which health turns degraded /
+  /// failing. degraded_after ≤ failing_after; a wedged component is
+  /// always failing regardless of these.
+  std::uint64_t degraded_after = 1;
+  std::uint64_t failing_after = 5;
+};
+
 struct WatchdogConfig {
   bool enabled = true;
   std::chrono::milliseconds interval{500};
@@ -91,6 +123,7 @@ struct DaemonConfig {
   CheckpointConfig checkpoint{};
   ScrapeConfig scrape{};
   WatchdogConfig watchdog{};
+  HealthConfig health{};
 };
 
 class ServiceLifecycle {
@@ -104,22 +137,28 @@ class ServiceLifecycle {
   ServiceLifecycle(const ServiceLifecycle&) = delete;
   ServiceLifecycle& operator=(const ServiceLifecycle&) = delete;
 
-  /// Init → Running: restore from the store, then start ingest,
-  /// checkpointer, investigation server, scrape endpoint, watchdog — in
-  /// that order. False when not in Init (double start, restart of a
-  /// stopped instance — construct a fresh one). Throws when recovery or
-  /// the scrape bind fails; no thread is left running on throw.
+  /// Init → Running: sweep stale checkpoint temps, restore from the
+  /// store, then start ingest, checkpointer, investigation server,
+  /// scrape endpoint, watchdog — in that order. False when not in Init
+  /// (double start, restart of a stopped instance — construct a fresh
+  /// one). Throws when recovery or the scrape bind fails; no thread is
+  /// left running on throw.
   bool start();
 
   /// Running → Draining: stop intake and settle all accepted work (see
   /// header comment for the ordering argument). The scrape endpoint
-  /// stays up. No-op unless Running.
-  void drain();
+  /// stays up. False when the final checkpoint failed after all its
+  /// retries — every thread is still joined and the store still holds
+  /// its last good manifest, but work accepted since is NOT sealed;
+  /// last_error() says why (viewmapd turns this into a non-zero exit).
+  /// True when not Running (nothing to lose — no-op).
+  bool drain();
 
   /// → Stopped: drain() first when still Running, then stop the scrape
-  /// endpoint and watchdog. Safe before start() (Init → Stopped, no-op
-  /// otherwise) and idempotent.
-  void stop();
+  /// endpoint and watchdog. Returns the drain verdict (false ⇔ a final
+  /// checkpoint was attempted and failed; see drain()). Safe before
+  /// start() and idempotent — repeat calls report the recorded outcome.
+  bool stop();
 
   /// Crash simulation: abort every thread with no drain and no final
   /// checkpoint, → Stopped. The store is left exactly as the last
@@ -147,8 +186,26 @@ class ServiceLifecycle {
     return recovery_;
   }
 
-  /// healthz payload: (Running-and-nothing-wedged, state + wedged list).
+  /// Health state machine (see header comment): kHealthy unless the
+  /// checkpointer reports consecutive failures (degraded_after /
+  /// failing_after thresholds) or the watchdog flagged a component
+  /// wedged (always kFailing). Also refreshes viewmap_daemon_health.
+  /// Thread-safe (scrape thread + watchdog + tests).
+  [[nodiscard]] HealthState health_state() const;
+
+  /// healthz payload: 200 ⇔ Running AND kHealthy. The body reports
+  /// state=, health=, any wedged= components, a reason= line while
+  /// degraded/failing, and last_error= with the newest checkpoint
+  /// failure message.
   [[nodiscard]] std::pair<bool, std::string> health() const;
+
+  /// what() of the failure that made drain()/stop() return false; empty
+  /// while clean. Thread-safe.
+  [[nodiscard]] std::string last_error() const;
+
+  /// Stale `*.tmp` files swept by start() before recovery (crash debris
+  /// from an interrupted checkpoint of a previous process).
+  [[nodiscard]] std::size_t swept_temps() const noexcept { return swept_temps_; }
 
   // ── process signal plumbing (used by viewmapd) ─────────────────────
   /// Installs SIGTERM/SIGINT handlers that set a process-wide flag (a
@@ -174,9 +231,17 @@ class ServiceLifecycle {
 
   store::RecoveryStats recovery_{};
   bool recovered_ = false;
+  std::size_t swept_temps_ = 0;
 
   std::atomic<int> state_{static_cast<int>(LifecycleState::kInit)};
   obs::Gauge* state_g_ = nullptr;
+  obs::Gauge* health_g_ = nullptr;
+
+  /// Shutdown verdict + its error, shared between the draining thread
+  /// and health()/last_error() readers.
+  mutable std::mutex error_mutex_;
+  bool clean_ = true;            ///< under error_mutex_
+  std::string last_error_;       ///< under error_mutex_
 
   struct Watched {
     std::string component;          ///< heartbeat label value

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 
 namespace viewmap::daemon {
@@ -109,6 +110,15 @@ void ScrapeEndpoint::run() {
 
 void ScrapeEndpoint::serve_one(int client_fd) {
   requests_->add();
+  // One failed response must not take the accept loop with it: answer
+  // 500 and keep serving (the scraper retries; the accept loop is the
+  // thing the watchdog needs alive).
+  if (failpoint::any_armed() &&
+      failpoint::evaluate("daemon.scrape.serve").fires()) {
+    send_all(client_fd, http_response(500, "Internal Server Error",
+                                      "injected failure\n"));
+    return;
+  }
   // One read is enough: both routes are tiny GETs and we only need the
   // request line. Slow-loris resistance: 500 ms and we hang up.
   timeval tv{0, 500 * 1000};

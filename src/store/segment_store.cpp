@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/bytes.h"
+#include "common/failpoint.h"
 #include "common/hex.h"
 #include "crypto/crc32c.h"
 #include "crypto/sha256.h"
@@ -103,8 +104,10 @@ class Reader {
 /// the istreambuf_iterator it replaced spent ~50 s of an 80 s restart
 /// feeding bytes one at a time.
 std::vector<std::uint8_t> read_file(const std::string& path) {
+  if (const int err = failpoint::inject("store.read"); err != 0)
+    throw StoreError("segment_store: cannot open " + path, err);
   const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) throw std::runtime_error("segment_store: cannot open " + path);
+  if (fd < 0) throw StoreError("segment_store: cannot open " + path, errno);
   struct stat st{};
   if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
     ::close(fd);
@@ -461,36 +464,89 @@ std::string SegmentStore::full_path(const std::string& name) const {
 
 void SegmentStore::write_file(const std::string& name, std::span<const std::uint8_t> bytes) {
   const std::string path = full_path(name);
+  if (const int err = failpoint::inject("store.write.open"); err != 0)
+    throw StoreError("segment_store: cannot create " + path, err);
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) throw std::runtime_error("segment_store: cannot create " + path);
+  if (fd < 0) throw StoreError("segment_store: cannot create " + path, errno);
+
+  // A fired kShortWrite persists a genuine torn prefix — half the bytes
+  // reach the file before the injected EIO — so crash-consistency tests
+  // exercise real partial data under the temp name, not just a clean
+  // early return.
+  std::span<const std::uint8_t> to_write = bytes;
+  int inject_after_write = 0;
+  if (failpoint::any_armed()) {
+    const auto d = failpoint::evaluate("store.write.data");
+    if (d.action == failpoint::Action::kShortWrite)
+      to_write = bytes.subspan(0, bytes.size() / 2);
+    if (d.fires()) inject_after_write = d.injected_errno();
+    if (d.action == failpoint::Action::kError) {
+      ::close(fd);
+      throw std::runtime_error("segment_store: write failed for " + path +
+                               " (injected)");
+    }
+  }
   std::size_t done = 0;
-  while (done < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+  while (done < to_write.size()) {
+    const ssize_t n = ::write(fd, to_write.data() + done, to_write.size() - done);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const int err = errno;
       ::close(fd);
-      throw std::runtime_error("segment_store: write failed for " + path);
+      throw StoreError("segment_store: write failed for " + path, err);
     }
     done += static_cast<std::size_t>(n);
   }
+  if (inject_after_write != 0) {
+    ::close(fd);
+    throw StoreError("segment_store: write failed for " + path, inject_after_write);
+  }
   if (cfg_.fsync) {
     const auto fsync_start = std::chrono::steady_clock::now();
-    if (::fsync(fd) != 0) {
+    if (const int err = failpoint::inject("store.write.fsync"); err != 0) {
       ::close(fd);
-      throw std::runtime_error("segment_store: fsync failed for " + path);
+      throw StoreError("segment_store: fsync failed for " + path, err);
+    }
+    if (::fsync(fd) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw StoreError("segment_store: fsync failed for " + path, err);
     }
     if (m_.fsync_us != nullptr) m_.fsync_us->record(us_since(fsync_start));
   }
+  if (const int err = failpoint::inject("store.write.close"); err != 0) {
+    ::close(fd);
+    throw StoreError("segment_store: close failed for " + path, err);
+  }
   if (::close(fd) != 0)
-    throw std::runtime_error("segment_store: close failed for " + path);
+    throw StoreError("segment_store: close failed for " + path, errno);
   if (cfg_.op_log != nullptr)
     cfg_.op_log->push_back({RecordedOp::Kind::kWriteFile, name, {},
                             std::vector<std::uint8_t>(bytes.begin(), bytes.end())});
 }
 
+void SegmentStore::publish_file(const std::string& name,
+                                std::span<const std::uint8_t> bytes) {
+  const std::string tmp = name + kTempSuffix;
+  try {
+    write_file(tmp, bytes);
+    rename_file(tmp, name);
+  } catch (...) {
+    // The temp may hold partial data (short write) or nothing at all
+    // (failed open); either way it must not outlive the failed attempt —
+    // retries and restarts expect a debris-free directory without
+    // waiting for the next successful checkpoint's gc().
+    remove_file(tmp);
+    throw;
+  }
+}
+
 void SegmentStore::rename_file(const std::string& from, const std::string& to) {
+  if (const int err = failpoint::inject("store.rename"); err != 0)
+    throw StoreError("segment_store: rename " + from + " -> " + to + " failed", err);
   if (std::rename(full_path(from).c_str(), full_path(to).c_str()) != 0)
-    throw std::runtime_error("segment_store: rename " + from + " -> " + to + " failed");
+    throw StoreError("segment_store: rename " + from + " -> " + to + " failed",
+                     errno);
   if (cfg_.op_log != nullptr)
     cfg_.op_log->push_back({RecordedOp::Kind::kRename, from, to, {}});
 }
@@ -503,11 +559,14 @@ bool SegmentStore::remove_file(const std::string& name) {
 }
 
 void SegmentStore::fsync_dir() const {
+  if (const int err = failpoint::inject("store.dir.fsync"); err != 0)
+    throw StoreError("segment_store: fsync failed for dir " + dir_, err);
   const int fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) throw std::runtime_error("segment_store: cannot open dir " + dir_);
+  if (fd < 0) throw StoreError("segment_store: cannot open dir " + dir_, errno);
   const int rc = ::fsync(fd);
+  const int err = errno;
   ::close(fd);
-  if (rc != 0) throw std::runtime_error("segment_store: fsync failed for dir " + dir_);
+  if (rc != 0) throw StoreError("segment_store: fsync failed for dir " + dir_, err);
 }
 
 std::vector<std::uint64_t> SegmentStore::list_manifests_desc() const {
@@ -620,8 +679,7 @@ CheckpointStats SegmentStore::checkpoint(const index::DbSnapshot& snap) {
       bytes = std::move(writer).take();
     }
     const std::string name = entry_file_name(entry.codec, entry.digest);
-    write_file(name + kTempSuffix, bytes);
-    rename_file(name + kTempSuffix, name);
+    publish_file(name, bytes);
     ++stats.segments_written;
     stats.bytes_written += bytes.size();
     stats.segment_bytes_total += bytes.size();
@@ -655,8 +713,7 @@ CheckpointStats SegmentStore::checkpoint(const index::DbSnapshot& snap) {
   const std::vector<std::uint8_t> manifest = std::move(writer).take();
 
   const std::string manifest_name = manifest_file_name(stats.sequence);
-  write_file(manifest_name + kTempSuffix, manifest);
-  rename_file(manifest_name + kTempSuffix, manifest_name);
+  publish_file(manifest_name, manifest);
   if (cfg_.fsync) fsync_dir();
   stats.bytes_written += manifest.size();
 
@@ -947,6 +1004,30 @@ std::size_t SegmentStore::gc() {
       if (references_known && !referenced.contains(name)) victims.push_back(name);
     }
     // Anything else in the directory is not ours; leave it alone.
+  }
+  for (const auto& name : victims)
+    if (remove_file(name)) ++removed;
+  return removed;
+}
+
+std::size_t SegmentStore::sweep_temps() {
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec == std::errc::no_such_file_or_directory) return 0;
+  if (ec)
+    throw std::runtime_error("segment_store: cannot list " + dir_ + ": " +
+                             ec.message());
+  std::size_t removed = 0;
+  std::vector<std::string> victims;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    // Only our own temp spellings; a final-named file is never a victim
+    // here (a stale temp can thus never shadow or be mistaken for a
+    // sealed segment — sealed names exist only via completed renames).
+    if (name.ends_with(std::string(kSegmentSuffix) + kTempSuffix) ||
+        name.ends_with(std::string(kSegmentSuffixV2) + kTempSuffix) ||
+        name.ends_with(std::string(kManifestSuffix) + kTempSuffix))
+      victims.push_back(name);
   }
   for (const auto& name : victims)
     if (remove_file(name)) ++removed;

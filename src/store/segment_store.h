@@ -76,8 +76,11 @@
 // investigations. recover() only reads and is safe from any thread.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -92,6 +95,63 @@ class Histogram;
 }  // namespace viewmap::obs
 
 namespace viewmap::store {
+
+/// I/O failure from the store's durable-write path, carrying the errno
+/// and a transient-vs-permanent classification so callers (the
+/// checkpoint daemon's retry loop, health reporting) can react without
+/// parsing message strings. Corruption/validation failures during
+/// recovery stay plain std::runtime_error — retrying those is pointless.
+class StoreError : public std::runtime_error {
+ public:
+  StoreError(const std::string& what, int err)
+      : std::runtime_error(err != 0 ? what + " (" + std::strerror(err) + ")" : what),
+        errno_(err) {}
+
+  [[nodiscard]] int errno_value() const noexcept { return errno_; }
+
+  /// Transient failures are worth retrying on the same store: the
+  /// condition can clear without operator action (disk-full after GC or
+  /// log rotation, interrupted syscalls, kernel back-pressure, a flaky
+  /// device returning EIO). Permanent ones (read-only filesystem,
+  /// permissions, a path that vanished) need intervention — retry still
+  /// happens (an operator remount DOES fix EROFS) but backoff jumps
+  /// straight to its cap instead of ramping.
+  [[nodiscard]] bool transient() const noexcept {
+    switch (errno_) {
+      case ENOSPC:
+      case EDQUOT:
+      case EIO:
+      case EAGAIN:
+      case EINTR:
+      case ENOMEM:
+      case EBUSY:
+      case ETIMEDOUT:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Low-cardinality label for the failures-by-reason counter.
+  [[nodiscard]] const char* reason() const noexcept {
+    switch (errno_) {
+      case ENOSPC:
+      case EDQUOT:
+        return "enospc";
+      case EIO:
+        return "eio";
+      case EROFS:
+      case EACCES:
+      case EPERM:
+        return "permission";
+      default:
+        return "other";
+    }
+  }
+
+ private:
+  int errno_ = 0;
+};
 
 inline constexpr std::uint32_t kSegmentFormatVersion = 1;
 inline constexpr std::uint32_t kSegmentFormatVersionV2 = 2;
@@ -259,6 +319,15 @@ class SegmentStore {
   /// files unlinked. checkpoint() calls this automatically.
   std::size_t gc();
 
+  /// Unlinks crash debris only: stale `*.tmp` files from an interrupted
+  /// checkpoint (ours alone — `.vseg.tmp` / `.vseg2.tmp` / `.vman.tmp`;
+  /// foreign files are untouched). Returns files removed. Safe on a
+  /// directory that does not exist (returns 0). Call it before starting
+  /// a checkpoint cadence on a recovered store — recover() itself stays
+  /// read-only per its concurrency contract, so the sweep is an explicit
+  /// mutation under the same single-writer discipline as checkpoint().
+  std::size_t sweep_temps();
+
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
   [[nodiscard]] const SegmentStoreConfig& config() const noexcept { return cfg_; }
 
@@ -318,6 +387,10 @@ class SegmentStore {
                                                 RecoveryStats& stats) const;
 
   void write_file(const std::string& name, std::span<const std::uint8_t> bytes);
+  /// write_file to `name + ".tmp"` then atomic-rename to `name` — and on
+  /// ANY failure unlink the temp before rethrowing, so a failed
+  /// checkpoint never leaves `.tmp` debris for retries to trip over.
+  void publish_file(const std::string& name, std::span<const std::uint8_t> bytes);
   void rename_file(const std::string& from, const std::string& to);
   bool remove_file(const std::string& name);
   void fsync_dir() const;

@@ -1,10 +1,18 @@
-// Unit tests: common substrate (bytes, hex, rng, stats, types).
+// Unit tests: common substrate (bytes, hex, rng, stats, types,
+// failpoints).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "common/bytes.h"
+#include "common/failpoint.h"
 #include "common/hex.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -162,6 +170,160 @@ TEST(Types, Id16Equality) {
   EXPECT_EQ(a, b);
   EXPECT_FALSE(a.is_zero());
   EXPECT_TRUE(Id16{}.is_zero());
+}
+
+// ── failpoints ───────────────────────────────────────────────────────
+// The registry is process-global; every test disarms on entry and exit
+// so order does not matter.
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::disarm_all(); }
+  void TearDown() override { failpoint::disarm_all(); }
+};
+
+TEST_F(FailpointTest, UnarmedIsNoop) {
+  EXPECT_FALSE(failpoint::any_armed());
+  EXPECT_FALSE(failpoint::evaluate("store.write.data").fires());
+  EXPECT_EQ(failpoint::inject("store.write.data"), 0);
+  // Nothing armed ⇒ the fast path never touched the registry: no hits.
+  EXPECT_EQ(failpoint::stats("store.write.data").hits, 0u);
+  EXPECT_EQ(failpoint::total_fires(), 0u);
+}
+
+TEST_F(FailpointTest, ArmedPointUnrelatedPointStillProceeds) {
+  failpoint::arm("p.a", failpoint::Action::kEIO);
+  EXPECT_TRUE(failpoint::any_armed());
+  EXPECT_EQ(failpoint::inject("p.other"), 0);
+  EXPECT_EQ(failpoint::inject("p.a"), EIO);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce) {
+  failpoint::arm("p.once", failpoint::Action::kENOSPC,
+                 failpoint::Trigger::once());
+  EXPECT_EQ(failpoint::inject("p.once"), ENOSPC);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(failpoint::inject("p.once"), 0);
+  const auto s = failpoint::stats("p.once");
+  EXPECT_EQ(s.hits, 6u);
+  EXPECT_EQ(s.fires, 1u);
+}
+
+TEST_F(FailpointTest, EveryNthFiresOnEveryNthHit) {
+  failpoint::arm("p.nth", failpoint::Action::kEIO,
+                 failpoint::Trigger::every_nth(3));
+  std::vector<int> fired;
+  for (int i = 0; i < 9; ++i)
+    if (failpoint::inject("p.nth") != 0) fired.push_back(i);
+  EXPECT_EQ(fired, (std::vector<int>{2, 5, 8}));
+}
+
+TEST_F(FailpointTest, WindowFiresOnlyInsideHalfOpenRange) {
+  failpoint::arm("p.win", failpoint::Action::kEIO,
+                 failpoint::Trigger::window(2, 5));
+  std::vector<int> fired;
+  for (int i = 0; i < 8; ++i)
+    if (failpoint::inject("p.win") != 0) fired.push_back(i);
+  EXPECT_EQ(fired, (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(failpoint::stats("p.win").fires, 3u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicForSeed) {
+  const auto run = [] {
+    failpoint::arm("p.prob", failpoint::Action::kEIO,
+                   failpoint::Trigger::probability(0.5, 1234));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i)
+      fired.push_back(failpoint::inject("p.prob") != 0);
+    return fired;
+  };
+  const auto first = run();
+  const auto second = run();  // re-arm resets the RNG: identical replay
+  EXPECT_EQ(first, second);
+  // p=0.5 over 64 draws: both outcomes must appear.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(FailpointTest, ShortWriteReportsEIOThroughInject) {
+  failpoint::arm("p.short", failpoint::Action::kShortWrite);
+  EXPECT_EQ(failpoint::inject("p.short"), EIO);
+  failpoint::arm("p.short2", failpoint::Action::kShortWrite);
+  EXPECT_EQ(failpoint::evaluate("p.short2").action,
+            failpoint::Action::kShortWrite);
+}
+
+TEST_F(FailpointTest, DelayFiresWithoutErrno) {
+  failpoint::arm("p.delay", failpoint::Action::kDelay,
+                 failpoint::Trigger::always(), std::chrono::milliseconds(1));
+  const auto d = failpoint::evaluate("p.delay");
+  EXPECT_TRUE(d.fires());
+  EXPECT_EQ(d.injected_errno(), 0);
+  EXPECT_EQ(failpoint::inject("p.delay"), 0);  // delays, then proceeds
+  EXPECT_EQ(failpoint::stats("p.delay").fires, 2u);
+}
+
+TEST_F(FailpointTest, SpecArmsManyPointsWithTriggers) {
+  const std::size_t armed = failpoint::arm_from_spec(
+      "store.write.fsync=eio@every:3;store.rename=enospc@window:1:2;"
+      "p.plain=error");
+  EXPECT_EQ(armed, 3u);
+  const auto points = failpoint::armed_points();
+  EXPECT_EQ(points, (std::vector<std::string>{"p.plain", "store.rename",
+                                              "store.write.fsync"}));
+  EXPECT_EQ(failpoint::inject("store.write.fsync"), 0);
+  EXPECT_EQ(failpoint::inject("store.write.fsync"), 0);
+  EXPECT_EQ(failpoint::inject("store.write.fsync"), EIO);
+  EXPECT_EQ(failpoint::inject("store.rename"), 0);
+  EXPECT_EQ(failpoint::inject("store.rename"), ENOSPC);
+  EXPECT_EQ(failpoint::inject("store.rename"), 0);
+  // kError fires with no errno: sites that only understand errnos
+  // proceed, sites that evaluate() see the action.
+  EXPECT_TRUE(failpoint::evaluate("p.plain").fires());
+  EXPECT_EQ(failpoint::inject("p.plain"), 0);
+}
+
+TEST_F(FailpointTest, SpecRejectsMalformedClauses) {
+  EXPECT_THROW(failpoint::arm_from_spec("no-equals-sign"),
+               std::invalid_argument);
+  EXPECT_THROW(failpoint::arm_from_spec("p=frobnicate"),
+               std::invalid_argument);
+  EXPECT_THROW(failpoint::arm_from_spec("p=eio@sometimes"),
+               std::invalid_argument);
+  EXPECT_THROW(failpoint::arm_from_spec("p=eio@every:0"),
+               std::invalid_argument);
+  EXPECT_THROW(failpoint::arm_from_spec("p=eio@window:5:2"),
+               std::invalid_argument);
+  EXPECT_THROW(failpoint::arm_from_spec("p=eio@prob:1.5"),
+               std::invalid_argument);
+  // A throwing spec arms nothing it parsed before the bad clause.
+  EXPECT_THROW(failpoint::arm_from_spec("ok=eio;bad=nope"),
+               std::invalid_argument);
+  EXPECT_FALSE(failpoint::any_armed());
+}
+
+TEST_F(FailpointTest, DisarmDropsCountersAndTotalFires) {
+  failpoint::arm("p.a", failpoint::Action::kEIO);
+  failpoint::arm("p.b", failpoint::Action::kEIO);
+  EXPECT_EQ(failpoint::inject("p.a"), EIO);
+  EXPECT_EQ(failpoint::inject("p.b"), EIO);
+  EXPECT_EQ(failpoint::total_fires(), 2u);
+  failpoint::disarm("p.a");
+  EXPECT_EQ(failpoint::inject("p.a"), 0);
+  EXPECT_EQ(failpoint::stats("p.a").hits, 0u);  // counters dropped
+  EXPECT_TRUE(failpoint::any_armed());          // p.b still armed
+  failpoint::disarm_all();
+  EXPECT_FALSE(failpoint::any_armed());
+  EXPECT_EQ(failpoint::total_fires(), 0u);  // reset with the registry
+}
+
+TEST_F(FailpointTest, ArmFromEnvReadsVariableExplicitly) {
+  ::setenv("VIEWMAP_FAILPOINTS", "p.env=enospc@once", 1);
+  EXPECT_EQ(failpoint::arm_from_env(), 1u);
+  EXPECT_EQ(failpoint::inject("p.env"), ENOSPC);
+  EXPECT_EQ(failpoint::inject("p.env"), 0);
+  ::unsetenv("VIEWMAP_FAILPOINTS");
+  failpoint::disarm_all();
+  EXPECT_EQ(failpoint::arm_from_env(), 0u);
 }
 
 }  // namespace

@@ -28,12 +28,14 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "attack/fake_vp.h"
+#include "common/failpoint.h"
 #include "common/reentrancy.h"
 #include "common/rng.h"
 #include "daemon/lifecycle.h"
@@ -236,6 +238,220 @@ TEST(DaemonSoak, CleanDrainIsBitForBit) {
       << "recovered database is not bit-for-bit the live one";
   d.stop();
   EXPECT_EQ(d.state(), LifecycleState::kStopped);
+}
+
+// ── chaos: failpoint-injected checkpoint failures ────────────────────
+
+/// test_config plus a fast retry ladder, tight health thresholds, and a
+/// cadence that only moves when poked — each test controls exactly when
+/// a checkpoint attempt meets an armed failpoint.
+DaemonConfig chaos_config(const std::string& store_dir) {
+  auto cfg = test_config(store_dir);
+  cfg.checkpoint.interval = 1h;
+  cfg.checkpoint.retry_backoff_min = 1ms;
+  cfg.checkpoint.retry_backoff_max = 5ms;
+  cfg.health.degraded_after = 1;
+  cfg.health.failing_after = 3;
+  return cfg;
+}
+
+/// Pokes the checkpointer until its failure counter reaches `n`.
+void await_failures(ServiceLifecycle& d, std::uint64_t n) {
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (d.checkpointer()->failures() < n) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "checkpointer failed " << d.checkpointer()->failures() << "/" << n;
+    d.checkpointer()->poke();
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+TEST(DaemonChaos, CheckpointFailsThenRecovers) {
+  TempDir dir("chaos_recover");
+  Rng rng(23);
+  failpoint::disarm_all();
+
+  ServiceLifecycle d(chaos_config(dir.str()));
+  ASSERT_TRUE(d.start());
+  ASSERT_TRUE(d.service().register_trusted(
+      attack::make_fake_profile(0, {0, 0}, {800, 0}, rng)));
+  EXPECT_EQ(feed(d, 0, 30, rng), 30u);
+  while (d.service().upload_channel().pending() != 0)
+    std::this_thread::sleep_for(1ms);
+
+  // A bounded ENOSPC burst: exactly 4 checkpoint attempts fail, the
+  // daemon must keep its thread alive and walk the retry ladder.
+  failpoint::arm_from_spec("store.write.data=enospc@window:0:4");
+  await_failures(d, 4);
+  EXPECT_TRUE(d.checkpointer()->running());
+  EXPECT_EQ(d.checkpointer()->written(), 0u);
+  EXPECT_GE(d.checkpointer()->consecutive_failures(), 4u);
+  EXPECT_FALSE(d.checkpointer()->last_error().empty());
+  EXPECT_NE(d.health_state(), HealthState::kHealthy);
+
+  // Failures are classified: the enospc reason counter moved, the
+  // consecutive gauge tracks the streak.
+  auto& reg = d.service().metrics();
+  const auto* enospc = reg.find_counter(obs::MetricsRegistry::full_name(
+      "viewmap_daemon_checkpoint_failures_total", {{"reason", "enospc"}}));
+  ASSERT_NE(enospc, nullptr);
+  EXPECT_GE(enospc->value(), 4u);
+  EXPECT_GE(reg.gauge("viewmap_daemon_checkpoint_consecutive_failures").value(),
+            4);
+
+  // Window exhausted: the next attempt seals, the streak resets, health
+  // snaps back, and the sequence gauge resumes from the failure pit.
+  failpoint::disarm_all();
+  await_checkpoints(d, 1);
+  EXPECT_EQ(d.checkpointer()->consecutive_failures(), 0u);
+  EXPECT_EQ(d.health_state(), HealthState::kHealthy);
+  EXPECT_EQ(reg.gauge("viewmap_daemon_checkpoint_consecutive_failures").value(),
+            0);
+  EXPECT_EQ(reg.gauge("viewmap_daemon_checkpoint_sequence").value(),
+            static_cast<std::int64_t>(d.store()->latest_sequence()));
+
+  // Nothing was lost: the sealed store is bit-for-bit the live database.
+  store::SegmentStore store(dir.str());
+  EXPECT_EQ(db_bytes(store.recover()), db_bytes(d.service().database()));
+  // And no failed attempt leaked a temp file.
+  for (const auto& entry : fs::directory_iterator(dir.str()))
+    EXPECT_FALSE(entry.path().filename().string().ends_with(".tmp"))
+        << entry.path().filename();
+  d.kill_for_test();
+}
+
+TEST(DaemonChaos, HealthzGoesDegradedAndBack) {
+  TempDir dir("chaos_healthz");
+  Rng rng(29);
+  failpoint::disarm_all();
+  auto cfg = chaos_config(dir.str());
+  cfg.scrape.enabled = true;
+  cfg.scrape.port = 0;
+
+  ServiceLifecycle d(cfg);
+  ASSERT_TRUE(d.start());
+  const std::uint16_t port = d.scrape_port();
+  ASSERT_NE(port, 0);
+
+  // Healthy daemon: 200.
+  EXPECT_NE(http_get(port, "/healthz").find("200 OK"), std::string::npos);
+
+  // Inject a failure streak: /healthz must flip to 503 and name the
+  // reason and the last error.
+  ASSERT_TRUE(d.service().register_trusted(
+      attack::make_fake_profile(0, {0, 0}, {800, 0}, rng)));
+  EXPECT_EQ(feed(d, 0, 20, rng), 20u);
+  while (d.service().upload_channel().pending() != 0)
+    std::this_thread::sleep_for(1ms);
+  failpoint::arm_from_spec("store.write.data=eio@window:0:2");
+  await_failures(d, 1);
+  const std::string degraded = http_get(port, "/healthz");
+  EXPECT_NE(degraded.find("503"), std::string::npos);
+  EXPECT_NE(degraded.find("health=degraded"), std::string::npos);
+  EXPECT_NE(degraded.find("reason=checkpoint-failures:"), std::string::npos);
+  EXPECT_NE(degraded.find("last_error="), std::string::npos);
+
+  // Streak past failing_after: health escalates.
+  await_failures(d, 2);
+  failpoint::disarm_all();
+
+  // Recovery: next sealed checkpoint returns /healthz to 200.
+  await_checkpoints(d, 1);
+  const std::string healthy = http_get(port, "/healthz");
+  EXPECT_NE(healthy.find("200 OK"), std::string::npos);
+  EXPECT_NE(healthy.find("health=healthy"), std::string::npos);
+  d.kill_for_test();
+}
+
+TEST(DaemonChaos, FinalCheckpointFailurePropagatesOutOfStop) {
+  TempDir dir("chaos_final");
+  Rng rng(31);
+  failpoint::disarm_all();
+  auto cfg = chaos_config(dir.str());
+  cfg.checkpoint.final_attempts = 2;
+
+  ServiceLifecycle d(cfg);
+  ASSERT_TRUE(d.start());
+  ASSERT_TRUE(d.service().register_trusted(
+      attack::make_fake_profile(0, {0, 0}, {800, 0}, rng)));
+  EXPECT_EQ(feed(d, 0, 25, rng), 25u);
+  while (d.service().upload_channel().pending() != 0)
+    std::this_thread::sleep_for(1ms);
+
+  // Enter the retry pit first (a failure is mid-backoff), then stop:
+  // the in-process equivalent of SIGTERM arriving mid-retry. Every
+  // final attempt fails too — the daemon must come down with every
+  // thread joined and the failure must surface, not vanish.
+  failpoint::arm_from_spec("store.write.data=enospc");  // always
+  await_failures(d, 1);
+  EXPECT_FALSE(d.drain());
+  EXPECT_FALSE(d.stop());
+  EXPECT_EQ(d.state(), LifecycleState::kStopped);
+  EXPECT_FALSE(d.checkpointer()->running());
+  EXPECT_FALSE(d.ingest().running());
+  EXPECT_NE(d.last_error().find("final checkpoint failed"), std::string::npos);
+  // Idempotent: a repeat stop() reports the recorded verdict.
+  EXPECT_FALSE(d.stop());
+  failpoint::disarm_all();
+
+  // The store still recovers to its last sealed state (nothing sealed
+  // here — the window covered every cycle — so it recovers empty) and
+  // holds no temp debris.
+  for (const auto& entry : fs::directory_iterator(dir.str()))
+    EXPECT_FALSE(entry.path().filename().string().ends_with(".tmp"))
+        << entry.path().filename();
+
+  // Same shutdown with the fault cleared: the verdict is clean again on
+  // a fresh instance.
+  ServiceLifecycle d2(chaos_config(dir.str()));
+  ASSERT_TRUE(d2.start());
+  EXPECT_EQ(feed(d2, 0, 10, rng), 10u);
+  EXPECT_TRUE(d2.drain());
+  EXPECT_TRUE(d2.stop());
+  EXPECT_TRUE(d2.last_error().empty());
+}
+
+TEST(DaemonChaos, StartSweepsStaleCheckpointTemps) {
+  TempDir dir("chaos_sweep");
+  failpoint::disarm_all();
+  {
+    // Seed crash debris the way an interrupted checkpoint would.
+    std::ofstream a(fs::path(dir.str()) / "seg-dead.vseg2.tmp");
+    a << "junk";
+    std::ofstream b(fs::path(dir.str()) / "manifest-000009.vman.tmp");
+    b << "junk";
+  }
+  ServiceLifecycle d(test_config(dir.str()));
+  ASSERT_TRUE(d.start());
+  EXPECT_EQ(d.swept_temps(), 2u);
+  EXPECT_FALSE(fs::exists(fs::path(dir.str()) / "seg-dead.vseg2.tmp"));
+  EXPECT_FALSE(fs::exists(fs::path(dir.str()) / "manifest-000009.vman.tmp"));
+  d.kill_for_test();
+}
+
+TEST(DaemonChaos, IngestSurvivesInjectedDrainFailures) {
+  TempDir dir("chaos_ingest");
+  Rng rng(37);
+  failpoint::disarm_all();
+  ServiceLifecycle d(chaos_config(dir.str()));
+  ASSERT_TRUE(d.start());
+  ASSERT_TRUE(d.service().register_trusted(
+      attack::make_fake_profile(0, {0, 0}, {800, 0}, rng)));
+  const std::size_t base = d.service().database().size();
+
+  // The first two drain passes throw; payloads stay queued and the
+  // retry with backoff must deliver every one of them.
+  failpoint::arm_from_spec("daemon.ingest.pass=error@window:0:2");
+  EXPECT_EQ(feed(d, 0, 15, rng), 15u);
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (d.service().database().size() < base + 15u) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(d.ingest().running());
+  EXPECT_GE(failpoint::stats("daemon.ingest.pass").fires, 2u);
+  failpoint::disarm_all();
+  d.kill_for_test();
 }
 
 // ── lifecycle edges ──────────────────────────────────────────────────

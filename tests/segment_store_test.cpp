@@ -27,6 +27,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "attack/fake_vp.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "crypto/crc32c.h"
 #include "store/segment_store.h"
@@ -738,6 +740,84 @@ TEST(SegmentStoreFaults, TornRenamesAndStaleTempsNeverMaskTheSealedCheckpoint) {
   EXPECT_FALSE(
       fs::exists(scratch.path() / (SegmentStore::manifest_file_name(9) + ".tmp")));
   EXPECT_TRUE(fs::exists(scratch.path() / "notes.tmp"));
+}
+
+TEST(SegmentStoreFaults, SweepTempsRemovesOnlyOwnPatternsAndSparesSegments) {
+  TempDir dir("sweep");
+  const SealedPair sealed = build_sealed_pair(dir.path());
+
+  // Seed crash debris of every temp pattern the store writes, plus a
+  // foreign .tmp that must be spared.
+  const std::vector<std::uint8_t> junk{9, 9, 9};
+  write_raw(dir.path() / "seg-feed.vseg.tmp", junk);
+  write_raw(dir.path() / "seg-beef.vseg2.tmp", junk);
+  write_raw(dir.path() / (SegmentStore::manifest_file_name(42) + ".tmp"), junk);
+  write_raw(dir.path() / "operator-notes.tmp", junk);
+
+  SegmentStore store(dir.str(), fast_config());
+  EXPECT_EQ(store.sweep_temps(), 3u);
+  EXPECT_FALSE(fs::exists(dir.path() / "seg-feed.vseg.tmp"));
+  EXPECT_FALSE(fs::exists(dir.path() / "seg-beef.vseg2.tmp"));
+  EXPECT_FALSE(
+      fs::exists(dir.path() / (SegmentStore::manifest_file_name(42) + ".tmp")));
+  EXPECT_TRUE(fs::exists(dir.path() / "operator-notes.tmp"));
+  // Sealed state untouched: temps were never mistaken for segments.
+  EXPECT_EQ(recover_bytes(dir.path()), sealed.sealed2);
+  // Idempotent, and safe on a directory that does not exist.
+  EXPECT_EQ(store.sweep_temps(), 0u);
+  SegmentStore missing((dir.path() / "nope").string(), fast_config());
+  EXPECT_EQ(missing.sweep_temps(), 0u);
+}
+
+TEST(SegmentStoreFaults, FailedCheckpointCleansItsTempAndStaysRecoverable) {
+  TempDir dir("failckpt");
+  Rng rng(17);
+  sys::VpDatabase db;
+  for (int m = 0; m < 3; ++m)
+    ASSERT_TRUE(db.upload(make_profile(m * kUnitTimeSec, {m * 300.0, 0.0}, rng)));
+
+  SegmentStore store(dir.str(), fast_config());
+  (void)store.checkpoint(db.snapshot());
+  const std::string sealed = db_bytes(store.recover());
+
+  // Grow the database, then fail the next checkpoint at every injectable
+  // site in the durable-write path. After each failure the directory
+  // must hold zero temp files and recover() must land on the sealed
+  // predecessor — retries never fight leaked `.tmp` artifacts.
+  ASSERT_TRUE(db.upload(make_profile(5 * kUnitTimeSec, {4000.0, 0.0}, rng)));
+  for (const char* spec :
+       {"store.write.open=enospc@once", "store.write.data=enospc@once",
+        "store.write.data=short@once", "store.write.close=eio@once",
+        "store.rename=eio@once"}) {
+    failpoint::disarm_all();
+    failpoint::arm_from_spec(spec);
+    EXPECT_THROW((void)store.checkpoint(db.snapshot()), StoreError) << spec;
+    failpoint::disarm_all();
+    for (const auto& entry : fs::directory_iterator(dir.path()))
+      EXPECT_FALSE(entry.path().filename().string().ends_with(".tmp"))
+          << spec << " leaked " << entry.path().filename();
+    EXPECT_EQ(recover_bytes(dir.path()), sealed) << spec;
+  }
+
+  // With the points disarmed the same checkpoint succeeds and recovers
+  // the grown database — the failures had no lasting effect.
+  (void)store.checkpoint(db.snapshot());
+  EXPECT_EQ(db_bytes(store.recover()), db_bytes(db));
+}
+
+TEST(SegmentStoreFaults, StoreErrorClassifiesTransientVsPermanent) {
+  EXPECT_TRUE(StoreError("x", ENOSPC).transient());
+  EXPECT_TRUE(StoreError("x", EIO).transient());
+  EXPECT_TRUE(StoreError("x", EINTR).transient());
+  EXPECT_FALSE(StoreError("x", EROFS).transient());
+  EXPECT_FALSE(StoreError("x", EACCES).transient());
+  EXPECT_FALSE(StoreError("x", ENOENT).transient());
+  EXPECT_STREQ(StoreError("x", ENOSPC).reason(), "enospc");
+  EXPECT_STREQ(StoreError("x", EDQUOT).reason(), "enospc");
+  EXPECT_STREQ(StoreError("x", EIO).reason(), "eio");
+  EXPECT_STREQ(StoreError("x", EPERM).reason(), "permission");
+  EXPECT_STREQ(StoreError("x", ENOENT).reason(), "other");
+  EXPECT_EQ(StoreError("x", ENOSPC).errno_value(), ENOSPC);
 }
 
 TEST(SegmentStoreFaults, CorruptManifestsNeverConsumeGcFallbackDepth) {

@@ -15,7 +15,12 @@
 #      (recovered seq=N ... rejected=0 ... ms=T), that the parallel v2
 #      cold restart stayed inside its timing budget, and a green
 #      /healthz;
-#   5. SIGTERM the daemon and assert the clean drain+stop lines.
+#   5. SIGTERM the daemon and assert the clean drain+stop lines;
+#   6. restart with --failpoints injecting an ENOSPC window into the
+#      checkpoint write path: the daemon must survive, /healthz must go
+#      503 (degraded) during the window and back to 200 after it, the
+#      failure counters must show up on /metrics, no checkpoint temp
+#      file may be left behind, and SIGTERM must still exit clean.
 #
 #   tools/daemon_smoke.sh [path/to/viewmapd]   (default build/tools/viewmapd)
 set -euo pipefail
@@ -43,6 +48,7 @@ start_daemon() {
   "$bin" --store="$store" --port=0 --workers=1 \
          --checkpoint_interval_ms=200 --jitter=0 \
          --soak_rate=400 --unit_every_ms=250 --investigate_every_ms=100 \
+         "$@" \
          >"$log" 2>&1 &
   pid=$!
   port=""
@@ -168,4 +174,77 @@ grep -q '^viewmapd: draining$' "$log" ||
 grep -q '^viewmapd: stopped' "$log" ||
   { echo "daemon_smoke: daemon did not report a clean stop" >&2; cat "$log" >&2; exit 1; }
 echo "daemon_smoke: clean SIGTERM drain+stop"
+
+# ── 6. injected-ENOSPC chaos cycle ───────────────────────────────────
+# Restart on the same store with a failpoint window: the first 6
+# checkpoint attempts hit ENOSPC on the segment-write path (the retry
+# backoff stretches the window over a few seconds — long enough to
+# observe). The daemon must survive it, /healthz must degrade to 503
+# and recover to 200, and shutdown must still be clean.
+start_daemon --failpoints='store.write.data=enospc@window:0:6'
+grep -q '^viewmapd: failpoints armed: store.write.data$' "$log" || {
+  echo "daemon_smoke: daemon did not announce the armed failpoint" >&2
+  cat "$log" >&2
+  exit 1
+}
+
+degraded=""
+for _ in $(seq 1 60); do
+  health="$(http_get /healthz)" || health=""
+  if echo "$health" | grep -q '^HTTP/1.1 503'; then degraded="$health"; break; fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "daemon_smoke: daemon died during the ENOSPC window" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[ -n "$degraded" ] || {
+  echo "daemon_smoke: /healthz never reported 503 during the ENOSPC window" >&2
+  exit 1
+}
+echo "$degraded" | grep -q '^reason=checkpoint-failures:' ||
+  { echo "daemon_smoke: degraded /healthz body is missing the reason= line" >&2; exit 1; }
+echo "daemon_smoke: /healthz degraded (503) during the injected ENOSPC window"
+
+recovered_health=""
+for _ in $(seq 1 150); do
+  health="$(http_get /healthz)" || health=""
+  if echo "$health" | grep -q '^HTTP/1.1 200 OK'; then recovered_health="$health"; break; fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "daemon_smoke: daemon died before recovering from the ENOSPC window" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[ -n "$recovered_health" ] || {
+  echo "daemon_smoke: /healthz never recovered to 200 after the ENOSPC window" >&2
+  exit 1
+}
+metrics="$(http_get /metrics)"
+echo "$metrics" | grep -q 'viewmap_daemon_checkpoint_failures_total{reason="enospc"} [1-9]' ||
+  { echo "daemon_smoke: /metrics does not show the injected ENOSPC failures" >&2; exit 1; }
+echo "daemon_smoke: /healthz back to 200, enospc failure counter visible"
+
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+  if ! kill -0 "$pid" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "daemon_smoke: daemon ignored SIGTERM after the chaos cycle" >&2
+  kill -9 "$pid"
+  exit 1
+fi
+wait "$pid" 2>/dev/null || true
+pid=""
+grep -q '^viewmapd: stopped (submitted=' "$log" ||
+  { echo "daemon_smoke: chaos cycle did not end in a clean stop" >&2; cat "$log" >&2; exit 1; }
+if ls "$store"/*.tmp >/dev/null 2>&1; then
+  echo "daemon_smoke: checkpoint temp files leaked in the store" >&2
+  ls "$store" >&2
+  exit 1
+fi
+echo "daemon_smoke: chaos cycle survived — clean stop, no leaked temps"
 echo "daemon_smoke: PASS"

@@ -10,7 +10,11 @@
 # rewrite, plus cold-restart recovery), observability overhead
 # (ingest with the metrics registry on vs off), and the daemon soak
 # (ServiceLifecycle under kill -9 cycles: sustained ingest rate,
-# checkpoint cadence, restart recovery latency). Asserts that every
+# checkpoint cadence, restart recovery latency), and the daemon chaos
+# scenario (failpoint-injected ENOSPC/EIO/fsync/rename/torn-write
+# failures through the checkpoint path: daemon survival, health
+# degrade/recover, zero leaked temps, bit-for-bit recovery). Asserts
+# that every
 # viewmap_build row reports a bit-identical edge set between the two
 # builders, that the checkpoint, recovery_v2, and daemon-soak scenarios'
 # recovery invariant held (profiles recovered == manifest promise,
@@ -144,6 +148,34 @@ if ! grep -q '"daemon_soak"' BENCH_index.json; then
   exit 1
 fi
 echo "daemon_soak check passed: every kill -9 restart recovered the sealed manifest"
+
+# Daemon-chaos assertion: the failpoint chaos scenario must be present, the
+# daemon must have survived every injected-failure window (>= 20 injected
+# I/O faults per run), health must have visibly degraded and recovered, no
+# checkpoint temp file may have leaked, and every post-window recover must
+# match the live shard digests bit-for-bit (the shared recovered_matches
+# grep above fails the run on a digest mismatch).
+if ! grep -q '"daemon_chaos"' BENCH_index.json; then
+  echo "daemon_chaos check: scenario missing from BENCH_index.json" >&2
+  exit 1
+fi
+chaos_row="$(grep -o '"daemon_chaos": {[^}]*}' BENCH_index.json)"
+for flag in daemon_survived health_degraded_seen health_recovered clean_drains; do
+  if ! echo "$chaos_row" | grep -q "\"$flag\": true"; then
+    echo "daemon_chaos check: $flag is not true" >&2
+    exit 1
+  fi
+done
+if ! echo "$chaos_row" | grep -q '"leaked_temps": 0'; then
+  echo "daemon_chaos check: checkpoint temp files leaked" >&2
+  exit 1
+fi
+chaos_fires="$(echo "$chaos_row" | sed -n 's/.*"injected_failures": \([0-9]*\).*/\1/p')"
+if [ -z "${chaos_fires:-}" ] || [ "$chaos_fires" -lt 20 ]; then
+  echo "daemon_chaos check: only ${chaos_fires:-0} injected failures (need >= 20)" >&2
+  exit 1
+fi
+echo "daemon_chaos check passed: daemon survived $chaos_fires injected I/O failures with zero leaked temps"
 
 # Docs-link check: the architecture map must reach every module design doc.
 missing=0

@@ -10,6 +10,14 @@
 //            [--workers=N] [--checkpoint_interval_ms=N] [--jitter=PCT]
 //            [--keep_manifests=N] [--recover_seq=N] [--run_seconds=N]
 //            [--soak_rate=N] [--unit_every_ms=N] [--investigate_every_ms=N]
+//            [--failpoints=SPEC]
+//
+// --failpoints (or the VIEWMAP_FAILPOINTS environment variable) arms
+// fault-injection points for manual chaos: SPEC is the
+// `point=action[@trigger][;…]` grammar of src/common/failpoint.h, e.g.
+//   --failpoints='store.write.fsync=eio@every:3'
+// The daemon is expected to SURVIVE whatever the spec throws at it —
+// /healthz degrades during failure windows and recovers after.
 //
 // The config file is `key=value` per line (# comments); keys are the
 // long flag names without the leading dashes. Flags override the file.
@@ -36,6 +44,7 @@
 #include <vector>
 
 #include "attack/fake_vp.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "daemon/lifecycle.h"
 #include "geo/geometry.h"
@@ -58,6 +67,7 @@ struct Options {
   std::uint64_t unit_every_ms = 1000;
   std::uint64_t investigate_every_ms = 0;
   std::uint64_t seed = 42;
+  std::string failpoints;  ///< failpoint spec; empty = none
 };
 
 bool apply(Options& o, const std::string& key, const std::string& value) {
@@ -75,6 +85,7 @@ bool apply(Options& o, const std::string& key, const std::string& value) {
   else if (key == "unit_every_ms") o.unit_every_ms = u64();
   else if (key == "investigate_every_ms") o.investigate_every_ms = u64();
   else if (key == "seed") o.seed = u64();
+  else if (key == "failpoints") o.failpoints = value;
   else return false;
   return true;
 }
@@ -106,7 +117,8 @@ int usage(const char* argv0) {
                "       [--keep_manifests=N] [--recover_seq=N] "
                "[--run_seconds=N]\n"
                "       [--soak_rate=N] [--unit_every_ms=N] "
-               "[--investigate_every_ms=N] [--seed=N]\n",
+               "[--investigate_every_ms=N] [--seed=N]\n"
+               "       [--failpoints=point=action[@trigger][;...]]\n",
                argv0);
   return 2;
 }
@@ -140,6 +152,27 @@ int main(int argc, char** argv) {
   cfg.checkpoint.jitter_pct = static_cast<unsigned>(opt.jitter);
   cfg.scrape.bind_address = opt.bind;
   cfg.scrape.port = static_cast<std::uint16_t>(opt.port);
+
+  // Chaos arming before any thread starts, so the very first checkpoint
+  // cycle can already hit an armed point. Flag wins over environment.
+  try {
+    std::size_t armed = 0;
+    if (!opt.failpoints.empty())
+      armed = failpoint::arm_from_spec(opt.failpoints);
+    else
+      armed = failpoint::arm_from_env();
+    if (armed > 0) {
+      std::string names;
+      for (const auto& p : failpoint::armed_points()) {
+        if (!names.empty()) names += ',';
+        names += p;
+      }
+      std::printf("viewmapd: failpoints armed: %s\n", names.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "viewmapd: bad failpoint spec: %s\n", e.what());
+    return 2;
+  }
 
   daemon::ServiceLifecycle::install_signal_handlers();
   daemon::ServiceLifecycle daemon_instance(cfg);
@@ -224,7 +257,17 @@ int main(int argc, char** argv) {
   std::printf("viewmapd: draining\n");
   std::fflush(stdout);
   daemon_instance.drain();
-  daemon_instance.stop();
+  if (!daemon_instance.stop()) {
+    // All threads are joined and the store still holds its last sealed
+    // manifest — but the final checkpoint failed, so data accepted since
+    // then is NOT durable. That must be an operator-visible failure, not
+    // a quiet exit 0.
+    std::fprintf(stderr, "viewmapd: unclean stop: %s\n",
+                 daemon_instance.last_error().c_str());
+    std::printf("viewmapd: stopped UNCLEAN (submitted=%llu)\n",
+                static_cast<unsigned long long>(submitted));
+    return 1;
+  }
   std::printf("viewmapd: stopped (submitted=%llu)\n",
               static_cast<unsigned long long>(submitted));
   return 0;
