@@ -45,20 +45,30 @@
 //       must visibly degrade and recover, no *.tmp file may survive, and
 //       a cold recover must match the live shard digests bit-for-bit.
 //       tools/run_bench.sh fails the run on any violated assertion.
+//   (10) server_zipf: the investigation server under a Zipf-skewed request
+//       mix with the digest-keyed result cache on vs off, while live
+//       ingest lands in the newest minutes (hot-shard digests quiescent).
+//       Emits the hit rate, cache-on/off throughput ratio, hit-latency
+//       percentiles, and whether every cache hit was bit-identical to a
+//       fresh build; tools/run_bench.sh asserts hit_rate > 0 and
+//       reports_match.
 //
 // Emits BENCH_index.json (cwd) so future PRs can diff the numbers.
 //
 //   ./bench/bench_index [--max_vps=1000000] [--queries=200]
 //                       [--ingest_vps=20000] [--threads=N]
-//                       [--server_requests=500] [--viewmap_vps=50000]
+//                       [--server_requests=500] [--zipf_requests=400]
+//                       [--viewmap_vps=50000]
 //                       [--checkpoint_vps=1000000]
 //                       [--soak_cycles=5] [--soak_vps=300]
 //                       [--chaos_cycles=6] [--chaos_failures=4]
 //                       [--chaos_vps=200]
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <future>
@@ -401,6 +411,231 @@ ServerRow bench_server(std::size_t vp_count, int request_count, unsigned workers
   row.snapshots = stats.snapshots;
   row.batches = stats.batches;
   row.peak_queue = stats.peak_queue;
+  return row;
+}
+
+struct ZipfServerRow {
+  std::size_t vps = 0;
+  std::size_t workers = 0;
+  std::size_t requests = 0;
+  double alpha = 0.0;            ///< Zipf skew of the request mix
+  std::size_t distinct_keys = 0; ///< (site, unit-time) universe size
+  double hit_rate = 0.0;         ///< cache hits / requests, serving phase
+  double req_per_sec = 0.0;          ///< result cache on
+  double req_per_sec_nocache = 0.0;  ///< identical run, cache disabled
+  double speedup_vs_nocache = 0.0;
+  /// Serve-side latency with the cache on (viewmap_server_request_us).
+  std::uint64_t request_p50_us = 0;
+  std::uint64_t request_p99_us = 0;
+  /// Cache-hit investigate() latency (viewmap_cache_hit_us).
+  std::uint64_t hit_p50_us = 0;
+  std::uint64_t hit_p99_us = 0;
+  /// Every key's cache-hit report fingerprint equalled the fresh-build
+  /// (= cache-off path) fingerprint. tools/run_bench.sh fails on false.
+  bool reports_match = false;
+  std::size_t cache_bytes = 0;           ///< resident bytes after the run
+  std::size_t cache_capacity_bytes = 0;  ///< configured bound
+  bool bytes_ok = false;                 ///< resident ≤ bound throughout
+};
+
+/// Order-sensitive fingerprint of everything an InvestigationReport says
+/// (members, trust flags, CSR edges, verdict sets, bit-cast TrustRank
+/// scores, solicitations) — trace excluded, since it records the serving
+/// path. Two reports with equal fingerprints are bit-identical results.
+std::uint64_t report_fingerprint(const sys::InvestigationReport& r) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  const sys::Viewmap& m = r.viewmap;
+  mix(m.size());
+  mix(static_cast<std::uint64_t>(m.unit_time()));
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::uint8_t b : m.member(i).vp_id().bytes) mix(b);
+    mix(m.is_trusted(i) ? 1 : 0);
+  }
+  for (std::size_t o : m.graph().offsets()) mix(o);
+  for (std::uint32_t e : m.graph().edges()) mix(e);
+  const sys::VerificationResult& v = r.verification;
+  for (std::size_t i : v.site_members) mix(i);
+  for (std::size_t i : v.legitimate) mix(i);
+  for (std::size_t i : v.rejected) mix(i);
+  for (double s : v.ranks.scores) mix(std::bit_cast<std::uint64_t>(s));
+  mix(static_cast<std::uint64_t>(v.ranks.iterations));
+  mix(v.ranks.converged ? 1 : 0);
+  for (const Id16& id : r.solicited)
+    for (std::uint8_t b : id.bytes) mix(b);
+  return h;
+}
+
+/// The workload the result cache exists for: a Zipf-skewed request mix
+/// (real investigation traffic clusters on a few hot incidents) against
+/// a database whose hot minutes are quiescent while live ingest keeps
+/// landing in the newest minutes. Two identical services — cache on vs
+/// cache off — serve the same precomputed request sequence through the
+/// same server config; the row records the throughput ratio, the hit
+/// rate, and whether every cache hit was bit-identical to a fresh build.
+ZipfServerRow bench_server_zipf(std::size_t vp_count, int request_count,
+                                double alpha, unsigned workers) {
+  const int minutes = 12;       // requests target 0..7; ingest lands in 8..11
+  const int query_minutes = 8;
+  const int site_count = 4;
+  // Fixed dense-city geometry, deliberately NOT the density-preserving
+  // sqrt(vps) extent the other scenarios use: incidents concentrate where
+  // traffic does, and the cache's value is proportional to what a build
+  // costs. A (1.2 km)² downtown with vp_count/minutes VPs per minute puts
+  // a few hundred members in every site rectangle, so a miss pays a real
+  // viewmap + TrustRank build while a hit pays a lookup + report copy.
+  const double extent = 600.0;
+
+  // The (site, unit-time) key universe: incident rectangles along the
+  // trusted corridor × the quiescent minutes. All four sites lie inside
+  // the VP spread and under the corridor, so every key sees trusted
+  // seeds, members, and a full verification.
+  std::vector<geo::Rect> sites;
+  for (int s = 0; s < site_count; ++s) {
+    const double cx = -450.0 + 300.0 * s;
+    sites.push_back({{cx - 200.0, -200.0}, {cx + 200.0, 200.0}});
+  }
+  const std::size_t keys = static_cast<std::size_t>(site_count * query_minutes);
+
+  // Zipf(alpha) over the key universe, sampled once so both sides serve
+  // the byte-identical request sequence.
+  std::vector<double> cdf(keys);
+  double total = 0.0;
+  for (std::size_t k = 0; k < keys; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    cdf[k] = total;
+  }
+  Rng zipf_rng(60660);
+  std::vector<std::size_t> req_keys;
+  req_keys.reserve(static_cast<std::size_t>(request_count));
+  for (int q = 0; q < request_count; ++q) {
+    const double u = zipf_rng.uniform(0.0, total);
+    req_keys.push_back(static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin()));
+  }
+
+  ZipfServerRow row;
+  row.workers = workers;
+  row.requests = static_cast<std::size_t>(request_count);
+  row.alpha = alpha;
+  row.distinct_keys = keys;
+
+  for (const bool cache_on : {false, true}) {
+    sys::ServiceConfig scfg;
+    scfg.rsa_bits = 1024;
+    scfg.result_cache.enabled = cache_on;
+    sys::ViewMapService service(scfg);
+    // Seeded identically per side: same trusted corridor, same uploads.
+    Rng seed_rng(8088);
+    for (int m = 0; m < minutes; ++m)
+      (void)service.register_trusted(attack::make_fake_profile(
+          kUnitTimeSec * static_cast<TimeSec>(m), {-650.0, 0.0}, {650.0, 0.0},
+          seed_rng));
+    for (std::size_t i = 0; i < vp_count; ++i) {
+      const TimeSec unit = kUnitTimeSec * static_cast<TimeSec>(seed_rng.index(minutes));
+      service.upload_channel().submit(random_vp(unit, extent, seed_rng).serialize());
+    }
+    (void)service.ingest_uploads();
+    row.vps = service.database().size();
+
+    if (cache_on) {
+      // Correctness phase, quiesced: for every key, a fresh build (the
+      // cache-off code path) followed by the cache hit it seeded. The
+      // fingerprints must agree — the bit-identity claim of the cache.
+      bool match = true;
+      for (std::size_t k = 0; k < keys; ++k) {
+        const geo::Rect& site = sites[k % static_cast<std::size_t>(site_count)];
+        const TimeSec unit =
+            kUnitTimeSec * static_cast<TimeSec>(k / static_cast<std::size_t>(site_count));
+        try {
+          const auto fresh = service.investigate(site, unit);
+          const auto hit = service.investigate(site, unit);
+          match = match && report_fingerprint(fresh) == report_fingerprint(hit);
+        } catch (const std::exception&) {
+          match = false;  // corridor keys must all be investigable
+        }
+      }
+      row.reports_match = match;
+      // The serving phase measures a cold cache: first touch per key
+      // misses, the skewed tail hits.
+      service.result_cache().clear();
+    }
+    const std::size_t hits_before = service.result_cache().stats().hits;
+
+    sys::ServerConfig server_cfg;
+    server_cfg.workers = workers;
+    server_cfg.queue_capacity = 1024;
+    server_cfg.batch_max = 8;
+    auto& server = service.start_server(server_cfg);
+
+    // Live ingest confined to the newest minutes: the hot shards' digests
+    // stay put, which is exactly when the cache may keep serving them.
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+      Rng wrng(4242);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < 64; ++i) {
+          const TimeSec unit = kUnitTimeSec * static_cast<TimeSec>(
+              query_minutes + wrng.index(minutes - query_minutes));
+          service.upload_channel().submit(random_vp(unit, extent, wrng).serialize());
+        }
+        (void)service.ingest_uploads();
+      }
+    });
+
+    std::vector<std::future<sys::InvestigationServer::Reports>> futures;
+    futures.reserve(req_keys.size());
+    const auto start = Clock::now();
+    for (const std::size_t k : req_keys)
+      futures.push_back(server.submit(
+          sites[k % static_cast<std::size_t>(site_count)],
+          kUnitTimeSec * static_cast<TimeSec>(k / static_cast<std::size_t>(site_count))));
+    std::size_t resolved = 0;
+    for (auto& fut : futures) {
+      if (!fut.valid()) continue;
+      (void)fut.get();
+      ++resolved;
+    }
+    const double elapsed = seconds_since(start);
+    stop.store(true);
+    writer.join();
+
+    const double rate = elapsed > 0 ? static_cast<double>(resolved) / elapsed : 0.0;
+    if (cache_on) {
+      row.req_per_sec = rate;
+      const auto cstats = service.result_cache().stats();
+      row.hit_rate = row.requests > 0
+                         ? static_cast<double>(cstats.hits - hits_before) /
+                               static_cast<double>(row.requests)
+                         : 0.0;
+      row.cache_bytes = cstats.resident_bytes;
+      row.cache_capacity_bytes = scfg.result_cache.capacity_bytes;
+      row.bytes_ok = cstats.resident_bytes <= scfg.result_cache.capacity_bytes;
+      if (const obs::Histogram* h =
+              service.metrics().find_histogram("viewmap_server_request_us")) {
+        const auto snap = h->snapshot();
+        row.request_p50_us = snap.percentile(0.5);
+        row.request_p99_us = snap.percentile(0.99);
+      }
+      if (const obs::Histogram* h =
+              service.metrics().find_histogram("viewmap_cache_hit_us")) {
+        const auto snap = h->snapshot();
+        row.hit_p50_us = snap.percentile(0.5);
+        row.hit_p99_us = snap.percentile(0.99);
+      }
+    } else {
+      row.req_per_sec_nocache = rate;
+    }
+    service.stop_server();
+  }
+  row.speedup_vs_nocache = row.req_per_sec_nocache > 0
+                               ? row.req_per_sec / row.req_per_sec_nocache
+                               : 0.0;
   return row;
 }
 
@@ -981,6 +1216,7 @@ int main(int argc, char** argv) {
   const auto ingest_vps =
       static_cast<std::size_t>(bench::int_flag(argc, argv, "ingest_vps", 20000));
   const int server_requests = bench::int_flag(argc, argv, "server_requests", 500);
+  const int zipf_requests = bench::int_flag(argc, argv, "zipf_requests", 400);
   const auto viewmap_vps =
       static_cast<std::size_t>(bench::int_flag(argc, argv, "viewmap_vps", 50000));
   const auto checkpoint_vps = std::min<std::size_t>(
@@ -1065,6 +1301,32 @@ int main(int argc, char** argv) {
   if (std::thread::hardware_concurrency() <= 1)
     std::printf("note: 1-core host — workers, submitter, and the ingest loop\n"
                 "      time-slice one CPU; worker scaling needs real cores.\n");
+
+  // ── server_zipf: result cache under a skewed request mix ─────────────
+  std::printf("\n-- server_zipf: digest-keyed result cache, Zipf request mix, "
+              "cache on vs off --\n");
+  // The scenario fixes its own dense (1.2 km)² geometry; 24k VPs over its
+  // 12 minutes ≈ 1.4k VPs/km²/minute — the paper's dense urban regime, a
+  // few hundred site members per key, so a miss pays a real build.
+  const std::size_t zipf_vps = std::min<std::size_t>(max_vps, 24000);
+  const auto zipf =
+      bench_server_zipf(zipf_vps, zipf_requests, /*alpha=*/1.1, threads);
+  std::printf(
+      "%zu VPs, %zu workers, %zu requests over %zu keys (alpha=%.1f):\n"
+      "  cache on:  %.0f requests/s, hit rate %.1f%%, hit p50=%llu us / "
+      "p99=%llu us, serve p50=%llu us / p99=%llu us\n"
+      "  cache off: %.0f requests/s  ->  %.1fx speedup; reports %s; "
+      "cache %zu / %zu bytes (%s)\n",
+      zipf.vps, zipf.workers, zipf.requests, zipf.distinct_keys, zipf.alpha,
+      zipf.req_per_sec, zipf.hit_rate * 100.0,
+      static_cast<unsigned long long>(zipf.hit_p50_us),
+      static_cast<unsigned long long>(zipf.hit_p99_us),
+      static_cast<unsigned long long>(zipf.request_p50_us),
+      static_cast<unsigned long long>(zipf.request_p99_us),
+      zipf.req_per_sec_nocache, zipf.speedup_vs_nocache,
+      zipf.reports_match ? "bit-identical" : "DIVERGED",
+      zipf.cache_bytes, zipf.cache_capacity_bytes,
+      zipf.bytes_ok ? "within bound" : "OVER BOUND");
 
   // ── viewmap construction: grid+CSR vs naive O(n²) reference ─────────
   std::printf("\n-- viewmap construction: grid+CSR builder vs naive O(n^2) reference --\n");
@@ -1246,6 +1508,27 @@ int main(int argc, char** argv) {
                      ? ", \"note\": \"single-core host: workers/submitter/ingest "
                        "time-slice one CPU; worker scaling needs cores\""
                      : "");
+    std::fprintf(
+        json,
+        "  \"server_zipf\": {\"vps\": %zu, \"workers\": %zu, \"requests\": %zu, "
+        "\"alpha\": %.2f, \"distinct_keys\": %zu, \"hit_rate\": %.4f, "
+        "\"req_per_sec\": %.1f, \"req_per_sec_nocache\": %.1f, "
+        "\"speedup_vs_nocache\": %.2f, \"hit_p50_us\": %llu, \"hit_p99_us\": %llu, "
+        "\"request_p50_us\": %llu, \"request_p99_us\": %llu, "
+        "\"reports_match\": %s, \"cache_bytes\": %zu, "
+        "\"cache_capacity_bytes\": %zu, \"bytes_ok\": %s, "
+        "\"note\": \"Zipf mix over quiescent hot minutes with live ingest in "
+        "the newest minutes; reports_match compares cache-hit vs fresh-build "
+        "fingerprints per key\"},\n",
+        zipf.vps, zipf.workers, zipf.requests, zipf.alpha, zipf.distinct_keys,
+        zipf.hit_rate, zipf.req_per_sec, zipf.req_per_sec_nocache,
+        zipf.speedup_vs_nocache,
+        static_cast<unsigned long long>(zipf.hit_p50_us),
+        static_cast<unsigned long long>(zipf.hit_p99_us),
+        static_cast<unsigned long long>(zipf.request_p50_us),
+        static_cast<unsigned long long>(zipf.request_p99_us),
+        zipf.reports_match ? "true" : "false", zipf.cache_bytes,
+        zipf.cache_capacity_bytes, zipf.bytes_ok ? "true" : "false");
     std::fprintf(json,
                  "  \"obs_overhead\": {\"payloads\": %zu, "
                  "\"plain_vps_per_sec\": %.1f, \"metered_vps_per_sec\": %.1f, "

@@ -6,6 +6,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -22,6 +24,7 @@ void send_all(int fd, const std::string& data) {
   while (off < data.size()) {
     const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
                              MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // a signal is not the peer hanging up
     if (n <= 0) return;  // peer went away; a scraper will retry
     off += static_cast<std::size_t>(n);
   }
@@ -119,15 +122,30 @@ void ScrapeEndpoint::serve_one(int client_fd) {
                                       "injected failure\n"));
     return;
   }
-  // One read is enough: both routes are tiny GETs and we only need the
-  // request line. Slow-loris resistance: 500 ms and we hang up.
+  // We only need the request line, but TCP may hand it to us in pieces —
+  // keep reading until "\r\n" arrives, the buffer fills, or the 500 ms
+  // deadline passes (slow-loris resistance: then we hang up). SO_RCVTIMEO
+  // bounds each individual recv so a silent peer cannot pin the thread.
   timeval tv{0, 500 * 1000};
   ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(500);
   char buf[1024];
-  const ssize_t n = ::recv(client_fd, buf, sizeof buf - 1, 0);
-  if (n <= 0) return;
-  buf[n] = '\0';
-  const std::string_view request(buf, static_cast<std::size_t>(n));
+  std::size_t have = 0;
+  std::string_view request;
+  for (;;) {
+    const ssize_t n = ::recv(client_fd, buf + have, sizeof buf - 1 - have, 0);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (std::chrono::steady_clock::now() >= give_up) return;
+      continue;
+    }
+    if (n <= 0) return;  // peer closed (or errored) before a full request line
+    have += static_cast<std::size_t>(n);
+    request = std::string_view(buf, have);
+    if (request.find("\r\n") != std::string_view::npos) break;
+    if (have >= sizeof buf - 1) break;  // no line in a full buffer: let 404 answer
+    if (std::chrono::steady_clock::now() >= give_up) return;
+  }
   const auto line_end = request.find("\r\n");
   const std::string_view line = request.substr(0, line_end);
 

@@ -46,6 +46,28 @@ Hash32 TimeShard::content_digest() const {
   return digest_;
 }
 
+std::uint64_t TimeShard::next_generation() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Hash32 TimeShard::cache_key() const {
+  {
+    std::lock_guard lock(digest_mutex_);
+    if (digest_valid_) return digest_;
+  }
+  // Digest not known: encode the generation stamp. The tag byte keeps the
+  // encoding out of the zero-hash key reserved for "no shard", and a real
+  // SHA-256 digest landing on a stamp encoding (22 fixed zero bytes)
+  // happens with probability ~2^-176 — never by construction.
+  Hash32 key;
+  const std::uint64_t g = generation_;
+  for (std::size_t i = 0; i < 8; ++i)
+    key.bytes[i] = static_cast<std::uint8_t>(g >> (8 * i));
+  key.bytes[31] = 0x67;  // 'g' — generation-stamp key, not a digest
+  return key;
+}
+
 const TimeShard* DbSnapshot::shard_at(TimeSec unit_time) const noexcept {
   // The raw pointer stays valid: state_ owns the shard either way.
   return shard(unit_time).get();
@@ -59,6 +81,12 @@ std::shared_ptr<const TimeShard> DbSnapshot::shard(TimeSec unit_time) const noex
       [](const std::shared_ptr<const TimeShard>& s, TimeSec t) { return s->unit_time < t; });
   if (it == shards.end() || (*it)->unit_time != unit_time) return nullptr;
   return *it;
+}
+
+std::optional<Hash32> DbSnapshot::shard_cache_key(TimeSec unit_time) const {
+  const std::shared_ptr<const TimeShard> s = shard(unit_time);
+  if (s == nullptr) return std::nullopt;
+  return s->cache_key();
 }
 
 const vp::ViewProfile* DbSnapshot::find(const Id16& vp_id) const {

@@ -34,6 +34,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -79,9 +80,9 @@ struct TimeShard {
   mutable std::atomic<std::size_t> pins{0};
 
   TimeShard(TimeSec unit, SpatialGridConfig grid_cfg) : unit_time(unit), grid(grid_cfg) {}
-  /// COW clone: copies the content, starts unpinned and with an invalid
-  /// digest cache (the clone exists precisely because it is about to be
-  /// mutated).
+  /// COW clone: copies the content, starts unpinned, with an invalid
+  /// digest cache and a fresh generation stamp (the clone exists
+  /// precisely because it is about to be mutated).
   TimeShard(const TimeShard& other)
       : unit_time(other.unit_time),
         profiles(other.profiles),
@@ -117,11 +118,27 @@ struct TimeShard {
   /// snapshot holders are fine.
   [[nodiscard]] Hash32 content_digest() const;
 
+  /// O(1) change-identity key for the investigation result cache. Returns
+  /// the content digest when it is already cached (free — no bytes are
+  /// serialized or hashed), else a tagged encoding of the shard's
+  /// generation stamp. Equal keys ⇒ unchanged content: a cached digest is
+  /// content identity outright, and equal stamps mean the same shard
+  /// object with no in-place mutation since (every mutation path — COW
+  /// clone or invalidate_digest() — draws a fresh stamp from a process-
+  /// global counter, so stamps are never reused across objects or edits).
+  /// Unlike content_digest(), this never pays O(shard size) on a serve
+  /// path. Call only while the shard is pinned by a snapshot.
+  [[nodiscard]] Hash32 cache_key() const;
+
   /// Writers call this (under the owning time-stripe lock) after mutating
   /// the shard in place. In-place mutation happens only on unpinned
-  /// shards, so no concurrent content_digest() reader can exist — the
-  /// stripe lock orders this plain store before any later pin.
-  void invalidate_digest() noexcept { digest_valid_ = false; }
+  /// shards, so no concurrent content_digest()/cache_key() reader can
+  /// exist — the stripe lock orders these plain stores before any later
+  /// pin.
+  void invalidate_digest() noexcept {
+    digest_valid_ = false;
+    generation_ = next_generation();
+  }
 
   /// Pre-seeds the digest cache with an externally-known content digest.
   /// Only valid on a shard the caller owns exclusively (recovery builds
@@ -137,12 +154,22 @@ struct TimeShard {
   }
 
  private:
+  /// Next value of the process-global generation counter (monotone,
+  /// starts at 1 so a stamp-derived cache_key() is never the zero hash).
+  static std::uint64_t next_generation() noexcept;
+
   /// content_digest() cache. The mutex only arbitrates concurrent
   /// snapshot readers computing the digest at the same time; writers
   /// never touch it (see invalidate_digest()).
   mutable std::mutex digest_mutex_;
   mutable bool digest_valid_ = false;
   mutable Hash32 digest_{};
+  /// Change stamp backing cache_key(): fresh at construction (both ctors
+  /// — the COW clone deliberately does not copy it) and on every
+  /// invalidate_digest(). Plain (non-atomic) under the same discipline as
+  /// digest_valid_: written only at construction or under the stripe lock
+  /// on an unpinned shard.
+  std::uint64_t generation_ = next_generation();
 };
 
 /// A pinned, immutable view of a VpTimeline (see file comment). Obtained
@@ -222,6 +249,15 @@ class DbSnapshot {
   /// single-minute consumers — a Viewmap spans exactly one unit-time —
   /// keep just their shard alive instead of the whole snapshot.
   [[nodiscard]] std::shared_ptr<const TimeShard> shard(TimeSec unit_time) const noexcept;
+
+  /// O(1) change-identity key of the shard covering `unit_time`
+  /// (TimeShard::cache_key — the cached content digest when one is
+  /// already known, else the shard's generation stamp), or std::nullopt
+  /// when the snapshot holds no such shard. This is the invalidation key
+  /// of the investigation result cache (system/result_cache.h): any
+  /// ingest or eviction touching the minute changes it. Never serializes
+  /// or hashes shard content — safe on a per-request serve path.
+  [[nodiscard]] std::optional<Hash32> shard_cache_key(TimeSec unit_time) const;
 
  private:
   friend class VpTimeline;

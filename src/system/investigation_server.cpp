@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <stdexcept>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -40,6 +42,8 @@ InvestigationServer::InvestigationServer(ViewMapService& service,
   reports_c_ = &reg.counter("viewmap_server_reports_total");
   batches_c_ = &reg.counter("viewmap_server_batches_total");
   snapshots_c_ = &reg.counter("viewmap_server_snapshots_total");
+  failed_c_ = &reg.counter("viewmap_server_failed_total");
+  expired_c_ = &reg.counter("viewmap_server_deadline_expired_total");
   busy_us_c_ = &reg.counter("viewmap_server_busy_us_total");
   idle_us_c_ = &reg.counter("viewmap_server_idle_us_total");
   queue_depth_g_ = &reg.gauge("viewmap_server_queue_depth");
@@ -61,28 +65,33 @@ InvestigationServer::InvestigationServer(ViewMapService& service,
 InvestigationServer::~InvestigationServer() { stop(); }
 
 std::future<InvestigationServer::Reports> InvestigationServer::submit(
-    const geo::Rect& site, TimeSec unit_time) {
+    const geo::Rect& site, TimeSec unit_time, const SubmitOptions& opts) {
   const TimeSec begin = unit_start(unit_time);
-  return submit_period(site, begin, begin + kUnitTimeSec);
+  return submit_period(site, begin, begin + kUnitTimeSec, opts);
 }
 
 std::future<InvestigationServer::Reports> InvestigationServer::submit_period(
-    const geo::Rect& site, TimeSec begin, TimeSec end) {
-  Request req{site, begin, end, {}};
+    const geo::Rect& site, TimeSec begin, TimeSec end, const SubmitOptions& opts) {
+  Request req{site, begin, end,
+              opts.deadline.count() > 0
+                  ? std::chrono::steady_clock::now() + opts.deadline
+                  : std::chrono::steady_clock::time_point::max(),
+              {}};
   std::future<Reports> fut = req.promise.get_future();
+  auto& queue = queues_[static_cast<std::size_t>(opts.priority)];
   {
     std::unique_lock lock(mutex_);
     if (cfg_.overflow == OverflowPolicy::kBlock)
       not_full_.wait(lock, [this] {
-        return queue_.size() < cfg_.queue_capacity || stopping_;
+        return queued() < cfg_.queue_capacity || stopping_;
       });
-    if (stopping_ || queue_.size() >= cfg_.queue_capacity) {
+    if (stopping_ || queued() >= cfg_.queue_capacity) {
       rejected_c_->add();
       return {};  // invalid future ⇔ rejected, nothing queued
     }
-    queue_.push_back(std::move(req));
+    queue.push_back(std::move(req));
     submitted_c_->add();
-    const std::size_t depth = queue_.size();
+    const std::size_t depth = queued();
     queue_depth_g_->set(static_cast<std::int64_t>(depth));
     queue_peak_g_->update_max(static_cast<std::int64_t>(depth));
     // Only mutated under mutex_, so a plain max-store cannot lose.
@@ -127,7 +136,7 @@ void InvestigationServer::stop() {
 
 std::size_t InvestigationServer::queue_depth() const {
   std::lock_guard lock(mutex_);
-  return queue_.size();
+  return queued();
 }
 
 std::size_t InvestigationServer::worker_count() const {
@@ -143,6 +152,8 @@ ServerStats InvestigationServer::counters_now() const {
   s.reports = reports_c_->value();
   s.batches = batches_c_->value();
   s.snapshots = snapshots_c_->value();
+  s.failed = failed_c_->value();
+  s.expired = expired_c_->value();
   return s;
 }
 
@@ -155,6 +166,8 @@ ServerStats InvestigationServer::stats() const {
   s.reports = now.reports - base_.reports;
   s.batches = now.batches - base_.batches;
   s.snapshots = now.snapshots - base_.snapshots;
+  s.failed = now.failed - base_.failed;
+  s.expired = now.expired - base_.expired;
   s.peak_queue = peak_queue_.load(std::memory_order_relaxed);
   return s;
 }
@@ -169,7 +182,7 @@ void InvestigationServer::worker_loop() {
     batch.clear();
     {
       std::unique_lock lock(mutex_);
-      if ((queue_.empty() || paused_) && has_cached) {
+      if ((queued() == 0 || paused_) && has_cached) {
         // About to idle: drop the cached snapshot first so a parked
         // worker neither keeps evicted shards alive nor forces
         // copy-on-write on the ingest path. Released outside the lock —
@@ -183,17 +196,24 @@ void InvestigationServer::worker_loop() {
       // strand queued requests (and stop() in workers' join).
       const auto idle_start = std::chrono::steady_clock::now();
       not_empty_.wait(lock, [this] {
-        return (!queue_.empty() && (!paused_ || stopping_)) ||
-               (stopping_ && queue_.empty());
+        return (queued() != 0 && (!paused_ || stopping_)) ||
+               (stopping_ && queued() == 0);
       });
       idle_us_c_->add(us_since(idle_start));
-      if (queue_.empty()) return;  // stopping, fully drained
-      const std::size_t take = std::min(cfg_.batch_max, queue_.size());
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      if (queued() == 0) return;  // stopping, fully drained
+      // Highest priority class first (kLive → kNormal → kBatch), FIFO
+      // within a class; one batch may span classes when the hot class
+      // runs dry mid-take.
+      std::size_t take = std::min(cfg_.batch_max, queued());
+      for (std::size_t cls = queues_.size(); cls-- > 0 && take > 0;) {
+        auto& queue = queues_[cls];
+        while (take > 0 && !queue.empty()) {
+          batch.push_back(std::move(queue.front()));
+          queue.pop_front();
+          --take;
+        }
       }
-      queue_depth_g_->set(static_cast<std::int64_t>(queue_.size()));
+      queue_depth_g_->set(static_cast<std::int64_t>(queued()));
       batches_c_->add();
     }
     not_full_.notify_all();
@@ -202,6 +222,9 @@ void InvestigationServer::worker_loop() {
     // One snapshot serves the batch; reuse the cached one when the
     // timeline write-version proves nothing changed since its cut.
     try {
+      if (failpoint::any_armed() &&
+          failpoint::evaluate("server.snapshot").fires())
+        throw std::runtime_error("injected snapshot-acquisition failure");
       const auto& timeline = service_.database().timeline();
       if (!has_cached || !cfg_.reuse_unchanged_snapshot ||
           timeline.version() != cached.version()) {
@@ -215,9 +238,16 @@ void InvestigationServer::worker_loop() {
       }
     } catch (...) {
       // Snapshot acquisition failed (allocation): fail the whole batch.
+      // Each request still records its latency and counts as failed —
+      // without these a batch dying here was indistinguishable from
+      // success in stats() and invisible in the latency histogram.
       const std::exception_ptr err = std::current_exception();
-      completed_c_->add(batch.size());
-      for (auto& req : batch) req.promise.set_exception(err);
+      for (auto& req : batch) {
+        completed_c_->add();
+        failed_c_->add();
+        request_us_->record(us_since(busy_start));
+        req.promise.set_exception(err);
+      }
       busy_us_c_->add(us_since(busy_start));
       continue;
     }
@@ -230,6 +260,14 @@ void InvestigationServer::serve(const index::DbSnapshot& snap, Request& req) {
   // Stats commit BEFORE the promise resolves: a caller returning from
   // future::get() always observes this request in stats().completed.
   const auto start = std::chrono::steady_clock::now();
+  if (start > req.deadline) {
+    // Expired while queued: fail fast, don't burn a worker on it.
+    completed_c_->add();
+    expired_c_->add();
+    request_us_->record(us_since(start));
+    req.promise.set_exception(std::make_exception_ptr(DeadlineExpired{}));
+    return;
+  }
   try {
     Reports reports = service_.investigate_period(snap, req.site, req.begin, req.end);
     completed_c_->add();
@@ -238,6 +276,7 @@ void InvestigationServer::serve(const index::DbSnapshot& snap, Request& req) {
     req.promise.set_value(std::move(reports));
   } catch (...) {
     completed_c_->add();
+    failed_c_->add();
     request_us_->record(us_since(start));
     req.promise.set_exception(std::current_exception());
   }

@@ -31,6 +31,13 @@
 // server never prolongs the life of evicted shards or forces
 // copy-on-write on the ingest path.
 //
+// Scheduling. The queue is three FIFOs, one per RequestPriority class;
+// workers always drain the highest non-empty class first, so a kLive
+// (SLA / live-incident) request overtakes any backlog of kBatch scans
+// at the next dequeue. A request may also carry a start deadline
+// (SubmitOptions::deadline); one dequeued too late fails fast with
+// DeadlineExpired instead of wasting a worker — see stats().expired.
+//
 // Backpressure. The queue is bounded (queue_capacity). When it is full,
 // submit() either blocks the submitter until a slot frees
 // (OverflowPolicy::kBlock, the default) or rejects immediately
@@ -57,12 +64,15 @@
 // live ingest/eviction (TSan-covered in tests/server_test.cpp).
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -82,6 +92,36 @@ namespace viewmap::sys {
 enum class OverflowPolicy {
   kBlock,   ///< block the submitter until a slot frees (or stop())
   kReject,  ///< fail fast: return an invalid future, count it rejected
+};
+
+/// Scheduling class of one submitted request. Workers always drain the
+/// highest non-empty class first (FIFO within a class), so a kLive
+/// request submitted behind a backlog of kBatch scans is served next —
+/// SLA traffic preempts historical work at dequeue granularity (an
+/// in-flight batch is never interrupted).
+enum class RequestPriority : std::uint8_t {
+  kBatch = 0,   ///< historical/backfill scans: yield to everything else
+  kNormal = 1,  ///< the default
+  kLive = 2,    ///< live-incident / SLA traffic: served first
+};
+
+/// Per-request scheduling options for submit()/submit_period().
+struct SubmitOptions {
+  RequestPriority priority = RequestPriority::kNormal;
+  /// Max time the request may wait before a worker *starts* serving it.
+  /// Zero (the default) means no deadline. A request dequeued after its
+  /// deadline fails fast: its future throws DeadlineExpired, and
+  /// stats().expired counts it — distinct from queue-overflow rejection
+  /// (invalid future) and from serve failure (stats().failed).
+  std::chrono::milliseconds deadline{0};
+};
+
+/// What a deadline-expired request's future throws: the server looked at
+/// the request only after its deadline passed and refused to burn a
+/// worker on an answer nobody is waiting for anymore.
+class DeadlineExpired : public std::runtime_error {
+ public:
+  DeadlineExpired() : std::runtime_error("investigation deadline expired in queue") {}
 };
 
 struct ServerConfig {
@@ -115,6 +155,9 @@ struct ServerStats {
   std::size_t reports = 0;     ///< InvestigationReports produced in total
   std::size_t batches = 0;     ///< dequeue rounds workers ran
   std::size_t snapshots = 0;   ///< DbSnapshots actually pinned (≤ batches)
+  std::size_t failed = 0;      ///< completed with an exception (snapshot
+                               ///< acquisition or serve failure; ⊂ completed)
+  std::size_t expired = 0;     ///< completed via DeadlineExpired (⊂ completed)
   std::size_t peak_queue = 0;  ///< queue-depth high-water mark
 };
 
@@ -131,13 +174,17 @@ class InvestigationServer {
 
   /// One unit-time investigation. Equivalent to submit_period over
   /// [unit_start(t), unit_start(t) + one unit).
-  [[nodiscard]] std::future<Reports> submit(const geo::Rect& site, TimeSec unit_time);
+  [[nodiscard]] std::future<Reports> submit(const geo::Rect& site, TimeSec unit_time,
+                                            const SubmitOptions& opts = {});
   /// §5.2.1 period investigation: one report per whole unit-time in
   /// [begin, end) that has a trust seed (seedless minutes are skipped,
   /// exactly as investigate_period() does). An invalid returned future
-  /// (valid() == false) means the request was rejected, not queued.
+  /// (valid() == false) means the request was rejected, not queued; a
+  /// valid future may still throw DeadlineExpired when opts.deadline
+  /// passed before a worker got to it.
   [[nodiscard]] std::future<Reports> submit_period(const geo::Rect& site,
-                                                   TimeSec begin, TimeSec end);
+                                                   TimeSec begin, TimeSec end,
+                                                   const SubmitOptions& opts = {});
 
   /// Idle the workers after their in-flight batch; the queue still
   /// accepts (and fills — backpressure becomes observable). Idempotent.
@@ -157,6 +204,9 @@ class InvestigationServer {
     geo::Rect site;
     TimeSec begin = 0;
     TimeSec end = 0;
+    /// steady_clock deadline for *starting* service; max() ⇔ none.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
     std::promise<Reports> promise;
   };
 
@@ -170,10 +220,19 @@ class InvestigationServer {
   ViewMapService& service_;
   ServerConfig cfg_;
 
-  mutable std::mutex mutex_;  ///< guards queue_, paused_, stopping_, workers_
+  /// Total queued requests across all priority classes. mutex_ held.
+  [[nodiscard]] std::size_t queued() const noexcept {
+    return queues_[0].size() + queues_[1].size() + queues_[2].size();
+  }
+
+  mutable std::mutex mutex_;  ///< guards queues_, paused_, stopping_, workers_
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<Request> queue_;
+  /// One FIFO per priority class, indexed by RequestPriority; dequeue
+  /// scans kLive → kNormal → kBatch. The capacity bound applies to the
+  /// sum — a full queue rejects regardless of class (priority decides
+  /// service order, not admission).
+  std::array<std::deque<Request>, 3> queues_;
   bool paused_ = false;
   bool stopping_ = false;
 
@@ -186,6 +245,8 @@ class InvestigationServer {
   obs::Counter* reports_c_ = nullptr;
   obs::Counter* batches_c_ = nullptr;
   obs::Counter* snapshots_c_ = nullptr;
+  obs::Counter* failed_c_ = nullptr;   ///< requests completed exceptionally
+  obs::Counter* expired_c_ = nullptr;  ///< requests failed via DeadlineExpired
   obs::Counter* busy_us_c_ = nullptr;  ///< worker µs spent serving batches
   obs::Counter* idle_us_c_ = nullptr;  ///< worker µs blocked on the queue
   obs::Gauge* queue_depth_g_ = nullptr;

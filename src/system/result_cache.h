@@ -1,0 +1,182 @@
+// ResultCache — digest-keyed cache of completed investigations.
+//
+// A public service at scale sees hot incidents: many overlapping
+// (site, unit-time) requests while the underlying minute shards rarely
+// change. The shard change identity (TimeShard::cache_key,
+// index/db_snapshot.h — the content digest when already cached, else a
+// per-shard generation stamp; O(1) either way) makes exact invalidation
+// free: two investigations with the same site rectangle, the same
+// unit-time, and the same shard key consume byte-identical inputs, so
+// the second one can return the first one's report verbatim — no member
+// select, no grid candidate pass, no edge build, no power iteration.
+// Any ingest or eviction touching the minute changes the key, which
+// misses; stale entries are never *served*, only aged out.
+//
+// Replacement is ARC-style (modeled on the NDN-DPDK content store's
+// direct/indirect lists), adapted to byte accounting: resident entries
+// live on a recency list (T1, seen once) or a frequency list (T2, seen
+// twice or more); evicted keys leave a byte-free ghost on B1/B2, and a
+// re-insert that hits a ghost steers the adaptive target `p` toward the
+// list that would have kept it. Resident bytes never exceed
+// capacity_bytes; ghosts are bounded by the same budget again.
+//
+// Thread-safety: one mutex guards the lists and the key map. The stored
+// reports are shared_ptr<const …>, so the (comparatively expensive)
+// report copy on a hit happens outside the lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "geo/geometry.h"
+#include "system/verifier.h"
+#include "system/viewmap_graph.h"
+
+namespace viewmap::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace viewmap::obs
+
+namespace viewmap::sys {
+
+struct ResultCacheConfig {
+  /// Master switch. Disabled, find() always misses and insert() is a
+  /// no-op — the service behaves exactly as before PR 10.
+  bool enabled = true;
+  /// Resident-entry byte budget (estimate_bytes accounting). 0 also
+  /// disables the cache.
+  std::size_t capacity_bytes = 64u << 20;
+  /// Publishes viewmap_cache_* counters/gauges/histogram when non-null
+  /// (the service wires its own registry in; see wire_config()).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// The cacheable part of an InvestigationReport. The trace is excluded
+/// deliberately: it is timing-valued and records the serving path (a
+/// cached report's new trace says "result_cache_hit" instead of the
+/// build spans), so report bit-identity is defined over these three
+/// fields. The Viewmap pins its minute's shard, so a cached entry keeps
+/// that shard's profiles alive until evicted — bounded by the entry
+/// count times the shard size, see src/system/README.md.
+struct CachedInvestigation {
+  Viewmap viewmap;
+  VerificationResult verification;
+  std::vector<Id16> solicited;
+  /// estimate_bytes() of the three fields above, fixed at insert.
+  std::size_t bytes = 0;
+};
+
+class ResultCache {
+ public:
+  /// (site cell, unit-time, shard change identity) — the full input
+  /// fingerprint of one investigation. `digest` carries
+  /// DbSnapshot::shard_cache_key's Hash32: the shard content digest when
+  /// one was already cached, else the tagged generation stamp.
+  struct Key {
+    geo::Rect site{};
+    TimeSec unit_time = 0;
+    Hash32 digest{};
+
+    friend bool operator==(const Key& a, const Key& b) noexcept {
+      return a.unit_time == b.unit_time && a.digest == b.digest &&
+             a.site.min.x == b.site.min.x && a.site.min.y == b.site.min.y &&
+             a.site.max.x == b.site.max.x && a.site.max.y == b.site.max.y;
+    }
+  };
+
+  struct KeyHasher {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  /// Torn-free snapshot of the cache counters (see stats()).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;   ///< resident entries pushed out (to ghosts)
+    std::size_t resident_bytes = 0;
+    std::size_t resident_entries = 0;
+    std::size_t ghost_entries = 0;
+  };
+
+  explicit ResultCache(const ResultCacheConfig& cfg = {});
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return cfg_.enabled && cfg_.capacity_bytes > 0;
+  }
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return cfg_.capacity_bytes;
+  }
+
+  /// Hit: promotes the entry to the frequency list's MRU position and
+  /// returns it. Miss (or disabled): null. Never blocks on anything but
+  /// the cache mutex.
+  [[nodiscard]] std::shared_ptr<const CachedInvestigation> find(const Key& key);
+
+  /// Inserts a freshly built report. Sets value->bytes. A key already
+  /// resident is left as is (two racing builders produced bit-identical
+  /// reports — the digest key guarantees it — so first-in wins). Entries
+  /// larger than the whole budget are not cached. No-op when disabled.
+  void insert(const Key& key, std::shared_ptr<CachedInvestigation> value);
+
+  /// Drops everything (tests, operator reset). Stats survive.
+  void clear();
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Byte cost of one cached entry: the report's owned arrays plus a
+  /// fixed per-entry overhead. Deliberately excludes the pinned shard
+  /// (shared across entries of the same minute; documented separately).
+  [[nodiscard]] static std::size_t estimate_bytes(const CachedInvestigation& e) noexcept;
+
+ private:
+  enum class ListId : std::uint8_t { kT1, kT2, kB1, kB2 };
+
+  struct Node {
+    Key key;
+    std::shared_ptr<const CachedInvestigation> value;  ///< null on B1/B2
+    std::size_t bytes = 0;  ///< resident bytes, or the bytes it had when evicted
+  };
+
+  using NodeList = std::list<Node>;
+  struct Slot {
+    ListId list;
+    NodeList::iterator it;
+  };
+
+  // All private helpers assume mu_ is held.
+  void detach(const Key& key, ListId list, NodeList::iterator it);
+  void evict_one_resident();
+  void drop_ghost_lru(NodeList& list, std::size_t& bytes);
+  void enforce_bounds();
+  void publish_gauges() const;
+
+  ResultCacheConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Slot, KeyHasher> index_;
+  NodeList t1_, t2_, b1_, b2_;                    // MRU at front, LRU at back
+  std::size_t t1_bytes_ = 0, t2_bytes_ = 0;       // resident
+  std::size_t b1_bytes_ = 0, b2_bytes_ = 0;       // ghosts (bookkeeping only)
+  std::size_t p_ = 0;  ///< adaptive byte target for T1, in [0, capacity]
+
+  std::uint64_t hits_ = 0, misses_ = 0, insertions_ = 0, evictions_ = 0;
+
+  // Registry handles, null when cfg_.metrics is null.
+  obs::Counter* hits_c_ = nullptr;
+  obs::Counter* misses_c_ = nullptr;
+  obs::Counter* insertions_c_ = nullptr;
+  obs::Counter* evictions_c_ = nullptr;
+  obs::Gauge* bytes_g_ = nullptr;
+  obs::Gauge* entries_g_ = nullptr;
+};
+
+}  // namespace viewmap::sys

@@ -24,6 +24,7 @@ ServiceConfig wire_config(ServiceConfig cfg,
   }
   cfg.index.metrics = cfg.metrics;
   cfg.ingest.metrics = cfg.metrics;
+  cfg.result_cache.metrics = cfg.metrics;
   return cfg;
 }
 
@@ -51,9 +52,11 @@ ViewMapService::ViewMapService(const ServiceConfig& cfg)
       verifier_(cfg_.trustrank),
       bank_(cfg_.rsa_bits),
       tracer_(cfg_.slow_trace_keep),
+      cache_(cfg_.result_cache),
       ingest_metrics_(index::IngestMetrics::wire(*metrics_)),
       ingest_base_(ingest_metrics_.totals()),
-      investigate_us_(&metrics_->histogram("viewmap_investigate_us")) {}
+      investigate_us_(&metrics_->histogram("viewmap_investigate_us")),
+      cache_hit_us_(&metrics_->histogram("viewmap_cache_hit_us")) {}
 
 index::IngestStats ViewMapService::ingest_totals() const noexcept {
   return minus(ingest_metrics_.totals(), ingest_base_);
@@ -148,6 +151,40 @@ InvestigationReport ViewMapService::investigate(const DbSnapshot& snap,
   // investigation server (when it is the caller) becomes its first span.
   obs::TraceScope scope(&tracer_, label);
 
+  // Cache key: (site, unit-time, shard change identity). The builder
+  // reads exactly snap.shard(unit_time)'s contents, and shard_cache_key
+  // equality proves those contents are unchanged since a previous build
+  // (content digest when one is already cached, else the shard's
+  // generation stamp — see TimeShard::cache_key; O(1) either way, never
+  // hashing on this path), so that build's report can be returned
+  // bit-identically (trace excluded — it records the serving path). A
+  // missing shard keys as the zero hash: such builds share one key per
+  // (site, unit_time), correctly, because they all see the same empty
+  // member set.
+  ResultCache::Key key{};
+  const bool cacheable = cache_.enabled();
+  if (cacheable) {
+    key.site = site;
+    key.unit_time = unit_time;
+    key.digest = snap.shard_cache_key(unit_time).value_or(Hash32{});
+    if (const std::shared_ptr<const CachedInvestigation> hit = cache_.find(key)) {
+      std::optional<InvestigationReport> report;
+      {
+        obs::SpanScope span("result_cache_hit");
+        // Re-post the solicitations: post() is idempotent, and a
+        // cache-off investigate() over the same inputs would re-post
+        // too — including after submit_video() withdrew a notice.
+        for (const Id16& id : hit->solicited) board_.post(id, RequestKind::kVideo);
+        report.emplace(
+            InvestigationReport{hit->viewmap, hit->verification, hit->solicited});
+      }
+      report->trace = scope.finish();
+      investigate_us_->record(report->trace.total_us);
+      cache_hit_us_->record(report->trace.total_us);
+      return std::move(*report);
+    }
+  }
+
   Viewmap map = builder_.build(snap, site, unit_time);
   VerificationResult verdict = verifier_.verify(map, site);
 
@@ -161,6 +198,13 @@ InvestigationReport ViewMapService::investigate(const DbSnapshot& snap,
       board_.post(id, RequestKind::kVideo);
       solicited.push_back(id);
     }
+  }
+
+  if (cacheable) {
+    // Copy, don't move: the report below still owns the originals. The
+    // Viewmap copy shares the pinned shard, not the profiles' bytes.
+    cache_.insert(key, std::make_shared<CachedInvestigation>(
+                           CachedInvestigation{map, verdict, solicited}));
   }
 
   InvestigationReport report{std::move(map), std::move(verdict), std::move(solicited)};

@@ -21,6 +21,7 @@
 #include "index/ingest_engine.h"
 #include "obs/trace.h"
 #include "reward/bank.h"
+#include "system/result_cache.h"
 #include "system/solicitation.h"
 #include "system/verifier.h"
 #include "system/viewmap_graph.h"
@@ -56,6 +57,12 @@ struct ServiceConfig {
   int rsa_bits = 2048;
   std::uint64_t channel_seed = 0x5eed;
   std::size_t mix_pool = 16;
+  /// Digest-keyed investigation result cache (system/result_cache.h):
+  /// a repeat investigate() over an unchanged minute shard returns the
+  /// cached report instead of rebuilding — bit-identical by key
+  /// construction. Enabled by default; set enabled=false or
+  /// capacity_bytes=0 for the pre-cache behavior (benches compare both).
+  ResultCacheConfig result_cache{};
   /// Metrics registry every subsystem publishes into (ingest counters,
   /// timeline gauges, server histograms, store checkpoint stats). Null —
   /// the default — makes the service allocate and own a fresh one;
@@ -258,6 +265,11 @@ class ViewMapService {
   /// Keeper of the slowest-N investigation traces.
   [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
   [[nodiscard]] const obs::Tracer& tracer() const noexcept { return tracer_; }
+  /// The investigation result cache (never null; may be disabled —
+  /// see ServiceConfig::result_cache). stats() is how tests and the
+  /// bench assert hit rates and the byte bound.
+  [[nodiscard]] ResultCache& result_cache() noexcept { return cache_; }
+  [[nodiscard]] const ResultCache& result_cache() const noexcept { return cache_; }
 
  private:
   /// Owns the registry when ServiceConfig::metrics was null. Declared
@@ -272,9 +284,11 @@ class ViewMapService {
   NoticeBoard board_;
   reward::Bank bank_;
   obs::Tracer tracer_;
+  ResultCache cache_;  ///< digest-keyed investigation result cache
   index::IngestMetrics ingest_metrics_;  ///< registry handles + name catalogue
   index::IngestStats ingest_base_;       ///< registry values at construction
   obs::Histogram* investigate_us_ = nullptr;
+  obs::Histogram* cache_hit_us_ = nullptr;  ///< latency of cache-served hits
   index::IngestStats last_ingest_;
   /// Debug-build enforcement of the ingest_uploads() single-caller
   /// contract (see common/reentrancy.h). Header always declares it so

@@ -627,6 +627,50 @@ TEST(Scrape, MetricsByteIdenticalToDump) {
   EXPECT_EQ(ep.port(), 0);
 }
 
+TEST(Scrape, RequestLineSplitAcrossTcpSegmentsStillRoutes) {
+  // Regression: serve_one used to issue a single recv and route on
+  // whatever fragment arrived, so a GET split across TCP segments (small
+  // sender buffers, Nagle-off scrapers) answered a bogus 404. The server
+  // must keep reading until the request line's "\r\n" arrives.
+  sys::ServiceConfig scfg;
+  scfg.rsa_bits = 1024;
+  sys::ViewMapService service(scfg);
+  obs::MetricsRegistry own;
+  ScrapeEndpoint ep(
+      service.metrics(), [] { return std::pair{true, std::string("ok\n")}; },
+      ScrapeConfig{}, own);
+  ASSERT_TRUE(ep.start());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+
+  // Two writes with a pause in between: the first carries no "\r\n" at
+  // all, so the old single-recv server had only "GET /met" to route on.
+  const std::string part1 = "GET /met";
+  const std::string part2 = "rics HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(::send(fd, part1.data(), part1.size(), 0),
+            static_cast<ssize_t>(part1.size()));
+  std::this_thread::sleep_for(50ms);
+  ASSERT_EQ(::send(fd, part2.data(), part2.size(), 0),
+            static_cast<ssize_t>(part2.size()));
+
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+    response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response.substr(0, 200);
+  EXPECT_NE(body_of(response).find("viewmap_investigate_us"), std::string::npos);
+  ep.stop();
+}
+
 TEST(Scrape, HealthzTracksLifecycleState) {
   TempDir dir("healthz");
   auto cfg = test_config(dir.str());

@@ -1,0 +1,338 @@
+// ResultCache: ARC replacement mechanics on the cache itself, the
+// tentpole bit-identity property (cache-on reports == cache-off reports
+// under an adversarial interleaving of ingest / eviction / clock
+// advance / investigate), and a TSan case with cache hits racing live
+// ingest and retention eviction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "attack/fake_vp.h"
+#include "common/rng.h"
+#include "system/result_cache.h"
+#include "system/service.h"
+
+namespace viewmap::sys {
+namespace {
+
+// ── ARC unit tests ───────────────────────────────────────────────────
+
+/// An entry whose byte weight is controlled through the solicited-id
+/// padding: empty report ≈ 328 bytes, +16 per id.
+std::shared_ptr<CachedInvestigation> entry(std::size_t pad_ids = 0) {
+  return std::make_shared<CachedInvestigation>(CachedInvestigation{
+      Viewmap({}, {}, CsrGraph{}, 0, geo::Rect{}, nullptr),
+      VerificationResult{}, std::vector<Id16>(pad_ids), 0});
+}
+
+ResultCache::Key key_of(int n) {
+  ResultCache::Key k;
+  k.unit_time = n * kUnitTimeSec;
+  k.digest.bytes[0] = static_cast<std::uint8_t>(n & 0xff);
+  k.site = {{0, 0}, {100, 100}};
+  return k;
+}
+
+TEST(ResultCache, HitReturnsTheInsertedObjectAndCounts) {
+  ResultCache cache({.capacity_bytes = 10'000});
+  auto e = entry();
+  const CachedInvestigation* raw = e.get();
+  cache.insert(key_of(1), e);
+  const auto hit1 = cache.find(key_of(1));
+  const auto hit2 = cache.find(key_of(1));
+  ASSERT_NE(hit1, nullptr);
+  EXPECT_EQ(hit1.get(), raw);  // the very object, not a copy
+  EXPECT_EQ(hit2.get(), raw);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.resident_entries, 1u);
+  EXPECT_GT(s.resident_bytes, 0u);
+}
+
+TEST(ResultCache, AnyKeyComponentChangeMisses) {
+  ResultCache cache({.capacity_bytes = 10'000});
+  cache.insert(key_of(1), entry());
+
+  ResultCache::Key other_digest = key_of(1);
+  other_digest.digest.bytes[31] = 0xff;  // same (site, unit), new content
+  EXPECT_EQ(cache.find(other_digest), nullptr);
+
+  ResultCache::Key other_site = key_of(1);
+  other_site.site.max.x += 1.0;
+  EXPECT_EQ(cache.find(other_site), nullptr);
+
+  ResultCache::Key other_unit = key_of(1);
+  other_unit.unit_time += kUnitTimeSec;
+  EXPECT_EQ(cache.find(other_unit), nullptr);
+
+  EXPECT_EQ(cache.find(key_of(1)) != nullptr, true);
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(ResultCache, ResidentBytesNeverExceedCapacity) {
+  constexpr std::size_t kCap = 1000;  // fits ~3 empty entries
+  ResultCache cache({.capacity_bytes = kCap});
+  for (int i = 0; i < 10; ++i) {
+    cache.insert(key_of(i), entry());
+    const auto s = cache.stats();
+    EXPECT_LE(s.resident_bytes, kCap) << "after insert " << i;
+  }
+  const auto s = cache.stats();
+  EXPECT_EQ(s.insertions, 10u);
+  EXPECT_GE(s.evictions, 7u);  // 10 in, ≤3 resident
+  EXPECT_LE(s.resident_entries, 3u);
+  // A pure scan fills the recency list to capacity, so the |T1|+|B1| ≤ c
+  // ghost bound correctly leaves no ghosts behind.
+  EXPECT_EQ(s.ghost_entries, 0u);
+}
+
+TEST(ResultCache, GhostReinsertLandsOnFrequentListAndAdaptsTarget) {
+  ResultCache cache({.capacity_bytes = 700});   // fits 2 empty entries
+  cache.insert(key_of(1), entry());             // A → T1
+  cache.insert(key_of(2), entry());             // B → T1
+  ASSERT_NE(cache.find(key_of(1)), nullptr);    // A promotes to T2
+  cache.insert(key_of(3), entry());             // C evicts B (T1 LRU) → B1 ghost
+  EXPECT_EQ(cache.find(key_of(2)), nullptr);    // B is a ghost now
+  ASSERT_GT(cache.stats().ghost_entries, 0u);   // and really on a ghost list
+
+  // Re-inserting B hits its B1 ghost: ARC grows the recency target and
+  // seats B on the frequency list, so the replacement it forces comes
+  // out of T2's LRU (A) rather than evicting B straight back.
+  cache.insert(key_of(2), entry());
+  EXPECT_NE(cache.find(key_of(2)), nullptr);  // B resident again, frequent
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);  // A paid for it
+  EXPECT_NE(cache.find(key_of(3)), nullptr);  // the recency list kept C
+  const auto s = cache.stats();
+  EXPECT_EQ(s.resident_entries, 2u);
+  EXPECT_LE(s.resident_bytes, 700u);
+}
+
+TEST(ResultCache, EntryLargerThanCapacityIsNotCached) {
+  ResultCache cache({.capacity_bytes = 400});
+  cache.insert(key_of(1), entry(/*pad_ids=*/10));  // ≈ 488 bytes > 400
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.insertions, 0u);
+  EXPECT_EQ(s.resident_entries, 0u);
+}
+
+TEST(ResultCache, DisabledCacheIsInert) {
+  ResultCache cache({.enabled = false, .capacity_bytes = 10'000});
+  EXPECT_FALSE(cache.enabled());
+  cache.insert(key_of(1), entry());
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses + s.insertions, 0u);
+}
+
+TEST(ResultCache, ClearDropsEntriesButKeepsCounters) {
+  ResultCache cache({.capacity_bytes = 10'000});
+  cache.insert(key_of(1), entry());
+  ASSERT_NE(cache.find(key_of(1)), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.resident_entries, 0u);
+  EXPECT_EQ(s.resident_bytes, 0u);
+  EXPECT_EQ(s.hits, 1u);  // history survives the wipe
+}
+
+// ── the tentpole property: bit-identical reports, cache on vs off ────
+
+/// Order-sensitive FNV-1a over everything the report asserts about the
+/// world: members (ids + trust flags), the CSR edge set, the verification
+/// verdicts, the TrustRank vector bytes, and the solicited ids. The trace
+/// is excluded by design — it is timing-valued and records the serving
+/// path (build spans vs result_cache_hit).
+std::uint64_t fingerprint(const InvestigationReport& r) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  const Viewmap& m = r.viewmap;
+  mix(m.size());
+  mix(static_cast<std::uint64_t>(m.unit_time()));
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::uint8_t b : m.member(i).vp_id().bytes) mix(b);
+    mix(m.is_trusted(i) ? 1 : 0);
+  }
+  for (std::size_t o : m.graph().offsets()) mix(o);
+  for (std::uint32_t e : m.graph().edges()) mix(e);
+  const VerificationResult& v = r.verification;
+  for (std::size_t i : v.site_members) mix(i);
+  for (std::size_t i : v.legitimate) mix(i);
+  for (std::size_t i : v.rejected) mix(i);
+  for (double s : v.ranks.scores) mix(std::bit_cast<std::uint64_t>(s));
+  mix(static_cast<std::uint64_t>(v.ranks.iterations));
+  mix(v.ranks.converged ? 1 : 0);
+  for (const Id16& id : r.solicited) for (std::uint8_t b : id.bytes) mix(b);
+  return h;
+}
+
+TEST(ResultCacheProperty, FortyStepInterleavingIsBitIdenticalToCacheOff) {
+  // Two services, identical in everything except the cache switch, fed
+  // byte-identical inputs through 40 random steps of
+  // {ingest, advance_clock(evict), investigate, investigate-again}.
+  // Every investigation must agree between the two — same report
+  // fingerprint or the same builder refusal — while the cache-on side
+  // takes real hits and stays inside its byte budget.
+  ServiceConfig on_cfg;
+  on_cfg.rsa_bits = 1024;
+  on_cfg.result_cache.capacity_bytes = 2048;  // small: force ARC turnover
+  on_cfg.index.retention.window_sec = 300;    // 5 minutes: eviction in-play
+  ServiceConfig off_cfg = on_cfg;
+  off_cfg.result_cache.enabled = false;
+  ViewMapService on(on_cfg);
+  ViewMapService off(off_cfg);
+
+  Rng rng(177);
+  constexpr int kMinutes = 8;
+  for (int m = 0; m < kMinutes; ++m) {
+    const auto trusted = attack::make_fake_profile(
+        m * kUnitTimeSec, {0, 0}, {900, 0}, rng);
+    ASSERT_TRUE(on.register_trusted(trusted));
+    ASSERT_TRUE(off.register_trusted(trusted));
+  }
+  const std::vector<geo::Rect> sites = {
+      {{0, -50}, {400, 50}}, {{200, -50}, {700, 50}}, {{500, -50}, {1000, 50}}};
+  TimeSec now = kMinutes * kUnitTimeSec;
+  on.advance_clock(now);
+  off.advance_clock(now);
+
+  const auto investigate_both = [&](const geo::Rect& site, TimeSec t) {
+    std::uint64_t fp_on = 0, fp_off = 0;
+    bool threw_on = false, threw_off = false;
+    try {
+      fp_on = fingerprint(on.investigate(site, t));
+    } catch (const std::runtime_error&) {
+      threw_on = true;
+    }
+    try {
+      fp_off = fingerprint(off.investigate(site, t));
+    } catch (const std::runtime_error&) {
+      threw_off = true;
+    }
+    ASSERT_EQ(threw_on, threw_off) << "site.max.x=" << site.max.x << " t=" << t;
+    if (!threw_on)
+      ASSERT_EQ(fp_on, fp_off) << "site.max.x=" << site.max.x << " t=" << t;
+  };
+
+  for (int step = 0; step < 40; ++step) {
+    switch (rng.index(4)) {
+      case 0: {  // ingest: same serialized bytes into both channels
+        const TimeSec minute = static_cast<TimeSec>(rng.index(kMinutes)) * kUnitTimeSec;
+        for (int i = 0; i < 3; ++i) {
+          const double x = rng.uniform(0.0, 600.0);
+          const auto vp = attack::make_fake_profile(
+              minute, {x, rng.uniform(-20.0, 20.0)}, {x + 350, 0}, rng);
+          const auto bytes = vp.serialize();
+          on.upload_channel().submit(bytes);
+          off.upload_channel().submit(bytes);
+        }
+        ASSERT_EQ(on.ingest_uploads(), off.ingest_uploads());
+        break;
+      }
+      case 1:  // advance the trusted clock: retention eviction fires
+        now += kUnitTimeSec;
+        on.advance_clock(now);
+        off.advance_clock(now);
+        break;
+      default: {  // investigate the same key twice: miss-then-hit on the
+                  // cache side whenever the build succeeds
+        const geo::Rect& site = sites[rng.index(sites.size())];
+        const TimeSec t = static_cast<TimeSec>(rng.index(kMinutes)) * kUnitTimeSec;
+        investigate_both(site, t);
+        investigate_both(site, t);
+        break;
+      }
+    }
+    EXPECT_LE(on.result_cache().stats().resident_bytes,
+              on_cfg.result_cache.capacity_bytes);
+  }
+
+  // The run must have exercised the cache for the property to mean
+  // anything: real hits, real misses, and both boards agreeing on the
+  // full set of solicited videos.
+  const auto s = on.result_cache().stats();
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.misses, 0u);
+  const auto posted_on = on.board().posted(RequestKind::kVideo);
+  const auto posted_off = off.board().posted(RequestKind::kVideo);
+  const std::unordered_set<Id16, Id16Hasher> set_on(posted_on.begin(), posted_on.end());
+  const std::unordered_set<Id16, Id16Hasher> set_off(posted_off.begin(),
+                                                     posted_off.end());
+  EXPECT_EQ(set_on, set_off);
+  EXPECT_EQ(off.result_cache().stats().hits, 0u);  // the control stayed cold
+}
+
+// ── TSan: cache hits racing live ingest + retention eviction ─────────
+
+TEST(ResultCacheConcurrent, HitsRaceLiveIngestAndEviction) {
+  ServiceConfig cfg;
+  cfg.rsa_bits = 1024;
+  cfg.result_cache.capacity_bytes = 16 * 1024;  // small: eviction under race
+  cfg.index.retention.window_sec = 240;
+  ViewMapService service(cfg);
+
+  Rng seed_rng(41);
+  constexpr int kMinutes = 6;
+  for (int m = 0; m < kMinutes; ++m)
+    ASSERT_TRUE(service.register_trusted(attack::make_fake_profile(
+        m * kUnitTimeSec, {0, 0}, {900, 0}, seed_rng)));
+  service.advance_clock(kMinutes * kUnitTimeSec);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> served{0};
+  const geo::Rect site{{0, -50}, {800, 50}};
+
+  // Two investigators hammer a rotating key set — hits, misses, inserts,
+  // and ARC evictions all race each other...
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r)
+    readers.emplace_back([&service, &stop, &served, &site, r] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const TimeSec t = ((i + r) % kMinutes) * kUnitTimeSec;
+        try {
+          const auto report = service.investigate(site, t);
+          if (report.viewmap.size() > 0) served.fetch_add(1);
+        } catch (const std::runtime_error&) {
+          // minute evicted mid-run: acceptable, the key just went stale
+        }
+      }
+    });
+
+  // ...while the single control thread keeps ingesting into the same
+  // minutes (shard change-keys churn ⇒ cache keys go stale) and advances the
+  // retention clock (shards evict under the readers).
+  Rng rng(43);
+  for (int k = 0; k < 40; ++k) {
+    const TimeSec minute = static_cast<TimeSec>(rng.index(kMinutes)) * kUnitTimeSec;
+    for (int i = 0; i < 2; ++i) {
+      const double x = rng.uniform(0.0, 500.0);
+      service.upload_channel().submit(
+          attack::make_fake_profile(minute, {x, 0}, {x + 300, 0}, rng).serialize());
+    }
+    service.ingest_uploads();
+    service.advance_clock(kMinutes * kUnitTimeSec + k * 10);
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(served.load(), 0u);
+  const auto s = service.result_cache().stats();
+  EXPECT_LE(s.resident_bytes, cfg.result_cache.capacity_bytes);
+  EXPECT_GT(s.hits + s.misses, 0u);
+}
+
+}  // namespace
+}  // namespace viewmap::sys

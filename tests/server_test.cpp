@@ -10,12 +10,17 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <stdexcept>
+#include <string_view>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "attack/fake_vp.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "system/investigation_server.h"
 #include "system/service.h"
@@ -281,6 +286,126 @@ TEST(InvestigationServer, UnchangedWriteVersionReusesSnapshotAcrossBatches) {
   const auto stats = server.stats();
   EXPECT_EQ(stats.batches, 4u);
   EXPECT_EQ(stats.snapshots, 1u);
+}
+
+bool has_span(const obs::Trace& trace, std::string_view name) {
+  for (const auto& span : trace.spans)
+    if (span.name == name) return true;
+  return false;
+}
+
+TEST(InvestigationServer, PriorityRequestsOvertakeQueuedBatchRequests) {
+  ConvoyWorld world;
+  ViewMapService service(small_cfg());
+  service.register_trusted(world.record_of(0).profile);
+  for (VehicleId v = 1; v < 4; ++v)
+    service.upload_channel().submit(world.record_of(v).profile.serialize());
+  service.ingest_uploads();
+
+  ServerConfig scfg;
+  scfg.workers = 1;
+  scfg.batch_max = 1;
+  auto& server = service.start_server(scfg);
+  server.pause();  // queue deterministically before any serving starts
+
+  // Four batch scans queue first, then one live request for the SAME
+  // (site, minute) key. With the result cache on, serve ORDER is burned
+  // into the traces: exactly one request — the first served — misses and
+  // builds; everyone after it hits. If the live request overtook the
+  // queue, the build trace is its.
+  const geo::Rect site{{0, -50}, {1200, 50}};
+  std::vector<std::future<InvestigationServer::Reports>> batch;
+  for (int i = 0; i < 4; ++i)
+    batch.push_back(server.submit(site, 0, {.priority = RequestPriority::kBatch}));
+  auto live = server.submit(site, 0, {.priority = RequestPriority::kLive});
+  ASSERT_TRUE(live.valid());
+  server.resume();
+
+  auto live_reports = live.get();
+  ASSERT_EQ(live_reports.size(), 1u);
+  EXPECT_FALSE(has_span(live_reports[0].trace, "result_cache_hit"))
+      << "the live request was served behind the batch backlog";
+  EXPECT_TRUE(has_span(live_reports[0].trace, "edge_build"));
+
+  for (auto& fut : batch) {
+    auto reports = fut.get();
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_TRUE(has_span(reports[0].trace, "result_cache_hit"));
+    // Bit-identical to the live (miss) report's verdict, per the digest key.
+    EXPECT_EQ(reports[0].solicited, live_reports[0].solicited);
+    EXPECT_EQ(reports[0].verification.legitimate,
+              live_reports[0].verification.legitimate);
+  }
+  EXPECT_GE(service.result_cache().stats().hits, 4u);
+}
+
+TEST(InvestigationServer, DeadlineExpiredRequestsFailFastAndDistinctly) {
+  ConvoyWorld world;
+  ViewMapService service(small_cfg());
+  service.register_trusted(world.record_of(0).profile);
+
+  ServerConfig scfg;
+  scfg.workers = 1;
+  auto& server = service.start_server(scfg);
+  server.pause();
+
+  const geo::Rect site{{0, -50}, {1200, 50}};
+  auto doomed = server.submit(site, 0, {.deadline = std::chrono::milliseconds(1)});
+  auto patient = server.submit(site, 0);  // no deadline: must still succeed
+  ASSERT_TRUE(doomed.valid());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.resume();
+
+  EXPECT_THROW(doomed.get(), DeadlineExpired);
+  EXPECT_EQ(patient.get().size(), 1u);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);  // expired requests still complete…
+  EXPECT_EQ(stats.expired, 1u);    // …under their own distinct reason
+  EXPECT_EQ(stats.failed, 0u);     // an expiry is not a serve failure
+  EXPECT_EQ(stats.rejected, 0u);   // and not a queue rejection either
+}
+
+TEST(InvestigationServer, SnapshotFailureIsCountedAndTimedNotSilent) {
+  ConvoyWorld world;
+  ViewMapService service(small_cfg());
+  service.register_trusted(world.record_of(0).profile);
+
+  ServerConfig scfg;
+  scfg.workers = 1;
+  scfg.batch_max = 2;  // both queued requests die in ONE failed batch
+  auto& server = service.start_server(scfg);
+  server.pause();
+
+  const geo::Rect site{{0, -50}, {1200, 50}};
+  auto f1 = server.submit(site, 0);
+  auto f2 = server.submit(site, 0);
+  failpoint::arm("server.snapshot", failpoint::Action::kError,
+                 failpoint::Trigger::once());
+  server.resume();
+
+  EXPECT_THROW(f1.get(), std::runtime_error);
+  EXPECT_THROW(f2.get(), std::runtime_error);
+  failpoint::disarm("server.snapshot");
+
+  // The stats invariant this PR fixes: a batch dying at snapshot
+  // acquisition must look like completed-and-failed — with latencies in
+  // the histogram — not like silent success.
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.expired, 0u);
+  EXPECT_EQ(stats.reports, 0u);
+  const obs::Histogram* request_us =
+      service.metrics().find_histogram("viewmap_server_request_us");
+  ASSERT_NE(request_us, nullptr);
+  EXPECT_EQ(request_us->snapshot().count, 2u);
+
+  // The server survives: the next request is served normally.
+  auto f3 = server.submit(site, 0);
+  EXPECT_EQ(f3.get().size(), 1u);
+  EXPECT_EQ(server.stats().failed, 2u);
 }
 
 TEST(InvestigationServer, SubmitAfterStopIsRejected) {

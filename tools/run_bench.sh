@@ -20,7 +20,10 @@
 # recovery invariant held (profiles recovered == manifest promise,
 # single-attempt restarts), that the packed-v2 restart beats the recorded
 # v1 baseline by ≥ 5× on 1M-VP runs, that viewmap_convert's v1 ↔ v2
-# migration round trips are byte-identical, and that the server
+# migration round trips are byte-identical, that the server_zipf
+# result-cache scenario hit the cache (hit_rate > 0) with every hit
+# bit-identical to a fresh build and the cache inside its byte bound,
+# and that the server
 # latency percentiles are monotone (p50 ≤ p90 ≤ p99); warns when the
 # observability overhead exceeds its 3% budget. Finishes with a
 # docs-link check: every per-module design doc under src/*/README.md
@@ -124,6 +127,31 @@ if [ "$p50" -gt "$p90" ] || [ "$p90" -gt "$p99" ]; then
   exit 1
 fi
 echo "percentile check passed: p50=$p50 <= p90=$p90 <= p99=$p99 (us)"
+
+# server_zipf assertion: the result-cache scenario must be present, the
+# skewed request mix must actually hit the cache, every cache hit must
+# have been bit-identical to a fresh build, and the cache stayed inside
+# its configured byte bound.
+if ! grep -q '"server_zipf"' BENCH_index.json; then
+  echo "server_zipf check: scenario missing from BENCH_index.json" >&2
+  exit 1
+fi
+zipf_row="$(grep -o '"server_zipf": {[^}]*}' BENCH_index.json)"
+if ! echo "$zipf_row" | grep -q '"reports_match": true'; then
+  echo "server_zipf check: a cache hit diverged from the fresh-build report" >&2
+  exit 1
+fi
+if ! echo "$zipf_row" | grep -q '"bytes_ok": true'; then
+  echo "server_zipf check: cache resident bytes exceeded the configured bound" >&2
+  exit 1
+fi
+zipf_hit_rate="$(echo "$zipf_row" | sed -n 's/.*"hit_rate": \([0-9.]*\).*/\1/p')"
+if [ -z "${zipf_hit_rate:-}" ] || awk -v h="$zipf_hit_rate" 'BEGIN { exit !(h <= 0.0) }'; then
+  echo "server_zipf check: hit rate is ${zipf_hit_rate:-unparseable} (need > 0)" >&2
+  exit 1
+fi
+zipf_speedup="$(echo "$zipf_row" | sed -n 's/.*"speedup_vs_nocache": \([0-9.]*\).*/\1/p')"
+echo "server_zipf check passed: hit rate ${zipf_hit_rate}, ${zipf_speedup}x vs cache-off, reports bit-identical"
 
 # Observability overhead: the scenario must be present; the 3% ingest
 # budget is advisory (timing noise on CI runners), so exceeding it warns

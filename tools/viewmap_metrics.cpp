@@ -91,21 +91,26 @@ int main(int argc, char** argv) {
   service.upload_channel().submit({0xff, 0xff});  // malformed
   const std::size_t accepted = service.ingest_uploads();
 
-  // Investigation server: R sites across the band, served concurrently.
+  // Investigation server: R sites across the band, served concurrently —
+  // twice. The second pass repeats the same (site, minute) keys over the
+  // unchanged shard, so the digest-keyed result cache serves it from
+  // memory and the cache families below carry real hits.
   sys::ServerConfig server_cfg;
   server_cfg.workers = opt.workers;
   sys::InvestigationServer& server = service.start_server(server_cfg);
-  std::vector<std::future<sys::InvestigationServer::Reports>> futures;
-  futures.reserve(opt.requests);
-  for (std::size_t i = 0; i < opt.requests; ++i) {
-    const double cx = 100.0 + 700.0 * static_cast<double>(i) /
-                                  static_cast<double>(opt.requests);
-    futures.push_back(
-        server.submit({{cx - 150, -80}, {cx + 150, 80}}, unit));
-  }
   std::size_t reports = 0;
-  for (auto& fut : futures)
-    if (fut.valid()) reports += fut.get().size();
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<std::future<sys::InvestigationServer::Reports>> futures;
+    futures.reserve(opt.requests);
+    for (std::size_t i = 0; i < opt.requests; ++i) {
+      const double cx = 100.0 + 700.0 * static_cast<double>(i) /
+                                    static_cast<double>(opt.requests);
+      futures.push_back(
+          server.submit({{cx - 150, -80}, {cx + 150, 80}}, unit));
+    }
+    for (auto& fut : futures)
+      if (fut.valid()) reports += fut.get().size();
+  }
   service.stop_server();
 
   // One checkpoint so the store family reports too. Scratch directory;
@@ -125,8 +130,19 @@ int main(int argc, char** argv) {
          {"viewmap_ingest_accepted_total", "viewmap_ingest_batch_us",
           "viewmap_timeline_shards", "viewmap_server_submitted_total",
           "viewmap_server_request_us", "viewmap_investigate_us",
+          "viewmap_cache_hits_total", "viewmap_cache_misses_total",
+          "viewmap_cache_bytes", "viewmap_cache_hit_us",
           "viewmap_store_checkpoints_total"})
       if (text.find(family) == std::string::npos) return fail(family);
+
+    const sys::ResultCache::Stats cache = service.result_cache().stats();
+    if (cache.hits < opt.requests)
+      return fail("second request pass did not hit the result cache");
+    if (cache.misses == 0) return fail("first request pass never missed");
+    const obs::Counter* hits_c =
+        service.metrics().find_counter("viewmap_cache_hits_total");
+    if (hits_c == nullptr || hits_c->value() != cache.hits)
+      return fail("cache hit counter disagrees with ResultCache::stats()");
 
     const obs::Counter* c =
         service.metrics().find_counter("viewmap_ingest_accepted_total");
@@ -140,7 +156,7 @@ int main(int argc, char** argv) {
         service.metrics().find_histogram("viewmap_server_request_us");
     if (h == nullptr) return fail("request histogram missing");
     const obs::Histogram::Snapshot snap = h->snapshot();
-    if (snap.count != opt.requests) return fail("request count mismatch");
+    if (snap.count != 2 * opt.requests) return fail("request count mismatch");
     if (!(snap.percentile(0.5) <= snap.percentile(0.9) &&
           snap.percentile(0.9) <= snap.percentile(0.99)))
       return fail("request percentiles not monotone");
@@ -156,6 +172,12 @@ int main(int argc, char** argv) {
   }
 
   service.dump_metrics(std::cout);
+
+  const sys::ResultCache::Stats cache = service.result_cache().stats();
+  std::printf("\nresult cache: %zu hits / %zu misses, %zu insertions, "
+              "%zu evictions, %zu entries / %zu bytes resident\n",
+              cache.hits, cache.misses, cache.insertions, cache.evictions,
+              cache.resident_entries, cache.resident_bytes);
 
   std::printf("\nslowest investigations (%llu recorded, keeping %zu):\n",
               static_cast<unsigned long long>(service.tracer().recorded()),

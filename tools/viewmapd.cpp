@@ -10,7 +10,10 @@
 //            [--workers=N] [--checkpoint_interval_ms=N] [--jitter=PCT]
 //            [--keep_manifests=N] [--recover_seq=N] [--run_seconds=N]
 //            [--soak_rate=N] [--unit_every_ms=N] [--investigate_every_ms=N]
-//            [--failpoints=SPEC]
+//            [--cache_mb=N] [--failpoints=SPEC]
+//
+// --cache_mb bounds the digest-keyed investigation result cache
+// (src/system/result_cache.h) in MiB; 0 disables it. Default 64.
 //
 // --failpoints (or the VIEWMAP_FAILPOINTS environment variable) arms
 // fault-injection points for manual chaos: SPEC is the
@@ -66,6 +69,7 @@ struct Options {
   std::uint64_t soak_rate = 0;    ///< synthetic VPs/second; 0 = off
   std::uint64_t unit_every_ms = 1000;
   std::uint64_t investigate_every_ms = 0;
+  std::uint64_t cache_mb = 64;  ///< result-cache budget; 0 disables it
   std::uint64_t seed = 42;
   std::string failpoints;  ///< failpoint spec; empty = none
 };
@@ -84,6 +88,7 @@ bool apply(Options& o, const std::string& key, const std::string& value) {
   else if (key == "soak_rate") o.soak_rate = u64();
   else if (key == "unit_every_ms") o.unit_every_ms = u64();
   else if (key == "investigate_every_ms") o.investigate_every_ms = u64();
+  else if (key == "cache_mb") o.cache_mb = u64();
   else if (key == "seed") o.seed = u64();
   else if (key == "failpoints") o.failpoints = value;
   else return false;
@@ -117,7 +122,7 @@ int usage(const char* argv0) {
                "       [--keep_manifests=N] [--recover_seq=N] "
                "[--run_seconds=N]\n"
                "       [--soak_rate=N] [--unit_every_ms=N] "
-               "[--investigate_every_ms=N] [--seed=N]\n"
+               "[--investigate_every_ms=N] [--cache_mb=N] [--seed=N]\n"
                "       [--failpoints=point=action[@trigger][;...]]\n",
                argv0);
   return 2;
@@ -152,6 +157,11 @@ int main(int argc, char** argv) {
   cfg.checkpoint.jitter_pct = static_cast<unsigned>(opt.jitter);
   cfg.scrape.bind_address = opt.bind;
   cfg.scrape.port = static_cast<std::uint16_t>(opt.port);
+  // --cache_mb=0 turns the digest-keyed result cache off entirely (a
+  // zero-byte budget admits nothing; the service then skips the lookup).
+  cfg.service.result_cache.capacity_bytes =
+      static_cast<std::size_t>(opt.cache_mb) << 20;
+  cfg.service.result_cache.enabled = opt.cache_mb > 0;
 
   // Chaos arming before any thread starts, so the very first checkpoint
   // cycle can already hit an armed point. Flag wins over environment.
